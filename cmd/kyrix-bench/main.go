@@ -1,0 +1,146 @@
+// Command kyrix-bench regenerates the paper's evaluation tables and the
+// ablations indexed in DESIGN.md §4.
+//
+//	kyrix-bench -fig 6            # Figure 6 (Uniform)
+//	kyrix-bench -fig 7            # Figure 7 (Skewed)
+//	kyrix-bench -fig all          # everything, plus the shape report
+//	kyrix-bench -fig A3 -scale quick
+//
+// -scale selects the workload size: quick (CI), default (laptop,
+// DESIGN.md §5 mapping), paper (the original 100M-dot setup; very
+// slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"kyrix/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/ablation to run: 4|5|6|7|A1|A2|A3|A4|A5|all")
+	scale := flag.String("scale", "default", "workload scale: quick | default | paper")
+	runs := flag.Int("runs", 0, "override the number of runs per series (0 = config default)")
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.QuickConfig()
+	case "default":
+		cfg = experiments.DefaultConfig()
+	case "paper":
+		cfg = experiments.PaperConfig()
+	default:
+		log.Fatalf("unknown -scale %q", *scale)
+	}
+	if *runs > 0 {
+		cfg.Runs = *runs
+	}
+
+	want := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
+	ran := false
+
+	// Figure 5 is derived (no DB needed).
+	if want("5") {
+		ran = true
+		for _, kind := range []string{"uniform", "skewed"} {
+			out, err := experiments.Figure5(cfg, kind)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(out)
+		}
+	}
+
+	var uniEnv, skewEnv *experiments.Env
+	needUni := want("4") || want("6") || want("A1") || want("A2") || want("A3") || want("A5")
+	needSkew := want("7")
+	if needUni {
+		uniEnv = buildEnv(cfg, "uniform")
+		defer uniEnv.Close()
+	}
+	if needSkew {
+		skewEnv = buildEnv(cfg, "skewed")
+		defer skewEnv.Close()
+	}
+
+	var fig6, fig7 *experiments.Table
+	if want("6") {
+		ran = true
+		t, err := experiments.FigureSchemes(uniEnv, "Figure 6: average response times on Uniform")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig6 = t
+		fmt.Println(t.Format())
+	}
+	if want("7") {
+		ran = true
+		t, err := experiments.FigureSchemes(skewEnv, "Figure 7: average response times on Skewed")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fig7 = t
+		fmt.Println(t.Format())
+	}
+	if fig6 != nil && fig7 != nil {
+		fmt.Println("Shape report (paper §3.3 Results):")
+		for _, line := range experiments.ShapeReport(fig6, fig7) {
+			fmt.Println(" ", line)
+		}
+		fmt.Println()
+	}
+	if want("4") {
+		ran = true
+		t, err := experiments.Figure4(uniEnv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+	}
+	type ablation struct {
+		name string
+		run  func() (*experiments.Table, error)
+	}
+	ablations := []ablation{
+		{"A1", func() (*experiments.Table, error) { return experiments.AblationInflation(uniEnv) }},
+		{"A2", func() (*experiments.Table, error) { return experiments.AblationCache(uniEnv) }},
+		{"A3", func() (*experiments.Table, error) { return experiments.AblationPrefetch(uniEnv) }},
+		{"A4", func() (*experiments.Table, error) { return experiments.AblationSeparability(cfg) }},
+		{"A5", func() (*experiments.Table, error) { return experiments.AblationCodec(uniEnv) }},
+	}
+	for _, a := range ablations {
+		if !want(a.name) {
+			continue
+		}
+		ran = true
+		t, err := a.run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "kyrix-bench: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func buildEnv(cfg experiments.Config, kind string) *experiments.Env {
+	log.Printf("building %s environment (%d points, canvas %gx%g)...",
+		kind, cfg.NumPoints, cfg.CanvasW, cfg.CanvasH)
+	start := time.Now()
+	env, err := experiments.NewEnv(cfg, kind)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s environment ready in %v (load + both database designs)", kind, time.Since(start).Round(time.Millisecond))
+	return env
+}

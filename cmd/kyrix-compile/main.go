@@ -1,0 +1,106 @@
+// Command kyrix-compile validates a Kyrix JSON application spec — the
+// standalone face of the compiler described in the paper's §1 ("the
+// compiler parses developers' specification and performs basic
+// constraint checkings").
+//
+// Usage:
+//
+//	kyrix-compile -spec app.json [-print]
+//
+// Function names referenced by the spec (transforms, placements,
+// selectors, renderers) are declared with -declare so compilation can
+// succeed without the Go code that registers them:
+//
+//	kyrix-compile -spec app.json -declare renderer:dots -declare selector:stateSelector
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/spec"
+	"kyrix/internal/storage"
+)
+
+type declList []string
+
+func (d *declList) String() string     { return strings.Join(*d, ",") }
+func (d *declList) Set(v string) error { *d = append(*d, v); return nil }
+
+func main() {
+	specPath := flag.String("spec", "", "path to the JSON app spec (required)")
+	printSpec := flag.Bool("print", false, "print the normalized spec JSON on success")
+	var decls declList
+	flag.Var(&decls, "declare", "declare a named function as available: kind:name where kind is transform|placement|selector|viewport|name|renderer (repeatable)")
+	flag.Parse()
+
+	if *specPath == "" {
+		fmt.Fprintln(os.Stderr, "kyrix-compile: -spec is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(*specPath)
+	if err != nil {
+		fatal(err)
+	}
+	app, err := spec.FromJSON(data)
+	if err != nil {
+		fatal(err)
+	}
+	reg := spec.NewRegistry()
+	for _, d := range decls {
+		kind, name, ok := strings.Cut(d, ":")
+		if !ok {
+			fatal(fmt.Errorf("bad -declare %q (want kind:name)", d))
+		}
+		switch kind {
+		case "transform":
+			reg.RegisterTransform(name, func(r storage.Row) storage.Row { return r })
+		case "placement":
+			reg.RegisterPlacement(name, func(storage.Row) geom.Rect { return geom.Rect{} })
+		case "selector":
+			reg.RegisterSelector(name, func(storage.Row, int) bool { return true })
+		case "viewport":
+			reg.RegisterViewport(name, func(storage.Row) geom.Point { return geom.Point{} })
+		case "name":
+			reg.RegisterName(name, func(storage.Row) string { return "" })
+		case "renderer":
+			reg.RegisterRenderer(name)
+		default:
+			fatal(fmt.Errorf("unknown declare kind %q", kind))
+		}
+	}
+
+	ca, err := spec.Compile(app, reg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kyrix-compile: FAILED\n%v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: app %q compiles\n", app.Name)
+	fmt.Printf("  canvases: %d\n", len(app.Canvases))
+	for _, c := range app.Canvases {
+		fmt.Printf("    %-16s %8.0fx%-8.0f layers=%d transforms=%d\n",
+			c.ID, c.W, c.H, len(c.Layers), len(c.Transforms))
+	}
+	fmt.Printf("  jumps: %d\n", len(app.Jumps))
+	for i, j := range app.Jumps {
+		fmt.Printf("    %s -> %s (%s, zoom %.2gx)\n", j.From, j.To, j.Type, ca.JumpFuncs[i].ZoomFactor)
+	}
+	fmt.Printf("  initial: canvas %q center (%g, %g), viewport %gx%g\n",
+		app.InitialCanvas, app.InitialX, app.InitialY, app.ViewportW, app.ViewportH)
+	if *printSpec {
+		out, err := app.ToJSON()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(out))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kyrix-compile:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,254 @@
+// Command kyrix-server runs a Kyrix backend over HTTP.
+//
+// Demo mode generates one of the paper's synthetic datasets, builds the
+// single-canvas scatter application over it and serves it:
+//
+//	kyrix-server -demo uniform -n 1000000 -addr :8080
+//	kyrix-server -demo skewed  -n 1000000
+//
+// Spec mode serves a JSON spec against CSV-loaded tables. Each -table
+// flag is name=path.csv, where the CSV header declares typed columns as
+// name:type (type ∈ int,double,text,bool):
+//
+//	kyrix-server -spec app.json -table states=states.csv -table counties=counties.csv
+//
+// Endpoints (consumed by the kyrix frontend client): /app /tile /dbox
+// /update /stats.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/server"
+	"kyrix/internal/spec"
+	"kyrix/internal/sqldb"
+	"kyrix/internal/storage"
+	"kyrix/internal/workload"
+)
+
+type tableList []string
+
+func (t *tableList) String() string     { return strings.Join(*t, ",") }
+func (t *tableList) Set(v string) error { *t = append(*t, v); return nil }
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	demo := flag.String("demo", "", "serve a synthetic demo dataset: uniform | skewed")
+	n := flag.Int("n", 1_000_000, "demo dataset size")
+	specPath := flag.String("spec", "", "JSON app spec to serve (spec mode)")
+	seed := flag.Int64("seed", 2019, "demo dataset seed")
+	cacheMB := flag.Int64("cache-mb", 256, "backend cache budget in MB")
+	tileSizes := flag.String("tile-sizes", "256,1024,4096", "comma-separated tile sizes to precompute")
+	walPath := flag.String("wal", "", "attach a write-ahead log at this path (enables the update model)")
+	var tables tableList
+	flag.Var(&tables, "table", "load a CSV table: name=path.csv (repeatable, spec mode)")
+	flag.Parse()
+
+	var sizes []float64
+	for _, s := range strings.Split(*tileSizes, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			log.Fatalf("bad -tile-sizes: %v", err)
+		}
+		sizes = append(sizes, v)
+	}
+
+	db := sqldb.NewDB()
+	if *walPath != "" {
+		if err := db.AttachWAL(*walPath); err != nil {
+			log.Fatalf("attach WAL: %v", err)
+		}
+		log.Printf("WAL attached at %s (recovered state replayed)", *walPath)
+	}
+
+	var ca *spec.CompiledApp
+	var err error
+	switch {
+	case *demo != "":
+		ca, err = buildDemo(db, *demo, *n, *seed)
+	case *specPath != "":
+		ca, err = buildFromSpec(db, *specPath, tables)
+	default:
+		log.Fatal("one of -demo or -spec is required")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(db, ca, server.Options{
+		CacheBytes: *cacheMB << 20,
+		Precompute: fetch.Options{
+			BuildSpatial: true,
+			TileSizes:    sizes,
+			MappingIndex: sqldb.IndexBTree,
+		},
+	})
+	if err != nil {
+		log.Fatalf("precompute: %v", err)
+	}
+	log.Printf("kyrix backend serving app %q on %s", ca.Spec.Name, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}
+
+func buildDemo(db *sqldb.DB, kind string, n int, seed int64) (*spec.CompiledApp, error) {
+	const w, h = 131072.0, 16384.0
+	var d *workload.Dataset
+	switch kind {
+	case "uniform":
+		d = workload.Uniform(n, w, h, seed)
+	case "skewed":
+		d = workload.Skewed(n, w, h, seed)
+	default:
+		return nil, fmt.Errorf("unknown -demo %q (want uniform or skewed)", kind)
+	}
+	if _, err := db.Exec("CREATE TABLE points (id INT, x DOUBLE, y DOUBLE, val DOUBLE)"); err != nil {
+		return nil, err
+	}
+	for i := range d.Points {
+		p := &d.Points[i]
+		if err := db.InsertRow("points", storage.Row{
+			storage.I64(p.ID), storage.F64(p.X), storage.F64(p.Y), storage.F64(p.Val),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	log.Printf("loaded %d %s points on a %gx%g canvas", n, kind, w, h)
+	reg := spec.NewRegistry()
+	reg.RegisterRenderer("dots")
+	app := &spec.App{
+		Name: "demo-" + kind,
+		Canvases: []spec.Canvas{{
+			ID: "main", W: w, H: h,
+			Transforms: []spec.Transform{{
+				ID: "pts", Query: "SELECT * FROM points",
+				Columns: []spec.ColumnSpec{
+					{Name: "id", Type: "int"}, {Name: "x", Type: "double"},
+					{Name: "y", Type: "double"}, {Name: "val", Type: "double"},
+				},
+			}},
+			Layers: []spec.Layer{{
+				TransformID: "pts",
+				Placement:   &spec.Placement{XCol: "x", YCol: "y", Radius: 1},
+				Renderer:    "dots",
+			}},
+		}},
+		InitialCanvas: "main", InitialX: w / 2, InitialY: h / 2,
+		ViewportW: 1024, ViewportH: 1024,
+	}
+	return spec.Compile(app, reg)
+}
+
+func buildFromSpec(db *sqldb.DB, path string, tables tableList) (*spec.CompiledApp, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	app, err := spec.FromJSON(data)
+	if err != nil {
+		return nil, err
+	}
+	for _, tspec := range tables {
+		name, csvPath, ok := strings.Cut(tspec, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -table %q (want name=path.csv)", tspec)
+		}
+		if err := loadCSV(db, name, csvPath); err != nil {
+			return nil, fmt.Errorf("load %s: %w", tspec, err)
+		}
+	}
+	// Spec mode declares every referenced function name permissively:
+	// a serving-only process has no Go callbacks, so specs served here
+	// must be separable (the §3.2 common case).
+	reg := spec.NewRegistry()
+	for _, c := range app.Canvases {
+		for _, l := range c.Layers {
+			if l.Renderer != "" {
+				reg.RegisterRenderer(l.Renderer)
+			}
+		}
+	}
+	return spec.Compile(app, reg)
+}
+
+// loadCSV loads a CSV with a typed header (col:type,...) into a fresh
+// table.
+func loadCSV(db *sqldb.DB, table, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return fmt.Errorf("read header: %w", err)
+	}
+	var ddl strings.Builder
+	fmt.Fprintf(&ddl, "CREATE TABLE %s (", table)
+	types := make([]string, len(header))
+	for i, hcol := range header {
+		name, typ, ok := strings.Cut(strings.TrimSpace(hcol), ":")
+		if !ok {
+			return fmt.Errorf("header column %q lacks a :type suffix", hcol)
+		}
+		types[i] = typ
+		sqlType := map[string]string{"int": "INT", "double": "DOUBLE", "text": "TEXT", "bool": "BOOL"}[typ]
+		if sqlType == "" {
+			return fmt.Errorf("unknown type %q in header", typ)
+		}
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "%s %s", name, sqlType)
+	}
+	ddl.WriteString(")")
+	if _, err := db.Exec(ddl.String()); err != nil {
+		return err
+	}
+	count := 0
+	for {
+		rec, err := r.Read()
+		if err != nil {
+			break
+		}
+		row := make(storage.Row, len(rec))
+		for i, cell := range rec {
+			switch types[i] {
+			case "int":
+				v, err := strconv.ParseInt(strings.TrimSpace(cell), 10, 64)
+				if err != nil {
+					return fmt.Errorf("row %d col %d: %w", count, i, err)
+				}
+				row[i] = storage.I64(v)
+			case "double":
+				v, err := strconv.ParseFloat(strings.TrimSpace(cell), 64)
+				if err != nil {
+					return fmt.Errorf("row %d col %d: %w", count, i, err)
+				}
+				row[i] = storage.F64(v)
+			case "text":
+				row[i] = storage.Str(cell)
+			case "bool":
+				row[i] = storage.Bool(strings.EqualFold(strings.TrimSpace(cell), "true"))
+			}
+		}
+		if err := db.InsertRow(table, row); err != nil {
+			return err
+		}
+		count++
+	}
+	log.Printf("loaded table %s: %d rows", table, count)
+	return nil
+}

@@ -1,0 +1,241 @@
+// eeg implements the paper's §4 MGH scenario: interactive exploration
+// of multi-channel sleep EEG with coordinated views — "they want three
+// different views of the data, a temporal view, a spectral view and a
+// composite clustering view, to be coordinated. For instance, movement
+// in the temporal view should cause an appropriate change in the
+// spectral view."
+//
+// Two canvases over the same recording — a temporal amplitude view and
+// a spectral band-power view — are driven by two frontend clients whose
+// viewports are linked through the view coordinator (x-axis only: the
+// time axes align, the vertical encodings differ). Panning the temporal
+// view drags the spectral view along.
+//
+// It also exercises the §4 update model: the analyst tags an artifact
+// interval through the backend's update endpoint, and the tag is
+// visible on the next fetch.
+//
+// Run with:
+//
+//	go run ./examples/eeg
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"image/color"
+	"log"
+	"net/http"
+
+	"kyrix"
+	"kyrix/internal/workload"
+)
+
+func main() {
+	const channels = 4
+	eeg := workload.EEG(channels, 300, 16, 42) // 5 minutes at 16 Hz
+
+	// ---- load samples (temporal + spectral features per row) ----
+	db := kyrix.NewDB()
+	if _, err := db.Exec(`CREATE TABLE eeg (id INT, channel INT, t DOUBLE, amp DOUBLE,
+		delta DOUBLE, theta DOUBLE, alpha DOUBLE, beta DOUBLE, tag TEXT)`); err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range eeg.Samples {
+		err := db.InsertRow("eeg", kyrix.Row{
+			kyrix.Int(s.ID), kyrix.Int(s.Channel), kyrix.Float(s.T), kyrix.Float(s.Amp),
+			kyrix.Float(s.Delta), kyrix.Float(s.Theta), kyrix.Float(s.Alpha), kyrix.Float(s.Beta),
+			kyrix.Text(""),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cols := []kyrix.ColumnSpec{
+		{Name: "id", Type: "int"}, {Name: "channel", Type: "int"},
+		{Name: "t", Type: "double"}, {Name: "amp", Type: "double"},
+		{Name: "delta", Type: "double"}, {Name: "theta", Type: "double"},
+		{Name: "alpha", Type: "double"}, {Name: "beta", Type: "double"},
+		{Name: "tag", Type: "text"},
+	}
+
+	reg := kyrix.NewRegistry()
+	reg.RegisterRenderer("temporalRendering")
+	reg.RegisterRenderer("spectralRendering")
+	// Temporal placement: x = t*PxPerSec; y = channel band center
+	// displaced by amplitude. Depends on two attributes -> non-separable.
+	pxPerSec, bandH := eeg.PxPerSec, eeg.BandHeight
+	reg.RegisterPlacement("temporalPlacement", func(row kyrix.Row) kyrix.Rect {
+		x := row[2].AsFloat() * pxPerSec
+		y := row[1].AsFloat()*bandH + bandH/2 - row[3].AsFloat()
+		return kyrix.RectAround(kyrix.Point{X: x, Y: y}, 1)
+	})
+	// Spectral placement: same time axis; y encodes the dominant band
+	// (delta/theta/alpha/beta stacked per channel).
+	reg.RegisterPlacement("spectralPlacement", func(row kyrix.Row) kyrix.Rect {
+		x := row[2].AsFloat() * pxPerSec
+		band, power := 0, row[4].AsFloat()
+		for i, p := range []float64{row[5].AsFloat(), row[6].AsFloat(), row[7].AsFloat()} {
+			if p > power {
+				band, power = i+1, p
+			}
+		}
+		y := row[1].AsFloat()*bandH + float64(band)*bandH/4 + bandH/8
+		return kyrix.RectAround(kyrix.Point{X: x, Y: y}, 1)
+	})
+
+	app := &kyrix.App{
+		Name: "mgh-eeg",
+		Canvases: []kyrix.Canvas{
+			{
+				ID: "temporal", W: eeg.TemporalW, H: eeg.TemporalH,
+				Transforms: []kyrix.Transform{{ID: "eegT", Query: "SELECT * FROM eeg", Columns: cols}},
+				Layers: []kyrix.Layer{{
+					TransformID: "eegT",
+					Placement:   &kyrix.Placement{Func: "temporalPlacement"},
+					Renderer:    "temporalRendering",
+				}},
+			},
+			{
+				ID: "spectral", W: eeg.TemporalW, H: eeg.TemporalH,
+				Transforms: []kyrix.Transform{{ID: "eegS", Query: "SELECT * FROM eeg", Columns: cols}},
+				Layers: []kyrix.Layer{{
+					TransformID: "eegS",
+					Placement:   &kyrix.Placement{Func: "spectralPlacement"},
+					Renderer:    "spectralRendering",
+				}},
+			},
+		},
+		Jumps: []kyrix.Jump{{
+			From: "temporal", To: "spectral", Type: kyrix.SemanticZoom,
+		}},
+		InitialCanvas: "temporal", InitialX: 300, InitialY: eeg.TemporalH / 2,
+		ViewportW: 600, ViewportH: eeg.TemporalH,
+	}
+
+	inst, err := kyrix.Launch(db, app, reg, kyrix.DefaultServerOptions(), kyrix.DefaultClientOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	// A second frontend shows the spectral canvas ("multiple canvases
+	// on the screen simultaneously"): it connects to the same backend
+	// and jumps to the spectral view once.
+	ca, err := kyrix.Compile(app, reg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spectralClient, err := kyrix.NewClient(inst.BaseURL, ca, kyrix.DefaultClientOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := spectralClient.Jump(0, nil); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := inst.Client.Load(); err != nil {
+		log.Fatal(err)
+	}
+
+	// ---- coordinate the two views on the shared time axis ----
+	co := kyrix.NewCoordinator()
+	must(co.AddView("temporal", kyrix.ClientView{C: inst.Client}))
+	must(co.AddView("spectral", kyrix.ClientView{C: spectralClient}))
+	must(co.LinkBidirectional("temporal", "spectral", kyrix.IdentityMap, kyrix.WithXOnly()))
+
+	fmt.Printf("temporal viewport: %s\n", inst.Client.Viewport())
+	fmt.Printf("spectral viewport: %s\n", spectralClient.Viewport())
+
+	// Pan the temporal view 30 seconds forward; the spectral view
+	// follows automatically.
+	target := inst.Client.Viewport().Translate(30*pxPerSec, 0)
+	if err := co.Move("temporal", target); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after panning temporal +30s:\n")
+	fmt.Printf("  temporal viewport: %s\n", inst.Client.Viewport())
+	fmt.Printf("  spectral viewport: %s (coordinated)\n", spectralClient.Viewport())
+	if spectralClient.Viewport().MinX != inst.Client.Viewport().MinX {
+		log.Fatal("coordination failed: time axes diverged")
+	}
+
+	// ---- the §4 update model: tag an artifact interval ----
+	// The temporal layer is materialized (non-separable placement), so
+	// an edit that should be visible in the view targets the layer's
+	// physical table, published in the layer metadata.
+	layerTable := inst.Client.Canvas().Layers[0].Table
+	update := map[string]any{
+		"sql": fmt.Sprintf(
+			"UPDATE %s SET tag = 'artifact' WHERE t >= 45 AND t < 50 AND channel = 2", layerTable),
+	}
+	body, _ := json.Marshal(update)
+	resp, err := http.Post(inst.BaseURL+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out map[string]int64
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	resp.Body.Close()
+	fmt.Printf("tagged %d samples as artifact via /update\n", out["affected"])
+
+	// Refetch: tags are visible to the next viewport load.
+	if err := co.Move("temporal", kyrix.RectXYWH(44*pxPerSec, 0, 600, eeg.TemporalH)); err != nil {
+		log.Fatal(err)
+	}
+	rows, err := inst.Client.ObjectsInViewport(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tagged := 0
+	for _, r := range rows {
+		// Materialized layer prepends kid: tag is the last column.
+		if r[len(r)-5].S == "artifact" { // tag before the 4 bbox cols
+			tagged++
+		}
+	}
+	fmt.Printf("viewport over the artifact interval sees %d tagged samples\n", tagged)
+
+	// ---- render both views ----
+	registerRenderers(inst.Client, channels)
+	registerRenderers(spectralClient, channels)
+	img, err := inst.Client.Render(900, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(img.SavePNG("eeg_temporal.png"))
+	fmt.Println("wrote eeg_temporal.png")
+	img, err = spectralClient.Render(900, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must(img.SavePNG("eeg_spectral.png"))
+	fmt.Println("wrote eeg_spectral.png")
+}
+
+func registerRenderers(c *kyrix.Client, channels int) {
+	c.RegisterRenderer("temporalRendering", func(img *kyrix.Image, _ *kyrix.LayerMeta, row kyrix.Row, box kyrix.Rect) {
+		ch := int(row[2].AsInt()) // kid shifts columns by one
+		img.Dot(box.Center(), 1.5, channelColor(ch))
+	})
+	c.RegisterRenderer("spectralRendering", func(img *kyrix.Image, _ *kyrix.LayerMeta, row kyrix.Row, box kyrix.Rect) {
+		ch := int(row[2].AsInt())
+		img.Dot(box.Center(), 1.5, channelColor(ch))
+	})
+}
+
+func channelColor(ch int) color.RGBA {
+	palette := []color.RGBA{
+		{31, 119, 180, 255}, {255, 127, 14, 255},
+		{44, 160, 44, 255}, {214, 39, 40, 255},
+	}
+	return palette[((ch%len(palette))+len(palette))%len(palette)]
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

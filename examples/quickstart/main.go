@@ -1,0 +1,110 @@
+// Quickstart: the smallest end-to-end Kyrix application.
+//
+// It loads a synthetic scatterplot into the embedded DBMS, declares a
+// one-canvas app with a separable placement, launches backend +
+// frontend in-process, pans around with dynamic-box fetching, and
+// renders the final viewport to quickstart.png.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"image/color"
+	"log"
+	"math/rand"
+
+	"kyrix"
+)
+
+func main() {
+	// 1. Load data into the embedded DBMS (stand-in for PostgreSQL).
+	db := kyrix.NewDB()
+	if _, err := db.Exec("CREATE TABLE stars (id INT, x DOUBLE, y DOUBLE, mag DOUBLE)"); err != nil {
+		log.Fatal(err)
+	}
+	const canvasW, canvasH = 16384.0, 16384.0
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200_000; i++ {
+		err := db.InsertRow("stars", kyrix.Row{
+			kyrix.Int(int64(i)),
+			kyrix.Float(rng.Float64() * canvasW),
+			kyrix.Float(rng.Float64() * canvasH),
+			kyrix.Float(rng.Float64()*5 + 1),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// 2. Declare the app: one canvas, one layer, separable placement
+	//    (x and y are raw attributes, so Kyrix skips precomputation
+	//    and queries the spatial index directly — §3.2).
+	reg := kyrix.NewRegistry()
+	reg.RegisterRenderer("starDots")
+	app := &kyrix.App{
+		Name: "quickstart",
+		Canvases: []kyrix.Canvas{{
+			ID: "sky", W: canvasW, H: canvasH,
+			Transforms: []kyrix.Transform{{
+				ID: "starsT", Query: "SELECT * FROM stars",
+				Columns: []kyrix.ColumnSpec{
+					{Name: "id", Type: "int"}, {Name: "x", Type: "double"},
+					{Name: "y", Type: "double"}, {Name: "mag", Type: "double"},
+				},
+			}},
+			Layers: []kyrix.Layer{{
+				TransformID: "starsT",
+				Placement:   &kyrix.Placement{XCol: "x", YCol: "y", Radius: 2},
+				Renderer:    "starDots",
+			}},
+		}},
+		InitialCanvas: "sky", InitialX: canvasW / 2, InitialY: canvasH / 2,
+		ViewportW: 1024, ViewportH: 1024,
+	}
+
+	// 3. Launch backend + frontend in-process.
+	inst, err := kyrix.Launch(db, app, reg,
+		kyrix.DefaultServerOptions(), kyrix.DefaultClientOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+	fmt.Printf("backend at %s\n", inst.BaseURL)
+
+	// 4. Interact: initial load, then a few pans.
+	rep, err := inst.Client.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("initial load: %d rows in %v (budget 500ms: ok=%v)\n",
+		rep.Rows, rep.Duration, kyrix.WithinBudget(rep))
+	for i := 0; i < 5; i++ {
+		rep, err = inst.Client.PanBy(700, 150)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("pan %d: %d requests, %d rows, %v\n",
+			i+1, rep.Requests, rep.Rows, rep.Duration)
+	}
+
+	// 5. Render the final viewport.
+	inst.Client.RegisterRenderer("starDots", func(img *kyrix.Image, _ *kyrix.LayerMeta, row kyrix.Row, box kyrix.Rect) {
+		// Brighter stars (lower magnitude) draw larger.
+		r := 4 - row[3].AsFloat()/2
+		if r < 1 {
+			r = 1
+		}
+		img.Dot(box.Center(), r, color.RGBA{R: 30, G: 60, B: 180, A: 255})
+	})
+	img, err := inst.Client.Render(512, 512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := img.SavePNG("quickstart.png"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote quickstart.png")
+}

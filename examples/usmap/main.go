@@ -1,0 +1,251 @@
+// usmap reproduces the paper's §2.2 example application: an interactive
+// map of US crime rates per state and county (Figures 2 and 3).
+//
+// Two canvases: the initial state-level crime-rate map (with a static
+// legend layer overlaid on a pannable state layer) and a 5x larger,
+// pannable county-level map. Clicking a state triggers a
+// geometric+semantic zoom jump into the county map centered on that
+// state — the Go translation of the paper's Fig. 3 JavaScript snippet,
+// including the selector, newViewport and jumpName functions.
+//
+// Run with:
+//
+//	go run ./examples/usmap
+//
+// Outputs: usmap_states.png (Fig. 2a), usmap_counties.png (Fig. 2c),
+// usmap_counties_panned.png (Fig. 2d).
+package main
+
+import (
+	"fmt"
+	"image/color"
+	"log"
+
+	"kyrix"
+	"kyrix/internal/workload"
+)
+
+func main() {
+	cd := workload.Crime(60, 2019)
+
+	// ---- load the two-level crime data into the DBMS ----
+	db := kyrix.NewDB()
+	mustExec(db, `CREATE TABLE states (id INT, name TEXT, rate DOUBLE, pop INT, cx DOUBLE, cy DOUBLE)`)
+	for _, s := range cd.States {
+		c := s.Box.Center()
+		mustInsert(db, "states", kyrix.Row{
+			kyrix.Int(s.ID), kyrix.Text(s.Name), kyrix.Float(s.CrimeRate),
+			kyrix.Int(s.Pop), kyrix.Float(c.X), kyrix.Float(c.Y),
+		})
+	}
+	mustExec(db, `CREATE TABLE counties (id INT, name TEXT, rate DOUBLE, parent INT,
+		minx DOUBLE, miny DOUBLE, maxx DOUBLE, maxy DOUBLE)`)
+	for _, c := range cd.Counties {
+		mustInsert(db, "counties", kyrix.Row{
+			kyrix.Int(c.ID), kyrix.Text(c.Name), kyrix.Float(c.CrimeRate), kyrix.Int(c.ParentID),
+			kyrix.Float(c.Box.MinX), kyrix.Float(c.Box.MinY),
+			kyrix.Float(c.Box.MaxX), kyrix.Float(c.Box.MaxY),
+		})
+	}
+
+	// ---- the Fig. 3 spec, in Go ----
+	reg := kyrix.NewRegistry()
+	reg.RegisterRenderer("stateMapLegendRendering")
+	reg.RegisterRenderer("stateMapRendering")
+	reg.RegisterRenderer("countyMapRendering")
+	// var selector = function (row, layerId) { return layerId == 1; }
+	reg.RegisterSelector("stateSelector", func(row kyrix.Row, layerIdx int) bool {
+		return layerIdx == 1
+	})
+	// var newViewport = function (row) { ... } — center the county map
+	// on the clicked state (county canvas is 5x the state canvas).
+	reg.RegisterViewport("countyViewport", func(row kyrix.Row) kyrix.Point {
+		return kyrix.Point{X: row[4].AsFloat() * 5, Y: row[5].AsFloat() * 5}
+	})
+	// var jumpName = function (row) { return "County map of " + row[3]; }
+	reg.RegisterName("countyName", func(row kyrix.Row) string {
+		return "County map of " + row[1].S
+	})
+	// Non-separable placement for counties: the bbox spans four
+	// columns, so the backend materializes this layer (§3.2).
+	reg.RegisterPlacement("countyPlacement", func(row kyrix.Row) kyrix.Rect {
+		return kyrix.Rect{
+			MinX: row[4].AsFloat(), MinY: row[5].AsFloat(),
+			MaxX: row[6].AsFloat(), MaxY: row[7].AsFloat(),
+		}
+	})
+
+	app := &kyrix.App{
+		Name: "usmap", DBConfig: "config.txt",
+		Canvases: []kyrix.Canvas{
+			{
+				ID: "statemap", W: cd.StateCanvas.W(), H: cd.StateCanvas.H(),
+				Transforms: []kyrix.Transform{
+					{ID: "empty"},
+					{ID: "stateMapTrans", Query: "SELECT * FROM states",
+						Columns: []kyrix.ColumnSpec{
+							{Name: "id", Type: "int"}, {Name: "name", Type: "text"},
+							{Name: "rate", Type: "double"}, {Name: "pop", Type: "int"},
+							{Name: "cx", Type: "double"}, {Name: "cy", Type: "double"},
+						}},
+				},
+				Layers: []kyrix.Layer{
+					// Static legend layer: stays put when the user pans.
+					{TransformID: "empty", Static: true, Renderer: "stateMapLegendRendering"},
+					// Pannable state border layer (separable: states
+					// are 100x100 squares centered at cx, cy).
+					{TransformID: "stateMapTrans", Static: false,
+						Placement: &kyrix.Placement{XCol: "cx", YCol: "cy", Radius: 50},
+						Renderer:  "stateMapRendering"},
+				},
+			},
+			{
+				ID: "countymap", W: cd.CountyCanvas.W(), H: cd.CountyCanvas.H(),
+				Transforms: []kyrix.Transform{
+					{ID: "countyMapTrans", Query: "SELECT * FROM counties",
+						Columns: []kyrix.ColumnSpec{
+							{Name: "id", Type: "int"}, {Name: "name", Type: "text"},
+							{Name: "rate", Type: "double"}, {Name: "parent", Type: "int"},
+							{Name: "minx", Type: "double"}, {Name: "miny", Type: "double"},
+							{Name: "maxx", Type: "double"}, {Name: "maxy", Type: "double"},
+						}},
+				},
+				Layers: []kyrix.Layer{
+					{TransformID: "countyMapTrans",
+						Placement: &kyrix.Placement{Func: "countyPlacement"},
+						Renderer:  "countyMapRendering"},
+				},
+			},
+		},
+		Jumps: []kyrix.Jump{{
+			From: "statemap", To: "countymap", Type: kyrix.GeometricSemanticZoom,
+			Selector: "stateSelector", NewViewport: "countyViewport", Name: "countyName",
+		}},
+		InitialCanvas: "statemap", InitialX: 500, InitialY: 250,
+		ViewportW: 600, ViewportH: 400,
+	}
+
+	inst, err := kyrix.Launch(db, app, reg, kyrix.DefaultServerOptions(), kyrix.DefaultClientOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer inst.Close()
+
+	registerRenderers(inst.Client)
+
+	// ---- Fig. 2a: the state-level map ----
+	rep, err := inst.Client.Load()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state map loaded: %d rows, %v\n", rep.Rows, rep.Duration)
+	savePNG(inst.Client, "usmap_states.png")
+
+	// ---- Fig. 2b/2c: click Massachusetts, jump to the county map ----
+	states, err := inst.Client.ObjectsInViewport(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var massachusetts kyrix.Row
+	for _, r := range states {
+		if r[1].S == "Massachusetts" {
+			massachusetts = r
+			break
+		}
+	}
+	if massachusetts == nil {
+		// Not in the initial viewport: pan until found.
+		_, _ = inst.Client.Pan(kyrix.RectXYWH(0, 200, 600, 400))
+		states, _ = inst.Client.ObjectsInViewport(1)
+		for _, r := range states {
+			if r[1].S == "Massachusetts" {
+				massachusetts = r
+				break
+			}
+		}
+	}
+	if massachusetts == nil {
+		log.Fatal("Massachusetts not found on the state map")
+	}
+	choices, err := inst.Client.JumpsFor(massachusetts, 1)
+	if err != nil || len(choices) == 0 {
+		log.Fatalf("no jumps for the clicked state: %v", err)
+	}
+	fmt.Printf("clicked state %q -> jump available: %q\n", massachusetts[1].S, choices[0].Label)
+	rep, err = inst.Client.Jump(choices[0].Index, massachusetts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("county map loaded (canvas %s): %d rows, %v\n",
+		inst.Client.Canvas().ID, rep.Rows, rep.Duration)
+	savePNG(inst.Client, "usmap_counties.png")
+
+	// ---- Fig. 2d: pan on the county-level map ----
+	rep, err = inst.Client.PanBy(300, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("county pan: %d requests, %d rows, %v\n", rep.Requests, rep.Rows, rep.Duration)
+	savePNG(inst.Client, "usmap_counties_panned.png")
+}
+
+// registerRenderers installs the three rendering functions of Fig. 3.
+func registerRenderers(c *kyrix.Client) {
+	const rateLo, rateHi = 100.0, 1200.0
+	ramp := func(rate float64) color.RGBA {
+		t := (rate - rateLo) / (rateHi - rateLo)
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return color.RGBA{R: 255, G: uint8(235 * (1 - t)), B: uint8(225 * (1 - t)), A: 255}
+	}
+	border := color.RGBA{R: 60, G: 60, B: 60, A: 255}
+
+	// Static legend in the upper right-hand corner of the viewport.
+	c.RegisterRenderer("stateMapLegendRendering", func(img *kyrix.Image, _ *kyrix.LayerMeta, _ kyrix.Row, _ kyrix.Rect) {
+		view := img.View()
+		x := view.MaxX - view.W()*0.18
+		y := view.MinY + view.H()*0.05
+		sw := view.W() * 0.03
+		for i := 0; i < 5; i++ {
+			rate := rateLo + float64(i)/4*(rateHi-rateLo)
+			img.FillRect(kyrix.RectXYWH(x+float64(i)*sw, y, sw, sw), ramp(rate))
+		}
+		img.StrokeRect(kyrix.RectXYWH(x, y, 5*sw, sw), border)
+	})
+	c.RegisterRenderer("stateMapRendering", func(img *kyrix.Image, _ *kyrix.LayerMeta, row kyrix.Row, box kyrix.Rect) {
+		img.FillRect(box, ramp(row[2].AsFloat()))
+		img.StrokeRect(box, border)
+	})
+	c.RegisterRenderer("countyMapRendering", func(img *kyrix.Image, meta *kyrix.LayerMeta, row kyrix.Row, box kyrix.Rect) {
+		// Materialized layers prepend a kid column: rate is at 3.
+		img.FillRect(box, ramp(row[3].AsFloat()))
+		img.StrokeRect(box, border)
+	})
+}
+
+func savePNG(c *kyrix.Client, path string) {
+	img, err := c.Render(900, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := img.SavePNG(path); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func mustExec(db *kyrix.DB, sql string) {
+	if _, err := db.Exec(sql); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustInsert(db *kyrix.DB, table string, row kyrix.Row) {
+	if err := db.InsertRow(table, row); err != nil {
+		log.Fatal(err)
+	}
+}

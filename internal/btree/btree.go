@@ -1,0 +1,236 @@
+// Package btree implements the B+tree used for Kyrix's tuple-id and
+// tile-id indexes (the paper's first database design: "Btree/hash
+// indexes on the tuple_id column of the first table and the tile_id
+// column of the second table").
+//
+// Entries are (key int64, val uint64) pairs; duplicate keys are allowed
+// and are ordered by val, so the tile-id secondary index can hold many
+// tuple references per tile. Leaves are linked for range scans.
+package btree
+
+import "sort"
+
+// degree is the fan-out: max keys per node. 64 keeps nodes around a
+// cache line multiple and trees shallow at the experiment scales.
+const degree = 64
+
+type entry struct {
+	key int64
+	val uint64
+}
+
+type node struct {
+	leaf     bool
+	entries  []entry // leaf: data entries; internal: separator keys in entries[i].key
+	children []*node // internal only; len(children) == len(entries)+1
+	next     *node   // leaf chain
+}
+
+// Tree is a B+tree mapping int64 keys to uint64 payloads with
+// duplicates. The zero value is not usable; call New. Not safe for
+// concurrent mutation; the DB layer serializes writers.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{root: &node{leaf: true}}
+}
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// search returns the index of the first entry in n.entries whose
+// (key,val) is >= (k,v).
+func searchEntries(entries []entry, k int64, v uint64) int {
+	return sort.Search(len(entries), func(i int) bool {
+		e := entries[i]
+		return e.key > k || (e.key == k && e.val >= v)
+	})
+}
+
+// childIndex picks the child to descend into for (k, v). Separators come
+// from splits where the right sibling holds entries >= the separator, so
+// descent goes right on an exact separator match: the first separator
+// strictly greater than (k, v) bounds the correct child.
+func childIndex(n *node, k int64, v uint64) int {
+	return sort.Search(len(n.entries), func(i int) bool {
+		e := n.entries[i]
+		return e.key > k || (e.key == k && e.val > v)
+	})
+}
+
+// Insert adds (key, val). Duplicate (key, val) pairs are stored once
+// (idempotent), which makes index rebuilds safe to re-run.
+func (t *Tree) Insert(key int64, val uint64) {
+	newChild, sep, grew := t.insert(t.root, key, val)
+	if grew {
+		t.size++
+	}
+	if newChild != nil {
+		t.root = &node{
+			entries:  []entry{sep},
+			children: []*node{t.root, newChild},
+		}
+	}
+}
+
+// insert descends, splitting children on the way back up. Returns a new
+// right sibling and its separator when n split, and whether the tree
+// gained an entry.
+func (t *Tree) insert(n *node, key int64, val uint64) (*node, entry, bool) {
+	if n.leaf {
+		i := searchEntries(n.entries, key, val)
+		if i < len(n.entries) && n.entries[i].key == key && n.entries[i].val == val {
+			return nil, entry{}, false // idempotent
+		}
+		n.entries = append(n.entries, entry{})
+		copy(n.entries[i+1:], n.entries[i:])
+		n.entries[i] = entry{key, val}
+		if len(n.entries) <= degree {
+			return nil, entry{}, true
+		}
+		right := t.splitLeaf(n)
+		return right, entry{right.entries[0].key, right.entries[0].val}, true
+	}
+	ci := childIndex(n, key, val)
+	newChild, sep, grew := t.insert(n.children[ci], key, val)
+	if newChild == nil {
+		return nil, entry{}, grew
+	}
+	n.entries = append(n.entries, entry{})
+	copy(n.entries[ci+1:], n.entries[ci:])
+	n.entries[ci] = sep
+	n.children = append(n.children, nil)
+	copy(n.children[ci+2:], n.children[ci+1:])
+	n.children[ci+1] = newChild
+	if len(n.entries) <= degree {
+		return nil, entry{}, grew
+	}
+	right, upSep := t.splitInternal(n)
+	return right, upSep, grew
+}
+
+func (t *Tree) splitLeaf(n *node) *node {
+	mid := len(n.entries) / 2
+	right := &node{leaf: true, next: n.next}
+	right.entries = append(right.entries, n.entries[mid:]...)
+	n.entries = n.entries[:mid:mid]
+	n.next = right
+	return right
+}
+
+func (t *Tree) splitInternal(n *node) (*node, entry) {
+	mid := len(n.entries) / 2
+	sep := n.entries[mid]
+	right := &node{}
+	right.entries = append(right.entries, n.entries[mid+1:]...)
+	right.children = append(right.children, n.children[mid+1:]...)
+	n.entries = n.entries[:mid:mid]
+	n.children = n.children[: mid+1 : mid+1]
+	return right, sep
+}
+
+// Delete removes (key, val), reporting whether it was present.
+// Underflowed nodes are not rebalanced (deletes are rare in this
+// workload: the §4 update model tags rather than removes); lookups stay
+// correct because separators remain valid upper bounds.
+func (t *Tree) Delete(key int64, val uint64) bool {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n, key, val)]
+	}
+	i := searchEntries(n.entries, key, val)
+	if i >= len(n.entries) || n.entries[i].key != key || n.entries[i].val != val {
+		return false
+	}
+	n.entries = append(n.entries[:i], n.entries[i+1:]...)
+	t.size--
+	return true
+}
+
+// Lookup calls fn with every payload stored under key, in val order.
+// Returning false stops early.
+func (t *Tree) Lookup(key int64, fn func(val uint64) bool) {
+	t.AscendRange(key, key, func(_ int64, val uint64) bool { return fn(val) })
+}
+
+// Contains reports whether at least one entry exists for key.
+func (t *Tree) Contains(key int64) bool {
+	found := false
+	t.Lookup(key, func(uint64) bool { found = true; return false })
+	return found
+}
+
+// AscendRange calls fn for every entry with lo <= key <= hi in
+// ascending (key, val) order. Returning false stops early.
+func (t *Tree) AscendRange(lo, hi int64, fn func(key int64, val uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[childIndex(n, lo, 0)]
+	}
+	for n != nil {
+		i := searchEntries(n.entries, lo, 0)
+		for ; i < len(n.entries); i++ {
+			e := n.entries[i]
+			if e.key > hi {
+				return
+			}
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Ascend visits every entry in ascending order.
+func (t *Tree) Ascend(fn func(key int64, val uint64) bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[0]
+	}
+	for n != nil {
+		for _, e := range n.entries {
+			if !fn(e.key, e.val) {
+				return
+			}
+		}
+		n = n.next
+	}
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *Tree) Min() (key int64, ok bool) {
+	t.Ascend(func(k int64, _ uint64) bool { key, ok = k, true; return false })
+	return
+}
+
+// Max returns the largest key, or ok=false when empty.
+func (t *Tree) Max() (key int64, ok bool) {
+	n := t.root
+	for !n.leaf {
+		n = n.children[len(n.children)-1]
+	}
+	// The rightmost leaf can be empty after unbalanced deletes; walk
+	// back via a full descent scan in that rare case.
+	if len(n.entries) > 0 {
+		return n.entries[len(n.entries)-1].key, true
+	}
+	found := false
+	var last int64
+	t.Ascend(func(k int64, _ uint64) bool { last, found = k, true; return true })
+	return last, found
+}
+
+// Height returns the tree height (1 for a lone leaf); used in tests to
+// check balance.
+func (t *Tree) Height() int {
+	h := 1
+	for n := t.root; !n.leaf; n = n.children[0] {
+		h++
+	}
+	return h
+}

@@ -1,0 +1,152 @@
+// Package cache provides the byte-budgeted LRU cache used on both sides
+// of the wire: the frontend cache and the backend cache of §3.1 ("Kyrix
+// employs both a frontend cache and a backend cache").
+//
+// Keys are strings (canonical request keys like "tile/canvas0/1/5/7" or
+// "dbox/canvas0/<rect>"); values carry an explicit size so the budget
+// reflects payload bytes, not entry counts.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats reports cache activity.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Puts      int64
+	Bytes     int64
+	Entries   int
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+	size  int64
+}
+
+// LRU is a thread-safe least-recently-used cache with a byte budget.
+type LRU struct {
+	mu      sync.Mutex
+	budget  int64
+	bytes   int64
+	entries map[string]*list.Element
+	order   *list.List // front = most recent
+
+	hits, misses, evictions, puts int64
+}
+
+// NewLRU creates a cache holding up to budget bytes. budget <= 0 means
+// the cache rejects every Put (a disabled cache, used by the A2
+// ablation).
+func NewLRU(budget int64) *LRU {
+	return &LRU{
+		budget:  budget,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// Get returns the cached value and whether it was present, refreshing
+// recency on a hit.
+func (c *LRU) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Contains reports presence without affecting recency or stats.
+func (c *LRU) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Put stores value under key with the given size in bytes, evicting LRU
+// entries as needed. Values larger than the whole budget are not cached.
+// Re-putting a key updates its value, size and recency.
+func (c *LRU) Put(key string, value any, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if size > c.budget {
+		return
+	}
+	c.puts++
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.bytes += size - e.size
+		e.value, e.size = value, size
+		c.order.MoveToFront(el)
+	} else {
+		el := c.order.PushFront(&cacheEntry{key: key, value: value, size: size})
+		c.entries[key] = el
+		c.bytes += size
+	}
+	for c.bytes > c.budget {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.entries, e.key)
+		c.bytes -= e.size
+		c.evictions++
+	}
+}
+
+// Remove drops key if present.
+func (c *LRU) Remove(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.entries, key)
+		c.bytes -= e.size
+	}
+}
+
+// Clear empties the cache, keeping statistics.
+func (c *LRU) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order.Init()
+	c.bytes = 0
+}
+
+// Stats returns a snapshot of cache statistics.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Puts:      c.puts,
+		Bytes:     c.bytes,
+		Entries:   len(c.entries),
+	}
+}
+
+// ResetStats zeroes the counters (budget and contents unchanged).
+func (c *LRU) ResetStats() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions, c.puts = 0, 0, 0, 0
+}

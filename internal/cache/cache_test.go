@@ -1,0 +1,178 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestGetPut(t *testing.T) {
+	c := NewLRU(1000)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("a", 1, 100)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 1 {
+		t.Fatalf("Get = %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 100 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := NewLRU(300)
+	c.Put("a", "A", 100)
+	c.Put("b", "B", 100)
+	c.Put("c", "C", 100)
+	// Touch a so b is LRU.
+	c.Get("a")
+	c.Put("d", "D", 100) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("%s should be resident", k)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestOversizeValueRejected(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("big", 1, 200)
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversize value should not be cached")
+	}
+	if c.Stats().Bytes != 0 {
+		t.Fatal("bytes leaked")
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	c := NewLRU(0)
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must not store")
+	}
+}
+
+func TestUpdateExisting(t *testing.T) {
+	c := NewLRU(1000)
+	c.Put("a", 1, 100)
+	c.Put("a", 2, 600)
+	v, ok := c.Get("a")
+	if !ok || v.(int) != 2 {
+		t.Fatalf("updated value = %v", v)
+	}
+	if st := c.Stats(); st.Bytes != 600 || st.Entries != 1 {
+		t.Fatalf("stats after update = %+v", st)
+	}
+	// Shrinking update.
+	c.Put("a", 3, 50)
+	if st := c.Stats(); st.Bytes != 50 {
+		t.Fatalf("bytes after shrink = %d", st.Bytes)
+	}
+}
+
+func TestRemoveClear(t *testing.T) {
+	c := NewLRU(1000)
+	c.Put("a", 1, 10)
+	c.Put("b", 2, 10)
+	c.Remove("a")
+	c.Remove("missing") // no-op
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("a not removed")
+	}
+	c.Clear()
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("clear left entries")
+	}
+	if st := c.Stats(); st.Bytes != 0 || st.Entries != 0 {
+		t.Fatalf("stats after clear = %+v", st)
+	}
+}
+
+func TestContainsNoStats(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", 1, 10)
+	before := c.Stats()
+	if !c.Contains("a") || c.Contains("b") {
+		t.Fatal("Contains wrong")
+	}
+	after := c.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatal("Contains must not change stats")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	c := NewLRU(100)
+	c.Put("a", 1, 10)
+	c.Get("a")
+	c.Get("b")
+	c.ResetStats()
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 || st.Puts != 0 {
+		t.Fatalf("stats not reset: %+v", st)
+	}
+	if st.Entries != 1 {
+		t.Fatal("reset must keep contents")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewLRU(10000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				key := fmt.Sprintf("k%d", (g*1000+i)%128)
+				c.Put(key, i, 64)
+				c.Get(key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 10000 {
+		t.Fatalf("budget exceeded: %d", st.Bytes)
+	}
+}
+
+// Property: bytes never exceed budget, and entry count matches the map.
+func TestQuickBudgetInvariant(t *testing.T) {
+	f := func(ops []struct {
+		Key  uint8
+		Size uint16
+	}) bool {
+		c := NewLRU(4096)
+		for _, op := range ops {
+			c.Put(fmt.Sprintf("k%d", op.Key%32), nil, int64(op.Size))
+			if st := c.Stats(); st.Bytes > 4096 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPutGet(b *testing.B) {
+	c := NewLRU(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%1024)
+		c.Put(key, i, 512)
+		c.Get(key)
+	}
+}

@@ -1,0 +1,190 @@
+// Package coord implements the coordinated multi-canvas views of the
+// paper's §4 MGH scenario: "Kyrix must be extended to support multiple
+// canvases on the screen simultaneously and to have pan/zoom operations
+// in one canvas cause desired actions in other canvases", e.g.
+// "movement in the temporal view should cause an appropriate change in
+// the spectral view".
+//
+// A Coordinator links named views; each link maps one view's viewport
+// to another's through an affine coordinate map. Moving any view
+// propagates through the link graph (with cycle protection, so mutual
+// temporal↔spectral links work).
+package coord
+
+import (
+	"fmt"
+	"sync"
+
+	"kyrix/internal/geom"
+)
+
+// View is anything with a movable viewport; the frontend Client
+// satisfies it via a small adapter, and tests use fakes.
+type View interface {
+	// Viewport returns the current viewport.
+	Viewport() geom.Rect
+	// MoveTo pans the view. Implementations fetch data as needed.
+	MoveTo(geom.Rect) error
+}
+
+// Map is an affine mapping between two canvases' coordinate systems:
+// dst = src*Scale + Offset, per axis.
+type Map struct {
+	ScaleX, ScaleY   float64
+	OffsetX, OffsetY float64
+}
+
+// Identity is the no-op map.
+var Identity = Map{ScaleX: 1, ScaleY: 1}
+
+// Apply transforms a rectangle through the map.
+func (m Map) Apply(r geom.Rect) geom.Rect {
+	out := geom.Rect{
+		MinX: r.MinX*m.ScaleX + m.OffsetX,
+		MinY: r.MinY*m.ScaleY + m.OffsetY,
+		MaxX: r.MaxX*m.ScaleX + m.OffsetX,
+		MaxY: r.MaxY*m.ScaleY + m.OffsetY,
+	}
+	if out.MinX > out.MaxX {
+		out.MinX, out.MaxX = out.MaxX, out.MinX
+	}
+	if out.MinY > out.MaxY {
+		out.MinY, out.MaxY = out.MaxY, out.MinY
+	}
+	return out
+}
+
+// Invert returns the inverse map (zero scales are rejected at link
+// time, so Invert is total here).
+func (m Map) Invert() Map {
+	return Map{
+		ScaleX:  1 / m.ScaleX,
+		ScaleY:  1 / m.ScaleY,
+		OffsetX: -m.OffsetX / m.ScaleX,
+		OffsetY: -m.OffsetY / m.ScaleY,
+	}
+}
+
+// XOnly keeps the destination's y extent, coordinating only the x axis
+// — the EEG temporal→spectral case where time aligns but the vertical
+// encodings differ.
+type LinkOption func(*link)
+
+// WithXOnly coordinates only the horizontal axis.
+func WithXOnly() LinkOption {
+	return func(l *link) { l.xOnly = true }
+}
+
+type link struct {
+	from, to string
+	m        Map
+	xOnly    bool
+}
+
+// Coordinator owns the linked views.
+type Coordinator struct {
+	mu    sync.Mutex
+	views map[string]View
+	links []link
+}
+
+// New creates an empty coordinator.
+func New() *Coordinator {
+	return &Coordinator{views: make(map[string]View)}
+}
+
+// AddView registers a named view.
+func (c *Coordinator) AddView(name string, v View) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.views[name]; dup {
+		return fmt.Errorf("coord: duplicate view %q", name)
+	}
+	c.views[name] = v
+	return nil
+}
+
+// Link ties from→to through m: when from moves, to moves to the mapped
+// viewport. Register the inverse link too for bidirectional coupling.
+func (c *Coordinator) Link(from, to string, m Map, opts ...LinkOption) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.views[from]; !ok {
+		return fmt.Errorf("coord: unknown view %q", from)
+	}
+	if _, ok := c.views[to]; !ok {
+		return fmt.Errorf("coord: unknown view %q", to)
+	}
+	if m.ScaleX == 0 || m.ScaleY == 0 {
+		return fmt.Errorf("coord: degenerate map scale")
+	}
+	l := link{from: from, to: to, m: m}
+	for _, o := range opts {
+		o(&l)
+	}
+	c.links = append(c.links, l)
+	return nil
+}
+
+// LinkBidirectional installs from→to with m and to→from with the
+// inverse.
+func (c *Coordinator) LinkBidirectional(from, to string, m Map, opts ...LinkOption) error {
+	if err := c.Link(from, to, m, opts...); err != nil {
+		return err
+	}
+	return c.Link(to, from, m.Invert(), opts...)
+}
+
+// Move pans the named view and propagates through links. Each view
+// moves at most once per call (cycle protection), so bidirectional
+// links terminate.
+func (c *Coordinator) Move(name string, to geom.Rect) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.views[name]
+	if !ok {
+		return fmt.Errorf("coord: unknown view %q", name)
+	}
+	moved := map[string]bool{name: true}
+	if err := v.MoveTo(to); err != nil {
+		return fmt.Errorf("coord: move %q: %w", name, err)
+	}
+	// BFS through links.
+	type pending struct {
+		name string
+		vp   geom.Rect
+	}
+	queue := []pending{{name, to}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, l := range c.links {
+			if l.from != cur.name || moved[l.to] {
+				continue
+			}
+			dst := c.views[l.to]
+			target := l.m.Apply(cur.vp)
+			if l.xOnly {
+				old := dst.Viewport()
+				target.MinY, target.MaxY = old.MinY, old.MaxY
+			}
+			moved[l.to] = true
+			if err := dst.MoveTo(target); err != nil {
+				return fmt.Errorf("coord: propagate to %q: %w", l.to, err)
+			}
+			queue = append(queue, pending{l.to, target})
+		}
+	}
+	return nil
+}
+
+// Views lists registered view names.
+func (c *Coordinator) Views() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.views))
+	for n := range c.views {
+		out = append(out, n)
+	}
+	return out
+}

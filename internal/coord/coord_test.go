@@ -1,0 +1,176 @@
+package coord
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"kyrix/internal/geom"
+)
+
+type fakeView struct {
+	vp    geom.Rect
+	moves int
+	fail  bool
+}
+
+func (f *fakeView) Viewport() geom.Rect { return f.vp }
+func (f *fakeView) MoveTo(r geom.Rect) error {
+	if f.fail {
+		return errors.New("boom")
+	}
+	f.vp = r
+	f.moves++
+	return nil
+}
+
+func TestMapApplyInvert(t *testing.T) {
+	m := Map{ScaleX: 2, ScaleY: 3, OffsetX: 10, OffsetY: -5}
+	r := geom.RectXYWH(100, 100, 50, 50)
+	fwd := m.Apply(r)
+	if fwd.MinX != 210 || fwd.MinY != 295 || fwd.W() != 100 || fwd.H() != 150 {
+		t.Fatalf("Apply = %v", fwd)
+	}
+	back := m.Invert().Apply(fwd)
+	if math.Abs(back.MinX-r.MinX) > 1e-9 || math.Abs(back.MaxY-r.MaxY) > 1e-9 {
+		t.Fatalf("roundtrip = %v want %v", back, r)
+	}
+	// Negative scale flips; Apply must keep rect valid.
+	neg := Map{ScaleX: -1, ScaleY: 1}
+	out := neg.Apply(r)
+	if !out.Valid() {
+		t.Fatalf("negative scale produced invalid rect %v", out)
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	c := New()
+	a := &fakeView{}
+	if err := c.AddView("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddView("a", a); err == nil {
+		t.Fatal("duplicate view must fail")
+	}
+	if err := c.Link("a", "ghost", Identity); err == nil {
+		t.Fatal("unknown to-view must fail")
+	}
+	if err := c.Link("ghost", "a", Identity); err == nil {
+		t.Fatal("unknown from-view must fail")
+	}
+	_ = c.AddView("b", &fakeView{})
+	if err := c.Link("a", "b", Map{ScaleX: 0, ScaleY: 1}); err == nil {
+		t.Fatal("degenerate scale must fail")
+	}
+	if err := c.Move("ghost", geom.Rect{}); err == nil {
+		t.Fatal("moving unknown view must fail")
+	}
+}
+
+func TestLinkedMove(t *testing.T) {
+	c := New()
+	temporal := &fakeView{}
+	spectral := &fakeView{}
+	_ = c.AddView("temporal", temporal)
+	_ = c.AddView("spectral", spectral)
+	// Spectral canvas is half the temporal scale on x.
+	if err := c.Link("temporal", "spectral", Map{ScaleX: 0.5, ScaleY: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move("temporal", geom.RectXYWH(1000, 0, 200, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if temporal.vp.MinX != 1000 {
+		t.Fatal("primary view did not move")
+	}
+	if spectral.vp.MinX != 500 || spectral.vp.W() != 100 {
+		t.Fatalf("linked view = %v", spectral.vp)
+	}
+	// Moving spectral does NOT move temporal (one-way link).
+	_ = c.Move("spectral", geom.RectXYWH(0, 0, 100, 100))
+	if temporal.vp.MinX != 1000 {
+		t.Fatal("one-way link propagated backwards")
+	}
+}
+
+func TestBidirectionalNoInfiniteLoop(t *testing.T) {
+	c := New()
+	a := &fakeView{}
+	b := &fakeView{}
+	_ = c.AddView("a", a)
+	_ = c.AddView("b", b)
+	if err := c.LinkBidirectional("a", "b", Map{ScaleX: 2, ScaleY: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Move("a", geom.RectXYWH(100, 100, 10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if a.moves != 1 || b.moves != 1 {
+		t.Fatalf("moves = %d/%d (cycle?)", a.moves, b.moves)
+	}
+	if b.vp.MinX != 200 {
+		t.Fatalf("b = %v", b.vp)
+	}
+	// And the other direction.
+	if err := c.Move("b", geom.RectXYWH(400, 400, 20, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if a.vp.MinX != 200 {
+		t.Fatalf("a = %v", a.vp)
+	}
+}
+
+func TestChainPropagation(t *testing.T) {
+	c := New()
+	v1, v2, v3 := &fakeView{}, &fakeView{}, &fakeView{}
+	_ = c.AddView("v1", v1)
+	_ = c.AddView("v2", v2)
+	_ = c.AddView("v3", v3)
+	_ = c.Link("v1", "v2", Map{ScaleX: 2, ScaleY: 2})
+	_ = c.Link("v2", "v3", Map{ScaleX: 2, ScaleY: 2})
+	if err := c.Move("v1", geom.RectXYWH(10, 10, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if v3.vp.MinX != 40 {
+		t.Fatalf("chained v3 = %v", v3.vp)
+	}
+}
+
+func TestXOnlyLink(t *testing.T) {
+	c := New()
+	temporal := &fakeView{}
+	spectral := &fakeView{vp: geom.RectXYWH(0, 300, 100, 100)}
+	_ = c.AddView("temporal", temporal)
+	_ = c.AddView("spectral", spectral)
+	_ = c.Link("temporal", "spectral", Identity, WithXOnly())
+	if err := c.Move("temporal", geom.RectXYWH(500, 700, 100, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if spectral.vp.MinX != 500 {
+		t.Fatal("x not coordinated")
+	}
+	if spectral.vp.MinY != 300 || spectral.vp.MaxY != 400 {
+		t.Fatalf("y should be untouched: %v", spectral.vp)
+	}
+}
+
+func TestMoveErrorPropagates(t *testing.T) {
+	c := New()
+	a := &fakeView{}
+	b := &fakeView{fail: true}
+	_ = c.AddView("a", a)
+	_ = c.AddView("b", b)
+	_ = c.Link("a", "b", Identity)
+	if err := c.Move("a", geom.RectXYWH(0, 0, 1, 1)); err == nil {
+		t.Fatal("linked failure must surface")
+	}
+}
+
+func TestViews(t *testing.T) {
+	c := New()
+	_ = c.AddView("x", &fakeView{})
+	_ = c.AddView("y", &fakeView{})
+	if len(c.Views()) != 2 {
+		t.Fatal("views")
+	}
+}

@@ -1,0 +1,79 @@
+package frontend
+
+import (
+	"math"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/prefetch"
+)
+
+// densityCellSize is the granularity of the per-layer density grid the
+// frontend learns from its own fetches. Semantic prefetching (§4)
+// consumes it: "semantic-based prefetching uses the similarity to
+// recently viewed data in data characteristics (e.g., distribution)".
+const densityCellSize = 2048.0
+
+type cellKey struct{ cx, cy int }
+
+// observeDensity records that a fetched region contained rows points,
+// updating the scalar density estimate (used by adaptive boxes) and the
+// spatial grid (used by the semantic predictor). Cells covered by the
+// region get an exponentially weighted update so drifting data shifts
+// estimates without erasing history.
+func (c *Client) observeDensity(li int, region geom.Rect, rows int) {
+	area := region.Area()
+	if area <= 0 {
+		return
+	}
+	d := float64(rows) / area
+	c.density[li] = d
+	grid := c.densityGrid[li]
+	if grid == nil {
+		grid = make(map[cellKey]float64)
+		c.densityGrid[li] = grid
+	}
+	c0 := int(math.Floor(region.MinX / densityCellSize))
+	c1 := int(math.Floor(region.MaxX / densityCellSize))
+	r0 := int(math.Floor(region.MinY / densityCellSize))
+	r1 := int(math.Floor(region.MaxY / densityCellSize))
+	for cy := r0; cy <= r1; cy++ {
+		for cx := c0; cx <= c1; cx++ {
+			k := cellKey{cx, cy}
+			if prev, ok := grid[k]; ok {
+				grid[k] = 0.5*prev + 0.5*d
+			} else {
+				grid[k] = d
+			}
+		}
+	}
+}
+
+// DensityField exposes the layer's learned density grid in the form the
+// semantic predictor consumes: the mean observed density of the cells a
+// region covers, with ok=false when none of them has been seen.
+func (c *Client) DensityField(li int) prefetch.DensityField {
+	return func(region geom.Rect) (float64, bool) {
+		grid := c.densityGrid[li]
+		if grid == nil {
+			return 0, false
+		}
+		c0 := int(math.Floor(region.MinX / densityCellSize))
+		c1 := int(math.Floor(region.MaxX / densityCellSize))
+		r0 := int(math.Floor(region.MinY / densityCellSize))
+		r1 := int(math.Floor(region.MaxY / densityCellSize))
+		var sum float64
+		n := 0
+		for cy := r0; cy <= r1; cy++ {
+			for cx := c0; cx <= c1; cx++ {
+				if d, ok := grid[cellKey{cx, cy}]; ok {
+					sum += d
+					n++
+				}
+			}
+		}
+		if n == 0 {
+			return 0, false
+		}
+		return sum / float64(n), true
+	}
+}

@@ -1,0 +1,111 @@
+package frontend
+
+import (
+	"testing"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/geom"
+	"kyrix/internal/prefetch"
+	"kyrix/internal/server"
+)
+
+func TestDensityFieldLearnsFromFetches(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	field := c.DensityField(1)
+	// Before any fetch: nothing observed.
+	if _, ok := field(c.Viewport()); ok {
+		t.Fatal("density known before any fetch")
+	}
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	d, ok := field(c.Viewport())
+	if !ok || d <= 0 {
+		t.Fatalf("density after load = %g ok=%v", d, ok)
+	}
+	// The uniform test dataset: observed density should be near
+	// n/(W*H) = 3000/(2048*1024).
+	want := 3000.0 / (2048 * 1024)
+	if d < want/3 || d > want*3 {
+		t.Fatalf("density = %g want ~%g", d, want)
+	}
+	// A far-away unobserved region is still unknown.
+	if _, ok := field(geom.RectXYWH(999999, 999999, 10, 10)); ok {
+		t.Fatal("unobserved region should be unknown")
+	}
+}
+
+func TestDensityFieldFromTiles(t *testing.T) {
+	c, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.DensityField(1)(c.Viewport()); !ok {
+		t.Fatal("tile fetches must feed the density field")
+	}
+}
+
+func TestSemanticPrefetchIntegration(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	// Walk around to populate the density grid.
+	for i := 0; i < 4; i++ {
+		if _, err := c.PanBy(600, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sem := prefetch.NewSemantic(c.DensityField(1))
+	pf := prefetch.NewPrefetcher(sem, c, []int{1},
+		geom.Rect{MinX: 0, MinY: 0, MaxX: c.Canvas().W, MaxY: c.Canvas().H})
+	pf.OnPan(c.Viewport())
+	// With observed neighbors the semantic predictor issues a
+	// prefetch; it must not error against the live backend.
+	if pf.Errs != 0 {
+		t.Fatalf("semantic prefetch errors = %d", pf.Errs)
+	}
+}
+
+func TestParallelTileFetch(t *testing.T) {
+	seq, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	par, _ := newTestClient(t, Options{
+		Scheme:           fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:            server.CodecJSON,
+		CacheBytes:       16 << 20,
+		FetchConcurrency: 6,
+	})
+	repSeq, err := seq.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPar, err := par.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same tiles, same rows, either way.
+	if repSeq.Requests != repPar.Requests {
+		t.Fatalf("requests: seq %d par %d", repSeq.Requests, repPar.Requests)
+	}
+	if repSeq.Rows != repPar.Rows {
+		t.Fatalf("rows: seq %d par %d", repSeq.Rows, repPar.Rows)
+	}
+	// Objects visible identically.
+	a, _ := seq.ObjectsInViewport(1)
+	b, _ := par.ObjectsInViewport(1)
+	if len(a) != len(b) {
+		t.Fatalf("objects: seq %d par %d", len(a), len(b))
+	}
+	// And panning keeps working in parallel mode.
+	if _, err := par.PanBy(256, 0); err != nil {
+		t.Fatal(err)
+	}
+}

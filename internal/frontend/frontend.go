@@ -1,0 +1,491 @@
+// Package frontend implements the Kyrix frontend as a headless
+// simulator: it tracks the viewport, keeps the frontend cache, issues
+// pan and jump interactions against the backend over HTTP, and renders
+// fetched objects through registered rendering functions.
+//
+// The frontend is "responsible for listening to users' activities,
+// communicating with the backend server to fetch data and rendering
+// the visualizations" (§1). Here user activities are driven
+// programmatically (by examples, experiments and tests) instead of by
+// mouse events; everything else — caches, request patterns, response
+// handling — matches the paper's architecture.
+package frontend
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"kyrix/internal/cache"
+	"kyrix/internal/fetch"
+	"kyrix/internal/geom"
+	"kyrix/internal/render"
+	"kyrix/internal/server"
+	"kyrix/internal/spec"
+	"kyrix/internal/storage"
+)
+
+// InteractiveBudget is the paper's interactivity threshold: "the
+// interactivity problem in Kyrix is to achieve a 500 ms response time".
+const InteractiveBudget = 500 * time.Millisecond
+
+// RenderFunc draws one data object onto the image. Static data-less
+// layers (legends) are invoked once with a nil row.
+type RenderFunc func(img *render.Image, meta *server.LayerMeta, row storage.Row, box geom.Rect)
+
+// Options configures a frontend client.
+type Options struct {
+	// Scheme is the fetching granularity for every data layer.
+	Scheme fetch.Granularity
+	// Codec selects the wire encoding.
+	Codec server.Codec
+	// CacheBytes is the frontend cache budget (tiles; 0 disables).
+	CacheBytes int64
+	// HTTPClient overrides the default client (tests inject one).
+	HTTPClient *http.Client
+	// FetchConcurrency issues up to this many tile requests in
+	// parallel (browsers open ~6 connections per host; the paper's
+	// §3.2 notes frontend work "can also be easily parallelized").
+	// 0 or 1 fetches sequentially, the conservative default matching
+	// "every tile is individually fetched and rendered".
+	FetchConcurrency int
+}
+
+// DefaultOptions uses dynamic boxes with a 64 MB frontend cache.
+func DefaultOptions() Options {
+	return Options{
+		Scheme:     fetch.DBoxExact,
+		Codec:      server.CodecJSON,
+		CacheBytes: 64 << 20,
+	}
+}
+
+// FetchReport describes one interaction's data fetching, the quantity
+// the paper's experiments measure.
+type FetchReport struct {
+	Canvas     string
+	Viewport   geom.Rect
+	Duration   time.Duration
+	Requests   int
+	CacheHits  int
+	Rows       int
+	Bytes      int64
+	OverBudget bool // exceeded the 500 ms interactivity budget
+}
+
+// boxState is the dynamic-box state of one layer: the current box and
+// its data ("whenever the viewport moves outside the current box,
+// frontend sends the current viewport location to backend and requests
+// a new box").
+type boxState struct {
+	box  geom.Rect
+	data *server.DataResponse
+	// prefetched holds a box fetched ahead of need (momentum
+	// prefetching, §4); promoted when the viewport enters it.
+	prefetched *boxState
+}
+
+// Client is a frontend instance bound to one backend and one app.
+type Client struct {
+	base string
+	hc   *http.Client
+	opts Options
+
+	meta        *server.AppMeta
+	ca          *spec.CompiledApp // for jump function resolution (may be nil)
+	canvas      *server.CanvasMeta
+	viewport    geom.Rect
+	fcache      *cache.LRU
+	boxes       map[int]*boxState
+	density     map[int]float64 // scalar rows per px², per layer
+	densityGrid map[int]map[cellKey]float64
+	renderers   map[string]RenderFunc
+
+	// TotalReports accumulates every interaction's report.
+	TotalReports []FetchReport
+}
+
+// NewClient connects to a backend, downloads the app metadata and
+// positions the viewport at the app's initial location. The compiled
+// app may be nil when jumps are not used (the experiments).
+func NewClient(baseURL string, ca *spec.CompiledApp, opts Options) (*Client, error) {
+	hc := opts.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	c := &Client{
+		base:        baseURL,
+		hc:          hc,
+		opts:        opts,
+		ca:          ca,
+		fcache:      cache.NewLRU(opts.CacheBytes),
+		boxes:       make(map[int]*boxState),
+		density:     make(map[int]float64),
+		densityGrid: make(map[int]map[cellKey]float64),
+		renderers:   make(map[string]RenderFunc),
+	}
+	resp, err := hc.Get(baseURL + "/app")
+	if err != nil {
+		return nil, fmt.Errorf("frontend: fetch app meta: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("frontend: /app: %s: %s", resp.Status, body)
+	}
+	var meta server.AppMeta
+	if err := decodeJSON(resp.Body, &meta); err != nil {
+		return nil, err
+	}
+	c.meta = &meta
+	if err := c.setCanvas(meta.InitialCanvas); err != nil {
+		return nil, err
+	}
+	c.viewport = geom.RectXYWH(
+		meta.InitialX-meta.ViewportW/2, meta.InitialY-meta.ViewportH/2,
+		meta.ViewportW, meta.ViewportH,
+	).Clamp(c.canvasRect())
+	return c, nil
+}
+
+func decodeJSON(r io.Reader, v any) error {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return fmt.Errorf("frontend: read body: %w", err)
+	}
+	if err := jsonUnmarshal(data, v); err != nil {
+		return fmt.Errorf("frontend: decode: %w", err)
+	}
+	return nil
+}
+
+// Meta returns the app metadata.
+func (c *Client) Meta() *server.AppMeta { return c.meta }
+
+// Canvas returns the current canvas metadata.
+func (c *Client) Canvas() *server.CanvasMeta { return c.canvas }
+
+// Viewport returns the current viewport.
+func (c *Client) Viewport() geom.Rect { return c.viewport }
+
+// FrontendCache exposes cache stats for experiment reports.
+func (c *Client) FrontendCache() *cache.LRU { return c.fcache }
+
+// RegisterRenderer installs the drawing function for a renderer name.
+func (c *Client) RegisterRenderer(name string, fn RenderFunc) {
+	c.renderers[name] = fn
+}
+
+func (c *Client) canvasRect() geom.Rect {
+	return geom.Rect{MinX: 0, MinY: 0, MaxX: c.canvas.W, MaxY: c.canvas.H}
+}
+
+func (c *Client) setCanvas(id string) error {
+	for i := range c.meta.Canvases {
+		if c.meta.Canvases[i].ID == id {
+			c.canvas = &c.meta.Canvases[i]
+			c.boxes = make(map[int]*boxState)
+			return nil
+		}
+	}
+	return fmt.Errorf("frontend: no canvas %q", id)
+}
+
+// Load fetches the data for the current viewport (the initial
+// application load, and the reload after a jump).
+func (c *Client) Load() (FetchReport, error) {
+	return c.fetchViewport(c.viewport, true)
+}
+
+// Pan moves the viewport to a new location on the same canvas and
+// fetches whatever the viewport now needs ("a pan to a different
+// location on the same canvas").
+func (c *Client) Pan(to geom.Rect) (FetchReport, error) {
+	to = to.Clamp(c.canvasRect())
+	return c.fetchViewport(to, false)
+}
+
+// PanBy pans by a delta.
+func (c *Client) PanBy(dx, dy float64) (FetchReport, error) {
+	return c.Pan(c.viewport.Translate(dx, dy))
+}
+
+// fetchViewport is the core of the details-on-demand loop.
+func (c *Client) fetchViewport(vp geom.Rect, includeStatic bool) (FetchReport, error) {
+	start := time.Now()
+	rep := FetchReport{Canvas: c.canvas.ID, Viewport: vp}
+	for li := range c.canvas.Layers {
+		lm := &c.canvas.Layers[li]
+		if !lm.HasData {
+			continue
+		}
+		if lm.Static && !includeStatic {
+			continue // §2.2: static layers are not re-fetched on pan
+		}
+		var err error
+		if lm.Static {
+			// A static data layer loads its full canvas once.
+			err = c.fetchBoxInto(li, lm, c.canvasRect(), &rep)
+		} else {
+			switch c.opts.Scheme.Kind {
+			case "tile":
+				err = c.fetchTiles(li, lm, vp, &rep)
+			case "dbox":
+				err = c.fetchDBox(li, lm, vp, &rep)
+			default:
+				err = fmt.Errorf("frontend: unknown scheme kind %q", c.opts.Scheme.Kind)
+			}
+		}
+		if err != nil {
+			return rep, err
+		}
+	}
+	c.viewport = vp
+	rep.Duration = time.Since(start)
+	rep.OverBudget = rep.Duration > InteractiveBudget
+	c.TotalReports = append(c.TotalReports, rep)
+	return rep, nil
+}
+
+// fetchTiles requests the tiles intersecting vp that are not cached,
+// sequentially by default or with bounded parallelism when
+// FetchConcurrency > 1.
+func (c *Client) fetchTiles(li int, lm *server.LayerMeta, vp geom.Rect, rep *FetchReport) error {
+	sz := c.opts.Scheme.TileSize
+	var missing []geom.TileID
+	for _, tid := range fetch.TilesNeeded(vp, sz, c.canvas.W, c.canvas.H) {
+		if c.fcache.Contains(c.tileCacheKey(li, sz, tid)) {
+			rep.CacheHits++
+			continue
+		}
+		missing = append(missing, tid)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	conc := c.opts.FetchConcurrency
+	if conc <= 1 || len(missing) == 1 {
+		for _, tid := range missing {
+			dr, n, err := c.getTile(li, sz, tid)
+			if err != nil {
+				return err
+			}
+			rep.Requests++
+			rep.Rows += len(dr.Rows)
+			rep.Bytes += n
+			c.fcache.Put(c.tileCacheKey(li, sz, tid), dr, n)
+			c.observeDensity(li, tid.TileRect(sz), len(dr.Rows))
+		}
+		return nil
+	}
+	type result struct {
+		tid geom.TileID
+		dr  *server.DataResponse
+		n   int64
+		err error
+	}
+	sem := make(chan struct{}, conc)
+	results := make(chan result, len(missing))
+	for _, tid := range missing {
+		tid := tid
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem }()
+			dr, n, err := c.getTile(li, sz, tid)
+			results <- result{tid, dr, n, err}
+		}()
+	}
+	var firstErr error
+	for range missing {
+		r := <-results
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		rep.Requests++
+		rep.Rows += len(r.dr.Rows)
+		rep.Bytes += r.n
+		c.fcache.Put(c.tileCacheKey(li, sz, r.tid), r.dr, r.n)
+		c.observeDensity(li, r.tid.TileRect(sz), len(r.dr.Rows))
+	}
+	return firstErr
+}
+
+func (c *Client) tileCacheKey(li int, sz float64, tid geom.TileID) string {
+	return fmt.Sprintf("%s/%s", c.canvas.ID, fetch.TileKeyOf(fmt.Sprint(li), sz, tid))
+}
+
+func (c *Client) getTile(li int, sz float64, tid geom.TileID) (*server.DataResponse, int64, error) {
+	u := fmt.Sprintf("%s/tile?canvas=%s&layer=%d&size=%g&col=%d&row=%d&design=%s&codec=%s",
+		c.base, url.QueryEscape(c.canvas.ID), li, sz, tid.Col, tid.Row,
+		c.opts.Scheme.Design, c.opts.Codec)
+	return c.getData(u)
+}
+
+// fetchDBox applies the dynamic-box protocol for one layer.
+func (c *Client) fetchDBox(li int, lm *server.LayerMeta, vp geom.Rect, rep *FetchReport) error {
+	st := c.boxes[li]
+	if st != nil {
+		// Promote a prefetched box when the viewport entered it.
+		if st.prefetched != nil && st.prefetched.box.Contains(vp) {
+			promoted := st.prefetched
+			promoted.prefetched = nil
+			c.boxes[li] = promoted
+			st = promoted
+		}
+		if !fetch.NeedNewBox(st.box, vp) {
+			rep.CacheHits++
+			return nil
+		}
+	}
+	return c.fetchBoxInto(li, lm, fetch.BoxFor(c.opts.Scheme, vp, c.canvasRect(), c.density[li]), rep)
+}
+
+func (c *Client) fetchBoxInto(li int, lm *server.LayerMeta, box geom.Rect, rep *FetchReport) error {
+	dr, n, err := c.getBox(li, box)
+	if err != nil {
+		return err
+	}
+	rep.Requests++
+	rep.Rows += len(dr.Rows)
+	rep.Bytes += n
+	prev := c.boxes[li]
+	st := &boxState{box: box, data: dr}
+	if prev != nil {
+		st.prefetched = prev.prefetched
+	}
+	c.boxes[li] = st
+	c.observeDensity(li, box, len(dr.Rows))
+	return nil
+}
+
+func (c *Client) getBox(li int, box geom.Rect) (*server.DataResponse, int64, error) {
+	u := fmt.Sprintf("%s/dbox?canvas=%s&layer=%d&minx=%g&miny=%g&maxx=%g&maxy=%g&codec=%s",
+		c.base, url.QueryEscape(c.canvas.ID), li, box.MinX, box.MinY, box.MaxX, box.MaxY, c.opts.Codec)
+	return c.getData(u)
+}
+
+func (c *Client) getData(u string) (*server.DataResponse, int64, error) {
+	resp, err := c.hc.Get(u)
+	if err != nil {
+		return nil, 0, fmt.Errorf("frontend: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("frontend: read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("frontend: %s: %s", resp.Status, body)
+	}
+	dr, err := server.Decode(body, c.opts.Codec)
+	if err != nil {
+		return nil, 0, err
+	}
+	return dr, int64(len(body)), nil
+}
+
+// PrefetchBox fetches a box for a layer ahead of need and parks it in
+// the layer's prefetch slot (momentum-based prefetching, §4). It does
+// not count toward interaction reports.
+func (c *Client) PrefetchBox(li int, box geom.Rect) error {
+	lm := &c.canvas.Layers[li]
+	if !lm.HasData || lm.Static {
+		return nil
+	}
+	dr, _, err := c.getBox(li, box)
+	if err != nil {
+		return err
+	}
+	st := c.boxes[li]
+	if st == nil {
+		st = &boxState{}
+		c.boxes[li] = st
+	}
+	st.prefetched = &boxState{box: box, data: dr}
+	return nil
+}
+
+// PrefetchTiles warms the frontend tile cache.
+func (c *Client) PrefetchTiles(li int, sz float64, tiles []geom.TileID) error {
+	for _, tid := range tiles {
+		key := c.tileCacheKey(li, sz, tid)
+		if c.fcache.Contains(key) {
+			continue
+		}
+		dr, n, err := c.getTile(li, sz, tid)
+		if err != nil {
+			return err
+		}
+		c.fcache.Put(key, dr, n)
+	}
+	return nil
+}
+
+// ObjectsInViewport returns the (deduplicated) data objects of a layer
+// whose bounding boxes intersect the current viewport, from frontend
+// state only — exactly what the renderer draws.
+func (c *Client) ObjectsInViewport(li int) ([]storage.Row, error) {
+	lm := &c.canvas.Layers[li]
+	if !lm.HasData {
+		return nil, nil
+	}
+	var rows []storage.Row
+	seen := make(map[int64]bool)
+	add := func(dr *server.DataResponse) {
+		for _, row := range dr.Rows {
+			box := lm.RowBox(row)
+			if !box.Intersects(c.viewport) {
+				continue
+			}
+			id := row[0].AsInt()
+			if seen[id] {
+				continue // objects overlapping several tiles appear once
+			}
+			seen[id] = true
+			rows = append(rows, row)
+		}
+	}
+	if lm.Static || c.opts.Scheme.Kind == "dbox" {
+		if st := c.boxes[li]; st != nil && st.data != nil {
+			add(st.data)
+		}
+		return rows, nil
+	}
+	sz := c.opts.Scheme.TileSize
+	for _, tid := range fetch.TilesNeeded(c.viewport, sz, c.canvas.W, c.canvas.H) {
+		if v, ok := c.fcache.Get(c.tileCacheKey(li, sz, tid)); ok {
+			add(v.(*server.DataResponse))
+		}
+	}
+	return rows, nil
+}
+
+// Render rasterizes the current viewport at the given pixel size,
+// invoking each layer's registered renderer bottom-up.
+func (c *Client) Render(pxW, pxH int) (*render.Image, error) {
+	img := render.New(pxW, pxH, c.viewport)
+	for li := range c.canvas.Layers {
+		lm := &c.canvas.Layers[li]
+		fn, ok := c.renderers[lm.Renderer]
+		if !ok {
+			return nil, fmt.Errorf("frontend: no renderer %q registered", lm.Renderer)
+		}
+		if !lm.HasData {
+			fn(img, lm, nil, geom.Rect{})
+			continue
+		}
+		rows, err := c.ObjectsInViewport(li)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			fn(img, lm, row, lm.RowBox(row))
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,463 @@
+package frontend
+
+import (
+	"image/color"
+	"net/http/httptest"
+	"testing"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/geom"
+	"kyrix/internal/render"
+	"kyrix/internal/server"
+	"kyrix/internal/spec"
+	"kyrix/internal/sqldb"
+	"kyrix/internal/storage"
+	"kyrix/internal/workload"
+)
+
+// testApp builds a two-canvas app: an overview scatter canvas and a 4x
+// zoomed detail canvas over the same points, joined by a jump — enough
+// to exercise pan, dbox, tiles, jumps and rendering end to end.
+func testApp(t testing.TB, n int) (*sqldb.DB, *spec.CompiledApp) {
+	t.Helper()
+	db := sqldb.NewDB()
+	if _, err := db.Exec("CREATE TABLE points (id INT, x DOUBLE, y DOUBLE, val DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	d := workload.Uniform(n, 2048, 1024, 3)
+	for _, p := range d.Points {
+		if err := db.InsertRow("points", storage.Row{
+			storage.I64(p.ID), storage.F64(p.X), storage.F64(p.Y), storage.F64(p.Val),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := spec.NewRegistry()
+	reg.RegisterRenderer("dots")
+	reg.RegisterRenderer("legend")
+	reg.RegisterSelector("always", func(storage.Row, int) bool { return true })
+	reg.RegisterViewport("scaleBy4", func(r storage.Row) geom.Point {
+		return geom.Point{X: r[1].AsFloat() * 4, Y: r[2].AsFloat() * 4}
+	})
+	reg.RegisterName("detailName", func(r storage.Row) string { return "Detail view" })
+
+	cols := []spec.ColumnSpec{
+		{Name: "id", Type: "int"}, {Name: "x", Type: "double"},
+		{Name: "y", Type: "double"}, {Name: "val", Type: "double"},
+	}
+	app := &spec.App{
+		Name: "zoomable",
+		Canvases: []spec.Canvas{
+			{
+				ID: "overview", W: 2048, H: 1024,
+				Transforms: []spec.Transform{
+					{ID: "pts", Query: "SELECT * FROM points", Columns: cols},
+					{ID: "empty"},
+				},
+				Layers: []spec.Layer{
+					{TransformID: "empty", Static: true, Renderer: "legend"},
+					{TransformID: "pts",
+						Placement: &spec.Placement{XCol: "x", YCol: "y", Radius: 1},
+						Renderer:  "dots"},
+				},
+			},
+			{
+				ID: "detail", W: 8192, H: 4096,
+				Transforms: []spec.Transform{
+					{ID: "pts4", Query: "SELECT * FROM points", Columns: cols},
+				},
+				Layers: []spec.Layer{
+					{TransformID: "pts4",
+						Placement: &spec.Placement{XCol: "x", YCol: "y", XScale: 4, YScale: 4, Radius: 2},
+						Renderer:  "dots"},
+				},
+			},
+		},
+		Jumps: []spec.Jump{{
+			From: "overview", To: "detail", Type: spec.GeometricSemanticZoom,
+			Selector: "always", NewViewport: "scaleBy4", Name: "detailName",
+		}},
+		InitialCanvas: "overview", InitialX: 1024, InitialY: 512,
+		ViewportW: 512, ViewportH: 512,
+	}
+	ca, err := spec.Compile(app, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, ca
+}
+
+func startBackend(t testing.TB, db *sqldb.DB, ca *spec.CompiledApp) (*server.Server, *httptest.Server) {
+	t.Helper()
+	srv, err := server.New(db, ca, server.Options{
+		CacheBytes: 8 << 20,
+		Precompute: fetch.Options{
+			BuildSpatial: true,
+			TileSizes:    []float64{256},
+			MappingIndex: sqldb.IndexBTree,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return srv, hs
+}
+
+func newTestClient(t testing.TB, opts Options) (*Client, *server.Server) {
+	db, ca := testApp(t, 3000)
+	srv, hs := startBackend(t, db, ca)
+	c, err := NewClient(hs.URL, ca, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, srv
+}
+
+func TestConnectAndLoad(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	if c.Canvas().ID != "overview" {
+		t.Fatalf("canvas = %s", c.Canvas().ID)
+	}
+	vp := c.Viewport()
+	if vp.W() != 512 || vp.Center() != (geom.Point{X: 1024, Y: 512}) {
+		t.Fatalf("viewport = %v", vp)
+	}
+	rep, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Rows == 0 {
+		t.Fatalf("load report = %+v", rep)
+	}
+	rows, err := c.ObjectsInViewport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no objects after load")
+	}
+	for _, r := range rows {
+		box := geom.RectAround(geom.Point{X: r[1].AsFloat(), Y: r[2].AsFloat()}, 1)
+		if !box.Intersects(vp) {
+			t.Fatalf("object outside viewport: %v", r)
+		}
+	}
+}
+
+func TestDBoxPanProtocol(t *testing.T) {
+	c, srv := newTestClient(t, Options{
+		Scheme:     fetch.DBox50,
+		Codec:      server.CodecJSON,
+		CacheBytes: 4 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Stats.BoxRequests.Load()
+	// Tiny pan: viewport stays inside the 50% inflated box -> no
+	// request.
+	rep, err := c.PanBy(20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 || rep.CacheHits == 0 {
+		t.Fatalf("small pan should hit the box: %+v", rep)
+	}
+	if srv.Stats.BoxRequests.Load() != before {
+		t.Fatal("backend saw a request for an in-box pan")
+	}
+	// Large pan: escapes the box -> exactly one new box request for
+	// the data layer.
+	rep, err = c.PanBy(600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 {
+		t.Fatalf("large pan requests = %d", rep.Requests)
+	}
+}
+
+func TestTilePanUsesFrontendCache(t *testing.T) {
+	c, srv := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	firstReqs := srv.Stats.TileRequests.Load()
+	if firstReqs == 0 {
+		t.Fatal("load issued no tile requests")
+	}
+	// Pan by one tile: only the new column of tiles is requested.
+	rep, err := c.PanBy(256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatal("pan should reuse cached tiles")
+	}
+	if rep.Requests == 0 || rep.Requests >= int(firstReqs) {
+		t.Fatalf("pan requests = %d (load %d)", rep.Requests, firstReqs)
+	}
+	// Pan back: everything cached, zero requests.
+	rep, err = c.PanBy(-256, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("pan-back requests = %d", rep.Requests)
+	}
+}
+
+func TestMappingDesignEndToEnd(t *testing.T) {
+	c, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "mapping", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ObjectsInViewport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("mapping design returned nothing")
+	}
+}
+
+func TestBinaryCodecEndToEnd(t *testing.T) {
+	c, _ := newTestClient(t, Options{
+		Scheme:     fetch.DBoxExact,
+		Codec:      server.CodecBinary,
+		CacheBytes: 4 << 20,
+	})
+	rep, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows == 0 {
+		t.Fatal("binary load empty")
+	}
+}
+
+func TestObjectsDeduplicated(t *testing.T) {
+	// With tiles, an object whose bbox straddles a tile boundary is
+	// returned by both tiles; the frontend must deduplicate.
+	c, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ObjectsInViewport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		id := r[0].AsInt()
+		if seen[id] {
+			t.Fatalf("duplicate object %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestJump(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ObjectsInViewport(1)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("objects: %v %d", err, len(rows))
+	}
+	clicked := rows[0]
+	choices, err := c.JumpsFor(clicked, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 1 || choices[0].Label != "Detail view" || choices[0].To != "detail" {
+		t.Fatalf("choices = %+v", choices)
+	}
+	rep, err := c.Jump(choices[0].Index, clicked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Canvas().ID != "detail" {
+		t.Fatalf("canvas after jump = %s", c.Canvas().ID)
+	}
+	// New viewport centered at 4x the clicked point (modulo clamping).
+	want := geom.Point{X: clicked[1].AsFloat() * 4, Y: clicked[2].AsFloat() * 4}
+	center := c.Viewport().Center()
+	if center.Dist(want) > 512 {
+		t.Fatalf("jump center = %v want near %v", center, want)
+	}
+	if rep.Rows == 0 {
+		t.Fatal("jump load fetched nothing")
+	}
+	// The clicked object appears on the detail canvas.
+	found := false
+	detailRows, _ := c.ObjectsInViewport(0)
+	for _, r := range detailRows {
+		if r[0].AsInt() == clicked[0].AsInt() {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("clicked object missing from detail view")
+	}
+}
+
+func TestJumpErrors(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	if _, err := c.Jump(99, nil); err == nil {
+		t.Fatal("bad jump index must fail")
+	}
+	// Jump from the wrong canvas.
+	if _, err := c.Jump(0, nil); err != nil {
+		t.Fatal(err) // valid: from overview
+	}
+	if _, err := c.Jump(0, nil); err == nil {
+		t.Fatal("jump from detail (wrong from-canvas) must fail")
+	}
+	// Client without a compiled app cannot jump.
+	db, ca := testApp(t, 50)
+	_, hs := startBackend(t, db, ca)
+	c2, err := NewClient(hs.URL, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Jump(0, nil); err == nil {
+		t.Fatal("nil compiled app must fail to jump")
+	}
+	if _, err := c2.JumpsFor(nil, 0); err == nil {
+		t.Fatal("nil compiled app must fail JumpsFor")
+	}
+}
+
+func TestRender(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	red := color.RGBA{255, 0, 0, 255}
+	c.RegisterRenderer("dots", func(img *render.Image, meta *server.LayerMeta, row storage.Row, box geom.Rect) {
+		img.Dot(box.Center(), 2, red)
+	})
+	legendDrawn := false
+	c.RegisterRenderer("legend", func(img *render.Image, meta *server.LayerMeta, row storage.Row, box geom.Rect) {
+		legendDrawn = true
+		if row != nil {
+			t.Error("legend renderer should get nil row")
+		}
+	})
+	img, err := c.Render(256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !legendDrawn {
+		t.Fatal("legend renderer not invoked")
+	}
+	// At least one dot landed.
+	w, h := img.Size()
+	found := false
+	for y := 0; y < h && !found; y++ {
+		for x := 0; x < w; x++ {
+			if img.RGBA().RGBAAt(x, y) == red {
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no dots rendered")
+	}
+	// Missing renderer errors.
+	c2, _ := newTestClient(t, DefaultOptions())
+	if _, err := c2.Render(64, 64); err == nil {
+		t.Fatal("unregistered renderer must fail")
+	}
+}
+
+func TestPrefetchBoxPromotion(t *testing.T) {
+	c, srv := newTestClient(t, Options{
+		Scheme:     fetch.DBoxExact,
+		Codec:      server.CodecJSON,
+		CacheBytes: 4 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	// Prefetch the box exactly where the next pan will land.
+	next := c.Viewport().Translate(600, 0)
+	if err := c.PrefetchBox(1, next); err != nil {
+		t.Fatal(err)
+	}
+	before := srv.Stats.BoxRequests.Load()
+	rep, err := c.Pan(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("prefetched pan still issued %d requests", rep.Requests)
+	}
+	if srv.Stats.BoxRequests.Load() != before {
+		t.Fatal("backend saw an extra request")
+	}
+	rows, _ := c.ObjectsInViewport(1)
+	if len(rows) == 0 {
+		t.Fatal("prefetched data not visible")
+	}
+}
+
+func TestPrefetchTiles(t *testing.T) {
+	c, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	next := c.Viewport().Translate(512, 0)
+	tiles := fetch.TilesNeeded(next, 256, c.Canvas().W, c.Canvas().H)
+	if err := c.PrefetchTiles(1, 256, tiles); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Pan(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("prefetched tile pan issued %d requests", rep.Requests)
+	}
+}
+
+func TestReportsAccumulate(t *testing.T) {
+	c, _ := newTestClient(t, DefaultOptions())
+	_, _ = c.Load()
+	_, _ = c.PanBy(600, 0)
+	_, _ = c.PanBy(600, 0)
+	if len(c.TotalReports) != 3 {
+		t.Fatalf("reports = %d", len(c.TotalReports))
+	}
+	if c.TotalReports[0].OverBudget {
+		t.Fatal("local load should be well under 500ms")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	if _, err := NewClient("http://127.0.0.1:1", nil, DefaultOptions()); err == nil {
+		t.Fatal("unreachable backend must fail")
+	}
+}

@@ -1,0 +1,282 @@
+// Package geom provides the planar geometry primitives used throughout
+// Kyrix: points, axis-aligned rectangles, and the tile arithmetic that
+// underpins the static-tile fetching scheme.
+//
+// All coordinates are float64 canvas pixels. Rectangles are half-open on
+// neither side: a Rect contains both its min and max edges, matching the
+// paper's treatment of viewports and bounding boxes (a tuple whose bbox
+// touches a tile boundary belongs to both tiles).
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a location on a canvas.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by (dx, dy).
+func (p Point) Add(dx, dy float64) Point { return Point{p.X + dx, p.Y + dy} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Rect is an axis-aligned rectangle with inclusive edges.
+// A Rect is valid when MinX <= MaxX and MinY <= MaxY.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// RectXYWH builds a Rect from an origin and a width/height.
+func RectXYWH(x, y, w, h float64) Rect {
+	return Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+// RectAround builds the square Rect of half-width r centered at p.
+// It is the bounding box of a point rendered with radius r.
+func RectAround(p Point, r float64) Rect {
+	return Rect{MinX: p.X - r, MinY: p.Y - r, MaxX: p.X + r, MaxY: p.Y + r}
+}
+
+// Valid reports whether r has non-negative extent on both axes.
+func (r Rect) Valid() bool { return r.MinX <= r.MaxX && r.MinY <= r.MaxY }
+
+// W returns the width of r.
+func (r Rect) W() float64 { return r.MaxX - r.MinX }
+
+// H returns the height of r.
+func (r Rect) H() float64 { return r.MaxY - r.MinY }
+
+// Area returns the area of r; zero for degenerate rectangles.
+func (r Rect) Area() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	return r.W() * r.H()
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{(r.MinX + r.MaxX) / 2, (r.MinY + r.MaxY) / 2}
+}
+
+// Intersects reports whether r and s share at least one point
+// (touching edges count, mirroring the paper's tile-overlap rule).
+func (r Rect) Intersects(s Rect) bool {
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Contains reports whether r fully contains s.
+func (r Rect) Contains(s Rect) bool {
+	return r.MinX <= s.MinX && s.MaxX <= r.MaxX &&
+		r.MinY <= s.MinY && s.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether p lies inside r (edges inclusive).
+func (r Rect) ContainsPoint(p Point) bool {
+	return r.MinX <= p.X && p.X <= r.MaxX && r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// Intersection returns the overlap of r and s. The result is invalid
+// (negative extent) when they do not intersect; callers should test
+// Intersects first or check Valid on the result.
+func (r Rect) Intersection(s Rect) Rect {
+	return Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+}
+
+// Union returns the smallest Rect containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Translate returns r shifted by (dx, dy).
+func (r Rect) Translate(dx, dy float64) Rect {
+	return Rect{r.MinX + dx, r.MinY + dy, r.MaxX + dx, r.MaxY + dy}
+}
+
+// Inflate returns r grown by frac of its own width and height, keeping
+// the same center. Inflate(0.5) yields the paper's "50% larger than the
+// viewport" dynamic box. Negative fractions shrink the rectangle but the
+// result is clamped to remain valid (it degenerates to the center).
+func (r Rect) Inflate(frac float64) Rect {
+	dw, dh := r.W()*frac/2, r.H()*frac/2
+	out := Rect{r.MinX - dw, r.MinY - dh, r.MaxX + dw, r.MaxY + dh}
+	if !out.Valid() {
+		c := r.Center()
+		return Rect{c.X, c.Y, c.X, c.Y}
+	}
+	return out
+}
+
+// Clamp returns r moved (not resized) so that it lies inside bounds as
+// much as possible; if r is larger than bounds on an axis, it is aligned
+// to the bounds' min edge on that axis.
+func (r Rect) Clamp(bounds Rect) Rect {
+	dx, dy := 0.0, 0.0
+	switch {
+	case r.W() >= bounds.W():
+		dx = bounds.MinX - r.MinX
+	case r.MinX < bounds.MinX:
+		dx = bounds.MinX - r.MinX
+	case r.MaxX > bounds.MaxX:
+		dx = bounds.MaxX - r.MaxX
+	}
+	switch {
+	case r.H() >= bounds.H():
+		dy = bounds.MinY - r.MinY
+	case r.MinY < bounds.MinY:
+		dy = bounds.MinY - r.MinY
+	case r.MaxY > bounds.MaxY:
+		dy = bounds.MaxY - r.MaxY
+	}
+	return r.Translate(dx, dy)
+}
+
+// Scale returns r with every coordinate multiplied by f (a geometric
+// zoom by factor f about the canvas origin).
+func (r Rect) Scale(f float64) Rect {
+	return Rect{r.MinX * f, r.MinY * f, r.MaxX * f, r.MaxY * f}
+}
+
+// Enlargement returns how much r's area would grow to also cover s.
+// It is the R-tree insertion cost metric.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%g,%g → %g,%g]", r.MinX, r.MinY, r.MaxX, r.MaxY)
+}
+
+// TileID identifies one tile of a fixed-size tiling of a canvas.
+// Row-major: ID = Row*columns + Col for a given canvas width.
+type TileID struct {
+	Col, Row int
+}
+
+// TileKey flattens a TileID into a single int64 for index keys, given
+// the number of tile columns on the canvas.
+func (t TileID) TileKey(cols int) int64 {
+	return int64(t.Row)*int64(cols) + int64(t.Col)
+}
+
+// TileFromKey inverts TileKey.
+func TileFromKey(key int64, cols int) TileID {
+	return TileID{Col: int(key % int64(cols)), Row: int(key / int64(cols))}
+}
+
+// TileRect returns the rectangle covered by tile t for tile size sz.
+func (t TileID) TileRect(sz float64) Rect {
+	return RectXYWH(float64(t.Col)*sz, float64(t.Row)*sz, sz, sz)
+}
+
+// TileCols returns the number of tile columns for a canvas of width w
+// with tiles of size sz (the paper's Fig. 4 partitioning).
+func TileCols(w, sz float64) int {
+	return int(math.Ceil(w / sz))
+}
+
+// ViewportTiles returns the tiles a viewport request needs under
+// half-open tile semantics: a viewport whose edge lies exactly on a
+// tile boundary does not pull in the neighboring tile (the Google
+// Maps/ForeCache convention, and what makes the paper's tile-aligned
+// trace-a fetch exactly one 1024-tile per viewport). Record→tile
+// assignment stays edge-inclusive (CoveringTiles), so any record whose
+// bbox overlaps the viewport's interior is served by a requested tile;
+// the only divergence from inclusive INTERSECTS is a record whose bbox
+// merely touches the viewport's max edge from outside — a zero-width
+// overlap that draws no pixels.
+func ViewportTiles(r Rect, sz, w, h float64) []TileID {
+	if !r.Valid() || sz <= 0 {
+		return nil
+	}
+	clip := r.Intersection(Rect{0, 0, w, h})
+	if !clip.Valid() {
+		return nil
+	}
+	c0 := int(math.Floor(clip.MinX / sz))
+	r0 := int(math.Floor(clip.MinY / sz))
+	c1 := int(math.Ceil(clip.MaxX/sz)) - 1
+	r1 := int(math.Ceil(clip.MaxY/sz)) - 1
+	if c1 < c0 {
+		c1 = c0
+	}
+	if r1 < r0 {
+		r1 = r0
+	}
+	maxC := TileCols(w, sz) - 1
+	maxR := TileCols(h, sz) - 1
+	if c1 > maxC {
+		c1 = maxC
+	}
+	if r1 > maxR {
+		r1 = maxR
+	}
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	out := make([]TileID, 0, (c1-c0+1)*(r1-r0+1))
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			out = append(out, TileID{Col: col, Row: row})
+		}
+	}
+	return out
+}
+
+// CoveringTiles returns every tile of size sz that intersects r, clipped
+// to a canvas of extent (w, h). Tiles are returned row-major. Touching a
+// tile boundary includes the tile, consistent with Rect.Intersects.
+func CoveringTiles(r Rect, sz, w, h float64) []TileID {
+	if !r.Valid() || sz <= 0 {
+		return nil
+	}
+	clip := r.Intersection(Rect{0, 0, w, h})
+	if !clip.Valid() {
+		return nil
+	}
+	c0 := int(math.Floor(clip.MinX / sz))
+	r0 := int(math.Floor(clip.MinY / sz))
+	c1 := int(math.Floor(clip.MaxX / sz))
+	r1 := int(math.Floor(clip.MaxY / sz))
+	maxC := TileCols(w, sz) - 1
+	maxR := TileCols(h, sz) - 1
+	if c1 > maxC {
+		c1 = maxC
+	}
+	if r1 > maxR {
+		r1 = maxR
+	}
+	if c0 < 0 {
+		c0 = 0
+	}
+	if r0 < 0 {
+		r0 = 0
+	}
+	out := make([]TileID, 0, (c1-c0+1)*(r1-r0+1))
+	for row := r0; row <= r1; row++ {
+		for col := c0; col <= c1; col++ {
+			out = append(out, TileID{Col: col, Row: row})
+		}
+	}
+	return out
+}

@@ -1,0 +1,378 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Point{3, 4}
+	if q := p.Add(1, -2); q != (Point{4, 2}) {
+		t.Fatalf("Add = %v", q)
+	}
+	if d := (Point{0, 0}).Dist(Point{3, 4}); d != 5 {
+		t.Fatalf("Dist = %g", d)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := RectXYWH(10, 20, 30, 40)
+	if r.W() != 30 || r.H() != 40 {
+		t.Fatalf("W/H = %g/%g", r.W(), r.H())
+	}
+	if r.Area() != 1200 {
+		t.Fatalf("Area = %g", r.Area())
+	}
+	if c := r.Center(); c != (Point{25, 40}) {
+		t.Fatalf("Center = %v", c)
+	}
+	if !r.Valid() {
+		t.Fatal("expected valid")
+	}
+	bad := Rect{10, 10, 0, 0}
+	if bad.Valid() || bad.Area() != 0 {
+		t.Fatal("degenerate rect should be invalid with zero area")
+	}
+}
+
+func TestRectAround(t *testing.T) {
+	r := RectAround(Point{5, 5}, 2)
+	want := Rect{3, 3, 7, 7}
+	if r != want {
+		t.Fatalf("RectAround = %v want %v", r, want)
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{5, 5, 15, 15}, true},
+		{Rect{10, 10, 20, 20}, true}, // touching corner counts
+		{Rect{11, 11, 20, 20}, false},
+		{Rect{-5, -5, -1, -1}, false},
+		{Rect{2, 2, 3, 3}, true}, // contained
+		{Rect{0, 10, 10, 20}, true},
+	}
+	for i, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("case %d: Intersects(%v) = %v want %v", i, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("case %d: symmetric Intersects = %v want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if !a.Contains(Rect{2, 2, 8, 8}) {
+		t.Fatal("should contain inner")
+	}
+	if !a.Contains(a) {
+		t.Fatal("should contain itself")
+	}
+	if a.Contains(Rect{2, 2, 11, 8}) {
+		t.Fatal("should not contain overflowing rect")
+	}
+	if !a.ContainsPoint(Point{0, 0}) || !a.ContainsPoint(Point{10, 10}) {
+		t.Fatal("edges are inclusive")
+	}
+	if a.ContainsPoint(Point{10.1, 5}) {
+		t.Fatal("outside point")
+	}
+}
+
+func TestIntersectionUnion(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	b := Rect{5, 5, 20, 20}
+	got := a.Intersection(b)
+	if got != (Rect{5, 5, 10, 10}) {
+		t.Fatalf("Intersection = %v", got)
+	}
+	u := a.Union(b)
+	if u != (Rect{0, 0, 20, 20}) {
+		t.Fatalf("Union = %v", u)
+	}
+	// Disjoint intersection is invalid.
+	if a.Intersection(Rect{50, 50, 60, 60}).Valid() {
+		t.Fatal("disjoint intersection should be invalid")
+	}
+}
+
+func TestInflate(t *testing.T) {
+	v := RectXYWH(100, 100, 100, 100)
+	b := v.Inflate(0.5)
+	if math.Abs(b.W()-150) > 1e-9 || math.Abs(b.H()-150) > 1e-9 {
+		t.Fatalf("Inflate(0.5) dims = %gx%g", b.W(), b.H())
+	}
+	if b.Center() != v.Center() {
+		t.Fatal("Inflate must preserve the center")
+	}
+	if !b.Contains(v) {
+		t.Fatal("inflated box must contain the viewport")
+	}
+	// Shrinking past zero degenerates to the center.
+	d := v.Inflate(-3)
+	if d.Area() != 0 || d.Center() != v.Center() {
+		t.Fatalf("over-shrunk rect = %v", d)
+	}
+}
+
+func TestTranslateScaleClamp(t *testing.T) {
+	r := RectXYWH(0, 0, 10, 10)
+	if got := r.Translate(5, -5); got != (Rect{5, -5, 15, 5}) {
+		t.Fatalf("Translate = %v", got)
+	}
+	if got := r.Scale(2); got != (Rect{0, 0, 20, 20}) {
+		t.Fatalf("Scale = %v", got)
+	}
+	bounds := Rect{0, 0, 100, 100}
+	if got := RectXYWH(-10, 50, 20, 20).Clamp(bounds); got != (Rect{0, 50, 20, 70}) {
+		t.Fatalf("Clamp left = %v", got)
+	}
+	if got := RectXYWH(95, 95, 20, 20).Clamp(bounds); got != (Rect{80, 80, 100, 100}) {
+		t.Fatalf("Clamp bottomright = %v", got)
+	}
+	// Oversized rect aligns to min edge.
+	if got := RectXYWH(10, 10, 500, 20).Clamp(bounds); got.MinX != 0 {
+		t.Fatalf("oversize Clamp = %v", got)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	a := Rect{0, 0, 10, 10}
+	if e := a.Enlargement(Rect{2, 2, 3, 3}); e != 0 {
+		t.Fatalf("contained enlargement = %g", e)
+	}
+	if e := a.Enlargement(Rect{0, 0, 20, 10}); e != 100 {
+		t.Fatalf("enlargement = %g", e)
+	}
+}
+
+func TestTileKeyRoundtrip(t *testing.T) {
+	cols := 129
+	for _, id := range []TileID{{0, 0}, {5, 7}, {128, 999}, {17, 0}} {
+		k := id.TileKey(cols)
+		if got := TileFromKey(k, cols); got != id {
+			t.Fatalf("roundtrip %v -> %d -> %v", id, k, got)
+		}
+	}
+}
+
+func TestTileRect(t *testing.T) {
+	r := TileID{Col: 2, Row: 3}.TileRect(256)
+	if r != (Rect{512, 768, 768, 1024}) {
+		t.Fatalf("TileRect = %v", r)
+	}
+}
+
+func TestCoveringTilesAligned(t *testing.T) {
+	// Viewport exactly one tile: expect that tile plus boundary
+	// neighbours that share an edge (inclusive intersection).
+	w, h := 4096.0, 4096.0
+	vp := RectXYWH(1024, 1024, 1024, 1024)
+	tiles := CoveringTiles(vp, 1024, w, h)
+	// Inclusive edges: cols 1..2, rows 1..2 -> 9 tiles? MaxX=2048 ->
+	// floor(2048/1024)=2, so cols 1,2 rows 1,2 -> 4 tiles.
+	if len(tiles) != 4 {
+		t.Fatalf("aligned tiles = %d (%v)", len(tiles), tiles)
+	}
+}
+
+func TestCoveringTilesInterior(t *testing.T) {
+	w, h := 4096.0, 4096.0
+	vp := RectXYWH(1100, 1100, 800, 800) // strictly inside tile (1,1)
+	tiles := CoveringTiles(vp, 1024, w, h)
+	if len(tiles) != 1 || tiles[0] != (TileID{1, 1}) {
+		t.Fatalf("interior tiles = %v", tiles)
+	}
+}
+
+func TestCoveringTilesUnaligned(t *testing.T) {
+	w, h := 4096.0, 4096.0
+	vp := RectXYWH(512, 512, 1024, 1024) // spans 2x2 tiles
+	tiles := CoveringTiles(vp, 1024, w, h)
+	if len(tiles) != 4 {
+		t.Fatalf("unaligned tiles = %d", len(tiles))
+	}
+}
+
+func TestCoveringTilesClipped(t *testing.T) {
+	w, h := 2048.0, 2048.0
+	// Viewport hanging off the canvas: only on-canvas tiles returned.
+	tiles := CoveringTiles(RectXYWH(-500, -500, 1000, 1000), 1024, w, h)
+	if len(tiles) != 1 || tiles[0] != (TileID{0, 0}) {
+		t.Fatalf("clipped tiles = %v", tiles)
+	}
+	if got := CoveringTiles(RectXYWH(5000, 5000, 10, 10), 1024, w, h); got != nil {
+		t.Fatalf("off-canvas tiles = %v", got)
+	}
+	if got := CoveringTiles(Rect{10, 10, 0, 0}, 1024, w, h); got != nil {
+		t.Fatalf("invalid rect tiles = %v", got)
+	}
+}
+
+func TestViewportTilesHalfOpen(t *testing.T) {
+	w, h := 8192.0, 8192.0
+	// A tile-aligned viewport needs exactly one tile (the trace-a
+	// property the paper relies on).
+	vp := RectXYWH(1024, 1024, 1024, 1024)
+	tiles := ViewportTiles(vp, 1024, w, h)
+	if len(tiles) != 1 || tiles[0] != (TileID{1, 1}) {
+		t.Fatalf("aligned viewport tiles = %v", tiles)
+	}
+	// Unaligned viewport spans 2x2.
+	tiles = ViewportTiles(RectXYWH(512, 512, 1024, 1024), 1024, w, h)
+	if len(tiles) != 4 {
+		t.Fatalf("unaligned viewport tiles = %d", len(tiles))
+	}
+	// A 1024 viewport over 256-tiles: exactly 4x4 when aligned.
+	tiles = ViewportTiles(vp, 256, w, h)
+	if len(tiles) != 16 {
+		t.Fatalf("256-tiles for aligned 1024 viewport = %d", len(tiles))
+	}
+	// Degenerate viewport on a boundary still returns its tile.
+	tiles = ViewportTiles(Rect{1024, 1024, 1024, 1024}, 1024, w, h)
+	if len(tiles) != 1 || tiles[0] != (TileID{1, 1}) {
+		t.Fatalf("degenerate viewport tiles = %v", tiles)
+	}
+	// Off-canvas and invalid inputs.
+	if ViewportTiles(RectXYWH(9000, 0, 10, 10), 1024, w, h) != nil {
+		t.Fatal("off-canvas viewport")
+	}
+	if ViewportTiles(Rect{5, 5, 0, 0}, 1024, w, h) != nil {
+		t.Fatal("invalid viewport")
+	}
+}
+
+// Consistency: every record bbox intersecting the viewport is found in
+// at least one viewport tile under inclusive record->tile assignment.
+func TestViewportTilesConsistentWithCoveringTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	const w, h, sz = 8192.0, 8192.0, 256.0
+	for i := 0; i < 200; i++ {
+		vp := RectXYWH(rng.Float64()*7000, rng.Float64()*7000, 1024, 1024)
+		vpTiles := map[TileID]bool{}
+		for _, id := range ViewportTiles(vp, sz, w, h) {
+			vpTiles[id] = true
+		}
+		for j := 0; j < 20; j++ {
+			// Random record near the viewport, sometimes exactly on a
+			// tile boundary.
+			x := math.Floor(vp.MinX/sz)*sz + float64(rng.Intn(6))*sz/2
+			y := math.Floor(vp.MinY/sz)*sz + float64(rng.Intn(6))*sz/2
+			box := RectAround(Point{x, y}, 1)
+			if !box.Intersects(vp) {
+				continue
+			}
+			found := false
+			for _, id := range CoveringTiles(box, sz, w, h) {
+				if vpTiles[id] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("record %v intersects viewport %v but no requested tile serves it", box, vp)
+			}
+		}
+	}
+}
+
+func TestCoveringTilesCanvasEdge(t *testing.T) {
+	// Canvas not a multiple of the tile size: last partial tile exists.
+	w, h := 1500.0, 1500.0
+	tiles := CoveringTiles(Rect{0, 0, 1500, 1500}, 1024, w, h)
+	if len(tiles) != 4 {
+		t.Fatalf("edge tiles = %d", len(tiles))
+	}
+}
+
+// Property: intersection area is never larger than either operand, and
+// union contains both.
+func TestQuickIntersectionUnion(t *testing.T) {
+	f := func(ax, ay, aw, ah, bx, by, bw, bh float64) bool {
+		a := RectXYWH(mod(ax, 1e6), mod(ay, 1e6), mod(aw, 1e4), mod(ah, 1e4))
+		b := RectXYWH(mod(bx, 1e6), mod(by, 1e6), mod(bw, 1e4), mod(bh, 1e4))
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		if a.Intersects(b) {
+			i := a.Intersection(b)
+			if !i.Valid() {
+				return false
+			}
+			if i.Area() > a.Area()+1e-9 || i.Area() > b.Area()+1e-9 {
+				return false
+			}
+			if !a.Contains(i) || !b.Contains(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every covering tile intersects the query rect, and every
+// point sampled inside the query falls in some returned tile.
+func TestQuickCoveringTiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const w, h, sz = 16384.0, 16384.0, 256.0
+	for i := 0; i < 300; i++ {
+		q := RectXYWH(rng.Float64()*w, rng.Float64()*h,
+			rng.Float64()*2000, rng.Float64()*2000)
+		tiles := CoveringTiles(q, sz, w, h)
+		seen := make(map[TileID]bool, len(tiles))
+		for _, id := range tiles {
+			if seen[id] {
+				t.Fatalf("duplicate tile %v", id)
+			}
+			seen[id] = true
+			if !id.TileRect(sz).Intersects(q) {
+				t.Fatalf("tile %v does not intersect %v", id, q)
+			}
+		}
+		// sample points
+		for j := 0; j < 10; j++ {
+			p := Point{q.MinX + rng.Float64()*q.W(), q.MinY + rng.Float64()*q.H()}
+			if p.X < 0 || p.X > w || p.Y < 0 || p.Y > h {
+				continue
+			}
+			found := false
+			for id := range seen {
+				if id.TileRect(sz).ContainsPoint(p) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("point %v in query %v not covered by tiles", p, q)
+			}
+		}
+	}
+}
+
+func mod(v, m float64) float64 {
+	v = math.Abs(v)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, m)
+}
+
+func BenchmarkCoveringTiles(b *testing.B) {
+	q := RectXYWH(4000, 4000, 1024, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CoveringTiles(q, 256, 131072, 16384)
+	}
+}

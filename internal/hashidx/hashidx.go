@@ -1,0 +1,103 @@
+// Package hashidx implements the bucket-chained hash index the paper
+// lists alongside the B-tree for the tuple-tile mapping design
+// ("Btree/hash indexes on the tuple_id column").
+//
+// Keys are int64; payloads are uint64 (packed RIDs). Duplicate keys are
+// supported. The directory doubles when the load factor exceeds 4
+// entries per bucket.
+package hashidx
+
+// Index is an equality-only hash index. Not safe for concurrent
+// mutation; the DB layer serializes writers.
+type Index struct {
+	buckets [][]pair
+	mask    uint64
+	size    int
+}
+
+type pair struct {
+	key int64
+	val uint64
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{buckets: make([][]pair, 16), mask: 15}
+}
+
+// Len returns the number of stored entries.
+func (ix *Index) Len() int { return ix.size }
+
+// fnv-1a over the 8 key bytes; good enough dispersion for sequential ids.
+func hash(k int64) uint64 {
+	h := uint64(14695981039346656037)
+	u := uint64(k)
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xFF
+		h *= 1099511628211
+		u >>= 8
+	}
+	return h
+}
+
+// Insert adds (key, val). Duplicate (key, val) pairs are stored once.
+func (ix *Index) Insert(key int64, val uint64) {
+	b := hash(key) & ix.mask
+	for _, p := range ix.buckets[b] {
+		if p.key == key && p.val == val {
+			return
+		}
+	}
+	ix.buckets[b] = append(ix.buckets[b], pair{key, val})
+	ix.size++
+	if ix.size > len(ix.buckets)*4 {
+		ix.grow()
+	}
+}
+
+func (ix *Index) grow() {
+	old := ix.buckets
+	ix.buckets = make([][]pair, len(old)*2)
+	ix.mask = uint64(len(ix.buckets) - 1)
+	for _, bucket := range old {
+		for _, p := range bucket {
+			b := hash(p.key) & ix.mask
+			ix.buckets[b] = append(ix.buckets[b], p)
+		}
+	}
+}
+
+// Delete removes (key, val), reporting whether it was present.
+func (ix *Index) Delete(key int64, val uint64) bool {
+	b := hash(key) & ix.mask
+	bucket := ix.buckets[b]
+	for i, p := range bucket {
+		if p.key == key && p.val == val {
+			bucket[i] = bucket[len(bucket)-1]
+			ix.buckets[b] = bucket[:len(bucket)-1]
+			ix.size--
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup calls fn with every payload stored under key. Order is
+// unspecified. Returning false stops early.
+func (ix *Index) Lookup(key int64, fn func(val uint64) bool) {
+	b := hash(key) & ix.mask
+	for _, p := range ix.buckets[b] {
+		if p.key == key {
+			if !fn(p.val) {
+				return
+			}
+		}
+	}
+}
+
+// Contains reports whether any entry exists for key.
+func (ix *Index) Contains(key int64) bool {
+	found := false
+	ix.Lookup(key, func(uint64) bool { found = true; return false })
+	return found
+}

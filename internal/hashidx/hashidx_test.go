@@ -1,0 +1,175 @@
+package hashidx
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	ix := New()
+	if ix.Len() != 0 || ix.Contains(1) {
+		t.Fatal("empty index misbehaves")
+	}
+	if ix.Delete(1, 1) {
+		t.Fatal("delete on empty")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	ix := New()
+	for i := int64(0); i < 10000; i++ {
+		ix.Insert(i, uint64(i*3))
+	}
+	if ix.Len() != 10000 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	for i := int64(0); i < 10000; i++ {
+		var got []uint64
+		ix.Lookup(i, func(v uint64) bool { got = append(got, v); return true })
+		if len(got) != 1 || got[0] != uint64(i*3) {
+			t.Fatalf("Lookup(%d) = %v", i, got)
+		}
+	}
+	if ix.Contains(-5) {
+		t.Fatal("absent key")
+	}
+}
+
+func TestDuplicates(t *testing.T) {
+	ix := New()
+	for v := uint64(0); v < 50; v++ {
+		ix.Insert(42, v)
+	}
+	ix.Insert(42, 0) // idempotent
+	if ix.Len() != 50 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	var got []uint64
+	ix.Lookup(42, func(v uint64) bool { got = append(got, v); return true })
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 50 || got[0] != 0 || got[49] != 49 {
+		t.Fatalf("dups = %v", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	ix := New()
+	ix.Insert(1, 10)
+	ix.Insert(1, 11)
+	if !ix.Delete(1, 10) {
+		t.Fatal("delete present")
+	}
+	if ix.Delete(1, 10) {
+		t.Fatal("double delete")
+	}
+	if !ix.Contains(1) {
+		t.Fatal("other payload lost")
+	}
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	ix := New()
+	for v := uint64(0); v < 10; v++ {
+		ix.Insert(7, v)
+	}
+	n := 0
+	ix.Lookup(7, func(uint64) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestNegativeAndExtremeKeys(t *testing.T) {
+	ix := New()
+	keys := []int64{-1, 0, 1, -1 << 62, 1<<62 - 1}
+	for i, k := range keys {
+		ix.Insert(k, uint64(i))
+	}
+	for i, k := range keys {
+		found := false
+		ix.Lookup(k, func(v uint64) bool { found = v == uint64(i); return false })
+		if !found {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ix := New()
+	oracle := map[[2]uint64]bool{}
+	for i := 0; i < 30000; i++ {
+		k := int64(rng.Intn(500))
+		v := uint64(rng.Intn(20))
+		key := [2]uint64{uint64(k), v}
+		if rng.Intn(4) == 0 {
+			if got := ix.Delete(k, v); got != oracle[key] {
+				t.Fatalf("Delete(%d,%d) = %v", k, v, got)
+			}
+			delete(oracle, key)
+		} else {
+			ix.Insert(k, v)
+			oracle[key] = true
+		}
+	}
+	if ix.Len() != len(oracle) {
+		t.Fatalf("Len = %d oracle %d", ix.Len(), len(oracle))
+	}
+}
+
+// Property: after inserting a set, every key's payload multiset matches.
+func TestQuickPayloads(t *testing.T) {
+	f := func(pairs [][2]int16) bool {
+		ix := New()
+		want := map[int64]map[uint64]bool{}
+		for _, p := range pairs {
+			k, v := int64(p[0]), uint64(uint16(p[1]))
+			ix.Insert(k, v)
+			if want[k] == nil {
+				want[k] = map[uint64]bool{}
+			}
+			want[k][v] = true
+		}
+		for k, vs := range want {
+			got := map[uint64]bool{}
+			ix.Lookup(k, func(v uint64) bool { got[v] = true; return true })
+			if len(got) != len(vs) {
+				return false
+			}
+			for v := range vs {
+				if !got[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	ix := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Insert(int64(i), uint64(i))
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	ix := New()
+	for i := int64(0); i < 1_000_000; i++ {
+		ix.Insert(i, uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Lookup(int64(i%1_000_000), func(uint64) bool { return true })
+	}
+}

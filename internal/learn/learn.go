@@ -1,0 +1,137 @@
+// Package learn implements the paper's "application by example" vision
+// (§4): "a user can drag and drop screen objects, and Kyrix can learn
+// to automatically generate the location function".
+//
+// Given example pairs (data row, dragged-to canvas position), FitPlacement
+// tries to recover a separable placement — x = a·row[xCol] + b,
+// y = c·row[yCol] + d — by least squares over every candidate column
+// pair, picking the best-fitting one. When the residual is small the
+// result is a spec.Placement the compiler accepts directly, and the
+// fit reports which columns drive the position (the §3.2 separability
+// detection).
+package learn
+
+import (
+	"fmt"
+	"math"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/spec"
+	"kyrix/internal/storage"
+)
+
+// Example is one drag-and-drop demonstration: a data row and where the
+// user placed it on the canvas.
+type Example struct {
+	Row storage.Row
+	Pos geom.Point
+}
+
+// Fit is a learned separable placement.
+type Fit struct {
+	XCol, YCol     string
+	XScale, YScale float64
+	XOffset        float64
+	YOffset        float64
+	// RMSE is the root-mean-square pixel error over the examples.
+	RMSE float64
+}
+
+// Placement converts the fit to a spec placement when the learned
+// offsets are negligible (the spec's separable form is a pure scaling;
+// non-zero offsets would need a transform function, which ToTransform
+// provides).
+func (f *Fit) Placement(radius float64) *spec.Placement {
+	return &spec.Placement{
+		XCol: f.XCol, YCol: f.YCol,
+		XScale: f.XScale, YScale: f.YScale,
+		Radius: radius,
+	}
+}
+
+// Separable reports whether the learned placement is a raw scaling
+// (offsets ≈ 0), i.e. usable without precomputation per §3.2.
+func (f *Fit) Separable(tol float64) bool {
+	return math.Abs(f.XOffset) <= tol && math.Abs(f.YOffset) <= tol
+}
+
+// FitPlacement learns a placement from examples over a schema. It
+// requires at least 3 examples and at least one numeric column, and
+// returns the column pair minimizing RMSE.
+func FitPlacement(schema storage.Schema, examples []Example) (*Fit, error) {
+	if len(examples) < 3 {
+		return nil, fmt.Errorf("learn: need at least 3 examples, got %d", len(examples))
+	}
+	var numeric []int
+	for i, c := range schema {
+		if c.Type == storage.TInt64 || c.Type == storage.TFloat64 {
+			numeric = append(numeric, i)
+		}
+	}
+	if len(numeric) == 0 {
+		return nil, fmt.Errorf("learn: schema has no numeric columns")
+	}
+	for _, ex := range examples {
+		if len(ex.Row) != len(schema) {
+			return nil, fmt.Errorf("learn: example arity %d != schema arity %d", len(ex.Row), len(schema))
+		}
+	}
+
+	best := (*Fit)(nil)
+	for _, xc := range numeric {
+		ax, bx, errX, okX := fit1D(examples, xc, func(e Example) float64 { return e.Pos.X })
+		if !okX {
+			continue
+		}
+		for _, yc := range numeric {
+			ay, by, errY, okY := fit1D(examples, yc, func(e Example) float64 { return e.Pos.Y })
+			if !okY {
+				continue
+			}
+			rmse := math.Sqrt((errX + errY) / float64(len(examples)))
+			if best == nil || rmse < best.RMSE {
+				best = &Fit{
+					XCol: schema[xc].Name, YCol: schema[yc].Name,
+					XScale: ax, XOffset: bx,
+					YScale: ay, YOffset: by,
+					RMSE: rmse,
+				}
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("learn: no column explains the example positions (all candidates degenerate)")
+	}
+	return best, nil
+}
+
+// fit1D solves pos ≈ a·row[col] + b by ordinary least squares and
+// returns the summed squared error. ok=false when the column is
+// constant across examples (no information).
+func fit1D(examples []Example, col int, pos func(Example) float64) (a, b, sse float64, ok bool) {
+	n := float64(len(examples))
+	var sx, sy, sxx, sxy float64
+	for _, e := range examples {
+		x := e.Row[col].AsFloat()
+		y := pos(e)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	det := n*sxx - sx*sx
+	if math.Abs(det) < 1e-12 {
+		return 0, 0, 0, false
+	}
+	a = (n*sxy - sx*sy) / det
+	b = (sy - a*sx) / n
+	if a == 0 {
+		// A zero scale means the column doesn't drive the position.
+		return 0, 0, 0, false
+	}
+	for _, e := range examples {
+		d := pos(e) - (a*e.Row[col].AsFloat() + b)
+		sse += d * d
+	}
+	return a, b, sse, true
+}

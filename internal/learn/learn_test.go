@@ -1,0 +1,165 @@
+package learn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/storage"
+)
+
+var schema = storage.Schema{
+	{Name: "id", Type: storage.TInt64},
+	{Name: "lon", Type: storage.TFloat64},
+	{Name: "lat", Type: storage.TFloat64},
+	{Name: "name", Type: storage.TString},
+}
+
+func exampleAt(id int64, lon, lat float64, pos geom.Point) Example {
+	return Example{
+		Row: storage.Row{storage.I64(id), storage.F64(lon), storage.F64(lat), storage.Str("x")},
+		Pos: pos,
+	}
+}
+
+func TestFitExactScaling(t *testing.T) {
+	// Position = (lon*10, lat*5): a pure separable scaling.
+	var examples []Example
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		lon, lat := rng.Float64()*100, rng.Float64()*50
+		examples = append(examples, exampleAt(int64(i), lon, lat,
+			geom.Point{X: lon * 10, Y: lat * 5}))
+	}
+	fit, err := FitPlacement(schema, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.XCol != "lon" || fit.YCol != "lat" {
+		t.Fatalf("columns = %s/%s", fit.XCol, fit.YCol)
+	}
+	if math.Abs(fit.XScale-10) > 1e-6 || math.Abs(fit.YScale-5) > 1e-6 {
+		t.Fatalf("scales = %g/%g", fit.XScale, fit.YScale)
+	}
+	if fit.RMSE > 1e-6 {
+		t.Fatalf("rmse = %g", fit.RMSE)
+	}
+	if !fit.Separable(1e-6) {
+		t.Fatal("pure scaling must be separable")
+	}
+	p := fit.Placement(2)
+	if p.XCol != "lon" || p.Radius != 2 || !p.Separable() {
+		t.Fatalf("placement = %+v", p)
+	}
+}
+
+func TestFitWithOffset(t *testing.T) {
+	// Position = lon*2 + 500: scaling plus offset — learnable but not
+	// separable in the spec's pure-scaling sense.
+	var examples []Example
+	for i := 0; i < 5; i++ {
+		lon := float64(i * 10)
+		examples = append(examples, exampleAt(int64(i), lon, float64(i),
+			geom.Point{X: lon*2 + 500, Y: float64(i) * 3}))
+	}
+	fit, err := FitPlacement(schema, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.XOffset-500) > 1e-6 {
+		t.Fatalf("xoffset = %g", fit.XOffset)
+	}
+	if fit.Separable(1) {
+		t.Fatal("offset placement must not claim separability")
+	}
+}
+
+func TestFitNoisyExamples(t *testing.T) {
+	// Drag-and-drop is imprecise: ±3px noise must still recover the
+	// right columns and approximate scales.
+	rng := rand.New(rand.NewSource(9))
+	var examples []Example
+	for i := 0; i < 30; i++ {
+		lon, lat := rng.Float64()*1000, rng.Float64()*500
+		examples = append(examples, exampleAt(int64(i), lon, lat, geom.Point{
+			X: lon*3 + rng.NormFloat64()*3,
+			Y: lat*7 + rng.NormFloat64()*3,
+		}))
+	}
+	fit, err := FitPlacement(schema, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.XCol != "lon" || fit.YCol != "lat" {
+		t.Fatalf("columns = %s/%s", fit.XCol, fit.YCol)
+	}
+	if math.Abs(fit.XScale-3) > 0.1 || math.Abs(fit.YScale-7) > 0.1 {
+		t.Fatalf("scales = %g/%g", fit.XScale, fit.YScale)
+	}
+	if fit.RMSE > 10 {
+		t.Fatalf("rmse = %g", fit.RMSE)
+	}
+}
+
+func TestFitPicksBestColumn(t *testing.T) {
+	// id also varies, but lon drives x much better; the fit must pick
+	// lon over id.
+	rng := rand.New(rand.NewSource(5))
+	var examples []Example
+	for i := 0; i < 20; i++ {
+		lon := rng.Float64() * 1000
+		examples = append(examples, exampleAt(int64(i), lon, rng.Float64()*100,
+			geom.Point{X: lon * 2, Y: rng.Float64() * 100 * 4}))
+	}
+	// y is noise w.r.t. lat — but lat is still its best predictor among
+	// the numeric columns; we only assert the x side.
+	fit, err := FitPlacement(schema, examples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.XCol != "lon" {
+		t.Fatalf("xcol = %s", fit.XCol)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := FitPlacement(schema, nil); err == nil {
+		t.Fatal("no examples must fail")
+	}
+	two := []Example{
+		exampleAt(1, 1, 1, geom.Point{X: 1, Y: 1}),
+		exampleAt(2, 2, 2, geom.Point{X: 2, Y: 2}),
+	}
+	if _, err := FitPlacement(schema, two); err == nil {
+		t.Fatal("two examples must fail")
+	}
+	// Arity mismatch.
+	bad := []Example{
+		{Row: storage.Row{storage.I64(1)}, Pos: geom.Point{}},
+		{Row: storage.Row{storage.I64(2)}, Pos: geom.Point{}},
+		{Row: storage.Row{storage.I64(3)}, Pos: geom.Point{}},
+	}
+	if _, err := FitPlacement(schema, bad); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	// No numeric columns.
+	strSchema := storage.Schema{{Name: "s", Type: storage.TString}}
+	strEx := []Example{
+		{Row: storage.Row{storage.Str("a")}, Pos: geom.Point{}},
+		{Row: storage.Row{storage.Str("b")}, Pos: geom.Point{}},
+		{Row: storage.Row{storage.Str("c")}, Pos: geom.Point{}},
+	}
+	if _, err := FitPlacement(strSchema, strEx); err == nil {
+		t.Fatal("no numeric columns must fail")
+	}
+	// All candidate columns constant.
+	constEx := []Example{
+		exampleAt(1, 5, 5, geom.Point{X: 10, Y: 10}),
+		exampleAt(1, 5, 5, geom.Point{X: 20, Y: 20}),
+		exampleAt(1, 5, 5, geom.Point{X: 30, Y: 30}),
+	}
+	if _, err := FitPlacement(schema, constEx); err == nil {
+		t.Fatal("constant columns must fail")
+	}
+}

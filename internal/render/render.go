@@ -1,0 +1,243 @@
+// Package render is the software rasterizer standing in for the
+// browser/D3 rendering functions of the paper's frontend. Rendering
+// correctness is not what the paper measures, but the examples produce
+// real PNGs through it, and the frontend simulator charges rendering
+// work to a separate path from data fetching, mirroring "rendering is
+// performed by a separate process" (§3.2).
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"math"
+	"os"
+
+	"kyrix/internal/geom"
+)
+
+// Image is a drawable RGBA raster mapped onto a canvas-space viewport:
+// drawing coordinates are canvas coordinates, translated and scaled to
+// pixels internally.
+type Image struct {
+	rgba *image.RGBA
+	// view is the canvas-space rectangle this image shows.
+	view geom.Rect
+	sx   float64
+	sy   float64
+}
+
+// New creates a w×h pixel image showing the canvas-space rect view.
+func New(w, h int, view geom.Rect) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("render: image dims %dx%d", w, h))
+	}
+	img := &Image{
+		rgba: image.NewRGBA(image.Rect(0, 0, w, h)),
+		view: view,
+	}
+	img.sx = float64(w) / view.W()
+	img.sy = float64(h) / view.H()
+	img.Clear(color.RGBA{R: 255, G: 255, B: 255, A: 255})
+	return img
+}
+
+// Size returns the pixel dimensions.
+func (im *Image) Size() (int, int) {
+	b := im.rgba.Bounds()
+	return b.Dx(), b.Dy()
+}
+
+// View returns the canvas-space viewport.
+func (im *Image) View() geom.Rect { return im.view }
+
+// RGBA exposes the underlying raster (e.g., for diffing in tests).
+func (im *Image) RGBA() *image.RGBA { return im.rgba }
+
+// Clear fills the whole image.
+func (im *Image) Clear(c color.Color) {
+	b := im.rgba.Bounds()
+	for y := b.Min.Y; y < b.Max.Y; y++ {
+		for x := b.Min.X; x < b.Max.X; x++ {
+			im.rgba.Set(x, y, c)
+		}
+	}
+}
+
+// toPx converts canvas coordinates to pixel coordinates.
+func (im *Image) toPx(p geom.Point) (int, int) {
+	return int(math.Floor((p.X - im.view.MinX) * im.sx)),
+		int(math.Floor((p.Y - im.view.MinY) * im.sy))
+}
+
+// FillRect fills a canvas-space rectangle.
+func (im *Image) FillRect(r geom.Rect, c color.Color) {
+	if !r.Intersects(im.view) {
+		return
+	}
+	x0, y0 := im.toPx(geom.Point{X: r.MinX, Y: r.MinY})
+	x1, y1 := im.toPx(geom.Point{X: r.MaxX, Y: r.MaxY})
+	b := im.rgba.Bounds()
+	for y := max(y0, b.Min.Y); y <= min(y1, b.Max.Y-1); y++ {
+		for x := max(x0, b.Min.X); x <= min(x1, b.Max.X-1); x++ {
+			im.rgba.Set(x, y, c)
+		}
+	}
+}
+
+// StrokeRect outlines a canvas-space rectangle with a 1px border.
+func (im *Image) StrokeRect(r geom.Rect, c color.Color) {
+	if !r.Intersects(im.view) {
+		return
+	}
+	x0, y0 := im.toPx(geom.Point{X: r.MinX, Y: r.MinY})
+	x1, y1 := im.toPx(geom.Point{X: r.MaxX, Y: r.MaxY})
+	b := im.rgba.Bounds()
+	for x := max(x0, b.Min.X); x <= min(x1, b.Max.X-1); x++ {
+		if y0 >= b.Min.Y && y0 < b.Max.Y {
+			im.rgba.Set(x, y0, c)
+		}
+		if y1 >= b.Min.Y && y1 < b.Max.Y {
+			im.rgba.Set(x, y1, c)
+		}
+	}
+	for y := max(y0, b.Min.Y); y <= min(y1, b.Max.Y-1); y++ {
+		if x0 >= b.Min.X && x0 < b.Max.X {
+			im.rgba.Set(x0, y, c)
+		}
+		if x1 >= b.Min.X && x1 < b.Max.X {
+			im.rgba.Set(x1, y, c)
+		}
+	}
+}
+
+// Dot fills a canvas-space disc of radius r (in canvas units).
+func (im *Image) Dot(p geom.Point, r float64, c color.Color) {
+	box := geom.RectAround(p, r)
+	if !box.Intersects(im.view) {
+		return
+	}
+	x0, y0 := im.toPx(geom.Point{X: box.MinX, Y: box.MinY})
+	x1, y1 := im.toPx(geom.Point{X: box.MaxX, Y: box.MaxY})
+	cx, cy := im.toPx(p)
+	rr := float64(x1-x0) / 2
+	if rr < 1 {
+		rr = 1
+	}
+	b := im.rgba.Bounds()
+	for y := max(y0, b.Min.Y); y <= min(y1, b.Max.Y-1); y++ {
+		for x := max(x0, b.Min.X); x <= min(x1, b.Max.X-1); x++ {
+			dx, dy := float64(x-cx), float64(y-cy)
+			if dx*dx+dy*dy <= rr*rr {
+				im.rgba.Set(x, y, c)
+			}
+		}
+	}
+}
+
+// Line draws a 1px line between two canvas points (Bresenham).
+func (im *Image) Line(a, b geom.Point, c color.Color) {
+	x0, y0 := im.toPx(a)
+	x1, y1 := im.toPx(b)
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	bounds := im.rgba.Bounds()
+	for {
+		if x0 >= bounds.Min.X && x0 < bounds.Max.X && y0 >= bounds.Min.Y && y0 < bounds.Max.Y {
+			im.rgba.Set(x0, y0, c)
+		}
+		if x0 == x1 && y0 == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x0 += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y0 += sy
+		}
+	}
+}
+
+// At returns the pixel color at canvas point p (useful in tests).
+func (im *Image) At(p geom.Point) color.Color {
+	x, y := im.toPx(p)
+	return im.rgba.At(x, y)
+}
+
+// SavePNG writes the image to path.
+func (im *Image) SavePNG(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("render: %w", err)
+	}
+	defer f.Close()
+	if err := png.Encode(f, im.rgba); err != nil {
+		return fmt.Errorf("render: encode %s: %w", path, err)
+	}
+	return nil
+}
+
+// Ramp maps v in [lo, hi] onto a white→red sequential color ramp, the
+// classic choropleth scale for the crime-rate example.
+func Ramp(v, lo, hi float64) color.RGBA {
+	if hi <= lo {
+		return color.RGBA{R: 255, G: 255, B: 255, A: 255}
+	}
+	t := (v - lo) / (hi - lo)
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	return color.RGBA{
+		R: 255,
+		G: uint8(235 * (1 - t)),
+		B: uint8(225 * (1 - t)),
+		A: 255,
+	}
+}
+
+// CategoryColor returns a distinguishable color for small category
+// indexes (EEG channels, trace series).
+func CategoryColor(i int) color.RGBA {
+	palette := []color.RGBA{
+		{31, 119, 180, 255}, {255, 127, 14, 255}, {44, 160, 44, 255},
+		{214, 39, 40, 255}, {148, 103, 189, 255}, {140, 86, 75, 255},
+		{227, 119, 194, 255}, {127, 127, 127, 255},
+	}
+	return palette[((i%len(palette))+len(palette))%len(palette)]
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,165 @@
+package render
+
+import (
+	"image/color"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kyrix/internal/geom"
+)
+
+var (
+	red   = color.RGBA{255, 0, 0, 255}
+	white = color.RGBA{255, 255, 255, 255}
+)
+
+func TestNewClearsWhite(t *testing.T) {
+	im := New(100, 50, geom.RectXYWH(0, 0, 100, 50))
+	if w, h := im.Size(); w != 100 || h != 50 {
+		t.Fatalf("size = %dx%d", w, h)
+	}
+	if im.At(geom.Point{X: 50, Y: 25}) != white {
+		t.Fatal("background not white")
+	}
+	if im.View() != geom.RectXYWH(0, 0, 100, 50) {
+		t.Fatal("view")
+	}
+}
+
+func TestFillRect(t *testing.T) {
+	im := New(100, 100, geom.RectXYWH(0, 0, 100, 100))
+	im.FillRect(geom.Rect{MinX: 10, MinY: 10, MaxX: 30, MaxY: 30}, red)
+	if im.At(geom.Point{X: 20, Y: 20}) != red {
+		t.Fatal("inside not filled")
+	}
+	if im.At(geom.Point{X: 50, Y: 50}) != white {
+		t.Fatal("outside filled")
+	}
+}
+
+func TestFillRectScaled(t *testing.T) {
+	// Viewport covers canvas [1000,2000): canvas point 1500 maps to
+	// pixel 50.
+	im := New(100, 100, geom.RectXYWH(1000, 1000, 1000, 1000))
+	im.FillRect(geom.Rect{MinX: 1400, MinY: 1400, MaxX: 1600, MaxY: 1600}, red)
+	if im.At(geom.Point{X: 1500, Y: 1500}) != red {
+		t.Fatal("scaled fill missed")
+	}
+	if im.At(geom.Point{X: 1100, Y: 1100}) != white {
+		t.Fatal("scaled fill overreached")
+	}
+	// Off-view geometry is a no-op.
+	im.FillRect(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, red)
+}
+
+func TestStrokeRect(t *testing.T) {
+	im := New(100, 100, geom.RectXYWH(0, 0, 100, 100))
+	im.StrokeRect(geom.Rect{MinX: 10, MinY: 10, MaxX: 90, MaxY: 90}, red)
+	if im.At(geom.Point{X: 10, Y: 50}) != red {
+		t.Fatal("left edge not stroked")
+	}
+	if im.At(geom.Point{X: 50, Y: 50}) != white {
+		t.Fatal("interior filled by stroke")
+	}
+}
+
+func TestDot(t *testing.T) {
+	im := New(100, 100, geom.RectXYWH(0, 0, 100, 100))
+	im.Dot(geom.Point{X: 50, Y: 50}, 5, red)
+	if im.At(geom.Point{X: 50, Y: 50}) != red {
+		t.Fatal("dot center not set")
+	}
+	if im.At(geom.Point{X: 58, Y: 58}) == red {
+		t.Fatal("dot too large")
+	}
+	// A sub-pixel dot still lands one pixel.
+	im2 := New(10, 10, geom.RectXYWH(0, 0, 1000, 1000))
+	im2.Dot(geom.Point{X: 500, Y: 500}, 1, red)
+	if im2.At(geom.Point{X: 500, Y: 500}) != red {
+		t.Fatal("tiny dot vanished")
+	}
+}
+
+func TestLine(t *testing.T) {
+	im := New(100, 100, geom.RectXYWH(0, 0, 100, 100))
+	im.Line(geom.Point{X: 0, Y: 0}, geom.Point{X: 99, Y: 99}, red)
+	for _, p := range []geom.Point{{X: 0, Y: 0}, {X: 50, Y: 50}, {X: 99, Y: 99}} {
+		if im.At(p) != red {
+			t.Fatalf("line missing at %v", p)
+		}
+	}
+	// Line partially outside the view must not panic.
+	im.Line(geom.Point{X: -50, Y: 20}, geom.Point{X: 150, Y: 20}, red)
+	if im.At(geom.Point{X: 50, Y: 20}) != red {
+		t.Fatal("clipped horizontal line missing")
+	}
+}
+
+func TestSavePNG(t *testing.T) {
+	im := New(20, 20, geom.RectXYWH(0, 0, 20, 20))
+	im.FillRect(geom.Rect{MinX: 0, MinY: 0, MaxX: 20, MaxY: 20}, red)
+	path := filepath.Join(t.TempDir(), "out.png")
+	if err := im.SavePNG(path); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil || st.Size() == 0 {
+		t.Fatalf("png not written: %v", err)
+	}
+	if err := im.SavePNG(filepath.Join(t.TempDir(), "missing", "out.png")); err == nil {
+		t.Fatal("bad path must error")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	lo := Ramp(0, 0, 100)
+	hi := Ramp(100, 0, 100)
+	if lo.G != 235 || hi.G != 0 {
+		t.Fatalf("ramp ends: %v %v", lo, hi)
+	}
+	// Clamping.
+	if Ramp(-50, 0, 100) != lo || Ramp(500, 0, 100) != hi {
+		t.Fatal("ramp must clamp")
+	}
+	// Degenerate domain.
+	if Ramp(5, 10, 10).R != 255 {
+		t.Fatal("degenerate ramp")
+	}
+	mid := Ramp(50, 0, 100)
+	if mid.G >= lo.G || mid.G <= hi.G {
+		t.Fatal("ramp not monotone")
+	}
+}
+
+func TestCategoryColor(t *testing.T) {
+	seen := map[color.RGBA]bool{}
+	for i := 0; i < 8; i++ {
+		c := CategoryColor(i)
+		if seen[c] {
+			t.Fatalf("palette repeats at %d", i)
+		}
+		seen[c] = true
+	}
+	if CategoryColor(8) != CategoryColor(0) {
+		t.Fatal("palette should wrap")
+	}
+	_ = CategoryColor(-3) // must not panic
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0, 10, geom.RectXYWH(0, 0, 1, 1))
+}
+
+func BenchmarkDot(b *testing.B) {
+	im := New(1024, 1024, geom.RectXYWH(0, 0, 1024, 1024))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		im.Dot(geom.Point{X: float64(i % 1024), Y: float64((i * 7) % 1024)}, 2, red)
+	}
+}

@@ -1,0 +1,90 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kyrix/internal/geom"
+)
+
+// Property: a bulk-loaded tree with random deletions applied still
+// answers window queries exactly like brute force.
+func TestQuickBulkLoadThenDelete(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(300)
+		items := randomItems(n, seed, 5000)
+		tr := BulkLoad(append([]Item(nil), items...))
+		// Delete a random third.
+		alive := make([]Item, 0, n)
+		for i, it := range items {
+			if i%3 == 0 {
+				if !tr.Delete(it.Box, it.Val) {
+					return false
+				}
+				continue
+			}
+			alive = append(alive, it)
+		}
+		if tr.Len() != len(alive) {
+			return false
+		}
+		for q := 0; q < 30; q++ {
+			w := geom.RectXYWH(rng.Float64()*4500, rng.Float64()*4500,
+				rng.Float64()*800, rng.Float64()*800)
+			if tr.Count(w) != bruteCount(alive, w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: insertion order never affects query results.
+func TestQuickInsertOrderInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		items := randomItems(300, seed, 2000)
+		a := New()
+		for _, it := range items {
+			a.Insert(it.Box, it.Val)
+		}
+		b := New()
+		perm := rng.Perm(len(items))
+		for _, i := range perm {
+			b.Insert(items[i].Box, items[i].Val)
+		}
+		for q := 0; q < 20; q++ {
+			w := geom.RectXYWH(rng.Float64()*1800, rng.Float64()*1800, 300, 300)
+			if a.Count(w) != b.Count(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tree bounds always contain every member item.
+func TestQuickBoundsInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		items := randomItems(100, seed, 10000)
+		tr := New()
+		for _, it := range items {
+			tr.Insert(it.Box, it.Val)
+			if !tr.Bounds().Contains(it.Box) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

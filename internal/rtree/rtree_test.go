@@ -1,0 +1,273 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"kyrix/internal/geom"
+)
+
+func pt(x, y float64) geom.Rect { return geom.RectAround(geom.Point{X: x, Y: y}, 1) }
+
+func TestEmpty(t *testing.T) {
+	tr := New()
+	if tr.Len() != 0 {
+		t.Fatal("empty Len")
+	}
+	n := 0
+	tr.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}, func(Item) bool { n++; return true })
+	if n != 0 {
+		t.Fatal("empty search")
+	}
+	if tr.Bounds().Valid() {
+		t.Fatal("empty bounds should be invalid")
+	}
+	if tr.Delete(pt(1, 1), 1) {
+		t.Fatal("delete on empty")
+	}
+}
+
+func TestInsertSearch(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(pt(float64(i*10), float64(i*10)), uint64(i))
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Window over items 20..29 (x in [200,290]).
+	got := map[uint64]bool{}
+	tr.Search(geom.Rect{MinX: 199, MinY: 199, MaxX: 291, MaxY: 291}, func(it Item) bool {
+		got[it.Val] = true
+		return true
+	})
+	if len(got) != 10 {
+		t.Fatalf("window found %d items: %v", len(got), got)
+	}
+	for i := uint64(20); i < 30; i++ {
+		if !got[i] {
+			t.Fatalf("missing item %d", i)
+		}
+	}
+}
+
+func TestSearchEdgeTouch(t *testing.T) {
+	tr := New()
+	tr.Insert(geom.Rect{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, 1)
+	// Window touching the max corner must match (inclusive edges).
+	if tr.Count(geom.Rect{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20}) != 1 {
+		t.Fatal("edge-touching window must hit")
+	}
+	if tr.Count(geom.Rect{MinX: 10.001, MinY: 10, MaxX: 20, MaxY: 20}) != 0 {
+		t.Fatal("disjoint window must miss")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	tr := New()
+	for i := 0; i < 50; i++ {
+		tr.Insert(pt(1, 1), uint64(i))
+	}
+	n := 0
+	tr.Search(geom.Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 2}, func(Item) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New()
+	for i := 0; i < 200; i++ {
+		tr.Insert(pt(float64(i), float64(i)), uint64(i))
+	}
+	for i := 0; i < 200; i += 2 {
+		if !tr.Delete(pt(float64(i), float64(i)), uint64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Delete(pt(0, 0), 0) {
+		t.Fatal("double delete")
+	}
+	// Remaining odd items still findable.
+	for i := 1; i < 200; i += 2 {
+		if tr.Count(pt(float64(i), float64(i))) == 0 {
+			t.Fatalf("item %d lost after deletes", i)
+		}
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	tr := New()
+	for i := 0; i < 100; i++ {
+		tr.Insert(pt(float64(i%10), float64(i/10)), uint64(i))
+	}
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(pt(float64(i%10), float64(i/10)), uint64(i)) {
+			t.Fatalf("delete %d", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Count(geom.Rect{MinX: -100, MinY: -100, MaxX: 100, MaxY: 100}) != 0 {
+		t.Fatal("ghost items")
+	}
+}
+
+func randomItems(n int, seed int64, extent float64) []Item {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			Box: pt(rng.Float64()*extent, rng.Float64()*extent),
+			Val: uint64(i),
+		}
+	}
+	return items
+}
+
+// bruteCount is the oracle.
+func bruteCount(items []Item, w geom.Rect) int {
+	n := 0
+	for _, it := range items {
+		if it.Box.Intersects(w) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestRandomizedAgainstBruteForce(t *testing.T) {
+	items := randomItems(2000, 11, 10000)
+	tr := New()
+	for _, it := range items {
+		tr.Insert(it.Box, it.Val)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for q := 0; q < 200; q++ {
+		w := geom.RectXYWH(rng.Float64()*9000, rng.Float64()*9000,
+			rng.Float64()*1500, rng.Float64()*1500)
+		want := bruteCount(items, w)
+		if got := tr.Count(w); got != want {
+			t.Fatalf("query %v: got %d want %d", w, got, want)
+		}
+	}
+}
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	items := randomItems(5000, 21, 50000)
+	bulk := BulkLoad(append([]Item(nil), items...))
+	if bulk.Len() != 5000 {
+		t.Fatalf("bulk Len = %d", bulk.Len())
+	}
+	rng := rand.New(rand.NewSource(22))
+	for q := 0; q < 200; q++ {
+		w := geom.RectXYWH(rng.Float64()*45000, rng.Float64()*45000,
+			rng.Float64()*5000, rng.Float64()*5000)
+		want := bruteCount(items, w)
+		if got := bulk.Count(w); got != want {
+			t.Fatalf("bulk query %v: got %d want %d", w, got, want)
+		}
+	}
+}
+
+func TestBulkLoadSmall(t *testing.T) {
+	for _, n := range []int{0, 1, 2, maxEntries, maxEntries + 1, 100} {
+		items := randomItems(n, int64(n), 100)
+		tr := BulkLoad(append([]Item(nil), items...))
+		if tr.Len() != n {
+			t.Fatalf("n=%d Len=%d", n, tr.Len())
+		}
+		if got := tr.Count(geom.Rect{MinX: -10, MinY: -10, MaxX: 110, MaxY: 110}); got != n {
+			t.Fatalf("n=%d full count=%d", n, got)
+		}
+	}
+}
+
+func TestBulkLoadBalanced(t *testing.T) {
+	tr := BulkLoad(randomItems(100000, 5, 1e6))
+	// STR: height <= ceil(log_16(ceil(n/16)))+1; 100k -> leaves=6250,
+	// height 4-ish. Anything <= 5 is fine.
+	if h := tr.Height(); h > 5 {
+		t.Fatalf("bulk height = %d", h)
+	}
+}
+
+func TestInsertAfterBulkLoad(t *testing.T) {
+	items := randomItems(1000, 31, 1000)
+	tr := BulkLoad(append([]Item(nil), items...))
+	tr.Insert(pt(5000, 5000), 99999)
+	if tr.Len() != 1001 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Count(pt(5000, 5000)) != 1 {
+		t.Fatal("inserted item not found")
+	}
+	// Old items survive.
+	if got := tr.Count(geom.Rect{MinX: -10, MinY: -10, MaxX: 1010, MaxY: 1010}); got != 1000 {
+		t.Fatalf("old items = %d", got)
+	}
+}
+
+func TestBoundsGrow(t *testing.T) {
+	tr := New()
+	tr.Insert(pt(10, 10), 1)
+	tr.Insert(pt(500, 500), 2)
+	b := tr.Bounds()
+	if !b.ContainsPoint(geom.Point{X: 10, Y: 10}) || !b.ContainsPoint(geom.Point{X: 500, Y: 500}) {
+		t.Fatalf("bounds %v", b)
+	}
+}
+
+func TestClusteredData(t *testing.T) {
+	// Mirror of the Skewed dataset: 80% of points in a hot corner.
+	rng := rand.New(rand.NewSource(44))
+	var items []Item
+	for i := 0; i < 4000; i++ {
+		items = append(items, Item{Box: pt(rng.Float64()*200, rng.Float64()*100), Val: uint64(i)})
+	}
+	for i := 4000; i < 5000; i++ {
+		items = append(items, Item{Box: pt(rng.Float64()*1000, rng.Float64()*500), Val: uint64(i)})
+	}
+	tr := New()
+	for _, it := range items {
+		tr.Insert(it.Box, it.Val)
+	}
+	for q := 0; q < 100; q++ {
+		w := geom.RectXYWH(rng.Float64()*900, rng.Float64()*450, 120, 80)
+		if got, want := tr.Count(w), bruteCount(items, w); got != want {
+			t.Fatalf("skewed query: got %d want %d", got, want)
+		}
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(pt(rng.Float64()*1e6, rng.Float64()*1e5), uint64(i))
+	}
+}
+
+func BenchmarkBulkLoad100k(b *testing.B) {
+	items := randomItems(100000, 2, 1e6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BulkLoad(append([]Item(nil), items...))
+	}
+}
+
+func BenchmarkWindowQuery(b *testing.B) {
+	tr := BulkLoad(randomItems(1_000_000, 3, 131072))
+	w := geom.RectXYWH(60000, 60000, 1024, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Count(w)
+	}
+}

@@ -1,0 +1,458 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"kyrix/internal/cache"
+	"kyrix/internal/fetch"
+	"kyrix/internal/geom"
+	"kyrix/internal/spec"
+	"kyrix/internal/sqldb"
+	"kyrix/internal/storage"
+)
+
+// Options configures a backend server.
+type Options struct {
+	// CacheBytes is the backend cache budget (0 disables it).
+	CacheBytes int64
+	// Precompute controls which physical structures are built at
+	// startup for every layer.
+	Precompute fetch.Options
+}
+
+// DefaultOptions builds both database designs with the paper's three
+// tile sizes and a 256 MB backend cache.
+func DefaultOptions() Options {
+	return Options{
+		CacheBytes: 256 << 20,
+		Precompute: fetch.Options{
+			BuildSpatial: true,
+			TileSizes:    []float64{256, 1024, 4096},
+			MappingIndex: sqldb.IndexBTree,
+		},
+	}
+}
+
+// Stats counts server activity.
+type Stats struct {
+	TileRequests atomic.Int64
+	BoxRequests  atomic.Int64
+	CacheHits    atomic.Int64
+	RowsServed   atomic.Int64
+	BytesServed  atomic.Int64
+	Updates      atomic.Int64
+	QueryNanos   atomic.Int64
+}
+
+// Server is the Kyrix backend: precomputed physical layers over an
+// embedded DBMS, a backend cache, and the HTTP surface the frontend
+// talks to.
+type Server struct {
+	db     *sqldb.DB
+	ca     *spec.CompiledApp
+	layers map[string]*fetch.PhysicalLayer
+	bcache *cache.LRU
+	opts   Options
+
+	Stats Stats
+}
+
+func layerKey(canvasID string, idx int) string {
+	return fmt.Sprintf("%s/%d", canvasID, idx)
+}
+
+// New precomputes every layer of the compiled app and returns a ready
+// server ("the backend server then builds indexes and performs
+// necessary precomputation").
+func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
+	s := &Server{
+		db:     db,
+		ca:     ca,
+		layers: make(map[string]*fetch.PhysicalLayer),
+		bcache: cache.NewLRU(opts.CacheBytes),
+		opts:   opts,
+	}
+	for ci, c := range ca.Spec.Canvases {
+		for li := range c.Layers {
+			pl, err := fetch.Materialize(db, ca, ci, li, opts.Precompute)
+			if err != nil {
+				return nil, fmt.Errorf("server: precompute %s layer %d: %w", c.ID, li, err)
+			}
+			s.layers[layerKey(c.ID, li)] = pl
+		}
+	}
+	return s, nil
+}
+
+// Layer returns the physical layer for a canvas layer.
+func (s *Server) Layer(canvasID string, idx int) (*fetch.PhysicalLayer, bool) {
+	pl, ok := s.layers[layerKey(canvasID, idx)]
+	return pl, ok
+}
+
+// DB exposes the backing database (examples issue updates through it).
+func (s *Server) DB() *sqldb.DB { return s.db }
+
+// BackendCache exposes cache statistics for experiment reports.
+func (s *Server) BackendCache() *cache.LRU { return s.bcache }
+
+// --- metadata served to the frontend ---
+
+// LayerMeta is what the frontend needs to know about one layer:
+// schema, placement parameters for client-side bbox computation, and
+// which renderer to run.
+type LayerMeta struct {
+	CanvasID string `json:"canvas"`
+	Index    int    `json:"index"`
+	Static   bool   `json:"static"`
+	Renderer string `json:"renderer"`
+	// Table is the physical table serving this layer (the base table
+	// for separable layers, the materialized layer table otherwise);
+	// §4-style updates that should be visible in the view target it.
+	Table     string    `json:"table"`
+	Cols      []string  `json:"cols"`
+	Types     ColTypes  `json:"types"`
+	Separable bool      `json:"separable"`
+	XIdx      int       `json:"xIdx"`
+	YIdx      int       `json:"yIdx"`
+	XScale    float64   `json:"xScale"`
+	YScale    float64   `json:"yScale"`
+	Radius    float64   `json:"radius"`
+	BBoxIdx   [4]int    `json:"bboxIdx"`
+	TileSizes []float64 `json:"tileSizes"`
+	HasData   bool      `json:"hasData"`
+}
+
+// RowBox computes the canvas bbox of a fetched row client-side.
+func (lm *LayerMeta) RowBox(row storage.Row) geom.Rect {
+	if lm.Separable {
+		p := geom.Point{
+			X: row[lm.XIdx].AsFloat() * lm.XScale,
+			Y: row[lm.YIdx].AsFloat() * lm.YScale,
+		}
+		return geom.RectAround(p, lm.Radius)
+	}
+	return geom.Rect{
+		MinX: row[lm.BBoxIdx[0]].AsFloat(),
+		MinY: row[lm.BBoxIdx[1]].AsFloat(),
+		MaxX: row[lm.BBoxIdx[2]].AsFloat(),
+		MaxY: row[lm.BBoxIdx[3]].AsFloat(),
+	}
+}
+
+// CanvasMeta describes one canvas to the frontend.
+type CanvasMeta struct {
+	ID     string      `json:"id"`
+	W      float64     `json:"w"`
+	H      float64     `json:"h"`
+	Layers []LayerMeta `json:"layers"`
+}
+
+// AppMeta is the full /app response.
+type AppMeta struct {
+	Name          string       `json:"name"`
+	Canvases      []CanvasMeta `json:"canvases"`
+	Jumps         []spec.Jump  `json:"jumps"`
+	InitialCanvas string       `json:"initialCanvas"`
+	InitialX      float64      `json:"initialX"`
+	InitialY      float64      `json:"initialY"`
+	ViewportW     float64      `json:"viewportW"`
+	ViewportH     float64      `json:"viewportH"`
+}
+
+// Meta builds the app metadata from the compiled spec + physical
+// layers.
+func (s *Server) Meta() *AppMeta {
+	app := s.ca.Spec
+	meta := &AppMeta{
+		Name:          app.Name,
+		Jumps:         app.Jumps,
+		InitialCanvas: app.InitialCanvas,
+		InitialX:      app.InitialX,
+		InitialY:      app.InitialY,
+		ViewportW:     app.ViewportW,
+		ViewportH:     app.ViewportH,
+	}
+	for _, c := range app.Canvases {
+		cm := CanvasMeta{ID: c.ID, W: c.W, H: c.H}
+		for li, l := range c.Layers {
+			pl := s.layers[layerKey(c.ID, li)]
+			lm := LayerMeta{
+				CanvasID: c.ID,
+				Index:    li,
+				Static:   l.Static,
+				Renderer: l.Renderer,
+			}
+			if pl != nil && pl.Table != "" {
+				lm.HasData = true
+				lm.Table = pl.Table
+				lm.Separable = pl.Separable
+				lm.Radius = pl.Radius
+				lm.XScale, lm.YScale = pl.XScale, pl.YScale
+				for _, col := range pl.Schema {
+					lm.Cols = append(lm.Cols, col.Name)
+					lm.Types = append(lm.Types, col.Type)
+				}
+				if pl.Separable {
+					lm.XIdx = pl.Schema.ColIndex(pl.XCol)
+					lm.YIdx = pl.Schema.ColIndex(pl.YCol)
+				} else {
+					for i, b := range pl.BBoxCols {
+						lm.BBoxIdx[i] = pl.Schema.ColIndex(b)
+					}
+				}
+				for sz := range pl.TileMaps {
+					lm.TileSizes = append(lm.TileSizes, sz)
+				}
+			}
+			cm.Layers = append(cm.Layers, lm)
+		}
+		meta.Canvases = append(meta.Canvases, cm)
+	}
+	return meta
+}
+
+// --- HTTP surface ---
+
+// Handler returns the backend's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/app", s.handleApp)
+	mux.HandleFunc("/tile", s.handleTile)
+	mux.HandleFunc("/dbox", s.handleDBox)
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+func (s *Server) handleApp(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Meta()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) layerFromQuery(r *http.Request) (*fetch.PhysicalLayer, error) {
+	canvas := r.URL.Query().Get("canvas")
+	layerStr := r.URL.Query().Get("layer")
+	idx, err := strconv.Atoi(layerStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad layer index %q", layerStr)
+	}
+	pl, ok := s.Layer(canvas, idx)
+	if !ok {
+		return nil, fmt.Errorf("no layer %s/%d", canvas, idx)
+	}
+	if pl.Table == "" {
+		return nil, fmt.Errorf("layer %s/%d has no data", canvas, idx)
+	}
+	return pl, nil
+}
+
+func codecOf(r *http.Request) Codec {
+	if c := r.URL.Query().Get("codec"); c != "" {
+		return Codec(c)
+	}
+	return CodecJSON
+}
+
+func floatParam(r *http.Request, name string) (float64, error) {
+	v, err := strconv.ParseFloat(r.URL.Query().Get(name), 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %v", name, err)
+	}
+	return v, nil
+}
+
+// handleTile answers one static-tile request under either database
+// design.
+func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
+	s.Stats.TileRequests.Add(1)
+	pl, err := s.layerFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	size, err := floatParam(r, "size")
+	if err != nil || size <= 0 {
+		http.Error(w, "bad size", http.StatusBadRequest)
+		return
+	}
+	col, err1 := strconv.Atoi(q.Get("col"))
+	row, err2 := strconv.Atoi(q.Get("row"))
+	if err1 != nil || err2 != nil || col < 0 || row < 0 {
+		http.Error(w, "bad col/row", http.StatusBadRequest)
+		return
+	}
+	design := q.Get("design")
+	if design == "" {
+		design = "spatial"
+	}
+	tid := geom.TileID{Col: col, Row: row}
+	codec := codecOf(r)
+	key := fmt.Sprintf("%s/%s/%s", codec, design, fetch.TileKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), size, tid))
+	if data, ok := s.bcache.Get(key); ok {
+		s.Stats.CacheHits.Add(1)
+		s.writePayload(w, codec, data.([]byte))
+		return
+	}
+
+	var sql string
+	var args []storage.Value
+	switch design {
+	case "spatial":
+		sql, args = pl.TileSQLSpatial(tid, size)
+	case "mapping":
+		sql, args, err = pl.TileSQLMapping(tid, size)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown design %q", design), http.StatusBadRequest)
+		return
+	}
+	payload, err := s.runQuery(sql, args, codec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.bcache.Put(key, payload, int64(len(payload)))
+	s.writePayload(w, codec, payload)
+}
+
+// handleDBox answers one dynamic-box request (always the spatial
+// design, §3.1).
+func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
+	s.Stats.BoxRequests.Add(1)
+	pl, err := s.layerFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var box geom.Rect
+	for _, p := range []struct {
+		name string
+		dst  *float64
+	}{
+		{"minx", &box.MinX}, {"miny", &box.MinY}, {"maxx", &box.MaxX}, {"maxy", &box.MaxY},
+	} {
+		v, err := floatParam(r, p.name)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		*p.dst = v
+	}
+	if !box.Valid() {
+		http.Error(w, "invalid box", http.StatusBadRequest)
+		return
+	}
+	codec := codecOf(r)
+	key := fmt.Sprintf("%s/%s", codec, fetch.BoxKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), box))
+	if data, ok := s.bcache.Get(key); ok {
+		s.Stats.CacheHits.Add(1)
+		s.writePayload(w, codec, data.([]byte))
+		return
+	}
+	sql, args := pl.WindowSQL(box)
+	payload, err := s.runQuery(sql, args, codec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.bcache.Put(key, payload, int64(len(payload)))
+	s.writePayload(w, codec, payload)
+}
+
+func (s *Server) runQuery(sql string, args []storage.Value, codec Codec) ([]byte, error) {
+	start := time.Now()
+	res, err := s.db.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	s.Stats.QueryNanos.Add(time.Since(start).Nanoseconds())
+	s.Stats.RowsServed.Add(int64(len(res.Rows)))
+	return Encode(responseFromResult(res), codec)
+}
+
+func (s *Server) writePayload(w http.ResponseWriter, codec Codec, payload []byte) {
+	if codec == CodecBinary {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	s.Stats.BytesServed.Add(int64(len(payload)))
+	_, _ = w.Write(payload)
+}
+
+// UpdateRequest is the §4 update-model request: MGH "wants an update
+// model for Kyrix so they can edit and tag relevant data".
+type UpdateRequest struct {
+	SQL  string     `json:"sql"`
+	Args []ArgValue `json:"args,omitempty"`
+}
+
+// ArgValue is a wire-encoded storage.Value.
+type ArgValue struct {
+	Kind storage.ColType `json:"k"`
+	I    int64           `json:"i,omitempty"`
+	F    float64         `json:"f,omitempty"`
+	S    string          `json:"s,omitempty"`
+	B    bool            `json:"b,omitempty"`
+}
+
+// Value converts to a storage.Value.
+func (a ArgValue) Value() storage.Value {
+	return storage.Value{Kind: a.Kind, I: a.I, F: a.F, S: a.S, B: a.B}
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req UpdateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	args := make([]storage.Value, len(req.Args))
+	for i, a := range req.Args {
+		args[i] = a.Value()
+	}
+	n, err := s.db.Exec(req.SQL, args...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.Stats.Updates.Add(1)
+	// Edits invalidate cached responses; drop the whole backend cache
+	// (coarse but correct — the paper defers caching-under-updates).
+	s.bcache.Clear()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]int64{"affected": n})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	bc := s.bcache.Stats()
+	out := map[string]int64{
+		"tileRequests":      s.Stats.TileRequests.Load(),
+		"boxRequests":       s.Stats.BoxRequests.Load(),
+		"cacheHits":         s.Stats.CacheHits.Load(),
+		"rowsServed":        s.Stats.RowsServed.Load(),
+		"bytesServed":       s.Stats.BytesServed.Load(),
+		"updates":           s.Stats.Updates.Load(),
+		"queryNanos":        s.Stats.QueryNanos.Load(),
+		"backendCacheBytes": bc.Bytes,
+		"backendCacheHits":  bc.Hits,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(out)
+}

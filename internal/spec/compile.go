@@ -1,0 +1,221 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+
+	"kyrix/internal/geom"
+)
+
+// CompiledApp is a validated spec with function names resolved: the
+// output of the Kyrix compiler ("the compiler parses developers'
+// specification and performs basic constraint checkings", §1).
+type CompiledApp struct {
+	Spec     *App
+	Registry *Registry
+
+	// CanvasIdx maps canvas id to index in Spec.Canvases.
+	CanvasIdx map[string]int
+	// LayerFuncs[c][l] are the resolved functions of layer l of canvas
+	// index c.
+	LayerFuncs [][]LayerFuncs
+	// JumpFuncs[i] are the resolved functions of Spec.Jumps[i].
+	JumpFuncs []JumpFuncs
+}
+
+// LayerFuncs holds a layer's resolved callbacks.
+type LayerFuncs struct {
+	Transform TransformFunc // nil = identity
+	Placement PlacementFunc // nil for separable placements
+}
+
+// JumpFuncs holds a jump's resolved callbacks.
+type JumpFuncs struct {
+	Selector    SelectorFunc
+	NewViewport ViewportFunc // nil = default (scale clicked center)
+	Name        NameFunc
+	ZoomFactor  float64
+}
+
+// Compile validates app against reg and resolves every referenced
+// function. All constraint violations found are reported together.
+func Compile(app *App, reg *Registry) (*CompiledApp, error) {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+
+	if app.Name == "" {
+		fail("spec: app name is required")
+	}
+	if len(app.Canvases) == 0 {
+		fail("spec: app needs at least one canvas")
+	}
+	if app.ViewportW <= 0 || app.ViewportH <= 0 {
+		fail("spec: viewport dimensions must be positive (got %gx%g)", app.ViewportW, app.ViewportH)
+	}
+
+	ca := &CompiledApp{
+		Spec:      app,
+		Registry:  reg,
+		CanvasIdx: make(map[string]int, len(app.Canvases)),
+	}
+
+	for i, c := range app.Canvases {
+		if c.ID == "" {
+			fail("spec: canvas %d has empty id", i)
+			continue
+		}
+		if _, dup := ca.CanvasIdx[c.ID]; dup {
+			fail("spec: duplicate canvas id %q", c.ID)
+			continue
+		}
+		ca.CanvasIdx[c.ID] = i
+		if c.W <= 0 || c.H <= 0 {
+			fail("spec: canvas %q must have positive dimensions (got %gx%g)", c.ID, c.W, c.H)
+		}
+		if len(c.Layers) == 0 {
+			fail("spec: canvas %q has no layers", c.ID)
+		}
+		seenT := map[string]bool{}
+		for _, tr := range c.Transforms {
+			if tr.ID == "" {
+				fail("spec: canvas %q has a transform with empty id", c.ID)
+			}
+			if seenT[tr.ID] {
+				fail("spec: canvas %q has duplicate transform id %q", c.ID, tr.ID)
+			}
+			seenT[tr.ID] = true
+			for _, col := range tr.Columns {
+				if _, err := col.ColType(); err != nil {
+					fail("spec: canvas %q transform %q: %v", c.ID, tr.ID, err)
+				}
+			}
+		}
+
+		var layerFns []LayerFuncs
+		for li, l := range c.Layers {
+			var fns LayerFuncs
+			tr, ok := c.Transform(l.TransformID)
+			if !ok {
+				fail("spec: canvas %q layer %d references unknown transform %q", c.ID, li, l.TransformID)
+			} else {
+				fn, err := reg.Transform(tr.TransformFunc)
+				if err != nil {
+					fail("spec: canvas %q layer %d: %v", c.ID, li, err)
+				}
+				fns.Transform = fn
+				// A layer with a query needs a placement; a static
+				// legend layer with an empty query does not.
+				if tr.Query != "" && l.Placement == nil {
+					fail("spec: canvas %q layer %d has a query but no placement", c.ID, li)
+				}
+				if tr.Query != "" && len(tr.Columns) == 0 {
+					fail("spec: canvas %q transform %q has a query but no declared columns", c.ID, tr.ID)
+				}
+			}
+			if l.Placement != nil {
+				p := l.Placement
+				switch {
+				case p.Separable():
+					if p.XCol == "" || p.YCol == "" {
+						fail("spec: canvas %q layer %d separable placement needs xCol and yCol", c.ID, li)
+					}
+					if p.Radius < 0 {
+						fail("spec: canvas %q layer %d negative radius", c.ID, li)
+					}
+				default:
+					fn, err := reg.Placement(p.Func)
+					if err != nil {
+						fail("spec: canvas %q layer %d: %v", c.ID, li, err)
+					}
+					fns.Placement = fn
+					if p.XCol != "" || p.YCol != "" {
+						fail("spec: canvas %q layer %d placement is both separable and functional", c.ID, li)
+					}
+				}
+			}
+			if l.Renderer == "" {
+				fail("spec: canvas %q layer %d has no renderer", c.ID, li)
+			} else if !reg.HasRenderer(l.Renderer) {
+				fail("spec: canvas %q layer %d references undeclared renderer %q", c.ID, li, l.Renderer)
+			}
+			layerFns = append(layerFns, fns)
+		}
+		ca.LayerFuncs = append(ca.LayerFuncs, layerFns)
+	}
+
+	for i, j := range app.Jumps {
+		var fns JumpFuncs
+		if !j.Type.valid() {
+			fail("spec: jump %d has invalid type %q", i, j.Type)
+		}
+		_, fromOK := ca.CanvasIdx[j.From]
+		_, toOK := ca.CanvasIdx[j.To]
+		if !fromOK {
+			fail("spec: jump %d from unknown canvas %q", i, j.From)
+		}
+		if !toOK {
+			fail("spec: jump %d to unknown canvas %q", i, j.To)
+		}
+		if fromOK && toOK {
+			zf, err := app.ZoomFactor(j)
+			if err != nil {
+				fail("spec: jump %d: %v", i, err)
+			}
+			fns.ZoomFactor = zf
+			if j.Type == GeometricZoom && zf == 1 {
+				fail("spec: jump %d is a geometric zoom but canvases have equal widths", i)
+			}
+		}
+		sel, err := reg.Selector(j.Selector)
+		if err != nil {
+			fail("spec: jump %d: %v", i, err)
+		}
+		fns.Selector = sel
+		vp, err := reg.Viewport(j.NewViewport)
+		if err != nil {
+			fail("spec: jump %d: %v", i, err)
+		}
+		fns.NewViewport = vp
+		nameFn, err := reg.Name(j.Name)
+		if err != nil {
+			fail("spec: jump %d: %v", i, err)
+		}
+		fns.Name = nameFn
+		ca.JumpFuncs = append(ca.JumpFuncs, fns)
+	}
+
+	if app.InitialCanvas == "" {
+		fail("spec: initial canvas is required")
+	} else if idx, ok := ca.CanvasIdx[app.InitialCanvas]; !ok {
+		fail("spec: initial canvas %q does not exist", app.InitialCanvas)
+	} else {
+		c := app.Canvases[idx]
+		if !c.Rect().ContainsPoint(geom.Point{X: app.InitialX, Y: app.InitialY}) {
+			fail("spec: initial viewport center (%g,%g) outside canvas %q", app.InitialX, app.InitialY, app.InitialCanvas)
+		}
+		if app.ViewportW > c.W || app.ViewportH > c.H {
+			fail("spec: viewport %gx%g larger than initial canvas %q (%gx%g)",
+				app.ViewportW, app.ViewportH, app.InitialCanvas, c.W, c.H)
+		}
+	}
+
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
+	}
+	return ca, nil
+}
+
+// InitialViewport returns the app's starting viewport, clamped to the
+// initial canvas.
+func (ca *CompiledApp) InitialViewport() geom.Rect {
+	app := ca.Spec
+	c := app.Canvases[ca.CanvasIdx[app.InitialCanvas]]
+	vp := geom.RectXYWH(app.InitialX-app.ViewportW/2, app.InitialY-app.ViewportH/2,
+		app.ViewportW, app.ViewportH)
+	return vp.Clamp(c.Rect())
+}

@@ -1,0 +1,183 @@
+package spec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/storage"
+)
+
+// TransformFunc post-processes one query result row (the paper lets
+// developers use D3/Vega here; in Go it is any row mapper).
+type TransformFunc func(storage.Row) storage.Row
+
+// PlacementFunc computes a data object's bounding box on the canvas
+// (used for non-separable placements like pie charts, §3.2).
+type PlacementFunc func(storage.Row) geom.Rect
+
+// SelectorFunc decides whether an object on a given layer can trigger a
+// jump (Fig. 3's selector(row, layerId)).
+type SelectorFunc func(row storage.Row, layerIdx int) bool
+
+// ViewportFunc maps a clicked object to the new viewport center on the
+// destination canvas (Fig. 3's newViewport(row)).
+type ViewportFunc func(storage.Row) geom.Point
+
+// NameFunc labels a jump for UI display (Fig. 3's jumpName(row)).
+type NameFunc func(storage.Row) string
+
+// Registry resolves the function names used in a spec. It is safe for
+// concurrent use; registration typically happens at init time.
+type Registry struct {
+	mu         sync.RWMutex
+	transforms map[string]TransformFunc
+	placements map[string]PlacementFunc
+	selectors  map[string]SelectorFunc
+	viewports  map[string]ViewportFunc
+	names      map[string]NameFunc
+	renderers  map[string]bool // renderers live in the frontend; the registry tracks declared names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		transforms: make(map[string]TransformFunc),
+		placements: make(map[string]PlacementFunc),
+		selectors:  make(map[string]SelectorFunc),
+		viewports:  make(map[string]ViewportFunc),
+		names:      make(map[string]NameFunc),
+		renderers:  make(map[string]bool),
+	}
+}
+
+// RegisterTransform adds a named transform function.
+func (r *Registry) RegisterTransform(name string, fn TransformFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.transforms[name] = fn
+}
+
+// RegisterPlacement adds a named placement function.
+func (r *Registry) RegisterPlacement(name string, fn PlacementFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.placements[name] = fn
+}
+
+// RegisterSelector adds a named jump selector.
+func (r *Registry) RegisterSelector(name string, fn SelectorFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.selectors[name] = fn
+}
+
+// RegisterViewport adds a named new-viewport function.
+func (r *Registry) RegisterViewport(name string, fn ViewportFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.viewports[name] = fn
+}
+
+// RegisterName adds a named jump-name function.
+func (r *Registry) RegisterName(name string, fn NameFunc) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.names[name] = fn
+}
+
+// RegisterRenderer declares a renderer name as available. The actual
+// drawing function lives in the frontend's renderer table; the compiler
+// only checks the name exists.
+func (r *Registry) RegisterRenderer(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.renderers[name] = true
+}
+
+// Transform resolves a transform by name ("" resolves to nil, the
+// identity).
+func (r *Registry) Transform(name string) (TransformFunc, error) {
+	if name == "" {
+		return nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.transforms[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unregistered transform func %q (have %v)", name, keys(r.transforms))
+	}
+	return fn, nil
+}
+
+// Placement resolves a placement function by name.
+func (r *Registry) Placement(name string) (PlacementFunc, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.placements[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unregistered placement func %q (have %v)", name, keys(r.placements))
+	}
+	return fn, nil
+}
+
+// Selector resolves a selector ("" resolves to always-true).
+func (r *Registry) Selector(name string) (SelectorFunc, error) {
+	if name == "" {
+		return func(storage.Row, int) bool { return true }, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.selectors[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unregistered selector %q (have %v)", name, keys(r.selectors))
+	}
+	return fn, nil
+}
+
+// Viewport resolves a new-viewport function ("" centers on the clicked
+// object scaled by the jump's zoom factor; the frontend applies that
+// default).
+func (r *Registry) Viewport(name string) (ViewportFunc, error) {
+	if name == "" {
+		return nil, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.viewports[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unregistered viewport func %q (have %v)", name, keys(r.viewports))
+	}
+	return fn, nil
+}
+
+// Name resolves a jump-name function ("" resolves to a constant label).
+func (r *Registry) Name(name string) (NameFunc, error) {
+	if name == "" {
+		return func(storage.Row) string { return "" }, nil
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.names[name]
+	if !ok {
+		return nil, fmt.Errorf("spec: unregistered name func %q (have %v)", name, keys(r.names))
+	}
+	return fn, nil
+}
+
+// HasRenderer reports whether a renderer name was declared.
+func (r *Registry) HasRenderer(name string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.renderers[name]
+}
+
+func keys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

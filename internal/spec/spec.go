@@ -1,0 +1,237 @@
+// Package spec implements Kyrix's declarative model (§2.1): an App is a
+// set of canvases — arbitrary-size worksheets with overlaid layers —
+// connected by jumps, customized transitions between canvases. A layer
+// is specified by (1) the data it needs: a SQL query plus an optional
+// transform function, (2) the location of each returned object: a
+// placement, and (3) a rendering function.
+//
+// Specs serialize to JSON (the Go-side builder mirrors the JavaScript
+// snippet of the paper's Fig. 3); functions are referenced by name and
+// resolved against a Registry at compile time, since "the compiler
+// parses developers' specification and performs basic constraint
+// checkings".
+package spec
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/storage"
+)
+
+// JumpType enumerates transition types ("right now it can be geometric
+// zoom, semantic zoom or both").
+type JumpType string
+
+// Jump transition types.
+const (
+	GeometricZoom         JumpType = "geometric_zoom"
+	SemanticZoom          JumpType = "semantic_zoom"
+	GeometricSemanticZoom JumpType = "geometric_semantic_zoom"
+)
+
+func (jt JumpType) valid() bool {
+	switch jt {
+	case GeometricZoom, SemanticZoom, GeometricSemanticZoom:
+		return true
+	}
+	return false
+}
+
+// App is the root of a Kyrix specification.
+type App struct {
+	Name string `json:"name"`
+	// DBConfig names the backing database configuration (the paper's
+	// "config.txt"); interpreted by the server, opaque here.
+	DBConfig string `json:"dbConfig,omitempty"`
+
+	Canvases []Canvas `json:"canvases"`
+	Jumps    []Jump   `json:"jumps,omitempty"`
+
+	// InitialCanvas and the initial viewport center correspond to
+	// app.initialCanvas(id, x, y) in Fig. 3.
+	InitialCanvas string  `json:"initialCanvas"`
+	InitialX      float64 `json:"initialX"`
+	InitialY      float64 `json:"initialY"`
+
+	// ViewportW/H is the fixed frontend viewport size.
+	ViewportW float64 `json:"viewportW"`
+	ViewportH float64 `json:"viewportH"`
+}
+
+// Canvas is a fixed-size worksheet with one or more overlaid layers.
+type Canvas struct {
+	ID string  `json:"id"`
+	W  float64 `json:"w"`
+	H  float64 `json:"h"`
+
+	// Transforms are the data transforms registered on this canvas
+	// (canvas.addTransform in Fig. 3); layers reference them by ID.
+	Transforms []Transform `json:"transforms,omitempty"`
+	Layers     []Layer     `json:"layers"`
+}
+
+// Transform is a layer's data specification: a SQL query against the
+// DBMS plus an optional row-transform function applied to each result
+// row. The empty transform (no query) backs static layers such as
+// legends.
+type Transform struct {
+	ID string `json:"id"`
+	// Query is a SELECT executed against the backing database.
+	Query string `json:"query,omitempty"`
+	// TransformFunc names a registered func(Row) Row post-processing
+	// each query row ("developers can use existing visualization
+	// libraries to specify a desired transform function").
+	TransformFunc string `json:"transformFunc,omitempty"`
+	// Columns declares the output schema after TransformFunc; the
+	// backend materializes precomputed layers with this schema.
+	Columns []ColumnSpec `json:"columns,omitempty"`
+}
+
+// ColumnSpec names one output column of a transform.
+type ColumnSpec struct {
+	Name string `json:"name"`
+	Type string `json:"type"` // "int" | "double" | "text" | "bool"
+}
+
+// ColType converts the JSON type name to a storage type.
+func (c ColumnSpec) ColType() (storage.ColType, error) {
+	switch c.Type {
+	case "int":
+		return storage.TInt64, nil
+	case "double":
+		return storage.TFloat64, nil
+	case "text":
+		return storage.TString, nil
+	case "bool":
+		return storage.TBool, nil
+	}
+	return 0, fmt.Errorf("spec: unknown column type %q", c.Type)
+}
+
+// Layer is one overlaid layer of a canvas.
+type Layer struct {
+	// TransformID references a transform of the enclosing canvas
+	// (new Layer("stateMapTrans", false) in Fig. 3).
+	TransformID string `json:"transform"`
+	// Static layers do not need to be re-rendered (or re-fetched) when
+	// the user pans; the legend layer of Fig. 3 is static.
+	Static bool `json:"static"`
+	// Placement locates each data object on the canvas.
+	Placement *Placement `json:"placement,omitempty"`
+	// Renderer names a registered rendering function.
+	Renderer string `json:"renderer"`
+}
+
+// Placement locates data objects on the canvas. Exactly one of the two
+// forms is used:
+//
+//   - Separable (§3.2): the (x, y) placement of objects are raw data
+//     attributes or a simple scaling thereof. Kyrix skips
+//     precomputation and queries the base table's spatial index
+//     directly.
+//   - Functional: a registered func(Row) Rect computes each object's
+//     bounding box; the backend precomputes a materialized layer table.
+type Placement struct {
+	// Separable placement.
+	XCol   string  `json:"xCol,omitempty"`
+	YCol   string  `json:"yCol,omitempty"`
+	XScale float64 `json:"xScale,omitempty"` // 0 means 1
+	YScale float64 `json:"yScale,omitempty"`
+	Radius float64 `json:"radius,omitempty"` // object half-extent in px
+
+	// Functional placement.
+	Func string `json:"func,omitempty"`
+}
+
+// Separable reports whether p is a separable placement.
+func (p *Placement) Separable() bool { return p != nil && p.Func == "" }
+
+// Jump is a customized transition between two canvases (Fig. 3:
+// app.addJump(new Jump(from, to, type, selector, newViewport, name))).
+type Jump struct {
+	From string   `json:"from"`
+	To   string   `json:"to"`
+	Type JumpType `json:"type"`
+	// Selector names a registered func(row, layerIdx) bool choosing
+	// which objects on the from-canvas can trigger this jump.
+	Selector string `json:"selector,omitempty"`
+	// NewViewport names a registered func(row) Point giving the
+	// viewport center on the to-canvas.
+	NewViewport string `json:"newViewport,omitempty"`
+	// Name names a registered func(row) string labelling the jump
+	// ("County map of " + row[3] in Fig. 3).
+	Name string `json:"nameFunc,omitempty"`
+}
+
+// MarshalJSON/Unmarshal helpers — the spec is plain JSON already; these
+// entry points just fix the signatures used by the compiler and tools.
+
+// ToJSON serializes the app spec.
+func (a *App) ToJSON() ([]byte, error) {
+	return json.MarshalIndent(a, "", "  ")
+}
+
+// FromJSON parses an app spec.
+func FromJSON(data []byte) (*App, error) {
+	var a App
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return &a, nil
+}
+
+// Canvas lookup.
+func (a *App) Canvas(id string) (*Canvas, bool) {
+	for i := range a.Canvases {
+		if a.Canvases[i].ID == id {
+			return &a.Canvases[i], true
+		}
+	}
+	return nil, false
+}
+
+// Transform lookup within a canvas.
+func (c *Canvas) Transform(id string) (*Transform, bool) {
+	for i := range c.Transforms {
+		if c.Transforms[i].ID == id {
+			return &c.Transforms[i], true
+		}
+	}
+	return nil, false
+}
+
+// Rect returns the canvas extent.
+func (c *Canvas) Rect() geom.Rect {
+	return geom.Rect{MinX: 0, MinY: 0, MaxX: c.W, MaxY: c.H}
+}
+
+// JumpsFrom returns the jumps whose From is canvasID.
+func (a *App) JumpsFrom(canvasID string) []Jump {
+	var out []Jump
+	for _, j := range a.Jumps {
+		if j.From == canvasID {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// ZoomFactor returns the geometric zoom factor of a jump from canvas
+// from to canvas to (the ratio of canvas widths; 5x in the crime-map
+// example).
+func (a *App) ZoomFactor(j Jump) (float64, error) {
+	from, ok := a.Canvas(j.From)
+	if !ok {
+		return 0, fmt.Errorf("spec: jump from unknown canvas %q", j.From)
+	}
+	to, ok := a.Canvas(j.To)
+	if !ok {
+		return 0, fmt.Errorf("spec: jump to unknown canvas %q", j.To)
+	}
+	if from.W == 0 {
+		return 0, fmt.Errorf("spec: zero-width canvas %q", j.From)
+	}
+	return to.W / from.W, nil
+}

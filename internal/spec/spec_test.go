@@ -1,0 +1,300 @@
+package spec
+
+import (
+	"strings"
+	"testing"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/storage"
+)
+
+// usmapApp builds the paper's Fig. 3 application: a state-map canvas
+// with a static legend layer and a pannable border layer, a county-map
+// canvas, and a geometric+semantic zoom jump between them.
+func usmapApp() *App {
+	return &App{
+		Name:     "usmap",
+		DBConfig: "config.txt",
+		Canvases: []Canvas{
+			{
+				ID: "statemap", W: 1000, H: 500,
+				Transforms: []Transform{
+					{ID: "empty"},
+					{ID: "stateMapTrans",
+						Query:         "SELECT id, name, rate, minx, miny, maxx, maxy FROM states",
+						TransformFunc: "stateMapTransform",
+						Columns: []ColumnSpec{
+							{Name: "id", Type: "int"}, {Name: "name", Type: "text"},
+							{Name: "rate", Type: "double"},
+							{Name: "minx", Type: "double"}, {Name: "miny", Type: "double"},
+							{Name: "maxx", Type: "double"}, {Name: "maxy", Type: "double"},
+						}},
+				},
+				Layers: []Layer{
+					{TransformID: "empty", Static: true, Renderer: "stateMapLegendRendering"},
+					{TransformID: "stateMapTrans", Static: false,
+						Placement: &Placement{XCol: "minx", YCol: "miny", Radius: 50},
+						Renderer:  "stateMapRendering"},
+				},
+			},
+			{
+				ID: "countymap", W: 5000, H: 2500,
+				Transforms: []Transform{
+					{ID: "countyMapTrans",
+						Query: "SELECT id, name, rate, minx, miny, maxx, maxy FROM counties",
+						Columns: []ColumnSpec{
+							{Name: "id", Type: "int"}, {Name: "name", Type: "text"},
+							{Name: "rate", Type: "double"},
+							{Name: "minx", Type: "double"}, {Name: "miny", Type: "double"},
+							{Name: "maxx", Type: "double"}, {Name: "maxy", Type: "double"},
+						}},
+				},
+				Layers: []Layer{
+					{TransformID: "countyMapTrans",
+						Placement: &Placement{XCol: "minx", YCol: "miny", Radius: 25},
+						Renderer:  "countyMapRendering"},
+				},
+			},
+		},
+		Jumps: []Jump{{
+			From: "statemap", To: "countymap", Type: GeometricSemanticZoom,
+			Selector: "stateSelector", NewViewport: "countyViewport", Name: "countyName",
+		}},
+		InitialCanvas: "statemap",
+		InitialX:      500, InitialY: 250,
+		ViewportW: 400, ViewportH: 300,
+	}
+}
+
+func usmapRegistry() *Registry {
+	reg := NewRegistry()
+	reg.RegisterTransform("stateMapTransform", func(r storage.Row) storage.Row { return r })
+	reg.RegisterSelector("stateSelector", func(r storage.Row, layerIdx int) bool { return layerIdx == 1 })
+	reg.RegisterViewport("countyViewport", func(r storage.Row) geom.Point {
+		return geom.Point{X: r[1].AsFloat()*5 - 1000, Y: r[2].AsFloat()*5 - 500}
+	})
+	reg.RegisterName("countyName", func(r storage.Row) string {
+		return "County map of " + r[1].S
+	})
+	for _, r := range []string{"stateMapLegendRendering", "stateMapRendering", "countyMapRendering"} {
+		reg.RegisterRenderer(r)
+	}
+	return reg
+}
+
+func TestCompileValidApp(t *testing.T) {
+	ca, err := Compile(usmapApp(), usmapRegistry())
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if ca.CanvasIdx["statemap"] != 0 || ca.CanvasIdx["countymap"] != 1 {
+		t.Fatalf("canvas idx = %v", ca.CanvasIdx)
+	}
+	if ca.JumpFuncs[0].ZoomFactor != 5 {
+		t.Fatalf("zoom factor = %g", ca.JumpFuncs[0].ZoomFactor)
+	}
+	if !ca.JumpFuncs[0].Selector(nil, 1) || ca.JumpFuncs[0].Selector(nil, 0) {
+		t.Fatal("selector resolution wrong")
+	}
+	vp := ca.InitialViewport()
+	if vp.W() != 400 || vp.H() != 300 || vp.Center() != (geom.Point{X: 500, Y: 250}) {
+		t.Fatalf("initial viewport = %v", vp)
+	}
+	// Legend layer (static, empty transform) resolved with nil funcs.
+	if ca.LayerFuncs[0][0].Transform != nil || ca.LayerFuncs[0][0].Placement != nil {
+		t.Fatal("legend layer should have nil funcs")
+	}
+}
+
+func TestJSONRoundtrip(t *testing.T) {
+	app := usmapApp()
+	data, err := app.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != app.Name || len(back.Canvases) != 2 || len(back.Jumps) != 1 {
+		t.Fatalf("roundtrip lost structure: %+v", back)
+	}
+	if back.Canvases[0].Layers[1].Placement.XCol != "minx" {
+		t.Fatal("placement lost")
+	}
+	if _, err := Compile(back, usmapRegistry()); err != nil {
+		t.Fatalf("recompiled roundtrip: %v", err)
+	}
+	if _, err := FromJSON([]byte("{bad json")); err == nil {
+		t.Fatal("bad json must fail")
+	}
+}
+
+// Each case mutates the valid app in one way and names the expected
+// error fragment — the compiler's constraint checks one by one.
+func TestCompileConstraints(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*App)
+		want   string
+	}{
+		{"empty name", func(a *App) { a.Name = "" }, "app name"},
+		{"no canvases", func(a *App) { a.Canvases = nil }, "at least one canvas"},
+		{"bad viewport", func(a *App) { a.ViewportW = 0 }, "viewport dimensions"},
+		{"dup canvas", func(a *App) { a.Canvases[1].ID = "statemap" }, "duplicate canvas id"},
+		{"bad dims", func(a *App) { a.Canvases[0].W = -5 }, "positive dimensions"},
+		{"no layers", func(a *App) { a.Canvases[1].Layers = nil }, "no layers"},
+		{"dup transform", func(a *App) {
+			a.Canvases[0].Transforms[1].ID = "empty"
+		}, "duplicate transform id"},
+		{"unknown transform ref", func(a *App) {
+			a.Canvases[0].Layers[1].TransformID = "nope"
+		}, "unknown transform"},
+		{"unregistered transform func", func(a *App) {
+			a.Canvases[0].Transforms[1].TransformFunc = "missingFn"
+		}, "unregistered transform func"},
+		{"query without placement", func(a *App) {
+			a.Canvases[0].Layers[1].Placement = nil
+		}, "no placement"},
+		{"query without columns", func(a *App) {
+			a.Canvases[0].Transforms[1].Columns = nil
+		}, "no declared columns"},
+		{"bad column type", func(a *App) {
+			a.Canvases[0].Transforms[1].Columns[0].Type = "varchar"
+		}, "unknown column type"},
+		{"separable missing ycol", func(a *App) {
+			a.Canvases[0].Layers[1].Placement.YCol = ""
+		}, "needs xCol and yCol"},
+		{"negative radius", func(a *App) {
+			a.Canvases[0].Layers[1].Placement.Radius = -1
+		}, "negative radius"},
+		{"unregistered placement func", func(a *App) {
+			a.Canvases[0].Layers[1].Placement = &Placement{Func: "missing"}
+		}, "unregistered placement func"},
+		{"both placement forms", func(a *App) {
+			p := a.Canvases[0].Layers[1].Placement
+			a.Canvases[0].Layers[1].Placement = &Placement{Func: "pieLayout", XCol: p.XCol, YCol: p.YCol}
+		}, "both separable and functional"},
+		{"no renderer", func(a *App) {
+			a.Canvases[0].Layers[1].Renderer = ""
+		}, "no renderer"},
+		{"undeclared renderer", func(a *App) {
+			a.Canvases[0].Layers[1].Renderer = "ghost"
+		}, "undeclared renderer"},
+		{"bad jump type", func(a *App) { a.Jumps[0].Type = "teleport" }, "invalid type"},
+		{"jump from missing", func(a *App) { a.Jumps[0].From = "mars" }, "from unknown canvas"},
+		{"jump to missing", func(a *App) { a.Jumps[0].To = "mars" }, "to unknown canvas"},
+		{"unregistered selector", func(a *App) { a.Jumps[0].Selector = "ghost" }, "unregistered selector"},
+		{"unregistered viewport", func(a *App) { a.Jumps[0].NewViewport = "ghost" }, "unregistered viewport func"},
+		{"unregistered name", func(a *App) { a.Jumps[0].Name = "ghost" }, "unregistered name func"},
+		{"no initial canvas", func(a *App) { a.InitialCanvas = "" }, "initial canvas is required"},
+		{"bad initial canvas", func(a *App) { a.InitialCanvas = "mars" }, "does not exist"},
+		{"initial center outside", func(a *App) { a.InitialX = 99999 }, "outside canvas"},
+		{"viewport bigger than canvas", func(a *App) {
+			a.ViewportW = 5000
+		}, "larger than initial canvas"},
+		{"geometric zoom equal widths", func(a *App) {
+			a.Jumps[0].Type = GeometricZoom
+			a.Canvases[1].W = 1000
+		}, "equal widths"},
+	}
+	reg := usmapRegistry()
+	reg.RegisterPlacement("pieLayout", func(storage.Row) geom.Rect { return geom.Rect{} })
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			app := usmapApp()
+			c.mutate(app)
+			_, err := Compile(app, reg)
+			if err == nil {
+				t.Fatalf("expected error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestCompileCollectsMultipleErrors(t *testing.T) {
+	app := usmapApp()
+	app.Name = ""
+	app.Jumps[0].Type = "bogus"
+	app.InitialCanvas = "mars"
+	_, err := Compile(app, usmapRegistry())
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	for _, want := range []string{"app name", "invalid type", "does not exist"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error missing %q: %v", want, err)
+		}
+	}
+}
+
+func TestNilRegistryDefaults(t *testing.T) {
+	// An app using no named functions compiles against a nil registry.
+	app := &App{
+		Name: "minimal",
+		Canvases: []Canvas{{
+			ID: "c", W: 100, H: 100,
+			Transforms: []Transform{{ID: "t", Query: "SELECT x, y FROM pts",
+				Columns: []ColumnSpec{{Name: "x", Type: "double"}, {Name: "y", Type: "double"}}}},
+			Layers: []Layer{{TransformID: "t",
+				Placement: &Placement{XCol: "x", YCol: "y", Radius: 1},
+				Renderer:  "dots"}},
+		}},
+		InitialCanvas: "c", InitialX: 50, InitialY: 50,
+		ViewportW: 10, ViewportH: 10,
+	}
+	_, err := Compile(app, nil)
+	if err == nil || !strings.Contains(err.Error(), "undeclared renderer") {
+		t.Fatalf("nil registry should only fail on renderer: %v", err)
+	}
+	reg := NewRegistry()
+	reg.RegisterRenderer("dots")
+	ca, err := Compile(app, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default selector accepts everything; default name is empty.
+	if len(ca.JumpFuncs) != 0 {
+		t.Fatal("no jumps expected")
+	}
+}
+
+func TestZoomFactor(t *testing.T) {
+	app := usmapApp()
+	zf, err := app.ZoomFactor(app.Jumps[0])
+	if err != nil || zf != 5 {
+		t.Fatalf("zoom = %g, %v", zf, err)
+	}
+	if _, err := app.ZoomFactor(Jump{From: "x", To: "statemap"}); err == nil {
+		t.Fatal("unknown from must fail")
+	}
+	if _, err := app.ZoomFactor(Jump{From: "statemap", To: "x"}); err == nil {
+		t.Fatal("unknown to must fail")
+	}
+}
+
+func TestJumpsFrom(t *testing.T) {
+	app := usmapApp()
+	if got := app.JumpsFrom("statemap"); len(got) != 1 || got[0].To != "countymap" {
+		t.Fatalf("JumpsFrom = %v", got)
+	}
+	if got := app.JumpsFrom("countymap"); len(got) != 0 {
+		t.Fatalf("JumpsFrom county = %v", got)
+	}
+}
+
+func TestInitialViewportClamped(t *testing.T) {
+	app := usmapApp()
+	app.InitialX, app.InitialY = 10, 10 // near corner: would hang off
+	ca, err := Compile(app, usmapRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp := ca.InitialViewport()
+	if vp.MinX < 0 || vp.MinY < 0 {
+		t.Fatalf("viewport not clamped: %v", vp)
+	}
+}

@@ -1,0 +1,425 @@
+package sqldb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"kyrix/internal/rtree"
+	"kyrix/internal/storage"
+	"kyrix/internal/wal"
+)
+
+// Query parses and executes a SELECT (or EXPLAIN SELECT), returning a
+// materialized result. args fill '?' placeholders in order.
+func (db *DB) Query(sql string, args ...storage.Value) (*Result, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("sqldb: Query requires SELECT; use Exec for %T", st)
+	}
+	return db.RunSelect(sel, args...)
+}
+
+// RunSelect executes an already-parsed SELECT. Servers that issue the
+// same statement shape repeatedly can cache the parse.
+func (db *DB) RunSelect(sel *SelectStmt, args ...storage.Value) (*Result, error) {
+	plan, err := db.planSelect(sel, args)
+	if err != nil {
+		return nil, err
+	}
+	// Read-lock every involved table in name order (deadlock-free),
+	// once per distinct table.
+	tables := map[string]*Table{plan.base.name: plan.base}
+	for _, jc := range plan.joins {
+		tables[jc.table.name] = jc.table
+	}
+	names := make([]string, 0, len(tables))
+	for n := range tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		tables[n].mu.RLock()
+	}
+	defer func() {
+		for i := len(names) - 1; i >= 0; i-- {
+			tables[names[i]].mu.RUnlock()
+		}
+	}()
+	db.bump(func(s *DBStats) { s.Selects++ })
+	return db.executeSelect(plan)
+}
+
+// Exec parses and executes a DDL or DML statement, returning the number
+// of affected rows (0 for DDL).
+func (db *DB) Exec(sql string, args ...storage.Value) (int64, error) {
+	st, err := Parse(sql)
+	if err != nil {
+		return 0, err
+	}
+	n, err := db.execStmt(st, args)
+	if err != nil {
+		return 0, err
+	}
+	if db.shouldLog(st) {
+		if err := db.logToWAL(sql, args); err != nil {
+			return n, fmt.Errorf("sqldb: statement applied but WAL append failed: %w", err)
+		}
+	}
+	return n, nil
+}
+
+func (db *DB) execStmt(st Statement, args []storage.Value) (int64, error) {
+	switch st := st.(type) {
+	case *CreateTableStmt:
+		return 0, db.createTable(st)
+	case *CreateIndexStmt:
+		return 0, db.createIndex(st)
+	case *DropTableStmt:
+		return 0, db.dropTable(st)
+	case *InsertStmt:
+		return db.execInsert(st, args)
+	case *UpdateStmt:
+		return db.execUpdate(st, args)
+	case *DeleteStmt:
+		return db.execDelete(st, args)
+	case *SelectStmt:
+		return 0, fmt.Errorf("sqldb: Exec cannot run SELECT; use Query")
+	}
+	return 0, fmt.Errorf("sqldb: unsupported statement %T", st)
+}
+
+func (db *DB) execInsert(st *InsertStmt, args []storage.Value) (int64, error) {
+	t, err := db.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	// Evaluate rows before taking the lock; inserts are literal/param
+	// expressions with no column references.
+	rows := make([]storage.Row, 0, len(st.Rows))
+	for _, exprs := range st.Rows {
+		if len(exprs) != len(t.schema) {
+			return 0, fmt.Errorf("sqldb: INSERT arity %d != table arity %d", len(exprs), len(t.schema))
+		}
+		row := make(storage.Row, len(exprs))
+		for i, e := range exprs {
+			ce, err := compileExpr(e, nil, args)
+			if err != nil {
+				return 0, err
+			}
+			v, err := ce.eval(nil)
+			if err != nil {
+				return 0, err
+			}
+			row[i], err = coerce(v, t.schema[i].Type)
+			if err != nil {
+				return 0, err
+			}
+		}
+		rows = append(rows, row)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, row := range rows {
+		rid, err := t.heap.Insert(row)
+		if err != nil {
+			return 0, err
+		}
+		t.indexInsert(rid, row)
+	}
+	db.bump(func(s *DBStats) { s.Inserts += int64(len(rows)) })
+	return int64(len(rows)), nil
+}
+
+// ScanTable streams every live row of a table to fn in RID order,
+// without materializing the result. The row passed to fn is reused;
+// copy to retain. Returning false stops the scan. It is the bulk path
+// for precomputation passes over millions of rows.
+func (db *DB) ScanTable(table string, fn func(row storage.Row) bool) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.heap.Scan(func(_ storage.RID, row storage.Row) bool { return fn(row) })
+}
+
+// InsertRow is the fast bulk-load path used by dataset generators: it
+// bypasses SQL parsing but maintains indexes identically to INSERT.
+func (db *DB) InsertRow(table string, row storage.Row) error {
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("sqldb: row arity %d != table arity %d", len(row), len(t.schema))
+	}
+	for i := range row {
+		row[i], err = coerce(row[i], t.schema[i].Type)
+		if err != nil {
+			return err
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rid, err := t.heap.Insert(row)
+	if err != nil {
+		return err
+	}
+	t.indexInsert(rid, row)
+	return nil
+}
+
+// matchingRIDs collects (rid, row-copy) pairs satisfying where, using
+// an index when one applies. Caller holds at least a read lock on t.
+func (db *DB) matchingRIDs(t *Table, tname string, where Expr, args []storage.Value) ([]storage.RID, []storage.Row, error) {
+	bs := makeBindings(binding{name: tname, schema: t.schema})
+	conjuncts := splitAnd(where)
+	sc := chooseScan(t, tname, conjuncts, args)
+	if sc.usedConjunct >= 0 {
+		conjuncts = append(conjuncts[:sc.usedConjunct:sc.usedConjunct], conjuncts[sc.usedConjunct+1:]...)
+	}
+	var filters []compiledExpr
+	for _, c := range conjuncts {
+		ce, err := compileExpr(c, bs, args)
+		if err != nil {
+			return nil, nil, err
+		}
+		filters = append(filters, ce)
+	}
+	var rids []storage.RID
+	var rows []storage.Row
+	var evalErr error
+	keep := func(rid storage.RID, row storage.Row) bool {
+		for _, f := range filters {
+			v, err := f.eval(row)
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if !truth(v) {
+				return true
+			}
+		}
+		rids = append(rids, rid)
+		rows = append(rows, append(storage.Row(nil), row...))
+		return true
+	}
+	var err error
+	switch sc.kind {
+	case "seq":
+		err = t.heap.Scan(keep)
+	default:
+		row := make(storage.Row, len(t.schema))
+		visit := func(packed uint64) bool {
+			rid := storage.UnpackRID(packed)
+			if gerr := t.heap.GetInto(rid, row); gerr != nil {
+				evalErr = gerr
+				return false
+			}
+			return keep(rid, row)
+		}
+		switch sc.kind {
+		case "btree-eq":
+			sc.index.bt.Lookup(sc.eqKey, visit)
+		case "hash-eq":
+			sc.index.hi.Lookup(sc.eqKey, visit)
+		case "btree-range":
+			sc.index.bt.AscendRange(sc.lo, sc.hi, func(_ int64, v uint64) bool { return visit(v) })
+		case "rtree":
+			sc.index.rt.Search(sc.window, func(it rtree.Item) bool { return visit(it.Val) })
+		}
+	}
+	if err == nil {
+		err = evalErr
+	}
+	return rids, rows, err
+}
+
+func (db *DB) execUpdate(st *UpdateStmt, args []storage.Value) (int64, error) {
+	t, err := db.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	bs := makeBindings(binding{name: st.Table, schema: t.schema})
+	type setPlan struct {
+		col int
+		ce  compiledExpr
+	}
+	var sets []setPlan
+	for _, sc := range st.Set {
+		col := t.schema.ColIndex(sc.Column)
+		if col < 0 {
+			return 0, fmt.Errorf("sqldb: no column %q in %q", sc.Column, st.Table)
+		}
+		ce, err := compileExpr(sc.Value, bs, args)
+		if err != nil {
+			return 0, err
+		}
+		sets = append(sets, setPlan{col: col, ce: ce})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rids, rows, err := db.matchingRIDs(t, st.Table, st.Where, args)
+	if err != nil {
+		return 0, err
+	}
+	for i, rid := range rids {
+		oldRow := rows[i]
+		newRow := append(storage.Row(nil), oldRow...)
+		for _, sp := range sets {
+			v, err := sp.ce.eval(oldRow)
+			if err != nil {
+				return int64(i), err
+			}
+			newRow[sp.col], err = coerce(v, t.schema[sp.col].Type)
+			if err != nil {
+				return int64(i), err
+			}
+		}
+		t.indexDelete(rid, oldRow)
+		if err := t.heap.Update(rid, newRow); err == storage.ErrPageFull {
+			// Relocate: delete + reinsert, giving the row a new RID.
+			if err := t.heap.Delete(rid); err != nil {
+				return int64(i), err
+			}
+			newRID, err := t.heap.Insert(newRow)
+			if err != nil {
+				return int64(i), err
+			}
+			t.indexInsert(newRID, newRow)
+		} else if err != nil {
+			return int64(i), err
+		} else {
+			t.indexInsert(rid, newRow)
+		}
+	}
+	db.bump(func(s *DBStats) { s.Updates += int64(len(rids)) })
+	return int64(len(rids)), nil
+}
+
+func (db *DB) execDelete(st *DeleteStmt, args []storage.Value) (int64, error) {
+	t, err := db.Table(st.Table)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rids, rows, err := db.matchingRIDs(t, st.Table, st.Where, args)
+	if err != nil {
+		return 0, err
+	}
+	for i, rid := range rids {
+		if err := t.heap.Delete(rid); err != nil {
+			return int64(i), err
+		}
+		t.indexDelete(rid, rows[i])
+	}
+	db.bump(func(s *DBStats) { s.Deletes += int64(len(rids)) })
+	return int64(len(rids)), nil
+}
+
+// --- WAL integration (the §4 update model) ---
+
+type walRecord struct {
+	SQL  string     `json:"sql"`
+	Args []walValue `json:"args,omitempty"`
+}
+
+type walValue struct {
+	Kind storage.ColType `json:"k"`
+	I    int64           `json:"i,omitempty"`
+	F    float64         `json:"f,omitempty"`
+	S    string          `json:"s,omitempty"`
+	B    bool            `json:"b,omitempty"`
+}
+
+// walState is set while a WAL is attached; replaying suppresses
+// re-logging during recovery.
+type walState struct {
+	log       *wal.Log
+	replaying bool
+}
+
+// AttachWAL opens (or creates) a logical redo log at path, replays any
+// committed statements into this database, and logs every subsequent
+// DDL/DML statement. Call before loading data when recovering.
+func (db *DB) AttachWAL(path string) error {
+	log, err := wal.Open(path)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.walSt = &walState{log: log, replaying: true}
+	db.mu.Unlock()
+	err = log.Replay(func(_ wal.LSN, payload []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return fmt.Errorf("sqldb: corrupt WAL record: %w", err)
+		}
+		args := make([]storage.Value, len(rec.Args))
+		for i, a := range rec.Args {
+			args[i] = storage.Value{Kind: a.Kind, I: a.I, F: a.F, S: a.S, B: a.B}
+		}
+		st, err := Parse(rec.SQL)
+		if err != nil {
+			return err
+		}
+		_, err = db.execStmt(st, args)
+		return err
+	})
+	db.mu.Lock()
+	db.walSt.replaying = false
+	db.mu.Unlock()
+	return err
+}
+
+// DetachWAL stops logging and closes the log.
+func (db *DB) DetachWAL() error {
+	db.mu.Lock()
+	st := db.walSt
+	db.walSt = nil
+	db.mu.Unlock()
+	if st == nil {
+		return nil
+	}
+	return st.log.Close()
+}
+
+func (db *DB) shouldLog(st Statement) bool {
+	db.mu.RLock()
+	ws := db.walSt
+	db.mu.RUnlock()
+	if ws == nil || ws.replaying {
+		return false
+	}
+	switch st.(type) {
+	case *InsertStmt, *UpdateStmt, *DeleteStmt, *CreateTableStmt, *CreateIndexStmt, *DropTableStmt:
+		return true
+	}
+	return false
+}
+
+func (db *DB) logToWAL(sql string, args []storage.Value) error {
+	db.mu.RLock()
+	ws := db.walSt
+	db.mu.RUnlock()
+	if ws == nil {
+		return nil
+	}
+	rec := walRecord{SQL: sql}
+	for _, a := range args {
+		rec.Args = append(rec.Args, walValue{Kind: a.Kind, I: a.I, F: a.F, S: a.S, B: a.B})
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	_, err = ws.log.Append(payload)
+	return err
+}

@@ -1,0 +1,596 @@
+package sqldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"kyrix/internal/rtree"
+	"kyrix/internal/storage"
+)
+
+// Result is a fully materialized query result.
+type Result struct {
+	Cols []string
+	Rows []storage.Row
+}
+
+// runScan executes the chosen access path and returns copied rows.
+func (db *DB) runScan(t *Table, sc scanChoice) ([]storage.Row, error) {
+	var out []storage.Row
+	scanned := int64(0)
+	emit := func(row storage.Row) {
+		out = append(out, append(storage.Row(nil), row...))
+	}
+	var err error
+	switch sc.kind {
+	case "seq":
+		err = t.heap.Scan(func(_ storage.RID, row storage.Row) bool {
+			scanned++
+			emit(row)
+			return true
+		})
+	case "btree-eq":
+		err = fetchByRIDs(t, &scanned, emit, func(yield func(uint64) bool) {
+			sc.index.bt.Lookup(sc.eqKey, yield)
+		})
+	case "hash-eq":
+		err = fetchByRIDs(t, &scanned, emit, func(yield func(uint64) bool) {
+			sc.index.hi.Lookup(sc.eqKey, yield)
+		})
+	case "btree-range":
+		err = fetchByRIDs(t, &scanned, emit, func(yield func(uint64) bool) {
+			sc.index.bt.AscendRange(sc.lo, sc.hi, func(_ int64, v uint64) bool { return yield(v) })
+		})
+	case "rtree":
+		err = fetchByRIDs(t, &scanned, emit, func(yield func(uint64) bool) {
+			sc.index.rt.Search(sc.window, func(it rtree.Item) bool { return yield(it.Val) })
+		})
+	default:
+		err = fmt.Errorf("sqldb: unknown scan kind %q", sc.kind)
+	}
+	db.bump(func(s *DBStats) { s.RowsScanned += scanned })
+	return out, err
+}
+
+// fetchByRIDs decodes every RID produced by the generator.
+func fetchByRIDs(t *Table, scanned *int64, emit func(storage.Row), gen func(yield func(uint64) bool)) error {
+	var ferr error
+	row := make(storage.Row, len(t.schema))
+	gen(func(packed uint64) bool {
+		rid := storage.UnpackRID(packed)
+		if err := t.heap.GetInto(rid, row); err != nil {
+			ferr = err
+			return false
+		}
+		*scanned++
+		emit(row)
+		return true
+	})
+	return ferr
+}
+
+// runJoin joins the materialized outer rows with the inner table per
+// the chosen strategy, producing concatenated rows.
+func (db *DB) runJoin(outer []storage.Row, jc joinChoice) ([]storage.Row, error) {
+	inner := jc.table
+	var out []storage.Row
+	scanned := int64(0)
+	switch jc.kind {
+	case "inl":
+		innerRow := make(storage.Row, len(inner.schema))
+		for _, orow := range outer {
+			key := orow[jc.outerIdx].AsInt()
+			var ferr error
+			lookup := func(packed uint64) bool {
+				rid := storage.UnpackRID(packed)
+				if err := inner.heap.GetInto(rid, innerRow); err != nil {
+					ferr = err
+					return false
+				}
+				scanned++
+				combined := make(storage.Row, 0, len(orow)+len(innerRow))
+				combined = append(combined, orow...)
+				combined = append(combined, innerRow...)
+				out = append(out, combined)
+				return true
+			}
+			if jc.index.Kind == IndexBTree {
+				jc.index.bt.Lookup(key, lookup)
+			} else {
+				jc.index.hi.Lookup(key, lookup)
+			}
+			if ferr != nil {
+				return nil, ferr
+			}
+		}
+	case "hash":
+		build := make(map[int64][]storage.Row)
+		err := inner.heap.Scan(func(_ storage.RID, row storage.Row) bool {
+			scanned++
+			key := row[jc.innerIdx].AsInt()
+			build[key] = append(build[key], append(storage.Row(nil), row...))
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, orow := range outer {
+			for _, irow := range build[orow[jc.outerIdx].AsInt()] {
+				combined := make(storage.Row, 0, len(orow)+len(irow))
+				combined = append(combined, orow...)
+				combined = append(combined, irow...)
+				out = append(out, combined)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sqldb: unknown join kind %q", jc.kind)
+	}
+	db.bump(func(s *DBStats) { s.RowsScanned += scanned })
+	return out, nil
+}
+
+// selectPlan holds all decisions for one SELECT, built before any data
+// is touched so EXPLAIN shares the exact logic of execution.
+type selectPlan struct {
+	st      *SelectStmt
+	args    []storage.Value
+	base    *Table
+	scan    scanChoice
+	joins   []joinChoice
+	bs      bindings
+	filters []compiledExpr // residual WHERE conjuncts over final bindings
+	lines   []string       // explain description
+}
+
+// planSelect resolves tables, picks access paths and compiles residual
+// filters.
+func (db *DB) planSelect(st *SelectStmt, args []storage.Value) (*selectPlan, error) {
+	base, err := db.Table(st.From.Table)
+	if err != nil {
+		return nil, err
+	}
+	p := &selectPlan{st: st, args: args, base: base}
+	bs := makeBindings(binding{name: st.From.Name(), schema: base.schema})
+
+	conjuncts := splitAnd(st.Where)
+	p.scan = chooseScan(base, st.From.Name(), conjuncts, args)
+	p.lines = append(p.lines, p.scan.describe(st.From.Name()))
+	if p.scan.usedConjunct >= 0 {
+		conjuncts = append(conjuncts[:p.scan.usedConjunct:p.scan.usedConjunct],
+			conjuncts[p.scan.usedConjunct+1:]...)
+	}
+
+	for _, jcAst := range st.Joins {
+		inner, err := db.Table(jcAst.Ref.Table)
+		if err != nil {
+			return nil, err
+		}
+		jc, err := chooseJoin(jcAst, inner, bs)
+		if err != nil {
+			return nil, err
+		}
+		p.joins = append(p.joins, jc)
+		p.lines = append(p.lines, jc.desc)
+		parts := make([]binding, len(bs)+1)
+		for i, b := range bs {
+			parts[i] = binding{name: b.name, schema: b.schema}
+		}
+		parts[len(bs)] = binding{name: jcAst.Ref.Name(), schema: inner.schema}
+		bs = makeBindings(parts...)
+	}
+	p.bs = bs
+
+	for _, c := range conjuncts {
+		ce, err := compileExpr(c, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		p.filters = append(p.filters, ce)
+	}
+	if len(p.filters) > 0 {
+		p.lines = append(p.lines, fmt.Sprintf("Filter (%d residual conjuncts)", len(p.filters)))
+	}
+	if len(st.GroupBy) > 0 || anyAggregate(st.Items) {
+		p.lines = append(p.lines, "Aggregate")
+	}
+	if len(st.OrderBy) > 0 {
+		p.lines = append(p.lines, "Sort")
+	}
+	if st.Limit >= 0 {
+		p.lines = append(p.lines, fmt.Sprintf("Limit %d", st.Limit))
+	}
+	return p, nil
+}
+
+func anyAggregate(items []SelectItem) bool {
+	for _, it := range items {
+		if !it.Star && containsAggregate(it.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// executeSelect runs the full pipeline. Caller holds read locks.
+func (db *DB) executeSelect(p *selectPlan) (*Result, error) {
+	if p.st.Explain {
+		res := &Result{Cols: []string{"plan"}}
+		for _, l := range p.lines {
+			res.Rows = append(res.Rows, storage.Row{storage.Str(l)})
+		}
+		return res, nil
+	}
+	rows, err := db.runScan(p.base, p.scan)
+	if err != nil {
+		return nil, err
+	}
+	for _, jc := range p.joins {
+		rows, err = db.runJoin(rows, jc)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(p.filters) > 0 {
+		kept := rows[:0]
+		for _, row := range rows {
+			ok := true
+			for _, f := range p.filters {
+				v, err := f.eval(row)
+				if err != nil {
+					return nil, err
+				}
+				if !truth(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, row)
+			}
+		}
+		rows = kept
+	}
+
+	var res *Result
+	if len(p.st.GroupBy) > 0 || anyAggregate(p.st.Items) {
+		res, err = db.aggregate(p, rows)
+		if err != nil {
+			return nil, err
+		}
+		// ORDER BY over aggregate output references output columns.
+		if err := orderLimitOutput(res, p.st); err != nil {
+			return nil, err
+		}
+	} else {
+		// ORDER BY over input bindings, then project, then limit.
+		if len(p.st.OrderBy) > 0 {
+			if err := db.orderRows(rows, p.st.OrderBy, p.bs, p.args); err != nil {
+				return nil, err
+			}
+		}
+		if p.st.Limit >= 0 && int64(len(rows)) > p.st.Limit {
+			rows = rows[:p.st.Limit]
+		}
+		res, err = db.project(p, rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.bump(func(s *DBStats) { s.RowsOut += int64(len(res.Rows)) })
+	return res, nil
+}
+
+// project evaluates the SELECT items for each row.
+func (db *DB) project(p *selectPlan, rows []storage.Row) (*Result, error) {
+	type proj struct {
+		ce   compiledExpr
+		name string
+	}
+	var projs []proj
+	for _, item := range p.st.Items {
+		if item.Star {
+			for _, b := range p.bs {
+				if item.StarTable != "" && item.StarTable != b.name {
+					continue
+				}
+				for i, col := range b.schema {
+					projs = append(projs, proj{ce: colExpr{idx: b.offset + i}, name: col.Name})
+				}
+			}
+			if item.StarTable != "" {
+				found := false
+				for _, b := range p.bs {
+					if b.name == item.StarTable {
+						found = true
+					}
+				}
+				if !found {
+					return nil, fmt.Errorf("sqldb: unknown table %q in %s.*", item.StarTable, item.StarTable)
+				}
+			}
+			continue
+		}
+		ce, err := compileExpr(item.Expr, p.bs, p.args)
+		if err != nil {
+			return nil, err
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr)
+		}
+		projs = append(projs, proj{ce: ce, name: name})
+	}
+	res := &Result{Cols: make([]string, len(projs))}
+	for i, pr := range projs {
+		res.Cols[i] = pr.name
+	}
+	res.Rows = make([]storage.Row, 0, len(rows))
+	for _, row := range rows {
+		out := make(storage.Row, len(projs))
+		for i, pr := range projs {
+			v, err := pr.ce.eval(row)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// aggState accumulates one aggregate function.
+type aggState struct {
+	count int64
+	sum   float64
+	min   storage.Value
+	max   storage.Value
+	seen  bool
+}
+
+func (a *aggState) add(v storage.Value) {
+	a.count++
+	a.sum += v.AsFloat()
+	if !a.seen || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if !a.seen || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+	a.seen = true
+}
+
+func (a *aggState) result(fn FuncKind) storage.Value {
+	switch fn {
+	case FnCount:
+		return storage.I64(a.count)
+	case FnSum:
+		return storage.F64(a.sum)
+	case FnAvg:
+		if a.count == 0 {
+			return storage.F64(0)
+		}
+		return storage.F64(a.sum / float64(a.count))
+	case FnMin:
+		if !a.seen {
+			return storage.F64(0)
+		}
+		return a.min
+	case FnMax:
+		if !a.seen {
+			return storage.F64(0)
+		}
+		return a.max
+	}
+	return storage.Value{}
+}
+
+// aggregate implements hash aggregation with permissive (MySQL-style)
+// semantics: non-aggregate select items are evaluated on the first row
+// of each group.
+func (db *DB) aggregate(p *selectPlan, rows []storage.Row) (*Result, error) {
+	type itemPlan struct {
+		isAgg bool
+		fn    FuncKind
+		arg   compiledExpr // nil for COUNT(*)
+		plain compiledExpr // non-aggregate
+		name  string
+	}
+	var items []itemPlan
+	for _, item := range p.st.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqldb: * not allowed in aggregate query")
+		}
+		name := item.Alias
+		if name == "" {
+			name = exprName(item.Expr)
+		}
+		if call, ok := item.Expr.(*Call); ok && call.Fn != FnIntersects {
+			ip := itemPlan{isAgg: true, fn: call.Fn, name: name}
+			if !call.Star {
+				ce, err := compileExpr(call.Args[0], p.bs, p.args)
+				if err != nil {
+					return nil, err
+				}
+				ip.arg = ce
+			}
+			items = append(items, ip)
+			continue
+		}
+		if containsAggregate(item.Expr) {
+			return nil, fmt.Errorf("sqldb: aggregates must be top-level select items")
+		}
+		ce, err := compileExpr(item.Expr, p.bs, p.args)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, itemPlan{plain: ce, name: name})
+	}
+	var groupCEs []compiledExpr
+	for _, g := range p.st.GroupBy {
+		ce, err := compileExpr(g, p.bs, p.args)
+		if err != nil {
+			return nil, err
+		}
+		groupCEs = append(groupCEs, ce)
+	}
+
+	type group struct {
+		first storage.Row
+		aggs  []aggState
+	}
+	groups := make(map[string]*group)
+	var order []string
+	for _, row := range rows {
+		var key strings.Builder
+		for _, ce := range groupCEs {
+			v, err := ce.eval(row)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(&key, "%d:%s\x00", v.Kind, v.String())
+		}
+		k := key.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{first: row, aggs: make([]aggState, len(items))}
+			groups[k] = g
+			order = append(order, k)
+		}
+		for i, ip := range items {
+			if !ip.isAgg {
+				continue
+			}
+			if ip.arg == nil { // COUNT(*)
+				g.aggs[i].count++
+				continue
+			}
+			v, err := ip.arg.eval(row)
+			if err != nil {
+				return nil, err
+			}
+			g.aggs[i].add(v)
+		}
+	}
+	// A global aggregate (no GROUP BY) over zero rows yields one row.
+	if len(groupCEs) == 0 && len(groups) == 0 {
+		groups[""] = &group{aggs: make([]aggState, len(items))}
+		order = append(order, "")
+	}
+
+	res := &Result{Cols: make([]string, len(items))}
+	for i, ip := range items {
+		res.Cols[i] = ip.name
+	}
+	for _, k := range order {
+		g := groups[k]
+		out := make(storage.Row, len(items))
+		for i, ip := range items {
+			if ip.isAgg {
+				out[i] = g.aggs[i].result(ip.fn)
+				continue
+			}
+			if g.first == nil {
+				out[i] = storage.I64(0)
+				continue
+			}
+			v, err := ip.plain.eval(g.first)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	return res, nil
+}
+
+// orderRows sorts rows in place by the ORDER BY keys over bindings bs.
+func (db *DB) orderRows(rows []storage.Row, keys []OrderItem, bs bindings, args []storage.Value) error {
+	type keyPlan struct {
+		ce   compiledExpr
+		desc bool
+	}
+	plans := make([]keyPlan, len(keys))
+	for i, k := range keys {
+		ce, err := compileExpr(k.Expr, bs, args)
+		if err != nil {
+			return err
+		}
+		plans[i] = keyPlan{ce: ce, desc: k.Desc}
+	}
+	var sortErr error
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, kp := range plans {
+			a, err := kp.ce.eval(rows[i])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			b, err := kp.ce.eval(rows[j])
+			if err != nil {
+				sortErr = err
+				return false
+			}
+			c := a.Compare(b)
+			if c == 0 {
+				continue
+			}
+			if kp.desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return sortErr
+}
+
+// orderLimitOutput applies ORDER BY/LIMIT to an aggregate result, with
+// keys referencing output column names.
+func orderLimitOutput(res *Result, st *SelectStmt) error {
+	if len(st.OrderBy) > 0 {
+		idxOf := func(name string) int {
+			for i, c := range res.Cols {
+				if c == name {
+					return i
+				}
+			}
+			return -1
+		}
+		type keyPlan struct {
+			idx  int
+			desc bool
+		}
+		var plans []keyPlan
+		for _, k := range st.OrderBy {
+			ref, ok := k.Expr.(*ColRef)
+			if !ok {
+				return fmt.Errorf("sqldb: ORDER BY on aggregate output must name an output column")
+			}
+			i := idxOf(ref.Col)
+			if i < 0 {
+				return fmt.Errorf("sqldb: ORDER BY column %q not in aggregate output", ref.Col)
+			}
+			plans = append(plans, keyPlan{idx: i, desc: k.Desc})
+		}
+		sort.SliceStable(res.Rows, func(i, j int) bool {
+			for _, kp := range plans {
+				c := res.Rows[i][kp.idx].Compare(res.Rows[j][kp.idx])
+				if c == 0 {
+					continue
+				}
+				if kp.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if st.Limit >= 0 && int64(len(res.Rows)) > st.Limit {
+		res.Rows = res.Rows[:st.Limit]
+	}
+	return nil
+}

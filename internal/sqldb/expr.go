@@ -1,0 +1,365 @@
+package sqldb
+
+import (
+	"fmt"
+	"strings"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/storage"
+)
+
+// binding names one input relation and its schema; execution rows are
+// the concatenation of all bound relations' columns.
+type binding struct {
+	name   string
+	schema storage.Schema
+	offset int // column offset in the flat row
+}
+
+type bindings []binding
+
+func makeBindings(parts ...binding) bindings {
+	off := 0
+	out := make(bindings, 0, len(parts))
+	for _, p := range parts {
+		p.offset = off
+		off += len(p.schema)
+		out = append(out, p)
+	}
+	return out
+}
+
+func (bs bindings) width() int {
+	n := 0
+	for _, b := range bs {
+		n += len(b.schema)
+	}
+	return n
+}
+
+// resolve finds the flat column position of a (possibly qualified)
+// column reference.
+func (bs bindings) resolve(ref *ColRef) (int, storage.ColType, error) {
+	found := -1
+	var ct storage.ColType
+	for _, b := range bs {
+		if ref.Table != "" && ref.Table != b.name {
+			continue
+		}
+		if i := b.schema.ColIndex(ref.Col); i >= 0 {
+			if found >= 0 {
+				return 0, 0, fmt.Errorf("sqldb: ambiguous column %q", ref.Col)
+			}
+			found = b.offset + i
+			ct = b.schema[i].Type
+		}
+	}
+	if found < 0 {
+		if ref.Table != "" {
+			return 0, 0, fmt.Errorf("sqldb: no column %s.%s", ref.Table, ref.Col)
+		}
+		return 0, 0, fmt.Errorf("sqldb: no column %q", ref.Col)
+	}
+	return found, ct, nil
+}
+
+// compiledExpr evaluates against a flat execution row.
+type compiledExpr interface {
+	eval(row storage.Row) (storage.Value, error)
+}
+
+type litExpr struct{ v storage.Value }
+
+func (e litExpr) eval(storage.Row) (storage.Value, error) { return e.v, nil }
+
+type colExpr struct{ idx int }
+
+func (e colExpr) eval(row storage.Row) (storage.Value, error) { return row[e.idx], nil }
+
+type binExpr struct {
+	op   int
+	l, r compiledExpr
+}
+
+func truth(v storage.Value) bool {
+	switch v.Kind {
+	case storage.TBool:
+		return v.B
+	case storage.TInt64:
+		return v.I != 0
+	case storage.TFloat64:
+		return v.F != 0
+	case storage.TString:
+		return v.S != ""
+	}
+	return false
+}
+
+func (e binExpr) eval(row storage.Row) (storage.Value, error) {
+	// Short-circuit logicals.
+	switch e.op {
+	case OpAnd:
+		lv, err := e.l.eval(row)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if !truth(lv) {
+			return storage.Bool(false), nil
+		}
+		rv, err := e.r.eval(row)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.Bool(truth(rv)), nil
+	case OpOr:
+		lv, err := e.l.eval(row)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if truth(lv) {
+			return storage.Bool(true), nil
+		}
+		rv, err := e.r.eval(row)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		return storage.Bool(truth(rv)), nil
+	}
+	lv, err := e.l.eval(row)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	rv, err := e.r.eval(row)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	switch e.op {
+	case OpEq:
+		return storage.Bool(lv.Equal(rv)), nil
+	case OpNe:
+		return storage.Bool(!lv.Equal(rv)), nil
+	case OpLt:
+		return storage.Bool(lv.Compare(rv) < 0), nil
+	case OpLe:
+		return storage.Bool(lv.Compare(rv) <= 0), nil
+	case OpGt:
+		return storage.Bool(lv.Compare(rv) > 0), nil
+	case OpGe:
+		return storage.Bool(lv.Compare(rv) >= 0), nil
+	case OpAdd, OpSub, OpMul, OpDiv:
+		return arith(e.op, lv, rv)
+	}
+	return storage.Value{}, fmt.Errorf("sqldb: unknown operator %d", e.op)
+}
+
+func arith(op int, l, r storage.Value) (storage.Value, error) {
+	// Integer arithmetic stays integral (tile math depends on it);
+	// mixed or float operands use float semantics.
+	if l.Kind == storage.TInt64 && r.Kind == storage.TInt64 {
+		a, b := l.I, r.I
+		switch op {
+		case OpAdd:
+			return storage.I64(a + b), nil
+		case OpSub:
+			return storage.I64(a - b), nil
+		case OpMul:
+			return storage.I64(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return storage.Value{}, fmt.Errorf("sqldb: division by zero")
+			}
+			return storage.I64(a / b), nil
+		}
+	}
+	if (l.Kind == storage.TInt64 || l.Kind == storage.TFloat64) &&
+		(r.Kind == storage.TInt64 || r.Kind == storage.TFloat64) {
+		a, b := l.AsFloat(), r.AsFloat()
+		switch op {
+		case OpAdd:
+			return storage.F64(a + b), nil
+		case OpSub:
+			return storage.F64(a - b), nil
+		case OpMul:
+			return storage.F64(a * b), nil
+		case OpDiv:
+			if b == 0 {
+				return storage.Value{}, fmt.Errorf("sqldb: division by zero")
+			}
+			return storage.F64(a / b), nil
+		}
+	}
+	return storage.Value{}, fmt.Errorf("sqldb: arithmetic on non-numeric values %s, %s", l.Kind, r.Kind)
+}
+
+type notExpr struct{ e compiledExpr }
+
+func (e notExpr) eval(row storage.Row) (storage.Value, error) {
+	v, err := e.e.eval(row)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	return storage.Bool(!truth(v)), nil
+}
+
+type betweenExpr struct{ e, lo, hi compiledExpr }
+
+func (e betweenExpr) eval(row storage.Row) (storage.Value, error) {
+	v, err := e.e.eval(row)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	lo, err := e.lo.eval(row)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	hi, err := e.hi.eval(row)
+	if err != nil {
+		return storage.Value{}, err
+	}
+	return storage.Bool(v.Compare(lo) >= 0 && v.Compare(hi) <= 0), nil
+}
+
+// intersectsExpr is INTERSECTS(aMinX, aMinY, aMaxX, aMaxY, bMinX, bMinY,
+// bMaxX, bMaxY): rectangle overlap with inclusive edges.
+type intersectsExpr struct{ args [8]compiledExpr }
+
+func (e intersectsExpr) eval(row storage.Row) (storage.Value, error) {
+	var f [8]float64
+	for i, a := range e.args {
+		v, err := a.eval(row)
+		if err != nil {
+			return storage.Value{}, err
+		}
+		if v.Kind != storage.TInt64 && v.Kind != storage.TFloat64 {
+			return storage.Value{}, fmt.Errorf("sqldb: INTERSECTS argument %d is not numeric", i+1)
+		}
+		f[i] = v.AsFloat()
+	}
+	a := geom.Rect{MinX: f[0], MinY: f[1], MaxX: f[2], MaxY: f[3]}
+	b := geom.Rect{MinX: f[4], MinY: f[5], MaxX: f[6], MaxY: f[7]}
+	return storage.Bool(a.Intersects(b)), nil
+}
+
+// compileExpr resolves columns against bs and substitutes args for
+// params. Aggregate calls are rejected here; the aggregation operator
+// compiles its own arguments.
+func compileExpr(e Expr, bs bindings, args []storage.Value) (compiledExpr, error) {
+	switch e := e.(type) {
+	case *Lit:
+		return litExpr{v: e.Val}, nil
+	case *Param:
+		if e.Ordinal >= len(args) {
+			return nil, fmt.Errorf("sqldb: query has parameter %d but only %d args given", e.Ordinal+1, len(args))
+		}
+		return litExpr{v: args[e.Ordinal]}, nil
+	case *ColRef:
+		idx, _, err := bs.resolve(e)
+		if err != nil {
+			return nil, err
+		}
+		return colExpr{idx: idx}, nil
+	case *Binary:
+		l, err := compileExpr(e.L, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileExpr(e.R, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		return binExpr{op: e.Op, l: l, r: r}, nil
+	case *Not:
+		c, err := compileExpr(e.E, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		return notExpr{e: c}, nil
+	case *Between:
+		v, err := compileExpr(e.E, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := compileExpr(e.Lo, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := compileExpr(e.Hi, bs, args)
+		if err != nil {
+			return nil, err
+		}
+		return betweenExpr{e: v, lo: lo, hi: hi}, nil
+	case *Call:
+		if e.Fn == FnIntersects {
+			var ce intersectsExpr
+			for i, a := range e.Args {
+				c, err := compileExpr(a, bs, args)
+				if err != nil {
+					return nil, err
+				}
+				ce.args[i] = c
+			}
+			return ce, nil
+		}
+		return nil, fmt.Errorf("sqldb: aggregate %s not allowed here", funcName(e.Fn))
+	}
+	return nil, fmt.Errorf("sqldb: cannot compile %T", e)
+}
+
+func funcName(fn FuncKind) string {
+	switch fn {
+	case FnCount:
+		return "COUNT"
+	case FnSum:
+		return "SUM"
+	case FnAvg:
+		return "AVG"
+	case FnMin:
+		return "MIN"
+	case FnMax:
+		return "MAX"
+	case FnIntersects:
+		return "INTERSECTS"
+	}
+	return "?"
+}
+
+// exprName derives an output column name.
+func exprName(e Expr) string {
+	switch e := e.(type) {
+	case *ColRef:
+		return e.Col
+	case *Call:
+		if e.Star {
+			return strings.ToLower(funcName(e.Fn))
+		}
+		if len(e.Args) == 1 {
+			if c, ok := e.Args[0].(*ColRef); ok {
+				return strings.ToLower(funcName(e.Fn)) + "_" + c.Col
+			}
+		}
+		return strings.ToLower(funcName(e.Fn))
+	}
+	return "expr"
+}
+
+// containsAggregate reports whether e contains an aggregate call.
+func containsAggregate(e Expr) bool {
+	switch e := e.(type) {
+	case *Call:
+		if e.Fn != FnIntersects {
+			return true
+		}
+		for _, a := range e.Args {
+			if containsAggregate(a) {
+				return true
+			}
+		}
+	case *Binary:
+		return containsAggregate(e.L) || containsAggregate(e.R)
+	case *Not:
+		return containsAggregate(e.E)
+	case *Between:
+		return containsAggregate(e.E) || containsAggregate(e.Lo) || containsAggregate(e.Hi)
+	}
+	return false
+}

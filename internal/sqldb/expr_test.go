@@ -1,0 +1,155 @@
+package sqldb
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"kyrix/internal/storage"
+)
+
+// evalConst parses and evaluates a constant scalar expression through
+// the full lexer/parser/compiler pipeline by wrapping it in a one-row
+// query.
+func evalConst(t *testing.T, db *DB, expr string) storage.Value {
+	t.Helper()
+	res := mustQuery(t, db, fmt.Sprintf("SELECT %s AS v FROM one", expr))
+	if len(res.Rows) != 1 {
+		t.Fatalf("eval %q: %d rows", expr, len(res.Rows))
+	}
+	return res.Rows[0][0]
+}
+
+func oneRowDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustExec(t, db, "CREATE TABLE one (k INT)")
+	mustExec(t, db, "INSERT INTO one VALUES (1)")
+	return db
+}
+
+func TestExprPrecedence(t *testing.T) {
+	db := oneRowDB(t)
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2 * 3", 7},
+		{"(1 + 2) * 3", 9},
+		{"10 - 4 - 3", 3},    // left assoc
+		{"20 / 2 / 5", 2},    // left assoc
+		{"2 + 3 * 4 - 5", 9}, // mul binds tighter
+		{"-3 + 5", 2},        // unary minus
+		{"10 - -3", 13},      // double negative
+		{"100 / 7", 14},      // integer division truncates
+	}
+	for _, c := range cases {
+		if got := evalConst(t, db, c.expr).AsInt(); got != c.want {
+			t.Errorf("%s = %d want %d", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExprBooleanLogic(t *testing.T) {
+	db := oneRowDB(t)
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"TRUE AND FALSE", false},
+		{"TRUE OR FALSE", true},
+		{"NOT TRUE", false},
+		{"NOT FALSE AND TRUE", true},      // NOT binds tighter than AND
+		{"TRUE OR FALSE AND FALSE", true}, // AND binds tighter than OR
+		{"(TRUE OR FALSE) AND FALSE", false},
+		{"1 < 2 AND 2 < 3", true},
+		{"1 BETWEEN 0 AND 2", true},
+		{"3 BETWEEN 0 AND 2", false},
+		{"NOT 3 BETWEEN 0 AND 2", true},
+	}
+	for _, c := range cases {
+		if got := evalConst(t, db, c.expr); got.Kind != storage.TBool || got.B != c.want {
+			t.Errorf("%s = %v want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExprMixedArithmetic(t *testing.T) {
+	db := oneRowDB(t)
+	// int/float promotion.
+	if got := evalConst(t, db, "1 + 2.5"); got.Kind != storage.TFloat64 || got.F != 3.5 {
+		t.Fatalf("1 + 2.5 = %v", got)
+	}
+	if got := evalConst(t, db, "5 / 2.0"); got.F != 2.5 {
+		t.Fatalf("5 / 2.0 = %v", got)
+	}
+	if got := evalConst(t, db, "5 / 2"); got.I != 2 {
+		t.Fatalf("5 / 2 = %v", got)
+	}
+}
+
+func TestExprShortCircuit(t *testing.T) {
+	db := oneRowDB(t)
+	// The right side would divide by zero; short-circuit must avoid
+	// evaluating it.
+	if got := evalConst(t, db, "FALSE AND 1 / 0 = 1"); got.B {
+		t.Fatal("FALSE AND ... should be false")
+	}
+	if got := evalConst(t, db, "TRUE OR 1 / 0 = 1"); !got.B {
+		t.Fatal("TRUE OR ... should be true")
+	}
+}
+
+// Property: integer arithmetic through the SQL pipeline matches Go.
+func TestQuickIntArithmetic(t *testing.T) {
+	db := oneRowDB(t)
+	f := func(a, b int16) bool {
+		av, bv := int64(a), int64(b)
+		sum := evalConst(t, db, fmt.Sprintf("%d + %d", av, bv)).AsInt()
+		dif := evalConst(t, db, fmt.Sprintf("%d - (%d)", av, bv)).AsInt()
+		prd := evalConst(t, db, fmt.Sprintf("%d * %d", av, bv)).AsInt()
+		if sum != av+bv || dif != av-bv || prd != av*bv {
+			return false
+		}
+		if bv != 0 {
+			quo := evalConst(t, db, fmt.Sprintf("%d / (%d)", av, bv)).AsInt()
+			if quo != av/bv {
+				return false
+			}
+		}
+		lt := evalConst(t, db, fmt.Sprintf("%d < %d", av, bv)).B
+		return lt == (av < bv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectsExprFallback(t *testing.T) {
+	db := oneRowDB(t)
+	// INTERSECTS evaluates as a plain predicate on constants.
+	if got := evalConst(t, db, "INTERSECTS(0, 0, 10, 10, 5, 5, 20, 20)"); !got.B {
+		t.Fatal("overlapping boxes should intersect")
+	}
+	if got := evalConst(t, db, "INTERSECTS(0, 0, 10, 10, 11, 11, 20, 20)"); got.B {
+		t.Fatal("disjoint boxes should not intersect")
+	}
+	// Touching edges count (inclusive semantics, same as the R-tree).
+	if got := evalConst(t, db, "INTERSECTS(0, 0, 10, 10, 10, 10, 20, 20)"); !got.B {
+		t.Fatal("touching boxes should intersect")
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	db := oneRowDB(t)
+	bad := []string{
+		"SELECT 'a' + 1 FROM one",                              // string arithmetic
+		"SELECT missing FROM one",                              // unknown column
+		"SELECT INTERSECTS('a', 0, 0, 0, 0, 0, 0, 0) FROM one", // non-numeric
+	}
+	for _, sql := range bad {
+		if _, err := db.Query(sql); err == nil {
+			t.Errorf("%q should fail", sql)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package sqldb
+
+import "testing"
+
+func lexKinds(t *testing.T, src string) []token {
+	t.Helper()
+	toks, err := lex(src)
+	if err != nil {
+		t.Fatalf("lex(%q): %v", src, err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexKinds(t, "SELECT a, b2 FROM t WHERE a >= 1.5e3 AND b2 != 'it''s'")
+	want := []struct {
+		kind tokenKind
+		text string
+	}{
+		{tokKeyword, "SELECT"}, {tokIdent, "a"}, {tokSymbol, ","}, {tokIdent, "b2"},
+		{tokKeyword, "FROM"}, {tokIdent, "t"}, {tokKeyword, "WHERE"},
+		{tokIdent, "a"}, {tokSymbol, ">="}, {tokFloat, "1.5e3"},
+		{tokKeyword, "AND"}, {tokIdent, "b2"}, {tokSymbol, "!="}, {tokString, "it's"},
+		{tokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("token count %d want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].kind != w.kind || toks[i].text != w.text {
+			t.Fatalf("token %d = {%d %q} want {%d %q}", i, toks[i].kind, toks[i].text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := map[string]tokenKind{
+		"42":      tokInt,
+		"0":       tokInt,
+		"3.14":    tokFloat,
+		".5":      tokFloat,
+		"1e9":     tokFloat,
+		"2.5E-3":  tokFloat,
+		"6.02e+2": tokFloat,
+	}
+	for src, kind := range cases {
+		toks := lexKinds(t, src)
+		if toks[0].kind != kind || toks[0].text != src {
+			t.Errorf("lex(%q) = {%d %q}, want kind %d", src, toks[0].kind, toks[0].text, kind)
+		}
+	}
+}
+
+func TestLexDiamondNotEquals(t *testing.T) {
+	toks := lexKinds(t, "a <> b")
+	if toks[1].kind != tokSymbol || toks[1].text != "!=" {
+		t.Fatalf("<> lexed as %q", toks[1].text)
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks := lexKinds(t, "select From wHeRe")
+	for i, want := range []string{"SELECT", "FROM", "WHERE"} {
+		if toks[i].kind != tokKeyword || toks[i].text != want {
+			t.Fatalf("token %d = %q", i, toks[i].text)
+		}
+	}
+}
+
+func TestLexIdentifiersPreserveCase(t *testing.T) {
+	toks := lexKinds(t, "SELECT MyColumn FROM T_1")
+	if toks[1].text != "MyColumn" || toks[3].text != "T_1" {
+		t.Fatalf("idents = %q %q", toks[1].text, toks[3].text)
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks := lexKinds(t, "SELECT a -- this is a comment\nFROM t")
+	if len(toks) != 5 { // SELECT a FROM t EOF
+		t.Fatalf("tokens with comment = %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"SELECT @", "'unterminated", "a ! b", "#"} {
+		if _, err := lex(src); err == nil {
+			t.Errorf("lex(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	toks := lexKinds(t, "SELECT  a")
+	if toks[0].pos != 0 || toks[1].pos != 8 {
+		t.Fatalf("positions = %d %d", toks[0].pos, toks[1].pos)
+	}
+}
+
+func TestLexSemicolonIgnored(t *testing.T) {
+	toks := lexKinds(t, "SELECT a;")
+	if len(toks) != 3 {
+		t.Fatalf("tokens = %v", toks)
+	}
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// BufPoolStats counts buffer-pool activity for the experiment reports.
+type BufPoolStats struct {
+	Hits      atomic.Int64
+	Misses    atomic.Int64
+	Evictions atomic.Int64
+	Flushes   atomic.Int64
+}
+
+type frame struct {
+	id    PageID
+	data  []byte
+	pins  int
+	dirty bool
+	// lruElem is non-nil iff the frame is unpinned and eligible for
+	// eviction; it points at its entry in the LRU list.
+	lruElem *list.Element
+}
+
+// BufferPool caches pages from a DiskManager with pin-count based LRU
+// eviction. All methods are safe for concurrent use; a pinned page's
+// buffer is stable until Unpin.
+type BufferPool struct {
+	disk DiskManager
+
+	mu     sync.Mutex
+	frames map[PageID]*frame
+	lru    *list.List // of PageID; front = most recent
+	cap    int
+
+	Stats BufPoolStats
+}
+
+// NewBufferPool creates a pool holding up to capacity pages of disk.
+func NewBufferPool(disk DiskManager, capacity int) *BufferPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &BufferPool{
+		disk:   disk,
+		frames: make(map[PageID]*frame, capacity),
+		lru:    list.New(),
+		cap:    capacity,
+	}
+}
+
+// Disk exposes the underlying disk manager (for allocation).
+func (bp *BufferPool) Disk() DiskManager { return bp.disk }
+
+// NewPage allocates a fresh page on disk and returns it pinned.
+func (bp *BufferPool) NewPage() (PageID, []byte, error) {
+	id, err := bp.disk.AllocatePage()
+	if err != nil {
+		return 0, nil, err
+	}
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if err := bp.ensureRoomLocked(); err != nil {
+		return 0, nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1, dirty: true}
+	bp.frames[id] = f
+	return id, f.data, nil
+}
+
+// Pin fetches the page into the pool (reading from disk on a miss) and
+// returns its buffer with the pin count incremented.
+func (bp *BufferPool) Pin(id PageID) ([]byte, error) {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	if f, ok := bp.frames[id]; ok {
+		bp.Stats.Hits.Add(1)
+		f.pins++
+		if f.lruElem != nil {
+			bp.lru.Remove(f.lruElem)
+			f.lruElem = nil
+		}
+		return f.data, nil
+	}
+	bp.Stats.Misses.Add(1)
+	if err := bp.ensureRoomLocked(); err != nil {
+		return nil, err
+	}
+	f := &frame{id: id, data: make([]byte, PageSize), pins: 1}
+	if err := bp.disk.ReadPage(id, f.data); err != nil {
+		return nil, err
+	}
+	bp.frames[id] = f
+	return f.data, nil
+}
+
+// Unpin releases one pin. dirty marks the page as modified so eviction
+// writes it back.
+func (bp *BufferPool) Unpin(id PageID, dirty bool) error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	f, ok := bp.frames[id]
+	if !ok || f.pins == 0 {
+		return fmt.Errorf("storage: unpin of unpinned page %d", id)
+	}
+	f.dirty = f.dirty || dirty
+	f.pins--
+	if f.pins == 0 {
+		f.lruElem = bp.lru.PushFront(id)
+	}
+	return nil
+}
+
+// ensureRoomLocked evicts the least recently used unpinned frame if the
+// pool is at capacity. Caller holds bp.mu.
+func (bp *BufferPool) ensureRoomLocked() error {
+	if len(bp.frames) < bp.cap {
+		return nil
+	}
+	back := bp.lru.Back()
+	if back == nil {
+		return fmt.Errorf("storage: buffer pool exhausted (%d pages all pinned)", bp.cap)
+	}
+	victimID := back.Value.(PageID)
+	victim := bp.frames[victimID]
+	if victim.dirty {
+		if err := bp.disk.WritePage(victimID, victim.data); err != nil {
+			return fmt.Errorf("storage: evicting page %d: %w", victimID, err)
+		}
+		bp.Stats.Flushes.Add(1)
+	}
+	bp.lru.Remove(back)
+	delete(bp.frames, victimID)
+	bp.Stats.Evictions.Add(1)
+	return nil
+}
+
+// FlushAll writes every dirty resident page back to disk. Pages remain
+// cached. Used at load-boundary checkpoints.
+func (bp *BufferPool) FlushAll() error {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	for id, f := range bp.frames {
+		if f.dirty {
+			if err := bp.disk.WritePage(id, f.data); err != nil {
+				return err
+			}
+			f.dirty = false
+			bp.Stats.Flushes.Add(1)
+		}
+	}
+	return nil
+}
+
+// Resident returns the number of pages currently cached.
+func (bp *BufferPool) Resident() int {
+	bp.mu.Lock()
+	defer bp.mu.Unlock()
+	return len(bp.frames)
+}

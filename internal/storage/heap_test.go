@@ -1,0 +1,361 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func memHeap(t *testing.T, capacity int) *HeapFile {
+	t.Helper()
+	bp := NewBufferPool(NewMemDisk(), capacity)
+	h, err := NewHeapFile(bp, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestDiskManagers(t *testing.T) {
+	run := func(t *testing.T, d DiskManager) {
+		id, err := d.AllocatePage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, PageSize)
+		buf[0], buf[PageSize-1] = 0xDE, 0xAD
+		if err := d.WritePage(id, buf); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, PageSize)
+		if err := d.ReadPage(id, got); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0xDE || got[PageSize-1] != 0xAD {
+			t.Fatal("page contents lost")
+		}
+		if d.NumPages() != 1 {
+			t.Fatalf("NumPages = %d", d.NumPages())
+		}
+		if err := d.ReadPage(99, got); err == nil {
+			t.Fatal("read of unallocated page must fail")
+		}
+		if err := d.WritePage(99, got); err == nil {
+			t.Fatal("write of unallocated page must fail")
+		}
+	}
+	t.Run("mem", func(t *testing.T) { run(t, NewMemDisk()) })
+	t.Run("file", func(t *testing.T) {
+		d, err := OpenFileDisk(filepath.Join(t.TempDir(), "pages.db"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		run(t, d)
+	})
+}
+
+func TestFileDiskPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "pages.db")
+	d, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := d.AllocatePage()
+	buf := make([]byte, PageSize)
+	buf[42] = 7
+	if err := d.WritePage(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := OpenFileDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.NumPages() != 1 {
+		t.Fatalf("NumPages after reopen = %d", d2.NumPages())
+	}
+	got := make([]byte, PageSize)
+	if err := d2.ReadPage(id, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[42] != 7 {
+		t.Fatal("persisted byte lost")
+	}
+}
+
+func TestBufferPoolEviction(t *testing.T) {
+	disk := NewMemDisk()
+	bp := NewBufferPool(disk, 2)
+	var ids []PageID
+	for i := 0; i < 3; i++ {
+		id, data, err := bp.NewPage()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[0] = byte(i + 1)
+		if err := bp.Unpin(id, true); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if bp.Resident() != 2 {
+		t.Fatalf("resident = %d", bp.Resident())
+	}
+	if bp.Stats.Evictions.Load() != 1 {
+		t.Fatalf("evictions = %d", bp.Stats.Evictions.Load())
+	}
+	// The evicted dirty page must have been flushed; re-pin and verify.
+	data, err := bp.Pin(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 {
+		t.Fatalf("evicted page lost write: %d", data[0])
+	}
+	_ = bp.Unpin(ids[0], false)
+}
+
+func TestBufferPoolPinBlocksEviction(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 1)
+	id, _, err := bp.NewPage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool full with a pinned page: another allocation must fail.
+	if _, _, err := bp.NewPage(); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if err := bp.Unpin(id, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := bp.NewPage(); err != nil {
+		t.Fatalf("after unpin: %v", err)
+	}
+}
+
+func TestBufferPoolUnpinErrors(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 2)
+	if err := bp.Unpin(5, false); err == nil {
+		t.Fatal("unpin of absent page must fail")
+	}
+	id, _, _ := bp.NewPage()
+	_ = bp.Unpin(id, false)
+	if err := bp.Unpin(id, false); err == nil {
+		t.Fatal("double unpin must fail")
+	}
+}
+
+func TestBufferPoolHitStats(t *testing.T) {
+	bp := NewBufferPool(NewMemDisk(), 4)
+	id, _, _ := bp.NewPage()
+	_ = bp.Unpin(id, true)
+	if _, err := bp.Pin(id); err != nil {
+		t.Fatal(err)
+	}
+	_ = bp.Unpin(id, false)
+	if bp.Stats.Hits.Load() != 1 {
+		t.Fatalf("hits = %d", bp.Stats.Hits.Load())
+	}
+}
+
+func TestHeapInsertGetScan(t *testing.T) {
+	h := memHeap(t, 64)
+	const n = 1000
+	rids := make([]RID, n)
+	for i := 0; i < n; i++ {
+		rid, err := h.Insert(sampleRow(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids[i] = rid
+	}
+	if h.Count() != n {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for i, rid := range rids {
+		row, err := h.Get(rid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if row[0].AsInt() != int64(i) {
+			t.Fatalf("rid %v: id %d want %d", rid, row[0].AsInt(), i)
+		}
+	}
+	// Scan sees each tuple once in insert order.
+	next := int64(0)
+	err := h.Scan(func(rid RID, row Row) bool {
+		if row[0].AsInt() != next {
+			t.Fatalf("scan order: got %d want %d", row[0].AsInt(), next)
+		}
+		next++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != n {
+		t.Fatalf("scan visited %d", next)
+	}
+}
+
+func TestHeapSpillsPages(t *testing.T) {
+	h := memHeap(t, 64)
+	for i := 0; i < 2000; i++ {
+		if _, err := h.Insert(sampleRow(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.bp.Disk().NumPages() < 2 {
+		t.Fatalf("expected multiple pages, got %d", h.bp.Disk().NumPages())
+	}
+}
+
+func TestHeapDelete(t *testing.T) {
+	h := memHeap(t, 8)
+	rid, _ := h.Insert(sampleRow(1))
+	rid2, _ := h.Insert(sampleRow(2))
+	if err := h.Delete(rid); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Get(rid); err == nil {
+		t.Fatal("get after delete must fail")
+	}
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	seen := 0
+	_ = h.Scan(func(r RID, row Row) bool {
+		seen++
+		if r != rid2 {
+			t.Fatalf("scan saw %v", r)
+		}
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("scan saw %d", seen)
+	}
+}
+
+func TestHeapUpdate(t *testing.T) {
+	h := memHeap(t, 8)
+	rid, _ := h.Insert(sampleRow(1))
+	updated := sampleRow(1)
+	updated[3] = Str("changed")
+	if err := h.Update(rid, updated); err != nil {
+		t.Fatal(err)
+	}
+	row, err := h.Get(rid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[3].S != "changed" {
+		t.Fatalf("update lost: %v", row[3])
+	}
+}
+
+func TestHeapScanEarlyStop(t *testing.T) {
+	h := memHeap(t, 8)
+	for i := 0; i < 100; i++ {
+		_, _ = h.Insert(sampleRow(int64(i)))
+	}
+	count := 0
+	_ = h.Scan(func(RID, Row) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestHeapWithTinyBufferPool(t *testing.T) {
+	// Pool of 2 frames forces constant eviction during insert + scan.
+	h := memHeap(t, 2)
+	const n = 3000
+	for i := 0; i < n; i++ {
+		if _, err := h.Insert(sampleRow(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sum := int64(0)
+	if err := h.Scan(func(_ RID, row Row) bool { sum += row[0].AsInt(); return true }); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(n) * (n - 1) / 2; sum != want {
+		t.Fatalf("sum = %d want %d", sum, want)
+	}
+	if h.bp.Stats.Evictions.Load() == 0 {
+		t.Fatal("expected evictions with tiny pool")
+	}
+}
+
+func TestHeapFileBacked(t *testing.T) {
+	d, err := OpenFileDisk(filepath.Join(t.TempDir(), "heap.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	bp := NewBufferPool(d, 4)
+	h, err := NewHeapFile(bp, testSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rids []RID
+	for i := 0; i < 500; i++ {
+		rid, err := h.Insert(sampleRow(int64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids = append(rids, rid)
+	}
+	if err := bp.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i, rid := range rids {
+		row, err := h.Get(rid)
+		if err != nil || row[0].AsInt() != int64(i) {
+			t.Fatalf("rid %v: %v %v", rid, row, err)
+		}
+	}
+}
+
+func TestRIDPack(t *testing.T) {
+	for _, r := range []RID{{0, 0}, {1, 2}, {0xFFFFFF, 0xFFFF}, {12345, 678}} {
+		if got := UnpackRID(r.Pack()); got != r {
+			t.Fatalf("roundtrip %v -> %v", r, got)
+		}
+	}
+	if (RID{1, 2}).String() != "(1,2)" {
+		t.Fatal("RID String")
+	}
+}
+
+func BenchmarkHeapInsert(b *testing.B) {
+	bp := NewBufferPool(NewMemDisk(), 1024)
+	h, _ := NewHeapFile(bp, testSchema)
+	row := sampleRow(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Insert(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeapScan(b *testing.B) {
+	bp := NewBufferPool(NewMemDisk(), 4096)
+	h, _ := NewHeapFile(bp, testSchema)
+	for i := 0; i < 100000; i++ {
+		_, _ = h.Insert(sampleRow(int64(i)))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		_ = h.Scan(func(RID, Row) bool { n++; return true })
+	}
+}

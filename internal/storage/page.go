@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page, matching the classic 8 KB
+// default of PostgreSQL (the paper's backing DBMS).
+const PageSize = 8192
+
+// PageID identifies a page within one disk file.
+type PageID uint32
+
+// InvalidPageID marks an unset page reference.
+const InvalidPageID = PageID(0xFFFFFFFF)
+
+// SlotID indexes a tuple slot within a page.
+type SlotID uint16
+
+// slottedHeader layout (little endian):
+//
+//	offset 0: uint16 slot count
+//	offset 2: uint16 free-space start (grows up)
+//	offset 4: uint16 free-space end   (grows down; tuples packed at end)
+//
+// Each slot is 4 bytes appended after the header: uint16 tuple offset,
+// uint16 tuple length. A slot with offset 0xFFFF is a dead (deleted)
+// slot whose number is never reused, so RIDs stay stable.
+const (
+	headerSize    = 6
+	slotSize      = 4
+	deadSlotMark  = 0xFFFF
+	maxTupleBytes = PageSize - headerSize - slotSize
+)
+
+// ErrPageFull is returned when a tuple does not fit in a page.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrTupleTooLarge is returned for tuples that can never fit any page.
+var ErrTupleTooLarge = errors.New("storage: tuple exceeds page capacity")
+
+// ErrNoSuchTuple is returned when a slot is out of range or deleted.
+var ErrNoSuchTuple = errors.New("storage: no such tuple")
+
+// SlottedPage wraps a raw page buffer with tuple-level operations. It
+// does not own the buffer; the buffer pool does.
+type SlottedPage struct {
+	data []byte
+}
+
+// AsSlotted interprets buf (length PageSize) as a slotted page.
+func AsSlotted(buf []byte) *SlottedPage {
+	if len(buf) != PageSize {
+		panic(fmt.Sprintf("storage: slotted page needs %d bytes, got %d", PageSize, len(buf)))
+	}
+	return &SlottedPage{data: buf}
+}
+
+// InitSlotted formats buf as an empty slotted page.
+func InitSlotted(buf []byte) *SlottedPage {
+	p := AsSlotted(buf)
+	p.setSlotCount(0)
+	p.setFreeStart(headerSize)
+	p.setFreeEnd(PageSize)
+	return p
+}
+
+func (p *SlottedPage) slotCount() uint16     { return binary.LittleEndian.Uint16(p.data[0:]) }
+func (p *SlottedPage) setSlotCount(n uint16) { binary.LittleEndian.PutUint16(p.data[0:], n) }
+func (p *SlottedPage) freeStart() uint16     { return binary.LittleEndian.Uint16(p.data[2:]) }
+func (p *SlottedPage) setFreeStart(n uint16) { binary.LittleEndian.PutUint16(p.data[2:], n) }
+func (p *SlottedPage) freeEnd() uint16       { return binary.LittleEndian.Uint16(p.data[4:]) }
+func (p *SlottedPage) setFreeEnd(n uint16)   { binary.LittleEndian.PutUint16(p.data[4:], n) }
+
+func (p *SlottedPage) slotAt(i SlotID) (off, length uint16) {
+	base := headerSize + int(i)*slotSize
+	return binary.LittleEndian.Uint16(p.data[base:]), binary.LittleEndian.Uint16(p.data[base+2:])
+}
+
+func (p *SlottedPage) setSlotAt(i SlotID, off, length uint16) {
+	base := headerSize + int(i)*slotSize
+	binary.LittleEndian.PutUint16(p.data[base:], off)
+	binary.LittleEndian.PutUint16(p.data[base+2:], length)
+}
+
+// NumSlots returns the number of slots ever allocated (live + dead).
+func (p *SlottedPage) NumSlots() int { return int(p.slotCount()) }
+
+// FreeSpace returns the bytes available for one more tuple (including
+// its slot entry).
+func (p *SlottedPage) FreeSpace() int {
+	free := int(p.freeEnd()) - int(p.freeStart()) - slotSize
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores tuple and returns its slot. ErrPageFull when it does not
+// fit; ErrTupleTooLarge when it could never fit.
+func (p *SlottedPage) Insert(tuple []byte) (SlotID, error) {
+	if len(tuple) > maxTupleBytes {
+		return 0, ErrTupleTooLarge
+	}
+	if p.FreeSpace() < len(tuple) {
+		return 0, ErrPageFull
+	}
+	newEnd := p.freeEnd() - uint16(len(tuple))
+	copy(p.data[newEnd:], tuple)
+	slot := SlotID(p.slotCount())
+	p.setSlotAt(slot, newEnd, uint16(len(tuple)))
+	p.setSlotCount(uint16(slot) + 1)
+	p.setFreeStart(p.freeStart() + slotSize)
+	p.setFreeEnd(newEnd)
+	return slot, nil
+}
+
+// Get returns the stored tuple bytes for slot. The returned slice
+// aliases the page buffer; callers must copy or decode before unpinning.
+func (p *SlottedPage) Get(slot SlotID) ([]byte, error) {
+	if int(slot) >= p.NumSlots() {
+		return nil, ErrNoSuchTuple
+	}
+	off, length := p.slotAt(slot)
+	if off == deadSlotMark {
+		return nil, ErrNoSuchTuple
+	}
+	return p.data[off : off+length], nil
+}
+
+// Delete marks slot dead. Space is not compacted (RID stability beats
+// space reuse for this workload); Vacuum reclaims it.
+func (p *SlottedPage) Delete(slot SlotID) error {
+	if int(slot) >= p.NumSlots() {
+		return ErrNoSuchTuple
+	}
+	off, _ := p.slotAt(slot)
+	if off == deadSlotMark {
+		return ErrNoSuchTuple
+	}
+	p.setSlotAt(slot, deadSlotMark, 0)
+	return nil
+}
+
+// Update replaces the tuple in slot. If the new tuple fits in the old
+// tuple's space it is updated in place; otherwise it is re-appended to
+// the page's free space. ErrPageFull if neither is possible.
+func (p *SlottedPage) Update(slot SlotID, tuple []byte) error {
+	if int(slot) >= p.NumSlots() {
+		return ErrNoSuchTuple
+	}
+	off, length := p.slotAt(slot)
+	if off == deadSlotMark {
+		return ErrNoSuchTuple
+	}
+	if len(tuple) <= int(length) {
+		copy(p.data[off:], tuple)
+		p.setSlotAt(slot, off, uint16(len(tuple)))
+		return nil
+	}
+	if int(p.freeEnd())-int(p.freeStart()) < len(tuple) {
+		return ErrPageFull
+	}
+	newEnd := p.freeEnd() - uint16(len(tuple))
+	copy(p.data[newEnd:], tuple)
+	p.setSlotAt(slot, newEnd, uint16(len(tuple)))
+	p.setFreeEnd(newEnd)
+	return nil
+}
+
+// ForEach calls fn for every live tuple in slot order. Returning false
+// stops the scan early.
+func (p *SlottedPage) ForEach(fn func(slot SlotID, tuple []byte) bool) {
+	n := p.NumSlots()
+	for i := 0; i < n; i++ {
+		off, length := p.slotAt(SlotID(i))
+		if off == deadSlotMark {
+			continue
+		}
+		if !fn(SlotID(i), p.data[off:off+length]) {
+			return
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func newPage() *SlottedPage {
+	return InitSlotted(make([]byte, PageSize))
+}
+
+func TestSlottedInsertGet(t *testing.T) {
+	p := newPage()
+	s1, err := p.Insert([]byte("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.Insert([]byte("world!"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("slots must differ")
+	}
+	got, err := p.Get(s1)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("Get(s1) = %q, %v", got, err)
+	}
+	got, err = p.Get(s2)
+	if err != nil || string(got) != "world!" {
+		t.Fatalf("Get(s2) = %q, %v", got, err)
+	}
+}
+
+func TestSlottedFull(t *testing.T) {
+	p := newPage()
+	tuple := make([]byte, 1000)
+	n := 0
+	for {
+		_, err := p.Insert(tuple)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	// 8192 - 6 header = 8186; each tuple costs 1004 -> 8 tuples.
+	if n != 8 {
+		t.Fatalf("fit %d tuples, want 8", n)
+	}
+	// Page stays usable after the failed insert.
+	if _, err := p.Get(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlottedTooLarge(t *testing.T) {
+	p := newPage()
+	if _, err := p.Insert(make([]byte, PageSize)); err != ErrTupleTooLarge {
+		t.Fatalf("err = %v, want ErrTupleTooLarge", err)
+	}
+}
+
+func TestSlottedDelete(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("x"))
+	if err := p.Delete(s); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Get(s); err != ErrNoSuchTuple {
+		t.Fatalf("Get after delete = %v", err)
+	}
+	if err := p.Delete(s); err != ErrNoSuchTuple {
+		t.Fatalf("double delete = %v", err)
+	}
+	if err := p.Delete(99); err != ErrNoSuchTuple {
+		t.Fatalf("delete oob = %v", err)
+	}
+	// Slot numbers are not reused.
+	s2, _ := p.Insert([]byte("y"))
+	if s2 == s {
+		t.Fatal("deleted slot was reused")
+	}
+}
+
+func TestSlottedUpdate(t *testing.T) {
+	p := newPage()
+	s, _ := p.Insert([]byte("abcdef"))
+	// In-place shrink.
+	if err := p.Update(s, []byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(s); string(got) != "ab" {
+		t.Fatalf("after shrink: %q", got)
+	}
+	// Grow (re-append).
+	big := bytes.Repeat([]byte("z"), 100)
+	if err := p.Update(s, big); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := p.Get(s); !bytes.Equal(got, big) {
+		t.Fatalf("after grow: %q", got)
+	}
+	if err := p.Update(99, []byte("q")); err != ErrNoSuchTuple {
+		t.Fatalf("update oob = %v", err)
+	}
+	// Grow beyond free space fails.
+	for {
+		if _, err := p.Insert(make([]byte, 512)); err != nil {
+			break
+		}
+	}
+	if err := p.Update(s, make([]byte, 2000)); err != ErrPageFull {
+		t.Fatalf("oversize grow = %v", err)
+	}
+}
+
+func TestSlottedForEach(t *testing.T) {
+	p := newPage()
+	for i := 0; i < 5; i++ {
+		if _, err := p.Insert([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = p.Delete(2)
+	var seen []byte
+	p.ForEach(func(slot SlotID, tuple []byte) bool {
+		seen = append(seen, tuple[0])
+		return true
+	})
+	if fmt.Sprint(seen) != "[0 1 3 4]" {
+		t.Fatalf("ForEach saw %v", seen)
+	}
+	// Early stop.
+	count := 0
+	p.ForEach(func(SlotID, []byte) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestSlottedRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := newPage()
+	type rec struct {
+		slot SlotID
+		data []byte
+		live bool
+	}
+	var recs []rec
+	for i := 0; i < 500; i++ {
+		op := rng.Intn(3)
+		switch {
+		case op == 0 || len(recs) == 0:
+			data := make([]byte, 1+rng.Intn(64))
+			rng.Read(data)
+			slot, err := p.Insert(data)
+			if err == ErrPageFull {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			recs = append(recs, rec{slot, append([]byte(nil), data...), true})
+		case op == 1:
+			r := &recs[rng.Intn(len(recs))]
+			if r.live {
+				if err := p.Delete(r.slot); err != nil {
+					t.Fatal(err)
+				}
+				r.live = false
+			}
+		default:
+			r := recs[rng.Intn(len(recs))]
+			got, err := p.Get(r.slot)
+			if r.live {
+				if err != nil || !bytes.Equal(got, r.data) {
+					t.Fatalf("slot %d: %q vs %q (%v)", r.slot, got, r.data, err)
+				}
+			} else if err != ErrNoSuchTuple {
+				t.Fatalf("dead slot %d returned %v", r.slot, err)
+			}
+		}
+	}
+}
+
+func TestAsSlottedPanicsOnWrongSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AsSlotted(make([]byte, 10))
+}

@@ -1,0 +1,162 @@
+// Package wal implements the append-only write-ahead log that backs the
+// update model of the paper's §4 ("MGH wants an update model for Kyrix
+// so they can edit and tag relevant data"), where edits must survive a
+// crash of the backend server.
+//
+// Record framing: each record is
+//
+//	uint32 length | uint32 CRC-32 (IEEE) of payload | payload
+//
+// Recovery replays records in order and stops at the first torn or
+// corrupt frame, truncating the tail — the standard redo-log contract.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// LSN is a log sequence number: the byte offset of a record's frame.
+type LSN int64
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("wal: closed")
+
+const frameHeader = 8
+
+// Log is an append-only write-ahead log. Safe for concurrent appends.
+type Log struct {
+	mu     sync.Mutex
+	f      *os.File
+	end    int64
+	closed bool
+}
+
+// Open opens (creating if needed) the log at path and validates the
+// existing contents, truncating any torn tail so appends start at a
+// clean boundary.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	end, err := validate(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: seek: %w", err)
+	}
+	return &Log{f: f, end: end}, nil
+}
+
+// validate scans the log and returns the offset after the last intact
+// record.
+func validate(f *os.File) (int64, error) {
+	var off int64
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return off, nil // EOF or short read: clean end / torn header
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		sum := binary.LittleEndian.Uint32(hdr[4:])
+		payload := make([]byte, length)
+		if _, err := f.ReadAt(payload, off+frameHeader); err != nil {
+			return off, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			return off, nil // corrupt payload
+		}
+		off += frameHeader + int64(length)
+	}
+}
+
+// Append writes one record and returns its LSN. The record is flushed
+// to the OS; call Sync for durability to stable storage.
+func (l *Log) Append(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	frame := make([]byte, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeader:], payload)
+	lsn := LSN(l.end)
+	if _, err := l.f.WriteAt(frame, l.end); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	l.end += int64(len(frame))
+	return lsn, nil
+}
+
+// Sync flushes the log to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	return l.f.Sync()
+}
+
+// Replay calls fn for every intact record in LSN order.
+func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	var off int64
+	hdr := make([]byte, frameHeader)
+	for off < l.end {
+		if _, err := l.f.ReadAt(hdr, off); err != nil {
+			return fmt.Errorf("wal: replay header at %d: %w", off, err)
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:])
+		payload := make([]byte, length)
+		if _, err := l.f.ReadAt(payload, off+frameHeader); err != nil {
+			return fmt.Errorf("wal: replay payload at %d: %w", off, err)
+		}
+		if err := fn(LSN(off), payload); err != nil {
+			return err
+		}
+		off += frameHeader + int64(length)
+	}
+	return nil
+}
+
+// Size returns the current log length in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.end
+}
+
+// Close syncs and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	l.closed = true
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kyrix/internal/geom"
+)
+
+// Region is one polygon-less administrative region for the US crime
+// map example (§2.2): rendered as a filled rectangle on a schematic
+// grid map, which exercises exactly the same canvas/layer/jump code
+// paths as real geography.
+type Region struct {
+	ID        int64
+	Name      string
+	ParentID  int64 // -1 for states
+	Box       geom.Rect
+	CrimeRate float64 // incidents per 100k population
+	Pop       int64
+}
+
+// CrimeData is the two-level crime dataset: a state-level canvas and a
+// county-level canvas, linked by a semantic-zoom jump.
+type CrimeData struct {
+	States   []Region
+	Counties []Region
+	// StateCanvas and CountyCanvas are the two canvas sizes; the county
+	// canvas is ZoomFactor times larger (the paper's Fig. 3 uses 5x).
+	StateCanvas  geom.Rect
+	CountyCanvas geom.Rect
+	ZoomFactor   float64
+}
+
+// stateNames gives the example readable jump names ("County map of
+// Massachusetts"), matching the paper's Fig. 3 jumpName function.
+var stateNames = []string{
+	"Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado",
+	"Connecticut", "Delaware", "Florida", "Georgia", "Hawaii", "Idaho",
+	"Illinois", "Indiana", "Iowa", "Kansas", "Kentucky", "Louisiana",
+	"Maine", "Maryland", "Massachusetts", "Michigan", "Minnesota",
+	"Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+	"New Hampshire", "New Jersey", "New Mexico", "New York",
+	"North Carolina", "North Dakota", "Ohio", "Oklahoma", "Oregon",
+	"Pennsylvania", "Rhode Island", "South Carolina", "South Dakota",
+	"Tennessee", "Texas", "Utah", "Vermont", "Virginia", "Washington",
+	"West Virginia", "Wisconsin", "Wyoming",
+}
+
+// Crime generates the synthetic two-level crime dataset: 50 states laid
+// out on a 10×5 schematic grid, each subdivided into countiesPerState
+// counties. Rates are log-normal, spatially correlated within a state.
+func Crime(countiesPerState int, seed int64) *CrimeData {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		stateW, stateH = 100.0, 100.0
+		cols           = 10
+	)
+	zoom := 5.0
+	cd := &CrimeData{
+		StateCanvas:  geom.Rect{MinX: 0, MinY: 0, MaxX: cols * stateW, MaxY: 5 * stateH},
+		ZoomFactor:   zoom,
+		CountyCanvas: geom.Rect{MinX: 0, MinY: 0, MaxX: cols * stateW * zoom, MaxY: 5 * stateH * zoom},
+	}
+	side := int(math.Ceil(math.Sqrt(float64(countiesPerState))))
+	countyID := int64(0)
+	for i, name := range stateNames {
+		col, row := i%cols, i/cols
+		box := geom.RectXYWH(float64(col)*stateW, float64(row)*stateH, stateW, stateH)
+		base := math.Exp(rng.NormFloat64()*0.5 + math.Log(400))
+		st := Region{
+			ID:        int64(i),
+			Name:      name,
+			ParentID:  -1,
+			Box:       box,
+			CrimeRate: base,
+			Pop:       int64(1e6 + rng.Intn(9e6)),
+		}
+		cd.States = append(cd.States, st)
+		// Counties: subdivide the zoomed state box into a side×side grid.
+		zb := box.Scale(zoom)
+		cw, ch := zb.W()/float64(side), zb.H()/float64(side)
+		made := 0
+		for r := 0; r < side && made < countiesPerState; r++ {
+			for c := 0; c < side && made < countiesPerState; c++ {
+				rate := base * math.Exp(rng.NormFloat64()*0.35)
+				cd.Counties = append(cd.Counties, Region{
+					ID:        countyID,
+					Name:      fmt.Sprintf("%s County %d", name, made+1),
+					ParentID:  st.ID,
+					Box:       geom.RectXYWH(zb.MinX+float64(c)*cw, zb.MinY+float64(r)*ch, cw, ch),
+					CrimeRate: rate,
+					Pop:       int64(1e4 + rng.Intn(5e5)),
+				})
+				countyID++
+				made++
+			}
+		}
+	}
+	return cd
+}
+
+// EEGSample is one (channel, time-window) observation of the MGH EEG
+// scenario (§4): the raw amplitude trace plus the spectral band powers
+// the collaborators' spectral view displays.
+type EEGSample struct {
+	ID      int64
+	Channel int64
+	T       float64 // seconds from recording start
+	Amp     float64 // microvolts
+	// Band powers for the spectral view.
+	Delta, Theta, Alpha, Beta float64
+}
+
+// EEGData is a synthetic multi-channel sleep EEG recording.
+type EEGData struct {
+	Channels   int
+	SampleRate float64 // Hz of the generated (downsampled) series
+	Duration   float64 // seconds
+	Samples    []EEGSample
+	// TemporalCanvas maps (t, channel) to canvas coordinates: x = t *
+	// PxPerSec, one horizontal band per channel.
+	PxPerSec   float64
+	BandHeight float64
+	TemporalW  float64
+	TemporalH  float64
+}
+
+// EEG generates channels of duration seconds at sampleRate Hz. Each
+// channel is a mixture of the four classical bands (delta 0.5–4 Hz,
+// theta 4–8, alpha 8–13, beta 13–30) whose weights drift through sleep
+// stages, plus white noise — enough structure for the spectral view to
+// show stage transitions.
+func EEG(channels int, duration, sampleRate float64, seed int64) *EEGData {
+	rng := rand.New(rand.NewSource(seed))
+	n := int(duration * sampleRate)
+	d := &EEGData{
+		Channels:   channels,
+		SampleRate: sampleRate,
+		Duration:   duration,
+		PxPerSec:   10,
+		BandHeight: 100,
+	}
+	d.TemporalW = duration * d.PxPerSec
+	d.TemporalH = float64(channels) * d.BandHeight
+	id := int64(0)
+	for ch := 0; ch < channels; ch++ {
+		phase := rng.Float64() * 2 * math.Pi
+		for i := 0; i < n; i++ {
+			t := float64(i) / sampleRate
+			// Sleep stage drifts on a ~90s cycle (scaled): deeper sleep
+			// -> more delta, less beta.
+			stage := 0.5 + 0.5*math.Sin(2*math.Pi*t/90+phase)
+			delta := 30 * stage
+			theta := 15 * (0.5 + 0.5*math.Sin(2*math.Pi*t/47))
+			alpha := 20 * (1 - stage)
+			beta := 10 * (1 - stage)
+			amp := delta*math.Sin(2*math.Pi*2*t) +
+				theta*math.Sin(2*math.Pi*6*t) +
+				alpha*math.Sin(2*math.Pi*10*t+phase) +
+				beta*math.Sin(2*math.Pi*20*t) +
+				rng.NormFloat64()*5
+			d.Samples = append(d.Samples, EEGSample{
+				ID:      id,
+				Channel: int64(ch),
+				T:       t,
+				Amp:     amp,
+				Delta:   delta,
+				Theta:   theta,
+				Alpha:   alpha,
+				Beta:    beta,
+			})
+			id++
+		}
+	}
+	return d
+}
+
+// TemporalBox returns the bounding box of sample s on the temporal
+// canvas (one pixel-wide mark in a channel band).
+func (d *EEGData) TemporalBox(s EEGSample) geom.Rect {
+	x := s.T * d.PxPerSec
+	yMid := float64(s.Channel)*d.BandHeight + d.BandHeight/2
+	y := yMid - s.Amp // amplitude displaces the mark within its band
+	return geom.RectAround(geom.Point{X: x, Y: y}, 1)
+}

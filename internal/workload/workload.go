@@ -1,0 +1,244 @@
+// Package workload generates the synthetic datasets and viewport
+// movement traces of the paper's §3.3 evaluation, plus the domain
+// datasets used by the examples (US crime map of §2.2, MGH EEG of §4).
+//
+// Everything is seeded and deterministic so experiment tables reproduce
+// run-to-run.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"kyrix/internal/geom"
+)
+
+// Point is one dot of a scatter dataset: the paper's record table
+// carries raw attributes (here x, y and a measurement value) plus an
+// auto-increment tuple id.
+type Point struct {
+	ID   int64
+	X, Y float64
+	Val  float64
+}
+
+// Dataset is a point dataset on a canvas.
+type Dataset struct {
+	Name    string
+	CanvasW float64
+	CanvasH float64
+	// DenseRect is the hot region of a skewed dataset (invalid Rect
+	// for uniform data).
+	DenseRect geom.Rect
+	Points    []Point
+}
+
+// Canvas returns the dataset's canvas rectangle.
+func (d *Dataset) Canvas() geom.Rect {
+	return geom.Rect{MinX: 0, MinY: 0, MaxX: d.CanvasW, MaxY: d.CanvasH}
+}
+
+// Uniform generates n points uniformly distributed on a w×h canvas
+// (the paper's Uniform: "100M random dots evenly distributed on a
+// 1M×0.1M canvas", scaled per config).
+func Uniform(n int, w, h float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		Name:      "uniform",
+		CanvasW:   w,
+		CanvasH:   h,
+		DenseRect: geom.Rect{MinX: 1, MinY: 1, MaxX: 0, MaxY: 0},
+		Points:    make([]Point, n),
+	}
+	for i := range d.Points {
+		d.Points[i] = Point{
+			ID:  int64(i),
+			X:   rng.Float64() * w,
+			Y:   rng.Float64() * h,
+			Val: rng.NormFloat64(),
+		}
+	}
+	return d
+}
+
+// Skewed generates n points where denseFrac of them lie in a dense
+// rectangle covering denseW×denseH of the canvas at the origin corner
+// (the paper's Skewed: "80M dots lie in 20% of the canvas area (a
+// 0.4M×0.05M rectangle) and 20M dots lie in the rest").
+func Skewed(n int, w, h float64, seed int64) *Dataset {
+	const denseFrac = 0.8
+	dense := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.4 * w, MaxY: 0.5 * h}
+	rng := rand.New(rand.NewSource(seed))
+	d := &Dataset{
+		Name:      "skewed",
+		CanvasW:   w,
+		CanvasH:   h,
+		DenseRect: dense,
+		Points:    make([]Point, n),
+	}
+	nDense := int(float64(n) * denseFrac)
+	for i := 0; i < nDense; i++ {
+		d.Points[i] = Point{
+			ID:  int64(i),
+			X:   dense.MinX + rng.Float64()*dense.W(),
+			Y:   dense.MinY + rng.Float64()*dense.H(),
+			Val: rng.NormFloat64(),
+		}
+	}
+	// Sparse points: rejection-sample the complement of the dense rect.
+	for i := nDense; i < n; i++ {
+		for {
+			x, y := rng.Float64()*w, rng.Float64()*h
+			if !dense.ContainsPoint(geom.Point{X: x, Y: y}) {
+				d.Points[i] = Point{ID: int64(i), X: x, Y: y, Val: rng.NormFloat64()}
+				break
+			}
+		}
+	}
+	return d
+}
+
+// Trace is a sequence of viewport positions. Steps[0] is the initial
+// viewport (the application load); each subsequent entry is one pan
+// step whose response time the experiments measure.
+type Trace struct {
+	Name  string
+	Steps []geom.Rect
+}
+
+// NumPans returns the number of measured pan steps.
+func (tr *Trace) NumPans() int {
+	if len(tr.Steps) == 0 {
+		return 0
+	}
+	return len(tr.Steps) - 1
+}
+
+// TraceA is the paper's trace (a): the viewport is always aligned with
+// tile boundaries; it moves leftwards six steps of one tile length,
+// then vertically up six steps (Fig. 5). start is the tile-aligned
+// origin of the first viewport.
+func TraceA(start geom.Point, tileSize, vpW, vpH float64) *Trace {
+	return lTrace("trace-a", start, tileSize, vpW, vpH)
+}
+
+// TraceB is trace (b): the same L-shaped movement but the viewport is
+// never aligned with tiles — the start is offset by half a tile.
+func TraceB(start geom.Point, tileSize, vpW, vpH float64) *Trace {
+	off := start.Add(tileSize/2, tileSize/2)
+	tr := lTrace("trace-b", off, tileSize, vpW, vpH)
+	return tr
+}
+
+func lTrace(name string, start geom.Point, step, vpW, vpH float64) *Trace {
+	tr := &Trace{Name: name}
+	cur := geom.RectXYWH(start.X, start.Y, vpW, vpH)
+	tr.Steps = append(tr.Steps, cur)
+	for i := 0; i < 6; i++ { // leftwards
+		cur = cur.Translate(-step, 0)
+		tr.Steps = append(tr.Steps, cur)
+	}
+	for i := 0; i < 6; i++ { // upwards
+		cur = cur.Translate(0, step)
+		tr.Steps = append(tr.Steps, cur)
+	}
+	return tr
+}
+
+// TraceC is trace (c): the viewport moves diagonally from bottom left
+// to top right in six steps (Fig. 5).
+func TraceC(start geom.Point, step, vpW, vpH float64) *Trace {
+	tr := &Trace{Name: "trace-c"}
+	cur := geom.RectXYWH(start.X, start.Y, vpW, vpH)
+	tr.Steps = append(tr.Steps, cur)
+	for i := 0; i < 6; i++ {
+		cur = cur.Translate(step, step)
+		tr.Steps = append(tr.Steps, cur)
+	}
+	return tr
+}
+
+// ConstantVelocityTrace pans in a fixed direction for n steps — the
+// best case for momentum prefetching (§4).
+func ConstantVelocityTrace(start geom.Point, dx, dy float64, n int, vpW, vpH float64) *Trace {
+	tr := &Trace{Name: "constant-velocity"}
+	cur := geom.RectXYWH(start.X, start.Y, vpW, vpH)
+	tr.Steps = append(tr.Steps, cur)
+	for i := 0; i < n; i++ {
+		cur = cur.Translate(dx, dy)
+		tr.Steps = append(tr.Steps, cur)
+	}
+	return tr
+}
+
+// RandomWalkTrace pans in a uniformly random direction each step with
+// the given step length — the adversarial case for prefetching.
+func RandomWalkTrace(start geom.Point, stepLen float64, n int, vpW, vpH float64, seed int64, bounds geom.Rect) *Trace {
+	rng := rand.New(rand.NewSource(seed))
+	tr := &Trace{Name: "random-walk"}
+	cur := geom.RectXYWH(start.X, start.Y, vpW, vpH)
+	tr.Steps = append(tr.Steps, cur)
+	for i := 0; i < n; i++ {
+		ang := rng.Float64() * 2 * math.Pi
+		cur = cur.Translate(stepLen*math.Cos(ang), stepLen*math.Sin(ang)).Clamp(bounds)
+		tr.Steps = append(tr.Steps, cur)
+	}
+	return tr
+}
+
+// RevisitTrace pans back and forth between two viewports n times — the
+// best case for caching (ablation A2).
+func RevisitTrace(a, b geom.Point, n int, vpW, vpH float64) *Trace {
+	tr := &Trace{Name: "revisit"}
+	ra := geom.RectXYWH(a.X, a.Y, vpW, vpH)
+	rb := geom.RectXYWH(b.X, b.Y, vpW, vpH)
+	tr.Steps = append(tr.Steps, ra)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			tr.Steps = append(tr.Steps, rb)
+		} else {
+			tr.Steps = append(tr.Steps, ra)
+		}
+	}
+	return tr
+}
+
+// PaperTraces builds traces a, b, c positioned for the given dataset
+// the way Fig. 5 places them: for skewed data, traces a and b run near
+// the dense-region boundary and trace c crosses from the dense corner
+// into the sparse area; for uniform data they sit mid-canvas.
+func PaperTraces(d *Dataset, tileSize, vpW, vpH float64) []*Trace {
+	var aStart, cStart geom.Point
+	if d.DenseRect.Valid() {
+		// Start inside the dense region, far enough from its left edge
+		// that six leftward steps stay on-canvas and mostly dense.
+		col := math.Floor(d.DenseRect.MaxX/tileSize) - 2
+		if col < 7 {
+			col = 7
+		}
+		aStart = geom.Point{X: col * tileSize, Y: tileSize}
+		cStart = geom.Point{X: d.DenseRect.MaxX - 3*tileSize, Y: tileSize}
+	} else {
+		midCol := math.Floor(d.CanvasW / 2 / tileSize)
+		aStart = geom.Point{X: midCol * tileSize, Y: tileSize}
+		cStart = geom.Point{X: midCol * tileSize, Y: tileSize}
+	}
+	return []*Trace{
+		TraceA(aStart, tileSize, vpW, vpH),
+		TraceB(aStart, tileSize, vpW, vpH),
+		TraceC(cStart, tileSize, vpW, vpH),
+	}
+}
+
+// Validate checks that every step of tr lies within canvas (with a
+// small tolerance for trace-b's half-tile offset), returning an error
+// naming the first violating step.
+func (tr *Trace) Validate(canvas geom.Rect) error {
+	for i, s := range tr.Steps {
+		if !canvas.Contains(s) {
+			return fmt.Errorf("workload: %s step %d (%s) leaves canvas %s", tr.Name, i, s, canvas)
+		}
+	}
+	return nil
+}

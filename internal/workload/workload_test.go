@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"kyrix/internal/geom"
+)
+
+func TestUniformDeterministic(t *testing.T) {
+	a := Uniform(1000, 10000, 1000, 42)
+	b := Uniform(1000, 10000, 1000, 42)
+	if len(a.Points) != 1000 {
+		t.Fatalf("n = %d", len(a.Points))
+	}
+	for i := range a.Points {
+		if a.Points[i] != b.Points[i] {
+			t.Fatal("same seed must give identical datasets")
+		}
+	}
+	c := Uniform(1000, 10000, 1000, 43)
+	same := true
+	for i := range a.Points {
+		if a.Points[i] != c.Points[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical datasets")
+	}
+}
+
+func TestUniformInBounds(t *testing.T) {
+	d := Uniform(5000, 10000, 1000, 1)
+	for _, p := range d.Points {
+		if p.X < 0 || p.X > 10000 || p.Y < 0 || p.Y > 1000 {
+			t.Fatalf("point out of canvas: %+v", p)
+		}
+	}
+	if d.DenseRect.Valid() {
+		t.Fatal("uniform must have no dense rect")
+	}
+	if d.Canvas() != (geom.Rect{MinX: 0, MinY: 0, MaxX: 10000, MaxY: 1000}) {
+		t.Fatal("canvas")
+	}
+}
+
+func TestSkewedDistribution(t *testing.T) {
+	d := Skewed(10000, 10000, 1000, 7)
+	if !d.DenseRect.Valid() {
+		t.Fatal("skewed must expose its dense rect")
+	}
+	// Dense rect covers 20% of area (0.4W x 0.5H).
+	wantArea := 0.2 * 10000 * 1000
+	if math.Abs(d.DenseRect.Area()-wantArea) > 1 {
+		t.Fatalf("dense area = %g want %g", d.DenseRect.Area(), wantArea)
+	}
+	inDense := 0
+	for _, p := range d.Points {
+		if p.X < 0 || p.X > 10000 || p.Y < 0 || p.Y > 1000 {
+			t.Fatalf("point out of canvas: %+v", p)
+		}
+		if d.DenseRect.ContainsPoint(geom.Point{X: p.X, Y: p.Y}) {
+			inDense++
+		}
+	}
+	frac := float64(inDense) / float64(len(d.Points))
+	if frac < 0.79 || frac > 0.81 {
+		t.Fatalf("dense fraction = %g want ~0.8", frac)
+	}
+	// Unique ascending IDs.
+	for i, p := range d.Points {
+		if p.ID != int64(i) {
+			t.Fatal("ids must be ascending tuple ids")
+		}
+	}
+}
+
+func TestTraceA(t *testing.T) {
+	tr := TraceA(geom.Point{X: 10240, Y: 1024}, 1024, 1024, 1024)
+	if tr.NumPans() != 12 {
+		t.Fatalf("pans = %d want 12", tr.NumPans())
+	}
+	// Every step tile-aligned.
+	for i, s := range tr.Steps {
+		if math.Mod(s.MinX, 1024) != 0 || math.Mod(s.MinY, 1024) != 0 {
+			t.Fatalf("step %d not aligned: %v", i, s)
+		}
+	}
+	// Six leftward then six upward steps.
+	for i := 1; i <= 6; i++ {
+		if tr.Steps[i].MinX != tr.Steps[i-1].MinX-1024 || tr.Steps[i].MinY != tr.Steps[i-1].MinY {
+			t.Fatalf("step %d should move left", i)
+		}
+	}
+	for i := 7; i <= 12; i++ {
+		if tr.Steps[i].MinY != tr.Steps[i-1].MinY+1024 || tr.Steps[i].MinX != tr.Steps[i-1].MinX {
+			t.Fatalf("step %d should move up", i)
+		}
+	}
+}
+
+func TestTraceBNeverAligned(t *testing.T) {
+	tr := TraceB(geom.Point{X: 10240, Y: 1024}, 1024, 1024, 1024)
+	if tr.NumPans() != 12 {
+		t.Fatalf("pans = %d", tr.NumPans())
+	}
+	for i, s := range tr.Steps {
+		if math.Mod(s.MinX, 1024) == 0 || math.Mod(s.MinY, 1024) == 0 {
+			t.Fatalf("step %d unexpectedly aligned: %v", i, s)
+		}
+	}
+}
+
+func TestTraceCDiagonal(t *testing.T) {
+	tr := TraceC(geom.Point{X: 0, Y: 0}, 1024, 1024, 1024)
+	if tr.NumPans() != 6 {
+		t.Fatalf("pans = %d want 6", tr.NumPans())
+	}
+	for i := 1; i < len(tr.Steps); i++ {
+		dx := tr.Steps[i].MinX - tr.Steps[i-1].MinX
+		dy := tr.Steps[i].MinY - tr.Steps[i-1].MinY
+		if dx != 1024 || dy != 1024 {
+			t.Fatalf("step %d not diagonal: dx=%g dy=%g", i, dx, dy)
+		}
+	}
+}
+
+func TestPaperTracesStayOnCanvas(t *testing.T) {
+	for _, d := range []*Dataset{
+		Uniform(10, 131072, 16384, 1),
+		Skewed(10, 131072, 16384, 1),
+	} {
+		for _, tr := range PaperTraces(d, 1024, 1024, 1024) {
+			if err := tr.Validate(d.Canvas()); err != nil {
+				t.Errorf("%s on %s: %v", tr.Name, d.Name, err)
+			}
+		}
+	}
+}
+
+func TestPaperTracesSkewedPlacement(t *testing.T) {
+	d := Skewed(10, 131072, 16384, 1)
+	traces := PaperTraces(d, 1024, 1024, 1024)
+	// Trace a starts inside the dense region (Fig. 5 places a/b near
+	// the dense-area boundary).
+	if !d.DenseRect.ContainsPoint(traces[0].Steps[0].Center()) {
+		t.Fatalf("trace-a start %v outside dense %v", traces[0].Steps[0], d.DenseRect)
+	}
+	// Trace c must cross the dense boundary: starts in, ends out.
+	c := traces[2]
+	if !d.DenseRect.ContainsPoint(c.Steps[0].Center()) {
+		t.Fatal("trace-c should start dense")
+	}
+	if d.DenseRect.ContainsPoint(c.Steps[len(c.Steps)-1].Center()) {
+		t.Fatal("trace-c should end sparse")
+	}
+}
+
+func TestSpecialTraces(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 100000, MaxY: 10000}
+	cv := ConstantVelocityTrace(geom.Point{X: 5000, Y: 5000}, 500, 0, 10, 1024, 1024)
+	if cv.NumPans() != 10 {
+		t.Fatal("cv pans")
+	}
+	if cv.Steps[10].MinX != 10000 {
+		t.Fatalf("cv end = %v", cv.Steps[10])
+	}
+	rw := RandomWalkTrace(geom.Point{X: 5000, Y: 5000}, 700, 50, 1024, 1024, 9, bounds)
+	if rw.NumPans() != 50 {
+		t.Fatal("rw pans")
+	}
+	if err := rw.Validate(bounds); err != nil {
+		t.Fatal(err)
+	}
+	rv := RevisitTrace(geom.Point{X: 0, Y: 0}, geom.Point{X: 5000, Y: 0}, 6, 1024, 1024)
+	if rv.NumPans() != 6 {
+		t.Fatal("rv pans")
+	}
+	if rv.Steps[1] != rv.Steps[3] || rv.Steps[0] != rv.Steps[2] {
+		t.Fatal("revisit must alternate")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	tr := TraceA(geom.Point{X: 1024, Y: 1024}, 1024, 1024, 1024)
+	// Moving left 6 steps from x=1024 goes negative: must be caught.
+	if err := tr.Validate(geom.Rect{MinX: 0, MinY: 0, MaxX: 100000, MaxY: 100000}); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestCrimeData(t *testing.T) {
+	cd := Crime(60, 3)
+	if len(cd.States) != 50 {
+		t.Fatalf("states = %d", len(cd.States))
+	}
+	if len(cd.Counties) != 50*60 {
+		t.Fatalf("counties = %d", len(cd.Counties))
+	}
+	if cd.CountyCanvas.W() != cd.StateCanvas.W()*cd.ZoomFactor {
+		t.Fatal("county canvas must be zoomFactor larger")
+	}
+	names := map[string]bool{}
+	for _, s := range cd.States {
+		if !cd.StateCanvas.Contains(s.Box) {
+			t.Fatalf("state %s box %v outside canvas", s.Name, s.Box)
+		}
+		if s.CrimeRate <= 0 {
+			t.Fatal("rate must be positive")
+		}
+		if names[s.Name] {
+			t.Fatalf("duplicate state %s", s.Name)
+		}
+		names[s.Name] = true
+	}
+	for _, c := range cd.Counties {
+		if c.ParentID < 0 || c.ParentID >= 50 {
+			t.Fatalf("county parent = %d", c.ParentID)
+		}
+		parent := cd.States[c.ParentID]
+		if !parent.Box.Scale(cd.ZoomFactor).Contains(c.Box) {
+			t.Fatalf("county %s outside its state's zoomed box", c.Name)
+		}
+		if !cd.CountyCanvas.Contains(c.Box) {
+			t.Fatalf("county %s outside county canvas", c.Name)
+		}
+	}
+}
+
+func TestEEGData(t *testing.T) {
+	d := EEG(4, 60, 32, 5)
+	if len(d.Samples) != 4*60*32 {
+		t.Fatalf("samples = %d", len(d.Samples))
+	}
+	if d.TemporalW != 600 || d.TemporalH != 400 {
+		t.Fatalf("canvas = %gx%g", d.TemporalW, d.TemporalH)
+	}
+	canvas := geom.Rect{MinX: -100, MinY: -200, MaxX: d.TemporalW + 100, MaxY: d.TemporalH + 200}
+	for _, s := range d.Samples {
+		if s.Delta < 0 || s.Theta < 0 || s.Alpha < 0 || s.Beta < 0 {
+			t.Fatal("band powers must be non-negative")
+		}
+		box := d.TemporalBox(s)
+		if !canvas.Intersects(box) {
+			t.Fatalf("temporal box %v far off canvas", box)
+		}
+	}
+	// Band powers vary over time (sleep cycle), so delta should span a
+	// real range.
+	minD, maxD := math.Inf(1), math.Inf(-1)
+	for _, s := range d.Samples {
+		minD = math.Min(minD, s.Delta)
+		maxD = math.Max(maxD, s.Delta)
+	}
+	if maxD-minD < 10 {
+		t.Fatalf("delta power range too flat: %g..%g", minD, maxD)
+	}
+}
+
+func BenchmarkUniform1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Uniform(1_000_000, 131072, 16384, 1)
+	}
+}

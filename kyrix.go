@@ -1,0 +1,225 @@
+// Package kyrix is a from-scratch Go implementation of Kyrix, the
+// end-to-end system for developing scalable details-on-demand data
+// exploration applications (Tao et al., CIDR 2019).
+//
+// The public API mirrors the paper's architecture (Fig. 1):
+//
+//   - Declare an application with the canvas/layer/jump model
+//     ([App], [Canvas], [Layer], [Jump]) and register transform,
+//     placement, selector and rendering functions on a [Registry].
+//   - [Compile] the spec; the compiler performs the constraint checks
+//     of §2.1.
+//   - Load data into the embedded DBMS ([NewDB], [DB.Exec],
+//     [DB.InsertRow]) — the substrate standing in for PostgreSQL.
+//   - Start the backend with [NewServer]; it precomputes both of
+//     §3.1's database designs (tuple–tile mapping tables and the bbox
+//     spatial index) and serves tiles and dynamic boxes over HTTP with
+//     a backend cache.
+//   - Drive a frontend with [NewClient]: pan, jump, render; choose the
+//     fetching granularity per §3.1 ([DBoxExact], [DBox50],
+//     [TileSpatial1024], ...).
+//
+// The experiment harness that regenerates the paper's Figures 6 and 7
+// lives in internal/experiments and is exposed through cmd/kyrix-bench
+// and the root bench_test.go.
+package kyrix
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/frontend"
+	"kyrix/internal/server"
+	"kyrix/internal/spec"
+	"kyrix/internal/sqldb"
+	"kyrix/internal/storage"
+)
+
+// InteractiveBudget is the 500 ms response-time goal of §1/§3.
+const InteractiveBudget = frontend.InteractiveBudget
+
+// Declarative model (§2.1).
+type (
+	// App is the root of a Kyrix specification.
+	App = spec.App
+	// Canvas is an arbitrary-size worksheet with overlaid layers.
+	Canvas = spec.Canvas
+	// Layer is one overlaid layer of a canvas.
+	Layer = spec.Layer
+	// Transform is a layer's data specification (SQL + row transform).
+	Transform = spec.Transform
+	// ColumnSpec declares one transform output column.
+	ColumnSpec = spec.ColumnSpec
+	// Placement locates data objects on the canvas (§3.1/§3.2).
+	Placement = spec.Placement
+	// Jump is a customized transition between canvases.
+	Jump = spec.Jump
+	// JumpType enumerates transition types.
+	JumpType = spec.JumpType
+	// Registry resolves function names used in specs.
+	Registry = spec.Registry
+	// CompiledApp is a validated spec with functions resolved.
+	CompiledApp = spec.CompiledApp
+)
+
+// Jump types (geometric zoom, semantic zoom, or both).
+const (
+	GeometricZoom         = spec.GeometricZoom
+	SemanticZoom          = spec.SemanticZoom
+	GeometricSemanticZoom = spec.GeometricSemanticZoom
+)
+
+// NewRegistry returns an empty function registry.
+func NewRegistry() *Registry { return spec.NewRegistry() }
+
+// Compile validates an app spec against a registry (§2.1's compiler).
+func Compile(app *App, reg *Registry) (*CompiledApp, error) {
+	return spec.Compile(app, reg)
+}
+
+// ParseSpec parses a JSON app spec.
+func ParseSpec(data []byte) (*App, error) { return spec.FromJSON(data) }
+
+// Embedded DBMS (the PostgreSQL stand-in).
+type (
+	// DB is the embedded relational database.
+	DB = sqldb.DB
+	// Row is one tuple.
+	Row = storage.Row
+	// Value is one dynamically typed cell.
+	Value = storage.Value
+)
+
+// NewDB creates an empty embedded database.
+func NewDB() *DB { return sqldb.NewDB() }
+
+// Value constructors.
+var (
+	// Int builds an integer value.
+	Int = storage.I64
+	// Float builds a float value.
+	Float = storage.F64
+	// Text builds a string value.
+	Text = storage.Str
+	// Boolean builds a bool value.
+	Boolean = storage.Bool
+)
+
+// Backend (Fig. 1's "Backend Server").
+type (
+	// Server is the Kyrix backend.
+	Server = server.Server
+	// ServerOptions configures precomputation and the backend cache.
+	ServerOptions = server.Options
+)
+
+// NewServer precomputes every layer and returns a ready backend.
+func NewServer(db *DB, ca *CompiledApp, opts ServerOptions) (*Server, error) {
+	return server.New(db, ca, opts)
+}
+
+// DefaultServerOptions builds both §3.1 database designs with the
+// paper's three tile sizes.
+func DefaultServerOptions() ServerOptions { return server.DefaultOptions() }
+
+// Frontend (Fig. 1's "Frontend").
+type (
+	// Client is a frontend instance.
+	Client = frontend.Client
+	// ClientOptions selects the fetching scheme, codec and cache size.
+	ClientOptions = frontend.Options
+	// FetchReport is one interaction's measured data fetching.
+	FetchReport = frontend.FetchReport
+	// RenderFunc draws one data object.
+	RenderFunc = frontend.RenderFunc
+	// LayerMeta is what the frontend knows about one layer (schema,
+	// placement parameters, renderer name); renderers receive it.
+	LayerMeta = server.LayerMeta
+)
+
+// NewClient connects a frontend to a backend URL.
+func NewClient(baseURL string, ca *CompiledApp, opts ClientOptions) (*Client, error) {
+	return frontend.NewClient(baseURL, ca, opts)
+}
+
+// DefaultClientOptions uses dynamic boxes with a 64 MB frontend cache.
+func DefaultClientOptions() ClientOptions { return frontend.DefaultOptions() }
+
+// Fetching granularities (§3.1).
+type Granularity = fetch.Granularity
+
+// The paper's eight fetching schemes plus helpers.
+var (
+	// DBoxExact fetches exactly the viewport per move.
+	DBoxExact = fetch.DBoxExact
+	// DBox50 fetches a box 50% larger than the viewport.
+	DBox50 = fetch.DBox50
+	// TileSpatial256/1024/4096: static tiles over the spatial index.
+	TileSpatial256  = fetch.TileSpatial256
+	TileSpatial1024 = fetch.TileSpatial1024
+	TileSpatial4096 = fetch.TileSpatial4096
+	// TileMapping256/1024/4096: static tiles over tuple–tile mapping.
+	TileMapping256  = fetch.TileMapping256
+	TileMapping1024 = fetch.TileMapping1024
+	TileMapping4096 = fetch.TileMapping4096
+)
+
+// Instance is a running in-process Kyrix application: backend on a
+// loopback listener plus a connected frontend — the one-call setup for
+// examples and embedding.
+type Instance struct {
+	DB      *DB
+	Server  *Server
+	Client  *Client
+	BaseURL string
+
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// Launch compiles app, precomputes, serves on 127.0.0.1 and connects a
+// client. Callers own db contents (load tables before Launch).
+func Launch(db *DB, app *App, reg *Registry, srvOpts ServerOptions, cliOpts ClientOptions) (*Instance, error) {
+	ca, err := Compile(app, reg)
+	if err != nil {
+		return nil, err
+	}
+	srv, err := NewServer(db, ca, srvOpts)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("kyrix: listen: %w", err)
+	}
+	hsrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = hsrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	cli, err := NewClient(base, ca, cliOpts)
+	if err != nil {
+		_ = hsrv.Close()
+		return nil, err
+	}
+	return &Instance{
+		DB: db, Server: srv, Client: cli, BaseURL: base,
+		ln: ln, hsrv: hsrv,
+	}, nil
+}
+
+// Close shuts the instance down.
+func (in *Instance) Close() error {
+	if in.hsrv == nil {
+		return nil
+	}
+	err := in.hsrv.Close()
+	in.hsrv = nil
+	return err
+}
+
+// WithinBudget reports whether a fetch report met the 500 ms goal.
+func WithinBudget(rep FetchReport) bool { return rep.Duration <= InteractiveBudget }
+
+// Version identifies this implementation.
+const Version = "kyrix-go 1.0 (CIDR'19 reproduction)"

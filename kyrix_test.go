@@ -1,0 +1,147 @@
+package kyrix_test
+
+import (
+	"testing"
+
+	"kyrix"
+	"kyrix/internal/fetch"
+	"kyrix/internal/sqldb"
+)
+
+// buildDemo loads a small scatter dataset and returns the app pieces —
+// the same shape a downstream user of the public API writes.
+func buildDemo(t testing.TB, n int) (*kyrix.DB, *kyrix.App, *kyrix.Registry) {
+	t.Helper()
+	db := kyrix.NewDB()
+	if _, err := db.Exec("CREATE TABLE pts (id INT, x DOUBLE, y DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		// A 45x45 grid spanning the whole 2048x2048 canvas.
+		err := db.InsertRow("pts", kyrix.Row{
+			kyrix.Int(int64(i)),
+			kyrix.Float(float64(i%45) * 45),
+			kyrix.Float(float64(i/45) * 45),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := kyrix.NewRegistry()
+	reg.RegisterRenderer("dots")
+	app := &kyrix.App{
+		Name: "demo",
+		Canvases: []kyrix.Canvas{{
+			ID: "main", W: 2048, H: 2048,
+			Transforms: []kyrix.Transform{{
+				ID: "t", Query: "SELECT * FROM pts",
+				Columns: []kyrix.ColumnSpec{
+					{Name: "id", Type: "int"},
+					{Name: "x", Type: "double"},
+					{Name: "y", Type: "double"},
+				},
+			}},
+			Layers: []kyrix.Layer{{
+				TransformID: "t",
+				Placement:   &kyrix.Placement{XCol: "x", YCol: "y", Radius: 2},
+				Renderer:    "dots",
+			}},
+		}},
+		InitialCanvas: "main", InitialX: 1024, InitialY: 1024,
+		ViewportW: 512, ViewportH: 512,
+	}
+	return db, app, reg
+}
+
+func TestLaunchEndToEnd(t *testing.T) {
+	db, app, reg := buildDemo(t, 2000)
+	inst, err := kyrix.Launch(db, app, reg, kyrix.ServerOptions{
+		CacheBytes: 4 << 20,
+		Precompute: fetch.Options{BuildSpatial: true, TileSizes: []float64{512}},
+	}, kyrix.DefaultClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	rep, err := inst.Client.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows == 0 {
+		t.Fatal("load fetched nothing")
+	}
+	if !kyrix.WithinBudget(rep) {
+		t.Fatalf("local load over budget: %v", rep.Duration)
+	}
+	rep, err = inst.Client.PanBy(600, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 {
+		t.Fatalf("pan requests = %d", rep.Requests)
+	}
+	rows, err := inst.Client.ObjectsInViewport(0)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("objects: %v, %d rows", err, len(rows))
+	}
+	// Double close is safe.
+	if err := inst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLaunchCompileError(t *testing.T) {
+	db, app, reg := buildDemo(t, 10)
+	app.InitialCanvas = "missing"
+	if _, err := kyrix.Launch(db, app, reg, kyrix.DefaultServerOptions(), kyrix.DefaultClientOptions()); err == nil {
+		t.Fatal("bad spec must fail Launch")
+	}
+}
+
+func TestSpecJSONThroughPublicAPI(t *testing.T) {
+	_, app, reg := buildDemo(t, 1)
+	data, err := app.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := kyrix.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kyrix.Compile(back, reg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemeAliases(t *testing.T) {
+	if kyrix.DBoxExact.Name() != "dbox" || kyrix.TileMapping4096.Name() != "tile mapping 4096" {
+		t.Fatal("scheme aliases wrong")
+	}
+	var _ kyrix.Granularity = kyrix.DBox50
+	if kyrix.TileSpatial256.TileSize != 256 || kyrix.TileSpatial1024.TileSize != 1024 {
+		t.Fatal("tile sizes wrong")
+	}
+}
+
+func TestValueConstructors(t *testing.T) {
+	db := kyrix.NewDB()
+	if _, err := db.Exec("CREATE TABLE v (a INT, b DOUBLE, c TEXT, d BOOL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO v VALUES (?, ?, ?, ?)",
+		kyrix.Int(1), kyrix.Float(2.5), kyrix.Text("x"), kyrix.Boolean(true)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT * FROM v")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query: %v", err)
+	}
+}
+
+// Ensure exported DB alias is the internal type (compile-time check
+// that downstream signatures interoperate).
+var _ *sqldb.DB = (*kyrix.DB)(nil)
