@@ -5,10 +5,17 @@
 //	kyrix-bench -fig 7            # Figure 7 (Skewed)
 //	kyrix-bench -fig all          # everything, plus the shape report
 //	kyrix-bench -fig A3 -scale quick
+//	kyrix-bench -clients 1,4,16   # concurrent-clients throughput sweep
 //
 // -scale selects the workload size: quick (CI), default (laptop,
 // DESIGN.md §5 mapping), paper (the original 100M-dot setup; very
 // slow).
+//
+// -clients switches to concurrent-clients mode: N parallel frontends
+// replay random-walk traces against one backend, measuring throughput
+// (steps/s), latency (mean/p95), and how far the serving pipeline
+// (sharded cache, request coalescing, batched tile fetch) cuts
+// database queries per step. -steps and -batch tune the workload.
 package main
 
 import (
@@ -16,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -26,6 +34,9 @@ func main() {
 	fig := flag.String("fig", "all", "which figure/ablation to run: 4|5|6|7|A1|A2|A3|A4|A5|all")
 	scale := flag.String("scale", "default", "workload scale: quick | default | paper")
 	runs := flag.Int("runs", 0, "override the number of runs per series (0 = config default)")
+	clients := flag.String("clients", "", "concurrent-clients mode: comma-separated client counts (e.g. 1,4,16); replaces the figure runs")
+	steps := flag.Int("steps", 12, "pan steps per client in concurrent-clients mode")
+	batch := flag.Int("batch", 8, "frontend tile batch size in concurrent-clients mode (0 = per-tile GETs)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -41,6 +52,25 @@ func main() {
 	}
 	if *runs > 0 {
 		cfg.Runs = *runs
+	}
+
+	if *clients != "" {
+		counts, err := parseCounts(*clients)
+		if err != nil {
+			log.Fatal(err)
+		}
+		env := buildEnv(cfg, "uniform")
+		defer env.Close()
+		opts := experiments.DefaultConcurrentOptions()
+		opts.ClientCounts = counts
+		opts.StepsPerClient = *steps
+		opts.BatchSize = *batch
+		t, err := experiments.ConcurrentClients(env, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(t.Format())
+		return
 	}
 
 	want := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
@@ -131,6 +161,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kyrix-bench: unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("kyrix-bench: bad -clients entry %q", part)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
 }
 
 func buildEnv(cfg experiments.Config, kind string) *experiments.Env {

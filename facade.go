@@ -69,8 +69,11 @@ func (v ClientView) MoveTo(r Rect) error {
 
 // Prefetching (§4).
 type (
-	// Prefetcher issues background fetches from a predictor.
+	// Prefetcher issues background dynamic-box fetches from a predictor.
 	Prefetcher = prefetch.Prefetcher
+	// TilePrefetcher warms predicted tiles, one batched round trip per
+	// prediction (pair it with ClientOptions.BatchSize > 1).
+	TilePrefetcher = prefetch.TilePrefetcher
 	// Predictor forecasts the next viewport.
 	Predictor = prefetch.Predictor
 )
@@ -87,6 +90,13 @@ func NewSemanticPredictor(field prefetch.DensityField) Predictor {
 // layers.
 func NewPrefetcher(p Predictor, c *Client, layers []int, bounds Rect) *Prefetcher {
 	return prefetch.NewPrefetcher(p, c, layers, bounds)
+}
+
+// NewTilePrefetcher wires a predictor to a client's tile cache for the
+// given data layers and tile size; predicted viewports are warmed
+// through the backend's batch endpoint when the client batches.
+func NewTilePrefetcher(p Predictor, c *Client, layers []int, tileSize float64, bounds Rect) *TilePrefetcher {
+	return prefetch.NewTilePrefetcher(p, c, layers, tileSize, bounds)
 }
 
 // Placement learning (§4 "application by example").

@@ -1,0 +1,3 @@
+module kyrix
+
+go 1.24

@@ -5,14 +5,35 @@
 // Keys are strings (canonical request keys like "tile/canvas0/1/5/7" or
 // "dbox/canvas0/<rect>"); values carry an explicit size so the budget
 // reflects payload bytes, not entry counts.
+//
+// The cache is sharded: keys are fnv-1a hashed onto a power-of-two
+// number of shards, each an independently locked LRU list. The byte
+// budget is global (maintained with one atomic counter), so any value
+// up to the full budget is cacheable, exactly as in a single-lock LRU;
+// when an insert pushes the total over budget, the inserting shard
+// evicts its own LRU entries first and then steals evictions from
+// other shards. Under concurrent load shards eliminate the
+// single-mutex bottleneck; caches with small budgets collapse to one
+// shard and behave exactly like a classic global LRU.
 package cache
 
 import (
 	"container/list"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// Stats reports cache activity.
+// minShardBudget is the smallest per-shard share of the budget worth
+// splitting for: below this, sharding fragments eviction order for no
+// contention win, so the constructor reduces the shard count (tiny
+// caches keep exact global LRU order).
+const minShardBudget = 1 << 20
+
+// maxShards bounds the shard count (power of two).
+const maxShards = 256
+
+// Stats reports cache activity, aggregated across shards.
 type Stats struct {
 	Hits      int64
 	Misses    int64
@@ -28,125 +49,256 @@ type cacheEntry struct {
 	size  int64
 }
 
-// LRU is a thread-safe least-recently-used cache with a byte budget.
-type LRU struct {
+// shard is one independently locked LRU list.
+type shard struct {
 	mu      sync.Mutex
-	budget  int64
-	bytes   int64
 	entries map[string]*list.Element
 	order   *list.List // front = most recent
 
 	hits, misses, evictions, puts int64
 }
 
-// NewLRU creates a cache holding up to budget bytes. budget <= 0 means
-// the cache rejects every Put (a disabled cache, used by the A2
-// ablation).
+// LRU is a thread-safe, sharded least-recently-used cache with a
+// global byte budget. Recency is tracked per shard; total resident
+// bytes never exceed the budget.
+type LRU struct {
+	shards []*shard
+	mask   uint32
+	budget int64
+	bytes  atomic.Int64
+}
+
+// NewLRU creates a cache holding up to budget bytes with an automatic
+// shard count (derived from GOMAXPROCS, reduced for small budgets).
+// budget <= 0 means the cache rejects every Put (a disabled cache,
+// used by the A2 ablation).
 func NewLRU(budget int64) *LRU {
-	return &LRU{
-		budget:  budget,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+	return NewLRUSharded(budget, 0)
+}
+
+// NewLRUSharded creates a cache holding up to budget bytes spread over
+// the given number of shards. shards is rounded up to a power of two;
+// shards <= 0 picks a default from GOMAXPROCS. The shard count is
+// reduced until every shard's share of the budget is at least
+// minShardBudget (1 MB), so small caches keep exact global LRU order.
+// Values up to the full budget are cacheable regardless of shard
+// count.
+func NewLRUSharded(budget int64, shards int) *LRU {
+	if shards <= 0 {
+		// Serving concurrency routinely exceeds core count (requests
+		// block on network I/O), so the default floors at 8 shards;
+		// the budget clamp below still collapses small caches.
+		shards = 4 * runtime.GOMAXPROCS(0)
+		if shards < 8 {
+			shards = 8
+		}
 	}
+	n := nextPow2(shards)
+	if n > maxShards {
+		n = maxShards
+	}
+	if budget < 0 {
+		budget = 0
+	}
+	for n > 1 && budget/int64(n) < minShardBudget {
+		n /= 2
+	}
+	c := &LRU{shards: make([]*shard, n), mask: uint32(n - 1), budget: budget}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			entries: make(map[string]*list.Element),
+			order:   list.New(),
+		}
+	}
+	return c
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ShardCount returns the number of shards (a power of two).
+func (c *LRU) ShardCount() int { return len(c.shards) }
+
+// fnv-1a, inlined to keep the hot path allocation-free.
+func fnv32a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *LRU) shardIdx(key string) uint32 {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	return fnv32a(key) & c.mask
 }
 
 // Get returns the cached value and whether it was present, refreshing
 // recency on a hit.
 func (c *LRU) Get(key string) (any, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
+	s := c.shards[c.shardIdx(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
 	if !ok {
-		c.misses++
+		s.misses++
 		return nil, false
 	}
-	c.hits++
-	c.order.MoveToFront(el)
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Peek returns the cached value without refreshing recency or
+// touching hit/miss statistics. Callers that already counted a miss
+// for this key (the server's coalescing double-check) use it to avoid
+// double-counting.
+func (c *LRU) Peek(key string) (any, bool) {
+	s := c.shards[c.shardIdx(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
 	return el.Value.(*cacheEntry).value, true
 }
 
 // Contains reports presence without affecting recency or stats.
 func (c *LRU) Contains(key string) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	_, ok := c.entries[key]
+	s := c.shards[c.shardIdx(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
 	return ok
 }
 
-// Put stores value under key with the given size in bytes, evicting LRU
-// entries as needed. Values larger than the whole budget are not cached.
-// Re-putting a key updates its value, size and recency.
+// evictOne drops the shard's LRU entry, crediting the global byte
+// count. Caller holds s.mu. Reports whether anything was evicted.
+func (s *shard) evictOne(bytes *atomic.Int64) bool {
+	back := s.order.Back()
+	if back == nil {
+		return false
+	}
+	e := back.Value.(*cacheEntry)
+	s.order.Remove(back)
+	delete(s.entries, e.key)
+	bytes.Add(-e.size)
+	s.evictions++
+	return true
+}
+
+// Put stores value under key with the given size in bytes, evicting
+// LRU entries as needed — from the key's own shard first, then from
+// other shards when the owner runs dry. Values larger than the whole
+// budget are not cached. Re-putting a key updates its value, size and
+// recency.
 func (c *LRU) Put(key string, value any, size int64) {
 	if size < 0 {
 		size = 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if size > c.budget {
+	if size > c.budget || c.budget <= 0 {
 		return
 	}
-	c.puts++
-	if el, ok := c.entries[key]; ok {
+	idx := c.shardIdx(key)
+	s := c.shards[idx]
+	s.mu.Lock()
+	s.puts++
+	var inserted *list.Element
+	if el, ok := s.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		c.bytes += size - e.size
+		c.bytes.Add(size - e.size)
 		e.value, e.size = value, size
-		c.order.MoveToFront(el)
+		s.order.MoveToFront(el)
+		inserted = el
 	} else {
-		el := c.order.PushFront(&cacheEntry{key: key, value: value, size: size})
-		c.entries[key] = el
-		c.bytes += size
+		el := s.order.PushFront(&cacheEntry{key: key, value: value, size: size})
+		s.entries[key] = el
+		c.bytes.Add(size)
+		inserted = el
 	}
-	for c.bytes > c.budget {
-		back := c.order.Back()
-		if back == nil {
+	// Evict the shard's older entries, never the entry just stored —
+	// a value larger than this shard's prior contents spills over to
+	// the cross-shard steal below instead of evicting itself.
+	for c.bytes.Load() > c.budget && s.order.Back() != inserted {
+		if !s.evictOne(&c.bytes) {
 			break
 		}
-		e := back.Value.(*cacheEntry)
-		c.order.Remove(back)
-		delete(c.entries, e.key)
-		c.bytes -= e.size
-		c.evictions++
+	}
+	s.mu.Unlock()
+	// The owning shard ran dry but the total is still over budget (a
+	// value bigger than the shard's prior contents): steal evictions
+	// from the other shards, one lock at a time. Cross-shard eviction
+	// order is approximate LRU; the byte bound is exact.
+	if c.bytes.Load() > c.budget && len(c.shards) > 1 {
+		for i := 1; i < len(c.shards) && c.bytes.Load() > c.budget; i++ {
+			sh := c.shards[(int(idx)+i)%len(c.shards)]
+			sh.mu.Lock()
+			for c.bytes.Load() > c.budget && sh.evictOne(&c.bytes) {
+			}
+			sh.mu.Unlock()
+		}
 	}
 }
 
 // Remove drops key if present.
 func (c *LRU) Remove(key string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
+	s := c.shards[c.shardIdx(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.entries[key]; ok {
 		e := el.Value.(*cacheEntry)
-		c.order.Remove(el)
-		delete(c.entries, key)
-		c.bytes -= e.size
+		s.order.Remove(el)
+		delete(s.entries, key)
+		c.bytes.Add(-e.size)
 	}
 }
 
 // Clear empties the cache, keeping statistics.
 func (c *LRU) Clear() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.order.Init()
-	c.bytes = 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for _, el := range s.entries {
+			c.bytes.Add(-el.Value.(*cacheEntry).size)
+		}
+		s.entries = make(map[string]*list.Element)
+		s.order.Init()
+		s.mu.Unlock()
+	}
 }
 
-// Stats returns a snapshot of cache statistics.
+// Stats returns a snapshot of cache statistics summed across shards.
+// The snapshot is per-shard consistent, not globally atomic: shards
+// are read one at a time, so concurrent mutation can skew totals
+// slightly.
 func (c *LRU) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return Stats{
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
-		Puts:      c.puts,
-		Bytes:     c.bytes,
-		Entries:   len(c.entries),
+	var st Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st.Hits += s.hits
+		st.Misses += s.misses
+		st.Evictions += s.evictions
+		st.Puts += s.puts
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
 	}
+	st.Bytes = c.bytes.Load()
+	return st
 }
 
 // ResetStats zeroes the counters (budget and contents unchanged).
 func (c *LRU) ResetStats() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.hits, c.misses, c.evictions, c.puts = 0, 0, 0, 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		s.hits, s.misses, s.evictions, s.puts = 0, 0, 0, 0
+		s.mu.Unlock()
+	}
 }

@@ -176,3 +176,152 @@ func BenchmarkPutGet(b *testing.B) {
 		c.Get(key)
 	}
 }
+
+// --- sharded-cache surface ---
+
+func TestShardedDefaults(t *testing.T) {
+	// Small budgets collapse to one shard so exact global LRU order is
+	// preserved (the tests above depend on it).
+	if got := NewLRU(300).ShardCount(); got != 1 {
+		t.Fatalf("tiny budget shards = %d, want 1", got)
+	}
+	// Production-sized budgets shard.
+	if got := NewLRU(256 << 20).ShardCount(); got < 8 {
+		t.Fatalf("256MB budget shards = %d, want >= 8", got)
+	}
+	// Explicit counts round up to a power of two.
+	if got := NewLRUSharded(256<<20, 5).ShardCount(); got != 8 {
+		t.Fatalf("shards(5) = %d, want 8", got)
+	}
+	// Disabled caches are a single shard that rejects puts.
+	c := NewLRUSharded(0, 16)
+	if c.ShardCount() != 1 {
+		t.Fatalf("disabled cache shards = %d", c.ShardCount())
+	}
+	c.Put("a", 1, 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+}
+
+func TestShardedBudgetHonored(t *testing.T) {
+	const budget = 64 << 20
+	c := NewLRUSharded(budget, 8)
+	if c.ShardCount() != 8 {
+		t.Fatalf("shards = %d", c.ShardCount())
+	}
+	// Insert far more bytes than the budget, across many keys, and
+	// verify the aggregate never exceeds the total budget.
+	const size = 1 << 20
+	for i := 0; i < 200; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i, size)
+		if st := c.Stats(); st.Bytes > budget {
+			t.Fatalf("bytes %d exceed budget %d after put %d", st.Bytes, budget, i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions when 200MB is pushed through a 64MB cache")
+	}
+	if st.Bytes > budget {
+		t.Fatalf("final bytes %d exceed budget %d", st.Bytes, budget)
+	}
+}
+
+func TestShardedStatsAggregation(t *testing.T) {
+	c := NewLRUSharded(64<<20, 8)
+	keys := make([]string, 64)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("agg-%d", i)
+		c.Put(keys[i], i, 100)
+	}
+	for _, k := range keys {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("lost key %s", k)
+		}
+	}
+	c.Get("missing-1")
+	c.Get("missing-2")
+	st := c.Stats()
+	if st.Puts != 64 || st.Hits != 64 || st.Misses != 2 {
+		t.Fatalf("aggregated stats = %+v", st)
+	}
+	if st.Entries != 64 || st.Bytes != 6400 {
+		t.Fatalf("aggregated contents = %+v", st)
+	}
+	// Keys must actually spread over shards (fnv over distinct keys).
+	perShard := make(map[uint32]int)
+	for _, k := range keys {
+		perShard[fnv32a(k)&c.mask]++
+	}
+	if len(perShard) < 2 {
+		t.Fatalf("64 keys landed on %d shard(s)", len(perShard))
+	}
+	c.ResetStats()
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 || st.Puts != 0 {
+		t.Fatalf("stats not reset across shards: %+v", st)
+	}
+	if st := c.Stats(); st.Entries != 64 {
+		t.Fatal("reset must keep contents")
+	}
+	c.Clear()
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("clear left state: %+v", st)
+	}
+}
+
+func TestShardedConcurrentAccess(t *testing.T) {
+	c := NewLRUSharded(64<<20, 16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", (g*2000+i)%512)
+				c.Put(key, i, 1024)
+				c.Get(key)
+				if i%64 == 0 {
+					c.Remove(key)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 64<<20 {
+		t.Fatalf("budget exceeded: %d", st.Bytes)
+	}
+}
+
+func TestLargeValueCacheableAcrossShards(t *testing.T) {
+	// A value bigger than budget/shards (but within the budget) must
+	// still be cacheable — the old single-lock cache accepted it, and
+	// sharding must not silently regress that. Eviction steals from
+	// other shards to make room.
+	const budget = 16 << 20
+	c := NewLRUSharded(budget, 8)
+	if c.ShardCount() != 8 {
+		t.Fatalf("shards = %d", c.ShardCount())
+	}
+	// Fill every shard with small entries.
+	for i := 0; i < 64; i++ {
+		c.Put(fmt.Sprintf("small-%d", i), i, budget/64)
+	}
+	if st := c.Stats(); st.Bytes > budget {
+		t.Fatalf("pre-fill bytes %d over budget", st.Bytes)
+	}
+	// 12 MB value: 6x one shard's share (2 MB), well within the total.
+	big := int64(12 << 20)
+	c.Put("big", "payload", big)
+	v, ok := c.Get("big")
+	if !ok || v.(string) != "payload" {
+		t.Fatalf("large value not cached (Get = %v %v)", v, ok)
+	}
+	st := c.Stats()
+	if st.Bytes > budget {
+		t.Fatalf("bytes %d exceed budget %d after large put", st.Bytes, budget)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("large put should have evicted small entries")
+	}
+}

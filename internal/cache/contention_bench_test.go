@@ -1,0 +1,57 @@
+package cache
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// benchKeys is a fixed working set that fits comfortably in every
+// sharding of the benchmark budget, so the benchmark measures lock
+// contention, not eviction churn.
+var benchKeys = func() []string {
+	keys := make([]string, 1024)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("t/canvas0/1024/%d/%d", i%32, i/32)
+	}
+	return keys
+}()
+
+// BenchmarkContention compares the single-mutex design (shards=1, the
+// seed implementation) against sharded variants under parallel mixed
+// Get/Put load. Run with -cpu and pipe into benchstat:
+//
+//	go test ./internal/cache -bench Contention -count 10 | benchstat -
+func BenchmarkContention(b *testing.B) {
+	for _, shards := range []int{1, 4, 8, 16, 64} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c := NewLRUSharded(256<<20, shards)
+			if got := c.ShardCount(); got != shards {
+				b.Fatalf("ShardCount = %d, want %d", got, shards)
+			}
+			for _, k := range benchKeys {
+				c.Put(k, k, 4096)
+			}
+			// Guarantee at least 8 goroutines regardless of GOMAXPROCS,
+			// matching the acceptance bar ("≥8 goroutines").
+			procs := runtime.GOMAXPROCS(0)
+			if procs < 8 {
+				b.SetParallelism((8 + procs - 1) / procs)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					key := benchKeys[i&1023]
+					if i&7 == 0 { // 1-in-8 writes, a cache-hit-heavy mix
+						c.Put(key, key, 4096)
+					} else {
+						c.Get(key)
+					}
+					i++
+				}
+			})
+		})
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/frontend"
+	"kyrix/internal/geom"
+	"kyrix/internal/workload"
+)
+
+// ConcurrentOptions configures a concurrent-clients run.
+type ConcurrentOptions struct {
+	// ClientCounts are the parallel-frontend counts to sweep.
+	ClientCounts []int
+	// StepsPerClient is the pan steps each client replays (excluding
+	// the initial load).
+	StepsPerClient int
+	// Scheme is the fetching granularity every client uses.
+	Scheme fetch.Granularity
+	// BatchSize is each client's tile-batching knob (tiles schemes
+	// only; 0 disables).
+	BatchSize int
+	// SharedTraces groups clients onto this many distinct traces, so
+	// concurrent clients overlap and request coalescing has identical
+	// in-flight requests to merge. 0 means every client gets its own
+	// trace (no overlap).
+	SharedTraces int
+}
+
+// DefaultConcurrentOptions sweeps 1..16 clients replaying tile fetches
+// with batching, with clients paired onto shared traces.
+func DefaultConcurrentOptions() ConcurrentOptions {
+	return ConcurrentOptions{
+		ClientCounts:   []int{1, 2, 4, 8, 16},
+		StepsPerClient: 12,
+		Scheme:         fetch.TileSpatial1024,
+		BatchSize:      8,
+		SharedTraces:   4,
+	}
+}
+
+// ConcurrentClients measures the backend under N parallel frontends:
+// the throughput/latency sweep behind the ROADMAP's "heavy traffic"
+// goal, and the ablation surface for the serving pipeline (sharded
+// cache, coalescing, batching). Each client replays a random-walk
+// trace; clients sharing a trace issue identical requests and exercise
+// coalescing. The backend cache is cleared before each client count so
+// rows are comparable cold starts.
+func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
+	if len(opts.ClientCounts) == 0 || opts.StepsPerClient <= 0 {
+		return nil, fmt.Errorf("experiments: concurrent run needs client counts and steps")
+	}
+	rows := make([]string, len(opts.ClientCounts))
+	for i, n := range opts.ClientCounts {
+		rows[i] = fmt.Sprintf("%d clients", n)
+	}
+	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step"}
+	t := NewTable(
+		fmt.Sprintf("Concurrent clients: %s over %q", opts.Scheme.Name(), env.Cfg.Name),
+		"mixed units, see columns", rows, cols)
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("steps/client=%d batch=%d sharedTraces=%d; backend cache cleared per row",
+			opts.StepsPerClient, opts.BatchSize, opts.SharedTraces))
+
+	canvas := env.Dataset.Canvas()
+	for _, n := range opts.ClientCounts {
+		row := fmt.Sprintf("%d clients", n)
+		env.Srv.BackendCache().Clear()
+
+		traces := make([]*workload.Trace, n)
+		for i := range traces {
+			seed := int64(i)
+			if opts.SharedTraces > 0 {
+				seed = int64(i % opts.SharedTraces)
+			}
+			start := geom.Point{
+				X: env.Cfg.ViewportW/2 + float64(seed)*env.Cfg.ViewportW,
+				Y: canvas.H() / 2,
+			}
+			traces[i] = workload.RandomWalkTrace(start, env.Cfg.ViewportW/2,
+				opts.StepsPerClient, env.Cfg.ViewportW, env.Cfg.ViewportH,
+				1000+seed, canvas)
+		}
+
+		type result struct {
+			durs []float64 // per-pan-step, ms
+			err  error
+		}
+		results := make([]result, n)
+		var wg sync.WaitGroup
+		// Setup (client construction's /app fetch and the cold initial
+		// load) happens before the wall clock starts: steps/s measures
+		// the measured pan steps only, like the per-step figures.
+		start := make(chan struct{})
+		var ready sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			ready.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c, err := frontend.NewClient(env.BaseURL, env.CA, frontend.Options{
+					Scheme:     opts.Scheme,
+					Codec:      env.Cfg.Codec,
+					CacheBytes: env.Cfg.FrontendCacheBytes,
+					BatchSize:  opts.BatchSize,
+				})
+				if err == nil {
+					_, err = c.Pan(traces[i].Steps[0])
+				}
+				results[i].err = err
+				ready.Done()
+				<-start
+				if err != nil {
+					return
+				}
+				for _, step := range traces[i].Steps[1:] {
+					rep, err := c.Pan(step)
+					if err != nil {
+						results[i].err = err
+						return
+					}
+					results[i].durs = append(results[i].durs,
+						float64(rep.Duration.Microseconds())/1000)
+				}
+			}(i)
+		}
+		ready.Wait()
+		// Snapshot server counters only now: the untimed setup phase
+		// (concurrent cold initial loads) must not be billed to the
+		// measured steps.
+		dbqBefore := env.Srv.Stats.DBQueries.Load()
+		coalBefore := env.Srv.Stats.CoalescedHits.Load()
+		wallStart := time.Now()
+		close(start)
+		wg.Wait()
+		wall := time.Since(wallStart).Seconds()
+
+		var durs []float64
+		for i := range results {
+			if results[i].err != nil {
+				return nil, fmt.Errorf("experiments: client %d: %w", i, results[i].err)
+			}
+			durs = append(durs, results[i].durs...)
+		}
+		steps := float64(len(durs))
+		if steps == 0 || wall <= 0 {
+			return nil, fmt.Errorf("experiments: concurrent run measured nothing")
+		}
+		sort.Float64s(durs)
+		var sum float64
+		for _, d := range durs {
+			sum += d
+		}
+		p95 := durs[int(math.Ceil(0.95*steps))-1]
+		dbq := float64(env.Srv.Stats.DBQueries.Load() - dbqBefore)
+		coal := float64(env.Srv.Stats.CoalescedHits.Load() - coalBefore)
+
+		t.Set(row, "steps/s", steps/wall, Series{})
+		t.Set(row, "mean ms", sum/steps, Series{})
+		t.Set(row, "p95 ms", p95, Series{})
+		t.Set(row, "dbq/step", dbq/steps, Series{})
+		t.Set(row, "coal/step", coal/steps, Series{})
+	}
+	return t, nil
+}

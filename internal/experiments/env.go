@@ -207,10 +207,16 @@ func (e *Env) serve() error {
 	return nil
 }
 
-// Close shuts the backend down.
+// Close shuts the backend down, releasing the listener too (hsrv.Close
+// only closes listeners its Serve goroutine already registered).
 func (e *Env) Close() {
 	if e.hsrv != nil {
 		_ = e.hsrv.Close()
+		e.hsrv = nil
+	}
+	if e.ln != nil {
+		_ = e.ln.Close()
+		e.ln = nil
 	}
 }
 

@@ -335,3 +335,38 @@ func TestTableHelpers(t *testing.T) {
 		t.Fatalf("format: %s", text)
 	}
 }
+
+func TestConcurrentClients(t *testing.T) {
+	env, _ := quickEnvs(t)
+	tbl, err := ConcurrentClients(env, ConcurrentOptions{
+		ClientCounts:   []int{1, 4},
+		StepsPerClient: 4,
+		Scheme:         fetch.TileSpatial1024,
+		BatchSize:      4,
+		SharedTraces:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 || len(tbl.Cols) != 5 {
+		t.Fatalf("table shape = %dx%d", len(tbl.Rows), len(tbl.Cols))
+	}
+	for ri := range tbl.Rows {
+		for ci := range tbl.Cols {
+			if math.IsNaN(tbl.Cells[ri][ci]) {
+				t.Fatalf("cell %s/%s missing", tbl.Rows[ri], tbl.Cols[ci])
+			}
+		}
+	}
+	// 4 clients on 2 shared traces issue identical concurrent requests;
+	// with coalescing + cache the backend must not run one query per
+	// client per step.
+	out := tbl.Format()
+	if !strings.Contains(out, "clients") {
+		t.Fatalf("format output missing rows:\n%s", out)
+	}
+	// Bad options error.
+	if _, err := ConcurrentClients(env, ConcurrentOptions{}); err == nil {
+		t.Fatal("empty options must fail")
+	}
+}

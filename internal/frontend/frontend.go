@@ -12,6 +12,7 @@
 package frontend
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"net/http"
@@ -43,6 +44,11 @@ type Options struct {
 	Codec server.Codec
 	// CacheBytes is the frontend cache budget (tiles; 0 disables).
 	CacheBytes int64
+	// CacheShards is the frontend cache shard count. The default (0)
+	// is a single shard with exact LRU order — a Client runs on one
+	// goroutine, so there is no lock contention to shard away. Set it
+	// only when sharing one client's cache across goroutines.
+	CacheShards int
 	// HTTPClient overrides the default client (tests inject one).
 	HTTPClient *http.Client
 	// FetchConcurrency issues up to this many tile requests in
@@ -51,6 +57,10 @@ type Options struct {
 	// 0 or 1 fetches sequentially, the conservative default matching
 	// "every tile is individually fetched and rendered".
 	FetchConcurrency int
+	// BatchSize groups missing tiles into POST /batch requests of up
+	// to this many tiles per round trip, replacing per-tile GETs.
+	// 0 or 1 keeps the one-request-per-tile protocol.
+	BatchSize int
 }
 
 // DefaultOptions uses dynamic boxes with a 64 MB frontend cache.
@@ -120,7 +130,7 @@ func NewClient(baseURL string, ca *spec.CompiledApp, opts Options) (*Client, err
 		hc:          hc,
 		opts:        opts,
 		ca:          ca,
-		fcache:      cache.NewLRU(opts.CacheBytes),
+		fcache:      cache.NewLRUSharded(opts.CacheBytes, max(opts.CacheShards, 1)),
 		boxes:       make(map[int]*boxState),
 		density:     make(map[int]float64),
 		densityGrid: make(map[int]map[cellKey]float64),
@@ -265,6 +275,9 @@ func (c *Client) fetchTiles(li int, lm *server.LayerMeta, vp geom.Rect, rep *Fet
 	if len(missing) == 0 {
 		return nil
 	}
+	if c.opts.BatchSize > 1 && len(missing) > 1 {
+		return c.fetchTileBatches(li, sz, missing, rep, true)
+	}
 	conc := c.opts.FetchConcurrency
 	if conc <= 1 || len(missing) == 1 {
 		for _, tid := range missing {
@@ -280,25 +293,47 @@ func (c *Client) fetchTiles(li int, lm *server.LayerMeta, vp geom.Rect, rep *Fet
 		}
 		return nil
 	}
+	type tileData struct {
+		dr *server.DataResponse
+		n  int64
+	}
+	return parallelCollect(len(missing), conc, func(i int) (tileData, error) {
+		dr, n, err := c.getTile(li, sz, missing[i])
+		return tileData{dr, n}, err
+	}, func(i int, td tileData) error {
+		rep.Requests++
+		rep.Rows += len(td.dr.Rows)
+		rep.Bytes += td.n
+		c.fcache.Put(c.tileCacheKey(li, sz, missing[i]), td.dr, td.n)
+		c.observeDensity(li, missing[i].TileRect(sz), len(td.dr.Rows))
+		return nil
+	})
+}
+
+// parallelCollect fans fetch out over n items with at most conc
+// concurrent calls, merging each result on the caller's goroutine
+// (merge may touch unsynchronized client state). Failed items are
+// skipped, the rest still merge, and the first fetch or merge error is
+// returned after every item settles.
+func parallelCollect[T any](n, conc int, fetch func(i int) (T, error), merge func(i int, v T) error) error {
 	type result struct {
-		tid geom.TileID
-		dr  *server.DataResponse
-		n   int64
+		idx int
+		v   T
 		err error
 	}
 	sem := make(chan struct{}, conc)
-	results := make(chan result, len(missing))
-	for _, tid := range missing {
-		tid := tid
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		i := i
 		sem <- struct{}{}
 		go func() {
 			defer func() { <-sem }()
-			dr, n, err := c.getTile(li, sz, tid)
-			results <- result{tid, dr, n, err}
+			v, err := fetch(i)
+			results <- result{i, v, err}
 		}()
 	}
 	var firstErr error
-	for range missing {
+	for j := 0; j < n; j++ {
 		r := <-results
 		if r.err != nil {
 			if firstErr == nil {
@@ -306,13 +341,119 @@ func (c *Client) fetchTiles(li int, lm *server.LayerMeta, vp geom.Rect, rep *Fet
 			}
 			continue
 		}
-		rep.Requests++
-		rep.Rows += len(r.dr.Rows)
-		rep.Bytes += r.n
-		c.fcache.Put(c.tileCacheKey(li, sz, r.tid), r.dr, r.n)
-		c.observeDensity(li, r.tid.TileRect(sz), len(r.dr.Rows))
+		if err := merge(r.idx, r.v); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
+}
+
+// fetchTileBatches fetches missing tiles through POST /batch — many
+// tiles for the price of one HTTP exchange. Chunks are capped at the
+// server's MaxBatchTiles, and multiple chunks go out in parallel under
+// FetchConcurrency, matching the per-tile path's parallelism. observe
+// controls density bookkeeping: viewport fetches record it, prefetches
+// of predicted (never-viewed) regions do not, matching the per-tile
+// paths.
+func (c *Client) fetchTileBatches(li int, sz float64, missing []geom.TileID, rep *FetchReport, observe bool) error {
+	batch := c.opts.BatchSize
+	if batch > server.MaxBatchTiles {
+		batch = server.MaxBatchTiles
+	}
+	var chunks [][]geom.TileID
+	for start := 0; start < len(missing); start += batch {
+		end := start + batch
+		if end > len(missing) {
+			end = len(missing)
+		}
+		chunks = append(chunks, missing[start:end])
+	}
+
+	// merge folds one fetched chunk into the cache and report; it runs
+	// only on this goroutine (rep, density and boxes are not locked).
+	// Per-tile failures don't discard the chunk's other tiles — they
+	// are cached like the per-tile GET path would, and the first
+	// error is reported after the merge.
+	merge := func(chunk []geom.TileID, tiles []server.BatchTile) error {
+		rep.Requests++
+		var firstErr error
+		for i, bt := range tiles {
+			if bt.Err != "" {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("frontend: batch tile %d/%d: %s", bt.Col, bt.Row, bt.Err)
+				}
+				continue
+			}
+			dr, err := server.Decode(bt.Data, c.opts.Codec)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			n := int64(len(bt.Data))
+			rep.Rows += len(dr.Rows)
+			rep.Bytes += n
+			c.fcache.Put(c.tileCacheKey(li, sz, chunk[i]), dr, n)
+			if observe {
+				c.observeDensity(li, chunk[i].TileRect(sz), len(dr.Rows))
+			}
+		}
+		return firstErr
+	}
+
+	// conc = 1 serializes the chunks through the same code path; a
+	// per-tile failure in one chunk never abandons the others' tiles.
+	return parallelCollect(len(chunks), max(c.opts.FetchConcurrency, 1), func(i int) ([]server.BatchTile, error) {
+		return c.postBatch(li, sz, chunks[i])
+	}, func(i int, tiles []server.BatchTile) error {
+		return merge(chunks[i], tiles)
+	})
+}
+
+// postBatch issues one POST /batch round trip and returns the per-tile
+// results in request order. Per-tile failures are returned in the
+// slice (BatchTile.Err set, Data empty) for the caller to merge
+// around; the error return covers transport and envelope failures
+// only.
+func (c *Client) postBatch(li int, sz float64, tiles []geom.TileID) ([]server.BatchTile, error) {
+	req := server.BatchRequest{
+		Canvas: c.canvas.ID,
+		Layer:  li,
+		Size:   sz,
+		Design: c.opts.Scheme.Design,
+		Codec:  c.opts.Codec,
+		Tiles:  make([]server.TileRef, len(tiles)),
+	}
+	for i, tid := range tiles {
+		req.Tiles[i] = server.TileRef{Col: tid.Col, Row: tid.Row}
+	}
+	body, err := jsonMarshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: encode batch: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("frontend: batch: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: batch read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("frontend: batch: %s: %s", resp.Status, data)
+	}
+	var out server.BatchResponse
+	if err := jsonUnmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("frontend: decode batch: %w", err)
+	}
+	if len(out.Tiles) != len(tiles) {
+		return nil, fmt.Errorf("frontend: batch returned %d tiles, asked %d", len(out.Tiles), len(tiles))
+	}
+	// Per-tile errors are left in the slice for the caller to merge
+	// around: one failed tile must not discard its siblings.
+	return out.Tiles, nil
 }
 
 func (c *Client) tileCacheKey(li int, sz float64, tid geom.TileID) string {
@@ -410,18 +551,29 @@ func (c *Client) PrefetchBox(li int, box geom.Rect) error {
 	return nil
 }
 
-// PrefetchTiles warms the frontend tile cache.
+// PrefetchTiles warms the frontend tile cache, using the batch
+// endpoint when BatchSize allows so a whole predicted viewport costs
+// one round trip.
 func (c *Client) PrefetchTiles(li int, sz float64, tiles []geom.TileID) error {
+	var missing []geom.TileID
 	for _, tid := range tiles {
-		key := c.tileCacheKey(li, sz, tid)
-		if c.fcache.Contains(key) {
-			continue
+		if !c.fcache.Contains(c.tileCacheKey(li, sz, tid)) {
+			missing = append(missing, tid)
 		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if c.opts.BatchSize > 1 && len(missing) > 1 {
+		var rep FetchReport // prefetches do not count toward interaction reports
+		return c.fetchTileBatches(li, sz, missing, &rep, false)
+	}
+	for _, tid := range missing {
 		dr, n, err := c.getTile(li, sz, tid)
 		if err != nil {
 			return err
 		}
-		c.fcache.Put(key, dr, n)
+		c.fcache.Put(c.tileCacheKey(li, sz, tid), dr, n)
 	}
 	return nil
 }

@@ -461,3 +461,153 @@ func TestConnectErrors(t *testing.T) {
 		t.Fatal("unreachable backend must fail")
 	}
 }
+
+func TestTileBatchFetch(t *testing.T) {
+	mkOpts := func(batch int) Options {
+		return Options{
+			Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+			Codec:      server.CodecJSON,
+			CacheBytes: 16 << 20,
+			BatchSize:  batch,
+		}
+	}
+	// Reference client: one GET per tile.
+	ref, _ := newTestClient(t, mkOpts(0))
+	if _, err := ref.Load(); err != nil {
+		t.Fatal(err)
+	}
+	refRows, err := ref.ObjectsInViewport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Batched client: same viewport, tiles over POST /batch.
+	c, srv := newTestClient(t, mkOpts(4))
+	rep, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats.BatchRequests.Load() == 0 {
+		t.Fatal("batched client issued no /batch requests")
+	}
+	if rep.Rows == 0 || rep.Bytes == 0 {
+		t.Fatalf("batched load report = %+v", rep)
+	}
+	rows, err := c.ObjectsInViewport(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(refRows) {
+		t.Fatalf("batched client sees %d objects, per-tile client %d", len(rows), len(refRows))
+	}
+	// A 512x512 viewport over 256-tiles needs >= 4 tiles; with batch
+	// size 4 the whole load should take far fewer round trips.
+	if rep.Requests >= ref.TotalReports[0].Requests {
+		t.Fatalf("batched load used %d round trips, per-tile used %d",
+			rep.Requests, ref.TotalReports[0].Requests)
+	}
+
+	// Pan with everything missing again batches, pan-back is cached.
+	rep, err = c.PanBy(512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("pan into new tiles should fetch")
+	}
+	rep, err = c.PanBy(-512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("pan-back requests = %d", rep.Requests)
+	}
+}
+
+func TestPrefetchTilesBatched(t *testing.T) {
+	c, srv := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+		BatchSize:  8,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	batchesBefore := srv.Stats.BatchRequests.Load()
+	next := c.Viewport().Translate(512, 0)
+	tiles := fetch.TilesNeeded(next, 256, c.Canvas().W, c.Canvas().H)
+	if err := c.PrefetchTiles(1, 256, tiles); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats.BatchRequests.Load() == batchesBefore {
+		t.Fatal("prefetch should go through /batch")
+	}
+	rep, err := c.Pan(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("prefetched tile pan issued %d requests", rep.Requests)
+	}
+	// Prefetching the same tiles again is a no-op (all cached).
+	if err := c.PrefetchTiles(1, 256, tiles); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats.BatchRequests.Load(); got != batchesBefore+1 {
+		t.Fatalf("cached prefetch issued more batches: %d", got)
+	}
+}
+
+func TestBatchSizeClampedToServerLimit(t *testing.T) {
+	// A BatchSize above the server's MaxBatchTiles must be split
+	// client-side, not rejected with 400 by the server.
+	c, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+		BatchSize:  server.MaxBatchTiles + 100,
+	})
+	if _, err := c.Load(); err != nil {
+		t.Fatalf("oversized BatchSize must be clamped, got: %v", err)
+	}
+	rows, err := c.ObjectsInViewport(1)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("clamped batch load broken: %d rows, %v", len(rows), err)
+	}
+}
+
+func TestBatchChunksRunConcurrently(t *testing.T) {
+	// BatchSize 2 over a viewport needing >= 4 tiles produces several
+	// chunks; with FetchConcurrency they must still all land.
+	c, srv := newTestClient(t, Options{
+		Scheme:           fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:            server.CodecJSON,
+		CacheBytes:       16 << 20,
+		BatchSize:        2,
+		FetchConcurrency: 4,
+	})
+	rep, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats.BatchRequests.Load() < 2 {
+		t.Fatalf("expected multiple chunked batches, got %d", srv.Stats.BatchRequests.Load())
+	}
+	if rep.Rows == 0 {
+		t.Fatal("concurrent chunks fetched nothing")
+	}
+	ref, _ := newTestClient(t, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+	})
+	if _, err := ref.Load(); err != nil {
+		t.Fatal(err)
+	}
+	refRows, _ := ref.ObjectsInViewport(1)
+	rows, _ := c.ObjectsInViewport(1)
+	if len(rows) != len(refRows) {
+		t.Fatalf("concurrent-chunk client sees %d objects, reference %d", len(rows), len(refRows))
+	}
+}

@@ -192,3 +192,59 @@ func (p *Prefetcher) OnPan(viewport geom.Rect) {
 		}
 	}
 }
+
+// TileFetcher warms a cache with a set of tiles of one layer; the
+// frontend client's PrefetchTiles satisfies it (batched over the
+// backend's /batch endpoint when the client has a BatchSize).
+type TileFetcher interface {
+	PrefetchTiles(layerIdx int, size float64, tiles []geom.TileID) error
+}
+
+// TilePrefetcher is the static-tile counterpart of Prefetcher: it
+// predicts the next viewport and warms every tile it covers, the whole
+// predicted region costing one batched round trip.
+type TilePrefetcher struct {
+	pred    Predictor
+	fetcher TileFetcher
+	layers  []int
+	size    float64
+	bounds  geom.Rect
+	// Inflate grows the predicted viewport before tiling it.
+	Inflate float64
+
+	// Stats
+	Issued int // prefetch calls issued (one per layer per prediction)
+	Tiles  int // tiles requested across all calls
+	Errs   int
+}
+
+// NewTilePrefetcher wires a predictor to a tile fetcher for the given
+// data layers and tile size, clamping predictions to canvas bounds.
+func NewTilePrefetcher(pred Predictor, fetcher TileFetcher, layers []int, size float64, bounds geom.Rect) *TilePrefetcher {
+	return &TilePrefetcher{pred: pred, fetcher: fetcher, layers: layers, size: size, bounds: bounds}
+}
+
+// OnPan records the movement and warms the tiles of the predicted next
+// viewport.
+func (p *TilePrefetcher) OnPan(viewport geom.Rect) {
+	p.pred.Observe(viewport)
+	next, ok := p.pred.Predict()
+	if !ok {
+		return
+	}
+	box := next.Inflate(p.Inflate).Clamp(p.bounds).Intersection(p.bounds)
+	if !box.Valid() || box.Area() == 0 {
+		return
+	}
+	tiles := geom.ViewportTiles(box, p.size, p.bounds.W(), p.bounds.H())
+	if len(tiles) == 0 {
+		return
+	}
+	for _, li := range p.layers {
+		p.Issued++
+		p.Tiles += len(tiles)
+		if err := p.fetcher.PrefetchTiles(li, p.size, tiles); err != nil {
+			p.Errs++
+		}
+	}
+}

@@ -2,6 +2,7 @@ package prefetch
 
 import (
 	"errors"
+	"fmt"
 	"testing"
 
 	"kyrix/internal/geom"
@@ -171,5 +172,85 @@ func TestPrefetcherClampsAndCountsErrors(t *testing.T) {
 	p.OnPan(vp(500, 0))
 	if p.Errs == 0 {
 		t.Fatal("errors not counted")
+	}
+}
+
+type recordingTileFetcher struct {
+	calls []struct {
+		layer int
+		size  float64
+		tiles []geom.TileID
+	}
+	fail bool
+}
+
+func (r *recordingTileFetcher) PrefetchTiles(li int, size float64, tiles []geom.TileID) error {
+	r.calls = append(r.calls, struct {
+		layer int
+		size  float64
+		tiles []geom.TileID
+	}{li, size, tiles})
+	if r.fail {
+		return fmt.Errorf("boom")
+	}
+	return nil
+}
+
+func TestTilePrefetcherWarmsPredictedTiles(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 4096, MaxY: 2048}
+	f := &recordingTileFetcher{}
+	p := NewTilePrefetcher(NewMomentum(3), f, []int{0, 1}, 256, bounds)
+
+	vp := geom.RectXYWH(0, 0, 512, 512)
+	p.OnPan(vp) // first observation: no prediction yet
+	if len(f.calls) != 0 {
+		t.Fatalf("prefetch before a prediction: %d calls", len(f.calls))
+	}
+	p.OnPan(vp.Translate(256, 0)) // velocity established
+	if len(f.calls) != 2 {
+		t.Fatalf("calls = %d, want one per layer", len(f.calls))
+	}
+	if p.Issued != 2 || p.Errs != 0 || p.Tiles == 0 {
+		t.Fatalf("stats = %+v", p)
+	}
+	// The predicted viewport is one step further right; its tiles must
+	// cover x in [512, 1024).
+	want := geom.ViewportTiles(vp.Translate(512, 0), 256, bounds.W(), bounds.H())
+	got := f.calls[0].tiles
+	if len(got) != len(want) {
+		t.Fatalf("tiles = %v, want %v", got, want)
+	}
+	if f.calls[0].size != 256 || f.calls[0].layer != 0 || f.calls[1].layer != 1 {
+		t.Fatalf("calls = %+v", f.calls)
+	}
+}
+
+func TestTilePrefetcherCountsErrors(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 4096, MaxY: 2048}
+	f := &recordingTileFetcher{fail: true}
+	p := NewTilePrefetcher(NewMomentum(2), f, []int{0}, 256, bounds)
+	vp := geom.RectXYWH(0, 0, 512, 512)
+	p.OnPan(vp)
+	p.OnPan(vp.Translate(300, 0))
+	if p.Issued != 1 || p.Errs != 1 {
+		t.Fatalf("stats = issued %d errs %d", p.Issued, p.Errs)
+	}
+}
+
+func TestTilePrefetcherClampsToCanvas(t *testing.T) {
+	bounds := geom.Rect{MinX: 0, MinY: 0, MaxX: 1024, MaxY: 1024}
+	f := &recordingTileFetcher{}
+	p := NewTilePrefetcher(NewMomentum(2), f, []int{0}, 256, bounds)
+	// Panning left from the edge predicts a viewport off-canvas; the
+	// prefetch clamps to the canvas and still requests valid tiles.
+	vp := geom.RectXYWH(512, 0, 512, 512)
+	p.OnPan(vp)
+	p.OnPan(geom.RectXYWH(0, 0, 512, 512))
+	for _, call := range f.calls {
+		for _, tid := range call.tiles {
+			if tid.Col < 0 || tid.Row < 0 {
+				t.Fatalf("off-canvas tile %+v", tid)
+			}
+		}
 	}
 }

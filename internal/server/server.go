@@ -2,15 +2,19 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"kyrix/internal/cache"
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
+	"kyrix/internal/singleflight"
 	"kyrix/internal/spec"
 	"kyrix/internal/sqldb"
 	"kyrix/internal/storage"
@@ -20,6 +24,19 @@ import (
 type Options struct {
 	// CacheBytes is the backend cache budget (0 disables it).
 	CacheBytes int64
+	// CacheShards is the backend cache shard count (rounded up to a
+	// power of two; 0 picks an automatic count from GOMAXPROCS).
+	CacheShards int
+	// DisableCoalescing turns off singleflight request coalescing.
+	// With coalescing on (the default), N concurrent requests for the
+	// same tile/box key run one database query and share the payload.
+	DisableCoalescing bool
+	// PrecomputeParallelism bounds how many layers are materialized
+	// concurrently at startup (0 = GOMAXPROCS).
+	PrecomputeParallelism int
+	// BatchConcurrency bounds how many tiles of one /batch request are
+	// served concurrently (0 = an automatic bound).
+	BatchConcurrency int
 	// Precompute controls which physical structures are built at
 	// startup for every layer.
 	Precompute fetch.Options
@@ -40,24 +57,42 @@ func DefaultOptions() Options {
 
 // Stats counts server activity.
 type Stats struct {
-	TileRequests atomic.Int64
-	BoxRequests  atomic.Int64
-	CacheHits    atomic.Int64
-	RowsServed   atomic.Int64
-	BytesServed  atomic.Int64
-	Updates      atomic.Int64
-	QueryNanos   atomic.Int64
+	TileRequests  atomic.Int64
+	BoxRequests   atomic.Int64
+	BatchRequests atomic.Int64
+	CacheHits     atomic.Int64
+	// CoalescedHits counts requests that piggybacked on another
+	// in-flight identical request instead of querying the database.
+	CoalescedHits atomic.Int64
+	DBQueries     atomic.Int64
+	RowsServed    atomic.Int64
+	BytesServed   atomic.Int64
+	Updates       atomic.Int64
+	QueryNanos    atomic.Int64
 }
 
 // Server is the Kyrix backend: precomputed physical layers over an
-// embedded DBMS, a backend cache, and the HTTP surface the frontend
-// talks to.
+// embedded DBMS, a sharded backend cache, singleflight request
+// coalescing, and the HTTP surface the frontend talks to.
 type Server struct {
 	db     *sqldb.DB
 	ca     *spec.CompiledApp
 	layers map[string]*fetch.PhysicalLayer
 	bcache *cache.LRU
 	opts   Options
+
+	// flight coalesces concurrent identical tile/box requests onto one
+	// database query.
+	flight singleflight.Group
+	// plans caches parsed SELECT statements by SQL text. Every layer
+	// emits a constant statement shape per design (arguments ride in
+	// '?' placeholders), so the hot path skips the parser entirely.
+	plans sync.Map // string -> *sqldb.SelectStmt
+
+	// queryHook, when set (tests only), runs inside every database
+	// query execution; the coalescing test uses it to hold a query
+	// open until all concurrent callers have piled onto the flight.
+	queryHook func()
 
 	Stats Stats
 }
@@ -68,23 +103,86 @@ func layerKey(canvasID string, idx int) string {
 
 // New precomputes every layer of the compiled app and returns a ready
 // server ("the backend server then builds indexes and performs
-// necessary precomputation").
+// necessary precomputation"). Layers are materialized in parallel
+// under a bounded worker pool; the first error wins and the remaining
+// work is abandoned.
 func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 	s := &Server{
 		db:     db,
 		ca:     ca,
 		layers: make(map[string]*fetch.PhysicalLayer),
-		bcache: cache.NewLRU(opts.CacheBytes),
+		bcache: cache.NewLRUSharded(opts.CacheBytes, opts.CacheShards),
 		opts:   opts,
 	}
+
+	type job struct{ ci, li int }
+	var jobs []job
 	for ci, c := range ca.Spec.Canvases {
 		for li := range c.Layers {
-			pl, err := fetch.Materialize(db, ca, ci, li, opts.Precompute)
-			if err != nil {
-				return nil, fmt.Errorf("server: precompute %s layer %d: %w", c.ID, li, err)
-			}
-			s.layers[layerKey(c.ID, li)] = pl
+			jobs = append(jobs, job{ci, li})
 		}
+	}
+	workers := opts.PrecomputeParallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for _, j := range jobs {
+			c := ca.Spec.Canvases[j.ci]
+			pl, err := fetch.Materialize(db, ca, j.ci, j.li, opts.Precompute)
+			if err != nil {
+				return nil, fmt.Errorf("server: precompute %s layer %d: %w", c.ID, j.li, err)
+			}
+			s.layers[layerKey(c.ID, j.li)] = pl
+		}
+		return s, nil
+	}
+
+	// errgroup-style pool: a shared job feed, workers that stop
+	// pulling once any of them fails, and the first error reported.
+	var (
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	feed := make(chan job)
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range feed {
+				if failed() {
+					continue // drain without working
+				}
+				c := ca.Spec.Canvases[j.ci]
+				pl, err := fetch.Materialize(db, ca, j.ci, j.li, opts.Precompute)
+				mu.Lock()
+				if err != nil {
+					if firstErr == nil {
+						firstErr = fmt.Errorf("server: precompute %s layer %d: %w", c.ID, j.li, err)
+					}
+				} else if firstErr == nil {
+					s.layers[layerKey(c.ID, j.li)] = pl
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		feed <- j
+	}
+	close(feed)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	return s, nil
 }
@@ -224,6 +322,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/app", s.handleApp)
 	mux.HandleFunc("/tile", s.handleTile)
+	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/dbox", s.handleDBox)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -269,6 +368,85 @@ func floatParam(r *http.Request, name string) (float64, error) {
 	return v, nil
 }
 
+// serveTile produces the payload of one tile request under either
+// database design, consulting the backend cache and coalescing
+// concurrent identical requests onto one database query.
+func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, size float64, tid geom.TileID) ([]byte, error) {
+	key := fmt.Sprintf("%s/%s/%s", codec, design, fetch.TileKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), size, tid))
+	if data, ok := s.bcache.Get(key); ok {
+		s.Stats.CacheHits.Add(1)
+		return data.([]byte), nil
+	}
+	var sql string
+	var args []storage.Value
+	var err error
+	switch design {
+	case "spatial":
+		sql, args = pl.TileSQLSpatial(tid, size)
+	case "mapping":
+		sql, args, err = pl.TileSQLMapping(tid, size)
+		if err != nil {
+			return nil, badRequestError{err}
+		}
+	default:
+		return nil, badRequestError{fmt.Errorf("unknown design %q", design)}
+	}
+	return s.cachedQuery(key, sql, args, codec)
+}
+
+// badRequestError marks an error as the caller's fault (HTTP 400);
+// anything else surfaces as 500.
+type badRequestError struct{ err error }
+
+func (e badRequestError) Error() string { return e.err.Error() }
+func (e badRequestError) Unwrap() error { return e.err }
+
+func httpStatusOf(err error) int {
+	var bre badRequestError
+	if errors.As(err, &bre) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// cachedQuery runs one cacheable request body: on a cache miss it
+// executes the query (through the plan cache) and stores the payload.
+// Unless disabled, concurrent identical keys collapse onto a single
+// execution whose payload all callers share.
+func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec) ([]byte, error) {
+	if s.opts.DisableCoalescing {
+		payload, err := s.runQuery(sql, args, codec)
+		if err != nil {
+			return nil, err
+		}
+		s.bcache.Put(key, payload, int64(len(payload)))
+		return payload, nil
+	}
+	v, err, dup := s.flight.Do(key, func() (any, error) {
+		// Double-check the cache: a previous flight for this key may
+		// have populated it while this caller was queuing for a slot.
+		// Peek, not Get — the caller already recorded this key's miss,
+		// and a second lookup must not double-count it.
+		if data, ok := s.bcache.Peek(key); ok {
+			s.Stats.CacheHits.Add(1)
+			return data.([]byte), nil
+		}
+		payload, err := s.runQuery(sql, args, codec)
+		if err != nil {
+			return nil, err
+		}
+		s.bcache.Put(key, payload, int64(len(payload)))
+		return payload, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		s.Stats.CoalescedHits.Add(1)
+	}
+	return v.([]byte), nil
+}
+
 // handleTile answers one static-tile request under either database
 // design.
 func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
@@ -294,36 +472,12 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 	if design == "" {
 		design = "spatial"
 	}
-	tid := geom.TileID{Col: col, Row: row}
 	codec := codecOf(r)
-	key := fmt.Sprintf("%s/%s/%s", codec, design, fetch.TileKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), size, tid))
-	if data, ok := s.bcache.Get(key); ok {
-		s.Stats.CacheHits.Add(1)
-		s.writePayload(w, codec, data.([]byte))
-		return
-	}
-
-	var sql string
-	var args []storage.Value
-	switch design {
-	case "spatial":
-		sql, args = pl.TileSQLSpatial(tid, size)
-	case "mapping":
-		sql, args, err = pl.TileSQLMapping(tid, size)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-	default:
-		http.Error(w, fmt.Sprintf("unknown design %q", design), http.StatusBadRequest)
-		return
-	}
-	payload, err := s.runQuery(sql, args, codec)
+	payload, err := s.serveTile(pl, design, codec, size, geom.TileID{Col: col, Row: row})
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), httpStatusOf(err))
 		return
 	}
-	s.bcache.Put(key, payload, int64(len(payload)))
 	s.writePayload(w, codec, payload)
 }
 
@@ -355,25 +509,58 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	codec := codecOf(r)
-	key := fmt.Sprintf("%s/%s", codec, fetch.BoxKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), box))
-	if data, ok := s.bcache.Get(key); ok {
-		s.Stats.CacheHits.Add(1)
-		s.writePayload(w, codec, data.([]byte))
-		return
-	}
-	sql, args := pl.WindowSQL(box)
-	payload, err := s.runQuery(sql, args, codec)
+	payload, err := s.serveBox(pl, codec, box)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		http.Error(w, err.Error(), httpStatusOf(err))
 		return
 	}
-	s.bcache.Put(key, payload, int64(len(payload)))
 	s.writePayload(w, codec, payload)
 }
 
+// serveBox produces the payload of one dynamic-box request, with the
+// same cache + coalescing treatment as serveTile.
+func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect) ([]byte, error) {
+	key := fmt.Sprintf("%s/%s", codec, fetch.BoxKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), box))
+	if data, ok := s.bcache.Get(key); ok {
+		s.Stats.CacheHits.Add(1)
+		return data.([]byte), nil
+	}
+	sql, args := pl.WindowSQL(box)
+	return s.cachedQuery(key, sql, args, codec)
+}
+
+// preparedSelect returns the parsed form of sql, parsing at most once
+// per statement text. Layer query shapes are constant strings with '?'
+// placeholders, so after warm-up the hot path never touches the
+// parser.
+func (s *Server) preparedSelect(sql string) (*sqldb.SelectStmt, error) {
+	if v, ok := s.plans.Load(sql); ok {
+		return v.(*sqldb.SelectStmt), nil
+	}
+	st, err := sqldb.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sqldb.SelectStmt)
+	if !ok {
+		return nil, fmt.Errorf("server: layer statement is not a SELECT: %T", st)
+	}
+	// Concurrent parsers may race here; either winner is equivalent.
+	actual, _ := s.plans.LoadOrStore(sql, sel)
+	return actual.(*sqldb.SelectStmt), nil
+}
+
 func (s *Server) runQuery(sql string, args []storage.Value, codec Codec) ([]byte, error) {
+	sel, err := s.preparedSelect(sql)
+	if err != nil {
+		return nil, err
+	}
+	if hook := s.queryHook; hook != nil {
+		hook()
+	}
 	start := time.Now()
-	res, err := s.db.Query(sql, args...)
+	s.Stats.DBQueries.Add(1)
+	res, err := s.db.RunSelect(sel, args...)
 	if err != nil {
 		return nil, err
 	}
@@ -443,15 +630,19 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	bc := s.bcache.Stats()
 	out := map[string]int64{
-		"tileRequests":      s.Stats.TileRequests.Load(),
-		"boxRequests":       s.Stats.BoxRequests.Load(),
-		"cacheHits":         s.Stats.CacheHits.Load(),
-		"rowsServed":        s.Stats.RowsServed.Load(),
-		"bytesServed":       s.Stats.BytesServed.Load(),
-		"updates":           s.Stats.Updates.Load(),
-		"queryNanos":        s.Stats.QueryNanos.Load(),
-		"backendCacheBytes": bc.Bytes,
-		"backendCacheHits":  bc.Hits,
+		"tileRequests":       s.Stats.TileRequests.Load(),
+		"boxRequests":        s.Stats.BoxRequests.Load(),
+		"batchRequests":      s.Stats.BatchRequests.Load(),
+		"cacheHits":          s.Stats.CacheHits.Load(),
+		"coalescedHits":      s.Stats.CoalescedHits.Load(),
+		"dbQueries":          s.Stats.DBQueries.Load(),
+		"rowsServed":         s.Stats.RowsServed.Load(),
+		"bytesServed":        s.Stats.BytesServed.Load(),
+		"updates":            s.Stats.Updates.Load(),
+		"queryNanos":         s.Stats.QueryNanos.Load(),
+		"backendCacheBytes":  bc.Bytes,
+		"backendCacheHits":   bc.Hits,
+		"backendCacheShards": int64(s.bcache.ShardCount()),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)

@@ -1,0 +1,86 @@
+// Package singleflight provides duplicate-call suppression for the
+// backend's request coalescing: when N concurrent requests ask for the
+// same tile or dynamic box, one executes the database query and the
+// other N-1 wait for, and share, its result.
+//
+// It is a from-scratch implementation of the classic groupcache
+// pattern (no external dependency), trimmed to what the server needs:
+// Do, a duplicate counter for stats, and a Pending introspection hook
+// the coalescing tests use to make "N callers in flight" deterministic.
+package singleflight
+
+import (
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight (or completed) Do invocation.
+type call struct {
+	wg   sync.WaitGroup
+	val  any
+	err  error
+	dups int
+}
+
+// Group suppresses duplicate function calls by key.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+}
+
+// Do executes fn and returns its result, ensuring that only one
+// execution per key is in flight at a time. Concurrent callers with
+// the same key wait for the first call and receive its result; dup is
+// true for exactly those piggybacking callers and false for the one
+// that executed fn, so callers can count suppressed executions.
+func (g *Group) Do(key string, fn func() (any, error)) (v any, err error, dup bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*call)
+	}
+	if c, ok := g.m[key]; ok {
+		c.dups++
+		g.mu.Unlock()
+		c.wg.Wait()
+		return c.val, c.err, true
+	}
+	c := new(call)
+	c.wg.Add(1)
+	g.m[key] = c
+	g.mu.Unlock()
+
+	// Release waiters and clear the flight even if fn panics: without
+	// this, a panicking query would leave the key poisoned and every
+	// future caller blocked on wg.Wait forever. Waiters get an error;
+	// the panic itself still propagates to this (executing) caller.
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("singleflight: executing call panicked: %v", r)
+			g.mu.Lock()
+			c.wg.Done()
+			delete(g.m, key)
+			g.mu.Unlock()
+			panic(r)
+		}
+		g.mu.Lock()
+		c.wg.Done()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// Pending returns how many callers are currently in flight for key:
+// 0 when idle, otherwise 1 (the executor) plus its duplicates. Tests
+// use it to wait until all N concurrent callers have coalesced before
+// releasing the underlying query.
+func (g *Group) Pending(key string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c, ok := g.m[key]
+	if !ok {
+		return 0
+	}
+	return c.dups + 1
+}

@@ -1,0 +1,99 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDoSequential(t *testing.T) {
+	var g Group
+	v, err, dup := g.Do("k", func() (any, error) { return 42, nil })
+	if err != nil || v.(int) != 42 || dup {
+		t.Fatalf("Do = %v %v dup=%v", v, err, dup)
+	}
+	// A second call after completion executes again (no result caching).
+	calls := 0
+	for i := 0; i < 2; i++ {
+		g.Do("k", func() (any, error) { calls++; return nil, nil })
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (Do must not memoize)", calls)
+	}
+}
+
+func TestDoError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	_, err, _ := g.Do("k", func() (any, error) { return nil, want })
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDoCoalesces(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("tile/0/0", func() (any, error) {
+				execs.Add(1)
+				<-release
+				return 7, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+				return
+			}
+			results[i] = v.(int)
+		}(i)
+	}
+	// Wait until all n callers are attached to the same flight, then
+	// release the single execution.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Pending("tile/0/0") < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d callers coalesced", g.Pending("tile/0/0"), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("executions = %d, want 1", got)
+	}
+	for i, r := range results {
+		if r != 7 {
+			t.Fatalf("caller %d got %d", i, r)
+		}
+	}
+	if g.Pending("tile/0/0") != 0 {
+		t.Fatal("flight not cleaned up")
+	}
+}
+
+func TestDistinctKeysDoNotCoalesce(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for _, key := range []string{"a", "b", "c"} {
+		wg.Add(1)
+		go func(key string) {
+			defer wg.Done()
+			g.Do(key, func() (any, error) { execs.Add(1); return nil, nil })
+		}(key)
+	}
+	wg.Wait()
+	if got := execs.Load(); got != 3 {
+		t.Fatalf("executions = %d, want 3", got)
+	}
+}

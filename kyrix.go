@@ -19,12 +19,53 @@
 //     fetching granularity per §3.1 ([DBoxExact], [DBox50],
 //     [TileSpatial1024], ...).
 //
+// # Concurrent serving pipeline
+//
+// The backend is built to scale with cores, not collapse on one lock:
+//
+//   - Both caches are sharded LRUs: keys are fnv-hashed onto a
+//     power-of-two number of independently locked shards. Shard counts
+//     are knobs ([ServerOptions].CacheShards, [ClientOptions].CacheShards;
+//     0 picks an automatic count, and small budgets collapse to one
+//     shard with exact global LRU order).
+//   - Identical concurrent tile/box requests are coalesced
+//     (singleflight): one database query runs, every caller shares the
+//     payload. Disable with [ServerOptions].DisableCoalescing for
+//     ablations.
+//   - [NewServer] materializes layers in parallel under a bounded
+//     worker pool ([ServerOptions].PrecomputeParallelism, 0 =
+//     GOMAXPROCS); the first error wins.
+//   - The server keeps a prepared-plan cache: each layer's constant
+//     statement shapes are parsed once and re-executed with fresh '?'
+//     arguments, skipping the SQL parser on the hot path.
+//
+// # Batch tile endpoint
+//
+// POST /batch fetches many tiles of one layer in a single round trip.
+// Request body (design defaults to "spatial", codec to "json"):
+//
+//	{"canvas":"main","layer":0,"size":256,"design":"spatial",
+//	 "codec":"json","tiles":[{"col":0,"row":0},{"col":1,"row":0}]}
+//
+// Response, tiles in request order; data is the same payload a single
+// GET /tile would return, base64-encoded inside the JSON envelope, and
+// err is set per tile instead of failing the whole batch:
+//
+//	{"tiles":[{"col":0,"row":0,"data":"..."},
+//	          {"col":1,"row":0,"err":"..."}]}
+//
+// At most 256 tiles per request. The frontend uses it when
+// [ClientOptions].BatchSize > 1, both for viewport fetches and for
+// [Client.PrefetchTiles] cache warming.
+//
 // The experiment harness that regenerates the paper's Figures 6 and 7
 // lives in internal/experiments and is exposed through cmd/kyrix-bench
-// and the root bench_test.go.
+// and the root bench_test.go; `kyrix-bench -clients 1,8,32` measures
+// the concurrent serving pipeline under parallel frontends.
 package kyrix
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -199,7 +240,11 @@ func Launch(db *DB, app *App, reg *Registry, srvOpts ServerOptions, cliOpts Clie
 	base := "http://" + ln.Addr().String()
 	cli, err := NewClient(base, ca, cliOpts)
 	if err != nil {
+		// Close the listener explicitly as well: hsrv.Close only knows
+		// about ln once Serve has registered it, and that goroutine may
+		// not have run yet — relying on it alone leaked the listener.
 		_ = hsrv.Close()
+		_ = ln.Close()
 		return nil, err
 	}
 	return &Instance{
@@ -208,12 +253,22 @@ func Launch(db *DB, app *App, reg *Registry, srvOpts ServerOptions, cliOpts Clie
 	}, nil
 }
 
-// Close shuts the instance down.
+// Close shuts the instance down, closing both the HTTP server and its
+// listener. It is idempotent.
 func (in *Instance) Close() error {
 	if in.hsrv == nil {
 		return nil
 	}
 	err := in.hsrv.Close()
+	// hsrv.Close closes listeners Serve has registered, but a listener
+	// whose Serve goroutine has not started yet is not registered —
+	// close it directly (double-close yields ErrClosed, ignored).
+	if in.ln != nil {
+		if cerr := in.ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) && err == nil {
+			err = cerr
+		}
+		in.ln = nil
+	}
 	in.hsrv = nil
 	return err
 }

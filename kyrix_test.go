@@ -1,6 +1,7 @@
 package kyrix_test
 
 import (
+	"net"
 	"testing"
 
 	"kyrix"
@@ -145,3 +146,101 @@ func TestValueConstructors(t *testing.T) {
 // Ensure exported DB alias is the internal type (compile-time check
 // that downstream signatures interoperate).
 var _ *sqldb.DB = (*kyrix.DB)(nil)
+
+// TestCloseReleasesListener: Close must free the port (the listener),
+// not just stop the HTTP server, and stay idempotent.
+func TestCloseReleasesListener(t *testing.T) {
+	db, app, reg := buildDemo(t, 100)
+	inst, err := kyrix.Launch(db, app, reg, kyrix.ServerOptions{
+		CacheBytes: 1 << 20,
+		Precompute: fetch.Options{BuildSpatial: true},
+	}, kyrix.DefaultClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := inst.BaseURL[len("http://"):]
+	if err := inst.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := inst.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// The port must be rebindable immediately after Close.
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("port still held after Close: %v", err)
+	}
+	ln.Close()
+}
+
+// TestBatchThroughPublicAPI drives the batched tile path end to end
+// through Launch + ClientOptions.BatchSize.
+func TestBatchThroughPublicAPI(t *testing.T) {
+	db, app, reg := buildDemo(t, 2000)
+	inst, err := kyrix.Launch(db, app, reg, kyrix.ServerOptions{
+		CacheBytes: 4 << 20,
+		Precompute: fetch.Options{BuildSpatial: true, TileSizes: []float64{512}},
+	}, kyrix.ClientOptions{
+		Scheme:     kyrix.TileSpatial1024,
+		CacheBytes: 4 << 20,
+		BatchSize:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rep, err := inst.Client.PanBy(512, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Rows == 0 {
+		t.Fatal("batched pan fetched nothing")
+	}
+	if inst.Server.Stats.BatchRequests.Load() == 0 {
+		t.Fatal("public-API batch client did not use /batch")
+	}
+}
+
+// TestTilePrefetcherThroughPublicAPI: momentum prediction + batched
+// tile warming makes the next pan free.
+func TestTilePrefetcherThroughPublicAPI(t *testing.T) {
+	db, app, reg := buildDemo(t, 2000)
+	inst, err := kyrix.Launch(db, app, reg, kyrix.ServerOptions{
+		CacheBytes: 4 << 20,
+		Precompute: fetch.Options{BuildSpatial: true, TileSizes: []float64{512}},
+	}, kyrix.ClientOptions{
+		Scheme:     kyrix.TileSpatial256,
+		CacheBytes: 4 << 20,
+		BatchSize:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+
+	bounds := kyrix.RectXYWH(0, 0, 2048, 2048)
+	pf := kyrix.NewTilePrefetcher(kyrix.NewMomentumPredictor(2), inst.Client, []int{0}, 256, bounds)
+
+	// Establish rightward momentum: two pans, prefetcher observing.
+	vp := kyrix.RectXYWH(0, 768, 512, 512)
+	if _, err := inst.Client.Pan(vp); err != nil {
+		t.Fatal(err)
+	}
+	pf.OnPan(vp)
+	vp = vp.Translate(512, 0)
+	if _, err := inst.Client.Pan(vp); err != nil {
+		t.Fatal(err)
+	}
+	pf.OnPan(vp) // predicts the next viewport and warms its tiles
+
+	if pf.Issued == 0 || pf.Errs != 0 {
+		t.Fatalf("prefetcher stats = %+v", pf)
+	}
+	rep, err := inst.Client.Pan(vp.Translate(512, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 0 {
+		t.Fatalf("predicted pan still issued %d requests", rep.Requests)
+	}
+}
