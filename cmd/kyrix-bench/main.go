@@ -15,7 +15,10 @@
 // replay random-walk traces against one backend, measuring throughput
 // (steps/s), latency (mean/p95), and how far the serving pipeline
 // (sharded cache, request coalescing, batched tile fetch) cuts
-// database queries per step. -steps and -batch tune the workload.
+// database queries per step. -steps and -batch tune the workload;
+// -proto selects the /batch wire protocol (1 = buffered JSON, 2 =
+// binary framed stream), and the table reports wireKB/step and
+// time-to-first-frame so the two can be compared directly.
 package main
 
 import (
@@ -37,6 +40,7 @@ func main() {
 	clients := flag.String("clients", "", "concurrent-clients mode: comma-separated client counts (e.g. 1,4,16); replaces the figure runs")
 	steps := flag.Int("steps", 12, "pan steps per client in concurrent-clients mode")
 	batch := flag.Int("batch", 8, "frontend tile batch size in concurrent-clients mode (0 = per-tile GETs)")
+	proto := flag.Int("proto", 0, "batch wire protocol in concurrent-clients mode: 0 auto, 1 buffered JSON, 2 binary framed stream (compare wireKB/step and ttff)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -65,6 +69,7 @@ func main() {
 		opts.ClientCounts = counts
 		opts.StepsPerClient = *steps
 		opts.BatchSize = *batch
+		opts.Protocol = *proto
 		t, err := experiments.ConcurrentClients(env, opts)
 		if err != nil {
 			log.Fatal(err)

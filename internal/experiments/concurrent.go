@@ -25,6 +25,10 @@ type ConcurrentOptions struct {
 	// BatchSize is each client's tile-batching knob (tiles schemes
 	// only; 0 disables).
 	BatchSize int
+	// Protocol selects the /batch wire protocol
+	// (frontend.ProtocolAuto/V1/V2): the v1-vs-v2 comparison axis for
+	// wire bytes and time-to-first-frame.
+	Protocol int
 	// SharedTraces groups clients onto this many distinct traces, so
 	// concurrent clients overlap and request coalescing has identical
 	// in-flight requests to merge. 0 means every client gets its own
@@ -59,13 +63,15 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 	for i, n := range opts.ClientCounts {
 		rows[i] = fmt.Sprintf("%d clients", n)
 	}
-	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step"}
+	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step", "wireKB/step", "ttff ms"}
 	t := NewTable(
 		fmt.Sprintf("Concurrent clients: %s over %q", opts.Scheme.Name(), env.Cfg.Name),
 		"mixed units, see columns", rows, cols)
 	t.Notes = append(t.Notes,
-		fmt.Sprintf("steps/client=%d batch=%d sharedTraces=%d; backend cache cleared per row",
-			opts.StepsPerClient, opts.BatchSize, opts.SharedTraces))
+		fmt.Sprintf("steps/client=%d batch=%d proto=%s sharedTraces=%d; backend cache cleared per row",
+			opts.StepsPerClient, opts.BatchSize, protoName(opts.Protocol), opts.SharedTraces),
+		"wireKB/step: bytes read off the wire by batch round trips (v1 counts the base64 JSON envelope, v2 the raw framed stream); 0 when unbatched",
+		"ttff ms: mean time to first decoded frame, v2 streaming only")
 
 	canvas := env.Dataset.Canvas()
 	for _, n := range opts.ClientCounts {
@@ -88,8 +94,10 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 		}
 
 		type result struct {
-			durs []float64 // per-pan-step, ms
-			err  error
+			durs  []float64 // per-pan-step, ms
+			ttffs []float64 // per-step time to first frame, ms (v2 only)
+			wire  int64     // bytes on the wire across measured steps
+			err   error
 		}
 		results := make([]result, n)
 		var wg sync.WaitGroup
@@ -104,10 +112,11 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 			go func(i int) {
 				defer wg.Done()
 				c, err := frontend.NewClient(env.BaseURL, env.CA, frontend.Options{
-					Scheme:     opts.Scheme,
-					Codec:      env.Cfg.Codec,
-					CacheBytes: env.Cfg.FrontendCacheBytes,
-					BatchSize:  opts.BatchSize,
+					Scheme:        opts.Scheme,
+					Codec:         env.Cfg.Codec,
+					CacheBytes:    env.Cfg.FrontendCacheBytes,
+					BatchSize:     opts.BatchSize,
+					BatchProtocol: opts.Protocol,
 				})
 				if err == nil {
 					_, err = c.Pan(traces[i].Steps[0])
@@ -126,6 +135,11 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 					}
 					results[i].durs = append(results[i].durs,
 						float64(rep.Duration.Microseconds())/1000)
+					results[i].wire += rep.WireBytes
+					if rep.FirstFrame > 0 {
+						results[i].ttffs = append(results[i].ttffs,
+							float64(rep.FirstFrame.Microseconds())/1000)
+					}
 				}
 			}(i)
 		}
@@ -140,12 +154,15 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 		wg.Wait()
 		wall := time.Since(wallStart).Seconds()
 
-		var durs []float64
+		var durs, ttffs []float64
+		var wire int64
 		for i := range results {
 			if results[i].err != nil {
 				return nil, fmt.Errorf("experiments: client %d: %w", i, results[i].err)
 			}
 			durs = append(durs, results[i].durs...)
+			ttffs = append(ttffs, results[i].ttffs...)
+			wire += results[i].wire
 		}
 		steps := float64(len(durs))
 		if steps == 0 || wall <= 0 {
@@ -160,11 +177,31 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 		dbq := float64(env.Srv.Stats.DBQueries.Load() - dbqBefore)
 		coal := float64(env.Srv.Stats.CoalescedHits.Load() - coalBefore)
 
+		var ttffMean float64
+		if len(ttffs) > 0 {
+			for _, v := range ttffs {
+				ttffMean += v
+			}
+			ttffMean /= float64(len(ttffs))
+		}
+
 		t.Set(row, "steps/s", steps/wall, Series{})
 		t.Set(row, "mean ms", sum/steps, Series{})
 		t.Set(row, "p95 ms", p95, Series{})
 		t.Set(row, "dbq/step", dbq/steps, Series{})
 		t.Set(row, "coal/step", coal/steps, Series{})
+		t.Set(row, "wireKB/step", float64(wire)/1024/steps, Series{})
+		t.Set(row, "ttff ms", ttffMean, Series{})
 	}
 	return t, nil
+}
+
+func protoName(p int) string {
+	switch p {
+	case frontend.ProtocolV1:
+		return "v1"
+	case frontend.ProtocolV2:
+		return "v2"
+	}
+	return "auto"
 }

@@ -348,7 +348,7 @@ func TestConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 2 || len(tbl.Cols) != 5 {
+	if len(tbl.Rows) != 2 || len(tbl.Cols) != 7 {
 		t.Fatalf("table shape = %dx%d", len(tbl.Rows), len(tbl.Cols))
 	}
 	for ri := range tbl.Rows {

@@ -1,0 +1,336 @@
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/server"
+)
+
+// Batch protocol selection for ClientOptions.BatchProtocol.
+const (
+	// ProtocolAuto negotiates: batch v2 when batching is enabled,
+	// falling back to v1 (and remembering the downgrade) when the
+	// server does not speak it.
+	ProtocolAuto = 0
+	// ProtocolV1 forces the buffered JSON batch protocol.
+	ProtocolV1 = 1
+	// ProtocolV2 forces the framed-stream protocol; a server that does
+	// not speak it is an error instead of a silent downgrade.
+	ProtocolV2 = 2
+)
+
+// errServerIsV1 reports that the backend rejected a v2 batch request —
+// the negotiation signal that it only speaks protocol v1.
+var errServerIsV1 = errors.New("frontend: server does not speak batch v2")
+
+// useBatchV2 reports whether viewport fetches should go through the
+// framed v2 batch: forced by BatchProtocol, or negotiated and no
+// earlier downgrade. In auto mode v2 engages for dbox schemes
+// unconditionally (the one-round-trip multi-layer viewport is the
+// protocol's whole point there, and BatchSize is a tiles-only knob)
+// and for tile schemes when batching is on (BatchSize > 1), mirroring
+// the v1 opt-in.
+func (c *Client) useBatchV2() bool {
+	if c.v1Fallback {
+		return false
+	}
+	switch c.opts.BatchProtocol {
+	case ProtocolV2:
+		return true
+	case ProtocolV1:
+		return false
+	}
+	return c.opts.Scheme.Kind == "dbox" || c.opts.BatchSize > 1
+}
+
+// v2Sub is one planned sub-request of a v2 batch and how to fold its
+// decoded payload into client state. merge runs on the client's
+// goroutine as each frame is decoded, so layers land incrementally as
+// the stream arrives.
+type v2Sub struct {
+	item  server.BatchItem
+	merge func(dr *server.DataResponse, payloadBytes int64)
+}
+
+// planViewportV2 turns one viewport move into the v2 sub-requests it
+// needs across every data layer — missing tiles for tile-scheme
+// layers, a new dynamic box for dbox layers whose box the viewport
+// escaped, the full canvas for static layers on load. Cache hits and
+// box promotions are recorded on rep as the per-layer paths would.
+func (c *Client) planViewportV2(vp geom.Rect, includeStatic bool, rep *FetchReport) ([]v2Sub, error) {
+	var subs []v2Sub
+	for li := range c.canvas.Layers {
+		li := li
+		lm := &c.canvas.Layers[li]
+		if !lm.HasData {
+			continue
+		}
+		if lm.Static {
+			if includeStatic {
+				subs = append(subs, c.dboxSub(li, c.canvasRect()))
+			}
+			continue
+		}
+		switch c.opts.Scheme.Kind {
+		case "tile":
+			sz := c.opts.Scheme.TileSize
+			for _, tid := range c.missingTiles(li, sz, vp, rep) {
+				tid := tid
+				subs = append(subs, v2Sub{
+					item: server.BatchItem{
+						Kind: "tile", Layer: li, Size: sz,
+						Design: c.opts.Scheme.Design, Col: tid.Col, Row: tid.Row,
+					},
+					merge: func(dr *server.DataResponse, n int64) {
+						c.fcache.Put(c.tileCacheKey(li, sz, tid), dr, n)
+						c.observeDensity(li, tid.TileRect(sz), len(dr.Rows))
+					},
+				})
+			}
+		case "dbox":
+			if box, need := c.nextDBox(li, vp, rep); need {
+				subs = append(subs, c.dboxSub(li, box))
+			}
+		default:
+			// Same error the per-layer v1 loop raises: a scheme typo
+			// must not become a successful empty fetch.
+			return nil, fmt.Errorf("frontend: unknown scheme kind %q", c.opts.Scheme.Kind)
+		}
+	}
+	return subs, nil
+}
+
+// dboxSub plans one dynamic-box sub-request whose result becomes the
+// layer's current box (the v2 analogue of fetchBoxInto).
+func (c *Client) dboxSub(li int, box geom.Rect) v2Sub {
+	return v2Sub{
+		item: server.BatchItem{
+			Kind: "dbox", Layer: li,
+			MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY,
+		},
+		merge: func(dr *server.DataResponse, n int64) {
+			prev := c.boxes[li]
+			st := &boxState{box: box, data: dr}
+			if prev != nil {
+				st.prefetched = prev.prefetched
+			}
+			c.boxes[li] = st
+			c.observeDensity(li, box, len(dr.Rows))
+		},
+	}
+}
+
+// fetchViewportV2 serves one viewport move over the framed batch
+// protocol: every layer's sub-requests ride one round trip (chunked
+// only past the server's MaxBatchItems cap). Returns errServerIsV1
+// untouched when negotiation fails before anything merged, so the
+// caller can downgrade and re-plan.
+func (c *Client) fetchViewportV2(vp geom.Rect, includeStatic bool, rep *FetchReport, start time.Time) error {
+	subs, err := c.planViewportV2(vp, includeStatic, rep)
+	if err != nil {
+		return err
+	}
+	if len(subs) == 0 {
+		return nil
+	}
+	// Layer merges update client state only; report accounting (rows,
+	// payload bytes) is counted exactly once here.
+	wrapped := make([]v2Sub, len(subs))
+	for i, s := range subs {
+		merge := s.merge
+		wrapped[i] = v2Sub{item: s.item, merge: func(dr *server.DataResponse, n int64) {
+			rep.Rows += len(dr.Rows)
+			rep.Bytes += n
+			merge(dr, n)
+		}}
+	}
+	return c.runBatchV2(wrapped, rep, start)
+}
+
+// runBatchV2 issues the sub-requests in MaxBatchItems-sized chunks,
+// sequentially, merging each chunk's frames as they stream in.
+func (c *Client) runBatchV2(subs []v2Sub, rep *FetchReport, start time.Time) error {
+	var firstErr error
+	for ci := 0; len(subs) > 0; ci++ {
+		n := len(subs)
+		if n > server.MaxBatchItems {
+			n = server.MaxBatchItems
+		}
+		chunk := subs[:n]
+		subs = subs[n:]
+		if err := c.postBatchV2(chunk, rep, start); err != nil {
+			if errors.Is(err, errServerIsV1) {
+				if ci == 0 {
+					return errServerIsV1 // nothing merged; caller may downgrade
+				}
+				// A mid-batch downgrade cannot happen against one
+				// server; treat it as a transport failure. %v, not %w:
+				// the sentinel must not survive into this error, or
+				// callers would downgrade after frames already merged.
+				return fmt.Errorf("frontend: batch v2 rejected mid-viewport: %v", err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// countingReader counts bytes read off the wire, header and framing
+// included — the quantity FetchReport.WireBytes reports.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// postBatchV2 issues one framed-stream batch round trip and merges
+// frames incrementally as they arrive. Per-frame errors do not abort
+// the stream: sibling frames still merge, and the first frame error is
+// returned after the stream is drained. errServerIsV1 is returned when
+// the response is not a v2 stream (negotiation failure).
+func (c *Client) postBatchV2(subs []v2Sub, rep *FetchReport, start time.Time) error {
+	req := server.BatchRequestV2{
+		V:      server.BatchV2Version,
+		Canvas: c.canvas.ID,
+		Codec:  c.opts.Codec,
+		Items:  make([]server.BatchItem, len(subs)),
+	}
+	for i := range subs {
+		req.Items[i] = subs[i].item
+	}
+	body, err := jsonMarshal(req)
+	if err != nil {
+		return fmt.Errorf("frontend: encode batch v2: %w", err)
+	}
+	resp, err := c.hc.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("frontend: batch v2: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 || resp.Header.Get("Content-Type") != server.BatchV2ContentType {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		_, _ = io.Copy(io.Discard, resp.Body)
+		// The downgrade signal is a protocol-level rejection only: a
+		// v1-only server ignores the unknown v2 fields, finds no tiles
+		// and answers 400 (or answers 200 with a JSON envelope). A
+		// transient 5xx or transport-layer status must NOT demote the
+		// protocol for the client's lifetime — it surfaces as a real
+		// error instead.
+		if resp.StatusCode == http.StatusBadRequest || resp.StatusCode == 200 {
+			return fmt.Errorf("%w (%s: %s)", errServerIsV1, resp.Status, msg)
+		}
+		return fmt.Errorf("frontend: batch v2: %s: %s", resp.Status, msg)
+	}
+	rep.Requests++
+	cr := &countingReader{r: resp.Body}
+	br := bufio.NewReader(cr)
+	nframes, err := server.ReadBatchHeader(br)
+	if err != nil {
+		return err
+	}
+	if nframes != len(subs) {
+		return fmt.Errorf("frontend: batch v2 advertises %d frames, asked %d", nframes, len(subs))
+	}
+	seen := make([]bool, nframes)
+	var firstErr error
+	for i := 0; i < nframes; i++ {
+		f, err := server.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("frontend: batch v2 stream truncated after %d/%d frames", i, nframes)
+			}
+			rep.WireBytes += cr.n
+			return err
+		}
+		if f.Index < 0 || f.Index >= nframes || seen[f.Index] {
+			rep.WireBytes += cr.n
+			return fmt.Errorf("frontend: batch v2 bogus frame index %d", f.Index)
+		}
+		seen[f.Index] = true
+		if rep.FirstFrame == 0 {
+			rep.FirstFrame = time.Since(start)
+		}
+		if f.Status != server.FrameOK {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("frontend: batch v2 item %d: %s", f.Index, f.Payload)
+			}
+			continue
+		}
+		dr, err := server.Decode(f.Payload, c.opts.Codec)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		subs[f.Index].merge(dr, int64(len(f.Payload)))
+	}
+	rep.WireBytes += cr.n
+	return firstErr
+}
+
+// PrefetchBoxes warms the dynamic-box prefetch slot of several layers
+// with one box — a single framed round trip when the v2 protocol is
+// available, per-layer GET /dbox otherwise. Like PrefetchBox it does
+// not count toward interaction reports.
+func (c *Client) PrefetchBoxes(layers []int, box geom.Rect) error {
+	if !c.useBatchV2() {
+		return c.prefetchBoxesSequential(layers, box)
+	}
+	var subs []v2Sub
+	for _, li := range layers {
+		li := li
+		lm := &c.canvas.Layers[li]
+		if !lm.HasData || lm.Static {
+			continue
+		}
+		subs = append(subs, v2Sub{
+			item: server.BatchItem{
+				Kind: "dbox", Layer: li,
+				MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY,
+			},
+			merge: func(dr *server.DataResponse, _ int64) {
+				st := c.boxes[li]
+				if st == nil {
+					st = &boxState{}
+					c.boxes[li] = st
+				}
+				st.prefetched = &boxState{box: box, data: dr}
+			},
+		})
+	}
+	if len(subs) == 0 {
+		return nil
+	}
+	var rep FetchReport // prefetches do not count toward interaction reports
+	err := c.runBatchV2(subs, &rep, time.Now())
+	if errors.Is(err, errServerIsV1) && c.opts.BatchProtocol != ProtocolV2 {
+		c.v1Fallback = true
+		return c.prefetchBoxesSequential(layers, box)
+	}
+	return err
+}
+
+// prefetchBoxesSequential is the v1 path: one GET /dbox per layer.
+func (c *Client) prefetchBoxesSequential(layers []int, box geom.Rect) error {
+	for _, li := range layers {
+		if err := c.PrefetchBox(li, box); err != nil {
+			return err
+		}
+	}
+	return nil
+}

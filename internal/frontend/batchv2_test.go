@@ -1,0 +1,384 @@
+package frontend
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/server"
+	"kyrix/internal/spec"
+	"kyrix/internal/sqldb"
+	"kyrix/internal/storage"
+	"kyrix/internal/workload"
+)
+
+// multiLayerApp builds a single canvas with TWO data layers over the
+// same points (dots and halos) — the multi-layer viewport the framed
+// batch protocol serves in one round trip.
+func multiLayerApp(t testing.TB, n int) (*sqldb.DB, *spec.CompiledApp) {
+	t.Helper()
+	db := sqldb.NewDB()
+	if _, err := db.Exec("CREATE TABLE points (id INT, x DOUBLE, y DOUBLE, val DOUBLE)"); err != nil {
+		t.Fatal(err)
+	}
+	d := workload.Uniform(n, 2048, 1024, 7)
+	for _, p := range d.Points {
+		if err := db.InsertRow("points", storage.Row{
+			storage.I64(p.ID), storage.F64(p.X), storage.F64(p.Y), storage.F64(p.Val),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg := spec.NewRegistry()
+	reg.RegisterRenderer("dots")
+	reg.RegisterRenderer("halos")
+	cols := []spec.ColumnSpec{
+		{Name: "id", Type: "int"}, {Name: "x", Type: "double"},
+		{Name: "y", Type: "double"}, {Name: "val", Type: "double"},
+	}
+	app := &spec.App{
+		Name: "twolayer",
+		Canvases: []spec.Canvas{{
+			ID: "main", W: 2048, H: 1024,
+			Transforms: []spec.Transform{
+				{ID: "pts", Query: "SELECT * FROM points", Columns: cols},
+			},
+			Layers: []spec.Layer{
+				{TransformID: "pts",
+					Placement: &spec.Placement{XCol: "x", YCol: "y", Radius: 1},
+					Renderer:  "dots"},
+				{TransformID: "pts",
+					Placement: &spec.Placement{XCol: "x", YCol: "y", Radius: 4},
+					Renderer:  "halos"},
+			},
+		}},
+		InitialCanvas: "main", InitialX: 1024, InitialY: 512,
+		ViewportW: 512, ViewportH: 512,
+	}
+	ca, err := spec.Compile(app, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, ca
+}
+
+// countingTransport counts round trips by URL path.
+type countingTransport struct {
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func (ct *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	ct.mu.Lock()
+	if ct.calls == nil {
+		ct.calls = make(map[string]int)
+	}
+	ct.calls[req.URL.Path]++
+	ct.mu.Unlock()
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+func (ct *countingTransport) count(path string) int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.calls[path]
+}
+
+func (ct *countingTransport) reset() {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.calls = nil
+}
+
+// TestMultiLayerViewportOneRoundTrip is the tentpole acceptance test:
+// a viewport over a canvas with two dbox layers is served in exactly
+// one /batch v2 round trip — v1 needed one /dbox per layer.
+func TestMultiLayerViewportOneRoundTrip(t *testing.T) {
+	db, ca := multiLayerApp(t, 2500)
+	srv, hs := startBackend(t, db, ca)
+	ct := &countingTransport{}
+	c, err := NewClient(hs.URL, ca, Options{
+		Scheme:     fetch.DBox50,
+		Codec:      server.CodecBinary,
+		CacheBytes: 16 << 20,
+		BatchSize:  8,
+		HTTPClient: &http.Client{Transport: ct},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct.reset()
+
+	rep, err := c.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.count("/batch"); got != 1 {
+		t.Fatalf("initial load used %d /batch round trips, want exactly 1", got)
+	}
+	if got := ct.count("/dbox"); got != 0 {
+		t.Fatalf("initial load leaked %d /dbox round trips", got)
+	}
+	if rep.Requests != 1 {
+		t.Fatalf("rep.Requests = %d, want 1", rep.Requests)
+	}
+	if rep.FirstFrame <= 0 || rep.FirstFrame > rep.Duration {
+		t.Fatalf("FirstFrame = %v (duration %v)", rep.FirstFrame, rep.Duration)
+	}
+	if rep.WireBytes <= 0 {
+		t.Fatalf("WireBytes = %d", rep.WireBytes)
+	}
+	for li := 0; li < 2; li++ {
+		rows, err := c.ObjectsInViewport(li)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) == 0 {
+			t.Fatalf("layer %d empty after batched load", li)
+		}
+	}
+	if got := srv.Stats.BoxRequests.Load(); got != 2 {
+		t.Fatalf("server counted %d box items, want 2 (one per layer)", got)
+	}
+
+	// A pan that escapes both boxes refetches both layers — still one
+	// round trip.
+	ct.reset()
+	if _, err := c.PanBy(700, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.count("/batch"); got != 1 {
+		t.Fatalf("pan used %d /batch round trips, want 1", got)
+	}
+
+	// A pan inside the current boxes costs zero round trips.
+	ct.reset()
+	rep, err = c.PanBy(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.count("/batch") + ct.count("/dbox") + ct.count("/tile"); got != 0 {
+		t.Fatalf("in-box pan hit the network %d times", got)
+	}
+	if rep.CacheHits != 2 {
+		t.Fatalf("in-box pan CacheHits = %d, want 2", rep.CacheHits)
+	}
+}
+
+// TestV2MatchesV1Results cross-checks the two protocols: the same
+// trace over tiles and boxes yields the same visible objects.
+func TestV2MatchesV1Results(t *testing.T) {
+	for _, scheme := range []fetch.Granularity{
+		fetch.DBox50,
+		{Kind: "tile", Design: "spatial", TileSize: 256},
+	} {
+		db, ca := multiLayerApp(t, 2000)
+		_, hs := startBackend(t, db, ca)
+		v2c, err := NewClient(hs.URL, ca, Options{
+			Scheme: scheme, Codec: server.CodecJSON,
+			CacheBytes: 16 << 20, BatchSize: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1c, err := NewClient(hs.URL, ca, Options{
+			Scheme: scheme, Codec: server.CodecJSON,
+			CacheBytes: 16 << 20, BatchSize: 8, BatchProtocol: ProtocolV1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cli := range []*Client{v2c, v1c} {
+			if _, err := cli.Load(); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cli.PanBy(400, 100); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for li := 0; li < 2; li++ {
+			a, _ := v2c.ObjectsInViewport(li)
+			b, _ := v1c.ObjectsInViewport(li)
+			if len(a) != len(b) || len(a) == 0 {
+				t.Fatalf("scheme %s layer %d: v2 sees %d objects, v1 %d",
+					scheme.Name(), li, len(a), len(b))
+			}
+		}
+	}
+}
+
+// v1OnlyProxy forwards to a real backend but rejects v2 batch bodies
+// the way a pre-v2 server would (it never learned the "items" field,
+// finds no tiles, answers 400).
+func v1OnlyProxy(t *testing.T, backend http.Handler) *httptest.Server {
+	t.Helper()
+	var rejected int
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPost && r.URL.Path == "/batch" {
+			body, _ := io.ReadAll(r.Body)
+			r.Body.Close()
+			if strings.Contains(string(body), `"v":2`) {
+				rejected++
+				http.Error(w, "empty batch", http.StatusBadRequest)
+				return
+			}
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		backend.ServeHTTP(w, r)
+	})
+	hs := httptest.NewServer(h)
+	t.Cleanup(hs.Close)
+	return hs
+}
+
+// TestV2FallsBackToV1 covers negotiation: against a v1-only server the
+// client downgrades once, remembers it, and keeps working through the
+// v1 paths.
+func TestV2FallsBackToV1(t *testing.T) {
+	db, ca := multiLayerApp(t, 1500)
+	srv, err := server.New(db, ca, server.Options{
+		CacheBytes: 8 << 20,
+		Precompute: fetch.Options{
+			BuildSpatial: true,
+			TileSizes:    []float64{256},
+			MappingIndex: sqldb.IndexBTree,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := v1OnlyProxy(t, srv.Handler())
+
+	c, err := NewClient(hs.URL, ca, Options{
+		Scheme:     fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+		BatchSize:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Load()
+	if err != nil {
+		t.Fatalf("load should downgrade to v1, got: %v", err)
+	}
+	if !c.v1Fallback {
+		t.Fatal("client should remember the v1 downgrade")
+	}
+	if rep.Rows == 0 || rep.Requests == 0 {
+		t.Fatalf("fallback load fetched nothing: %+v", rep)
+	}
+	if rep.FirstFrame != 0 {
+		t.Fatalf("v1 fallback should not report FirstFrame, got %v", rep.FirstFrame)
+	}
+	// Later interactions go straight to v1 (no second rejected v2
+	// attempt): pan and confirm it still works.
+	if _, err := c.PanBy(600, 0); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := c.ObjectsInViewport(0)
+	if err != nil || len(rows) == 0 {
+		t.Fatalf("fallback client sees %d objects, %v", len(rows), err)
+	}
+
+	// Forcing v2 against the same server is a hard error, not a
+	// silent downgrade.
+	fc, err := NewClient(hs.URL, ca, Options{
+		Scheme:        fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
+		Codec:         server.CodecJSON,
+		CacheBytes:    16 << 20,
+		BatchProtocol: ProtocolV2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Load(); err == nil {
+		t.Fatal("forced v2 against a v1-only server must fail")
+	}
+}
+
+// TestV2PerFrameErrorIsolation: one failing item must not discard its
+// siblings — the good layers still land, and the error surfaces.
+func TestV2PerFrameErrorIsolation(t *testing.T) {
+	db, ca := multiLayerApp(t, 1500)
+	_, hs := startBackend(t, db, ca)
+	c, err := NewClient(hs.URL, ca, Options{
+		Scheme:     fetch.DBoxExact,
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+		BatchSize:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-build a batch with one good and one broken item through the
+	// internal path the viewport fetch uses.
+	var got []int
+	subs := []v2Sub{
+		{item: server.BatchItem{Kind: "dbox", Layer: 0, MinX: 0, MinY: 0, MaxX: 500, MaxY: 500},
+			merge: func(dr *server.DataResponse, _ int64) { got = append(got, len(dr.Rows)) }},
+		{item: server.BatchItem{Kind: "dbox", Layer: 9, MinX: 0, MinY: 0, MaxX: 500, MaxY: 500},
+			merge: func(dr *server.DataResponse, _ int64) { t.Error("broken item must not merge") }},
+	}
+	var rep FetchReport
+	err = c.runBatchV2(subs, &rep, time.Now())
+	if err == nil {
+		t.Fatal("batch with a broken item should surface the error")
+	}
+	if len(got) != 1 || got[0] == 0 {
+		t.Fatalf("good sibling did not merge: %v", got)
+	}
+}
+
+// TestPrefetchBoxesOneRoundTrip: warming every layer's prefetch slot
+// costs one framed round trip, and the prefetched boxes serve a later
+// pan without the network.
+func TestPrefetchBoxesOneRoundTrip(t *testing.T) {
+	db, ca := multiLayerApp(t, 2000)
+	_, hs := startBackend(t, db, ca)
+	ct := &countingTransport{}
+	c, err := NewClient(hs.URL, ca, Options{
+		Scheme:     fetch.DBoxExact,
+		Codec:      server.CodecJSON,
+		CacheBytes: 16 << 20,
+		BatchSize:  8,
+		HTTPClient: &http.Client{Transport: ct},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Predict the viewport one step right and warm both layers.
+	next := c.Viewport().Translate(600, 0).Inflate(0.5)
+	ct.reset()
+	if err := c.PrefetchBoxes([]int{0, 1}, next); err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.count("/batch"); got != 1 {
+		t.Fatalf("prefetching 2 layers used %d round trips, want 1", got)
+	}
+
+	// The pan into the predicted region is served from the prefetch
+	// slots: zero network.
+	ct.reset()
+	rep, err := c.Pan(c.Viewport().Translate(600, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ct.count("/batch") + ct.count("/dbox"); got != 0 {
+		t.Fatalf("prefetched pan hit the network %d times", got)
+	}
+	if rep.CacheHits != 2 {
+		t.Fatalf("prefetched pan CacheHits = %d, want 2", rep.CacheHits)
+	}
+}

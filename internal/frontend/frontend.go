@@ -13,6 +13,7 @@ package frontend
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -61,6 +62,14 @@ type Options struct {
 	// to this many tiles per round trip, replacing per-tile GETs.
 	// 0 or 1 keeps the one-request-per-tile protocol.
 	BatchSize int
+	// BatchProtocol selects the /batch wire protocol: ProtocolAuto
+	// (default) negotiates v2 — the binary framed stream covering both
+	// tiles and dynamic boxes, one round trip per viewport — with a
+	// remembered fallback to v1 against older servers; ProtocolV1 and
+	// ProtocolV2 force a version. In auto mode v2 engages for dbox
+	// schemes always and for tile schemes when BatchSize > 1,
+	// mirroring the v1 batching opt-in.
+	BatchProtocol int
 }
 
 // DefaultOptions uses dynamic boxes with a 64 MB frontend cache.
@@ -75,13 +84,23 @@ func DefaultOptions() Options {
 // FetchReport describes one interaction's data fetching, the quantity
 // the paper's experiments measure.
 type FetchReport struct {
-	Canvas     string
-	Viewport   geom.Rect
-	Duration   time.Duration
-	Requests   int
-	CacheHits  int
-	Rows       int
-	Bytes      int64
+	Canvas    string
+	Viewport  geom.Rect
+	Duration  time.Duration
+	Requests  int
+	CacheHits int
+	Rows      int
+	// Bytes counts payload bytes (what Decode consumed).
+	Bytes int64
+	// WireBytes counts bytes actually read off the wire by batch round
+	// trips, envelope and framing included — the quantity the v2
+	// protocol shrinks by dropping base64. Zero for unbatched fetches
+	// (where it would equal Bytes).
+	WireBytes int64
+	// FirstFrame is the time from interaction start to the first
+	// decoded v2 frame — how long before the first layer could render.
+	// Zero outside the framed protocol.
+	FirstFrame time.Duration
 	OverBudget bool // exceeded the 500 ms interactivity budget
 }
 
@@ -112,6 +131,9 @@ type Client struct {
 	density     map[int]float64 // scalar rows per px², per layer
 	densityGrid map[int]map[cellKey]float64
 	renderers   map[string]RenderFunc
+	// v1Fallback records a failed v2 negotiation: the server rejected
+	// a framed batch once, so later fetches skip the retry.
+	v1Fallback bool
 
 	// TotalReports accumulates every interaction's report.
 	TotalReports []FetchReport
@@ -222,10 +244,35 @@ func (c *Client) PanBy(dx, dy float64) (FetchReport, error) {
 	return c.Pan(c.viewport.Translate(dx, dy))
 }
 
-// fetchViewport is the core of the details-on-demand loop.
+// fetchViewport is the core of the details-on-demand loop. When the
+// framed batch protocol is on, the whole viewport — every layer's
+// missing tiles and dynamic boxes — rides one /batch v2 round trip;
+// otherwise (or after a negotiation fallback) each layer fetches
+// through its own v1 path.
 func (c *Client) fetchViewport(vp geom.Rect, includeStatic bool) (FetchReport, error) {
 	start := time.Now()
 	rep := FetchReport{Canvas: c.canvas.ID, Viewport: vp}
+	if c.useBatchV2() {
+		err := c.fetchViewportV2(vp, includeStatic, &rep, start)
+		if err == nil {
+			c.viewport = vp
+			rep.Duration = time.Since(start)
+			rep.OverBudget = rep.Duration > InteractiveBudget
+			c.TotalReports = append(c.TotalReports, rep)
+			return rep, nil
+		}
+		if !errors.Is(err, errServerIsV1) {
+			return rep, err
+		}
+		if c.opts.BatchProtocol == ProtocolV2 {
+			return rep, fmt.Errorf("frontend: batch v2 forced but %w", err)
+		}
+		// Downgrade once and re-plan from scratch: nothing merged, but
+		// the planning pass counted cache hits — reset the report so
+		// the v1 pass below counts everything exactly once.
+		c.v1Fallback = true
+		rep = FetchReport{Canvas: c.canvas.ID, Viewport: vp}
+	}
 	for li := range c.canvas.Layers {
 		lm := &c.canvas.Layers[li]
 		if !lm.HasData {
@@ -264,14 +311,7 @@ func (c *Client) fetchViewport(vp geom.Rect, includeStatic bool) (FetchReport, e
 // FetchConcurrency > 1.
 func (c *Client) fetchTiles(li int, lm *server.LayerMeta, vp geom.Rect, rep *FetchReport) error {
 	sz := c.opts.Scheme.TileSize
-	var missing []geom.TileID
-	for _, tid := range fetch.TilesNeeded(vp, sz, c.canvas.W, c.canvas.H) {
-		if c.fcache.Contains(c.tileCacheKey(li, sz, tid)) {
-			rep.CacheHits++
-			continue
-		}
-		missing = append(missing, tid)
-	}
+	missing := c.missingTiles(li, sz, vp, rep)
 	if len(missing) == 0 {
 		return nil
 	}
@@ -374,8 +414,10 @@ func (c *Client) fetchTileBatches(li int, sz float64, missing []geom.TileID, rep
 	// Per-tile failures don't discard the chunk's other tiles — they
 	// are cached like the per-tile GET path would, and the first
 	// error is reported after the merge.
-	merge := func(chunk []geom.TileID, tiles []server.BatchTile) error {
+	merge := func(chunk []geom.TileID, res batchResult) error {
+		tiles := res.tiles
 		rep.Requests++
+		rep.WireBytes += res.wire
 		var firstErr error
 		for i, bt := range tiles {
 			if bt.Err != "" {
@@ -404,11 +446,18 @@ func (c *Client) fetchTileBatches(li int, sz float64, missing []geom.TileID, rep
 
 	// conc = 1 serializes the chunks through the same code path; a
 	// per-tile failure in one chunk never abandons the others' tiles.
-	return parallelCollect(len(chunks), max(c.opts.FetchConcurrency, 1), func(i int) ([]server.BatchTile, error) {
+	return parallelCollect(len(chunks), max(c.opts.FetchConcurrency, 1), func(i int) (batchResult, error) {
 		return c.postBatch(li, sz, chunks[i])
-	}, func(i int, tiles []server.BatchTile) error {
-		return merge(chunks[i], tiles)
+	}, func(i int, res batchResult) error {
+		return merge(chunks[i], res)
 	})
+}
+
+// batchResult is one v1 batch round trip: per-tile results plus the
+// size of the JSON envelope as read off the wire.
+type batchResult struct {
+	tiles []server.BatchTile
+	wire  int64
 }
 
 // postBatch issues one POST /batch round trip and returns the per-tile
@@ -416,7 +465,7 @@ func (c *Client) fetchTileBatches(li int, sz float64, missing []geom.TileID, rep
 // slice (BatchTile.Err set, Data empty) for the caller to merge
 // around; the error return covers transport and envelope failures
 // only.
-func (c *Client) postBatch(li int, sz float64, tiles []geom.TileID) ([]server.BatchTile, error) {
+func (c *Client) postBatch(li int, sz float64, tiles []geom.TileID) (batchResult, error) {
 	req := server.BatchRequest{
 		Canvas: c.canvas.ID,
 		Layer:  li,
@@ -430,30 +479,30 @@ func (c *Client) postBatch(li int, sz float64, tiles []geom.TileID) ([]server.Ba
 	}
 	body, err := jsonMarshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("frontend: encode batch: %w", err)
+		return batchResult{}, fmt.Errorf("frontend: encode batch: %w", err)
 	}
 	resp, err := c.hc.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
-		return nil, fmt.Errorf("frontend: batch: %w", err)
+		return batchResult{}, fmt.Errorf("frontend: batch: %w", err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return nil, fmt.Errorf("frontend: batch read: %w", err)
+		return batchResult{}, fmt.Errorf("frontend: batch read: %w", err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("frontend: batch: %s: %s", resp.Status, data)
+		return batchResult{}, fmt.Errorf("frontend: batch: %s: %s", resp.Status, data)
 	}
 	var out server.BatchResponse
 	if err := jsonUnmarshal(data, &out); err != nil {
-		return nil, fmt.Errorf("frontend: decode batch: %w", err)
+		return batchResult{}, fmt.Errorf("frontend: decode batch: %w", err)
 	}
 	if len(out.Tiles) != len(tiles) {
-		return nil, fmt.Errorf("frontend: batch returned %d tiles, asked %d", len(out.Tiles), len(tiles))
+		return batchResult{}, fmt.Errorf("frontend: batch returned %d tiles, asked %d", len(out.Tiles), len(tiles))
 	}
 	// Per-tile errors are left in the slice for the caller to merge
 	// around: one failed tile must not discard its siblings.
-	return out.Tiles, nil
+	return batchResult{tiles: out.Tiles, wire: int64(len(data))}, nil
 }
 
 func (c *Client) tileCacheKey(li int, sz float64, tid geom.TileID) string {
@@ -467,8 +516,27 @@ func (c *Client) getTile(li int, sz float64, tid geom.TileID) (*server.DataRespo
 	return c.getData(u)
 }
 
-// fetchDBox applies the dynamic-box protocol for one layer.
-func (c *Client) fetchDBox(li int, lm *server.LayerMeta, vp geom.Rect, rep *FetchReport) error {
+// missingTiles scans the frontend cache for the tiles vp needs,
+// counting hits on rep and returning the misses — the request-planning
+// step shared by the per-tile/v1-batch path and the v2 framed path.
+func (c *Client) missingTiles(li int, sz float64, vp geom.Rect, rep *FetchReport) []geom.TileID {
+	var missing []geom.TileID
+	for _, tid := range fetch.TilesNeeded(vp, sz, c.canvas.W, c.canvas.H) {
+		if c.fcache.Contains(c.tileCacheKey(li, sz, tid)) {
+			rep.CacheHits++
+			continue
+		}
+		missing = append(missing, tid)
+	}
+	return missing
+}
+
+// nextDBox applies the dynamic-box reuse rules for one layer: promote
+// a prefetched box the viewport entered, report a cache hit while the
+// current box still covers vp, and otherwise return the box to
+// request. Shared by the per-layer (v1) and batched (v2) paths so the
+// two protocols can never disagree on what to fetch.
+func (c *Client) nextDBox(li int, vp geom.Rect, rep *FetchReport) (geom.Rect, bool) {
 	st := c.boxes[li]
 	if st != nil {
 		// Promote a prefetched box when the viewport entered it.
@@ -480,10 +548,19 @@ func (c *Client) fetchDBox(li int, lm *server.LayerMeta, vp geom.Rect, rep *Fetc
 		}
 		if !fetch.NeedNewBox(st.box, vp) {
 			rep.CacheHits++
-			return nil
+			return geom.Rect{}, false
 		}
 	}
-	return c.fetchBoxInto(li, lm, fetch.BoxFor(c.opts.Scheme, vp, c.canvasRect(), c.density[li]), rep)
+	return fetch.BoxFor(c.opts.Scheme, vp, c.canvasRect(), c.density[li]), true
+}
+
+// fetchDBox applies the dynamic-box protocol for one layer.
+func (c *Client) fetchDBox(li int, lm *server.LayerMeta, vp geom.Rect, rep *FetchReport) error {
+	box, need := c.nextDBox(li, vp, rep)
+	if !need {
+		return nil
+	}
+	return c.fetchBoxInto(li, lm, box, rep)
 }
 
 func (c *Client) fetchBoxInto(li int, lm *server.LayerMeta, box geom.Rect, rep *FetchReport) error {
@@ -553,7 +630,7 @@ func (c *Client) PrefetchBox(li int, box geom.Rect) error {
 
 // PrefetchTiles warms the frontend tile cache, using the batch
 // endpoint when BatchSize allows so a whole predicted viewport costs
-// one round trip.
+// one round trip (a framed v2 trip when the protocol is negotiated).
 func (c *Client) PrefetchTiles(li int, sz float64, tiles []geom.TileID) error {
 	var missing []geom.TileID
 	for _, tid := range tiles {
@@ -563,6 +640,27 @@ func (c *Client) PrefetchTiles(li int, sz float64, tiles []geom.TileID) error {
 	}
 	if len(missing) == 0 {
 		return nil
+	}
+	if c.useBatchV2() {
+		subs := make([]v2Sub, len(missing))
+		for i, tid := range missing {
+			tid := tid
+			subs[i] = v2Sub{
+				item: server.BatchItem{
+					Kind: "tile", Layer: li, Size: sz,
+					Design: c.opts.Scheme.Design, Col: tid.Col, Row: tid.Row,
+				},
+				merge: func(dr *server.DataResponse, n int64) {
+					c.fcache.Put(c.tileCacheKey(li, sz, tid), dr, n)
+				},
+			}
+		}
+		var rep FetchReport // prefetches do not count toward interaction reports
+		err := c.runBatchV2(subs, &rep, time.Now())
+		if !errors.Is(err, errServerIsV1) || c.opts.BatchProtocol == ProtocolV2 {
+			return err
+		}
+		c.v1Fallback = true // downgrade and fall through to the v1 paths
 	}
 	if c.opts.BatchSize > 1 && len(missing) > 1 {
 		var rep FetchReport // prefetches do not count toward interaction reports

@@ -578,14 +578,17 @@ func TestBatchSizeClampedToServerLimit(t *testing.T) {
 }
 
 func TestBatchChunksRunConcurrently(t *testing.T) {
-	// BatchSize 2 over a viewport needing >= 4 tiles produces several
-	// chunks; with FetchConcurrency they must still all land.
+	// v1 protocol: BatchSize 2 over a viewport needing >= 4 tiles
+	// produces several chunks; with FetchConcurrency they must still
+	// all land. (Under v2 the whole viewport is one framed round trip,
+	// so this pins ProtocolV1 to keep the chunked path covered.)
 	c, srv := newTestClient(t, Options{
 		Scheme:           fetch.Granularity{Kind: "tile", Design: "spatial", TileSize: 256},
 		Codec:            server.CodecJSON,
 		CacheBytes:       16 << 20,
 		BatchSize:        2,
 		FetchConcurrency: 4,
+		BatchProtocol:    ProtocolV1,
 	})
 	rep, err := c.Load()
 	if err != nil {

@@ -149,6 +149,14 @@ type BoxFetcher interface {
 	PrefetchBox(layerIdx int, box geom.Rect) error
 }
 
+// BoxBatchFetcher warms several layers' prefetch slots with one box in
+// a single call; the frontend client's PrefetchBoxes satisfies it,
+// riding one framed /batch v2 round trip when the protocol is
+// negotiated. A Prefetcher prefers it over per-layer PrefetchBox.
+type BoxBatchFetcher interface {
+	PrefetchBoxes(layers []int, box geom.Rect) error
+}
+
 // Prefetcher drives a predictor after every observed interaction and
 // issues background prefetches.
 type Prefetcher struct {
@@ -174,7 +182,10 @@ func NewPrefetcher(pred Predictor, fetcher BoxFetcher, layers []int, bounds geom
 // OnPan records the movement and synchronously issues the prefetch for
 // the predicted next viewport. (The frontend calls it after reporting
 // the user-visible response time, so prefetch cost stays off the
-// interaction path, like ForeCache's background fetches.)
+// interaction path, like ForeCache's background fetches.) A fetcher
+// that also implements BoxBatchFetcher receives all layers in one
+// call — one round trip for the whole prediction under batch v2 —
+// instead of one PrefetchBox per layer.
 func (p *Prefetcher) OnPan(viewport geom.Rect) {
 	p.pred.Observe(viewport)
 	next, ok := p.pred.Predict()
@@ -183,6 +194,13 @@ func (p *Prefetcher) OnPan(viewport geom.Rect) {
 	}
 	box := next.Inflate(p.Inflate).Clamp(p.bounds).Intersection(p.bounds)
 	if !box.Valid() || box.Area() == 0 {
+		return
+	}
+	if bf, ok := p.fetcher.(BoxBatchFetcher); ok {
+		p.Issued += len(p.layers)
+		if err := bf.PrefetchBoxes(p.layers, box); err != nil {
+			p.Errs++
+		}
 		return
 	}
 	for _, li := range p.layers {

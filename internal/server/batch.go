@@ -10,6 +10,26 @@ import (
 	"kyrix/internal/geom"
 )
 
+// handleBatchDispatch routes POST /batch to the v1 buffered-JSON
+// handler or the v2 framed-stream handler (batchv2.go) on the body's
+// protocol version.
+func (s *Server) handleBatchDispatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	v1, v2, err := decodeBatchBody(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if v2 != nil {
+		s.handleBatchV2(w, v2)
+		return
+	}
+	s.handleBatch(w, v1)
+}
+
 // MaxBatchTiles bounds one /batch request; the frontend splits larger
 // fetches into multiple round trips (see frontend fetchTileBatches).
 const MaxBatchTiles = 256
@@ -47,24 +67,12 @@ type BatchResponse struct {
 	Tiles []BatchTile `json:"tiles"`
 }
 
-// handleBatch answers many tile requests in one round trip. Tiles are
-// served concurrently under a bounded worker pool; each goes through
-// the same cache + coalescing path as a single /tile request, so a
-// batch overlapping another client's requests still runs each query
-// once.
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST required", http.StatusMethodNotAllowed)
-		return
-	}
-	// A valid request is a few KB (MaxBatchTiles refs plus header
-	// fields); cap the body so an oversized request is rejected while
-	// decoding instead of allocated in full first.
-	var req BatchRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+// handleBatch answers many tile requests in one round trip (protocol
+// v1: buffered JSON envelope, base64 payloads). Tiles are served
+// concurrently under a bounded worker pool; each goes through the same
+// cache + coalescing path as a single /tile request, so a batch
+// overlapping another client's requests still runs each query once.
+func (s *Server) handleBatch(w http.ResponseWriter, req *BatchRequest) {
 	if len(req.Tiles) == 0 {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return

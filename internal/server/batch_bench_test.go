@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// The batch benchmarks compare the two /batch wire protocols on one
+// fixed viewport-sized workload: 16 tiles plus 2 dynamic boxes (v1
+// cannot batch dboxes, so it spends two extra GET /dbox round trips —
+// exactly the gap v2 closes). bytes/op reports bytes on the wire.
+// They are wired into CI's benchstat regression job next to the cache
+// contention benchmark.
+
+func benchBatchServer(b *testing.B) (*Server, string, func(path string) []byte) {
+	srv, hs := newPointsServer(b, 4000, 4096, 2048)
+	get := func(path string) []byte {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("GET %s: %s: %s", path, resp.Status, data)
+		}
+		return data
+	}
+	return srv, hs.URL, get
+}
+
+func benchTileRefs() []TileRef {
+	refs := make([]TileRef, 0, 16)
+	for col := 0; col < 8; col++ {
+		for row := 0; row < 2; row++ {
+			refs = append(refs, TileRef{Col: col, Row: row})
+		}
+	}
+	return refs
+}
+
+// BenchmarkBatchV1 serves the workload the pre-v2 way: one buffered
+// JSON /batch for the tiles plus one GET /dbox per layer box.
+func BenchmarkBatchV1(b *testing.B) {
+	srv, base, get := benchBatchServer(b)
+	body, _ := json.Marshal(BatchRequest{
+		Canvas: "main", Layer: 0, Size: 512, Codec: CodecBinary,
+		Tiles: benchTileRefs(),
+	})
+	boxes := []string{
+		"/dbox?canvas=main&layer=0&minx=0&miny=0&maxx=900&maxy=700&codec=binary",
+		"/dbox?canvas=main&layer=0&minx=1000&miny=800&maxx=1900&maxy=1500&codec=binary",
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wire int64
+	for i := 0; i < b.N; i++ {
+		srv.BackendCache().Clear()
+		resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("batch: %s: %s", resp.Status, data)
+		}
+		wire += int64(len(data))
+		var out BatchResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			b.Fatal(err)
+		}
+		for _, bt := range out.Tiles {
+			if bt.Err != "" {
+				b.Fatalf("tile %d/%d: %s", bt.Col, bt.Row, bt.Err)
+			}
+		}
+		for _, u := range boxes {
+			wire += int64(len(get(u)))
+		}
+	}
+	b.SetBytes(wire / int64(b.N))
+}
+
+// BenchmarkBatchV2 serves the same workload as one framed-stream round
+// trip: 16 tile frames and 2 dbox frames, no base64, no buffering.
+func BenchmarkBatchV2(b *testing.B) {
+	srv, base, _ := benchBatchServer(b)
+	req := BatchRequestV2{V: BatchV2Version, Canvas: "main", Codec: CodecBinary}
+	for _, ref := range benchTileRefs() {
+		req.Items = append(req.Items, BatchItem{
+			Kind: "tile", Layer: 0, Size: 512, Col: ref.Col, Row: ref.Row,
+		})
+	}
+	req.Items = append(req.Items,
+		BatchItem{Kind: "dbox", Layer: 0, MinX: 0, MinY: 0, MaxX: 900, MaxY: 700},
+		BatchItem{Kind: "dbox", Layer: 0, MinX: 1000, MinY: 800, MaxX: 1900, MaxY: 1500},
+	)
+	body, _ := json.Marshal(req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wire int64
+	for i := 0; i < b.N; i++ {
+		srv.BackendCache().Clear()
+		resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != BatchV2ContentType {
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			b.Fatalf("batch v2: %s: %s", resp.Status, data)
+		}
+		cr := &countingRd{r: resp.Body}
+		br := bufio.NewReader(cr)
+		n, err := ReadBatchHeader(br)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < n; j++ {
+			f, err := ReadFrame(br)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if f.Status != FrameOK {
+				b.Fatalf("frame %d: %s", f.Index, f.Payload)
+			}
+		}
+		resp.Body.Close()
+		wire += cr.n
+	}
+	b.SetBytes(wire / int64(b.N))
+}
+
+type countingRd struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingRd) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

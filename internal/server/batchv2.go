@@ -1,0 +1,414 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+
+	"kyrix/internal/geom"
+)
+
+// Batch wire protocol v2: a length-prefixed binary framed stream.
+//
+// The v1 /batch reply is one buffered JSON envelope with base64 tile
+// payloads — ~33% encoding overhead and whole-response memory on both
+// sides. v2 streams raw payloads as frames, flushed as each sub-result
+// completes, and covers both static tiles and dynamic boxes so a
+// multi-layer canvas viewport is exactly one round trip.
+//
+// Stream layout (all integers are unsigned varints unless noted):
+//
+//	header:  magic "KYXB" (4 bytes) | version (1 byte, 0x02) | item count
+//	frame:   index | kind (1 byte) | status (1 byte) | payload length | payload
+//
+// Frames arrive in completion order, not request order; index maps a
+// frame back to its item. The stream ends after exactly `item count`
+// frames — EOF before that is a truncated stream. For status OK the
+// payload is the item's data encoded with the request codec (the same
+// bytes a single GET /tile or /dbox would return); for error statuses
+// it is a UTF-8 message.
+//
+// Versioning rules: the magic identifies the framed-batch family; the
+// version byte is bumped on any layout change AND on any new frame
+// kind or status, and decoders reject versions, kinds and statuses
+// they do not know — better a loud error than silently dropping a
+// sub-result the server believed it delivered.
+
+// BatchV2Magic opens every v2 batch stream.
+const BatchV2Magic = "KYXB"
+
+// BatchV2Version is the current framed-stream version byte.
+const BatchV2Version = 2
+
+// BatchV2ContentType is the response content type of a v2 batch
+// stream; the frontend uses it for content negotiation (a v1-only
+// server replies with application/json or an error instead).
+const BatchV2ContentType = "application/x-kyrix-batch-v2"
+
+// MaxBatchItems bounds one v2 /batch request, like MaxBatchTiles for
+// v1; the frontend splits larger viewports into multiple round trips.
+const MaxBatchItems = MaxBatchTiles
+
+// maxFramePayload bounds a decoded frame payload (a corrupt length
+// prefix must not translate into an unbounded allocation).
+const maxFramePayload = 1 << 28
+
+// FrameKind tags what a v2 frame carries.
+type FrameKind byte
+
+// Frame kinds.
+const (
+	FrameTile FrameKind = 0
+	FrameDBox FrameKind = 1
+)
+
+// FrameStatus is the per-frame outcome, the framed analogue of the
+// HTTP status a single /tile or /dbox request would have returned.
+type FrameStatus byte
+
+// Frame statuses.
+const (
+	FrameOK         FrameStatus = 0
+	FrameBadRequest FrameStatus = 1
+	FrameInternal   FrameStatus = 2
+)
+
+// Frame is one decoded v2 stream frame.
+type Frame struct {
+	Index   int
+	Kind    FrameKind
+	Status  FrameStatus
+	Payload []byte
+}
+
+// BatchItem is one sub-request of a v2 batch: a tile (Col/Row/Size/
+// Design) or a dynamic box (MinX..MaxY), each addressing its own layer
+// of the request's canvas.
+type BatchItem struct {
+	Kind   string  `json:"kind"` // "tile" | "dbox"
+	Layer  int     `json:"layer"`
+	Size   float64 `json:"size,omitempty"`
+	Design string  `json:"design,omitempty"`
+	Col    int     `json:"col,omitempty"`
+	Row    int     `json:"row,omitempty"`
+	MinX   float64 `json:"minx,omitempty"`
+	MinY   float64 `json:"miny,omitempty"`
+	MaxX   float64 `json:"maxx,omitempty"`
+	MaxY   float64 `json:"maxy,omitempty"`
+}
+
+// Box returns the dbox item's rectangle.
+func (it BatchItem) Box() geom.Rect {
+	return geom.Rect{MinX: it.MinX, MinY: it.MinY, MaxX: it.MaxX, MaxY: it.MaxY}
+}
+
+// BatchRequestV2 is the POST /batch body for protocol v2: one
+// viewport's worth of tile and dbox sub-requests against one canvas,
+// answered as a binary framed stream. V must be 2 — a v1 server
+// ignores the unknown fields, sees no tiles and rejects the request,
+// which is what the frontend's fallback detection keys on.
+type BatchRequestV2 struct {
+	V      int         `json:"v"`
+	Canvas string      `json:"canvas"`
+	Codec  Codec       `json:"codec,omitempty"`
+	Items  []BatchItem `json:"items"`
+}
+
+// WriteBatchHeader writes the v2 stream header for n frames.
+func WriteBatchHeader(w io.Writer, n int) error {
+	var buf [4 + 1 + binary.MaxVarintLen64]byte
+	copy(buf[:4], BatchV2Magic)
+	buf[4] = BatchV2Version
+	ln := 5 + binary.PutUvarint(buf[5:], uint64(n))
+	_, err := w.Write(buf[:ln])
+	return err
+}
+
+// ReadBatchHeader reads and validates the v2 stream header, returning
+// the frame count.
+func ReadBatchHeader(br *bufio.Reader) (int, error) {
+	var magic [5]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return 0, fmt.Errorf("server: batch v2 header: %w", err)
+	}
+	if string(magic[:4]) != BatchV2Magic {
+		return 0, fmt.Errorf("server: batch v2 bad magic %q", magic[:4])
+	}
+	if magic[4] != BatchV2Version {
+		return 0, fmt.Errorf("server: batch v2 unknown version %d", magic[4])
+	}
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, fmt.Errorf("server: batch v2 frame count: %w", err)
+	}
+	if n > maxFramePayload {
+		return 0, fmt.Errorf("server: batch v2 absurd frame count %d", n)
+	}
+	return int(n), nil
+}
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, f Frame) error {
+	var buf [2*binary.MaxVarintLen64 + 2]byte
+	ln := binary.PutUvarint(buf[:], uint64(f.Index))
+	buf[ln] = byte(f.Kind)
+	buf[ln+1] = byte(f.Status)
+	ln += 2
+	ln += binary.PutUvarint(buf[ln:], uint64(len(f.Payload)))
+	if _, err := w.Write(buf[:ln]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ReadFrame reads one frame. io.EOF at the first byte is returned
+// verbatim (a clean between-frames boundary); any other failure is a
+// truncated or corrupt stream.
+func ReadFrame(br *bufio.Reader) (Frame, error) {
+	var f Frame
+	idx, err := binary.ReadUvarint(br)
+	if err != nil {
+		if err == io.EOF {
+			return f, io.EOF
+		}
+		return f, fmt.Errorf("server: batch v2 frame index: %w", err)
+	}
+	f.Index = int(idx)
+	kb, err := br.ReadByte()
+	if err != nil {
+		return f, fmt.Errorf("server: batch v2 frame kind: %w", eofIsUnexpected(err))
+	}
+	f.Kind = FrameKind(kb)
+	if f.Kind != FrameTile && f.Kind != FrameDBox {
+		return f, fmt.Errorf("server: batch v2 unknown frame kind %d", kb)
+	}
+	sb, err := br.ReadByte()
+	if err != nil {
+		return f, fmt.Errorf("server: batch v2 frame status: %w", eofIsUnexpected(err))
+	}
+	f.Status = FrameStatus(sb)
+	if f.Status > FrameInternal {
+		return f, fmt.Errorf("server: batch v2 unknown frame status %d", sb)
+	}
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return f, fmt.Errorf("server: batch v2 payload length: %w", eofIsUnexpected(err))
+	}
+	if plen > maxFramePayload {
+		return f, fmt.Errorf("server: batch v2 payload of %d bytes exceeds limit", plen)
+	}
+	f.Payload = make([]byte, plen)
+	if _, err := io.ReadFull(br, f.Payload); err != nil {
+		return f, fmt.Errorf("server: batch v2 payload: %w", err)
+	}
+	return f, nil
+}
+
+// eofIsUnexpected maps a mid-frame EOF to ErrUnexpectedEOF so callers
+// can always distinguish truncation from a clean end of stream.
+func eofIsUnexpected(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// frameWriter serializes concurrent frame writes onto one HTTP
+// response, flushing after each frame so the client renders sub-
+// results as they complete instead of waiting for the whole batch.
+type frameWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	fl    http.Flusher
+	err   error // first write error; later writes are dropped
+	bytes int64 // payload bytes written (raw, comparable to /tile)
+}
+
+func newFrameWriter(w http.ResponseWriter) *frameWriter {
+	fw := &frameWriter{w: w}
+	if fl, ok := w.(http.Flusher); ok {
+		fw.fl = fl
+	}
+	return fw
+}
+
+func (fw *frameWriter) writeFrame(f Frame) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	if fw.err != nil {
+		return // client went away; drain remaining work silently
+	}
+	if err := WriteFrame(fw.w, f); err != nil {
+		fw.err = err
+		return
+	}
+	fw.bytes += int64(len(f.Payload))
+	if fw.fl != nil {
+		fw.fl.Flush()
+	}
+}
+
+// handleBatchV2 answers a v2 batch: tile and dbox sub-requests against
+// one canvas, served concurrently under the bounded worker pool and
+// streamed back as binary frames in completion order. Every item goes
+// through the same cache + coalescing path as its single-request
+// equivalent.
+func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
+	if len(req.Items) == 0 {
+		http.Error(w, "empty batch", http.StatusBadRequest)
+		return
+	}
+	if len(req.Items) > MaxBatchItems {
+		http.Error(w, fmt.Sprintf("batch of %d exceeds limit %d", len(req.Items), MaxBatchItems), http.StatusBadRequest)
+		return
+	}
+	codec := req.Codec
+	if codec == "" {
+		codec = CodecJSON
+	}
+	if codec != CodecJSON && codec != CodecBinary {
+		http.Error(w, fmt.Sprintf("unknown codec %q", codec), http.StatusBadRequest)
+		return
+	}
+
+	s.Stats.BatchRequests.Add(1)
+	for i := range req.Items {
+		if req.Items[i].Kind == "dbox" {
+			s.Stats.BoxRequests.Add(1)
+		} else {
+			s.Stats.TileRequests.Add(1)
+		}
+	}
+
+	workers := s.opts.BatchConcurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if workers < 8 {
+			workers = 8
+		}
+	}
+	if workers > len(req.Items) {
+		workers = len(req.Items)
+	}
+
+	// Past this point errors are per-frame: the header commits the
+	// stream, so an item failure becomes an error frame, never an HTTP
+	// error code.
+	w.Header().Set("Content-Type", BatchV2ContentType)
+	fw := newFrameWriter(w)
+	if err := WriteBatchHeader(w, len(req.Items)); err != nil {
+		return // client went away before the header landed
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range req.Items {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(idx int, it BatchItem) {
+			defer func() { <-sem; wg.Done() }()
+			f := Frame{Index: idx, Kind: FrameTile}
+			if it.Kind == "dbox" {
+				f.Kind = FrameDBox
+			}
+			// Contain panics like v1 does: net/http's recovery only
+			// covers the connection goroutine.
+			defer func() {
+				if r := recover(); r != nil {
+					f.Status, f.Payload = FrameInternal, []byte(fmt.Sprintf("internal: %v", r))
+				}
+				fw.writeFrame(f)
+			}()
+			payload, err := s.serveItem(req.Canvas, it, codec)
+			if err != nil {
+				f.Payload = []byte(err.Error())
+				if httpStatusOf(err) == http.StatusBadRequest {
+					f.Status = FrameBadRequest
+				} else {
+					f.Status = FrameInternal
+				}
+				return
+			}
+			f.Payload = payload
+		}(i, req.Items[i])
+	}
+	wg.Wait()
+	s.Stats.BytesServed.Add(fw.bytes)
+}
+
+// serveItem resolves and serves one v2 batch item through the same
+// cache/coalescing path as the single-request endpoints.
+func (s *Server) serveItem(canvas string, it BatchItem, codec Codec) ([]byte, error) {
+	pl, ok := s.Layer(canvas, it.Layer)
+	if !ok || pl.Table == "" {
+		return nil, badRequestError{fmt.Errorf("no data layer %s/%d", canvas, it.Layer)}
+	}
+	switch it.Kind {
+	case "tile", "":
+		if it.Size <= 0 {
+			return nil, badRequestError{fmt.Errorf("bad size %g", it.Size)}
+		}
+		if it.Col < 0 || it.Row < 0 {
+			return nil, badRequestError{fmt.Errorf("bad col/row %d/%d", it.Col, it.Row)}
+		}
+		design := it.Design
+		if design == "" {
+			design = "spatial"
+		}
+		return s.serveTile(pl, design, codec, it.Size, geom.TileID{Col: it.Col, Row: it.Row})
+	case "dbox":
+		box := it.Box()
+		if !box.Valid() {
+			return nil, badRequestError{fmt.Errorf("invalid box %+v", box)}
+		}
+		return s.serveBox(pl, codec, box)
+	}
+	return nil, badRequestError{fmt.Errorf("unknown item kind %q", it.Kind)}
+}
+
+// batchEnvelope is the union of the v1 and v2 request shapes, so one
+// JSON parse serves both the version dispatch and the request itself.
+type batchEnvelope struct {
+	V      int         `json:"v"`
+	Canvas string      `json:"canvas"`
+	Codec  Codec       `json:"codec,omitempty"`
+	Layer  int         `json:"layer"`
+	Size   float64     `json:"size"`
+	Design string      `json:"design,omitempty"`
+	Tiles  []TileRef   `json:"tiles"`
+	Items  []BatchItem `json:"items"`
+}
+
+// decodeBatchBody reads one /batch POST body and dispatches on the
+// protocol version: absent or zero "v" is a v1 tiles-only request,
+// v=2 is the framed-stream protocol. Exactly one of the returns is
+// non-nil on success.
+func decodeBatchBody(w http.ResponseWriter, r *http.Request) (*BatchRequest, *BatchRequestV2, error) {
+	// A valid request is a few KB (MaxBatchItems refs plus header
+	// fields); cap the body so an oversized request is rejected while
+	// decoding instead of allocated in full first.
+	var env batchEnvelope
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&env); err != nil {
+		return nil, nil, err
+	}
+	switch env.V {
+	case 0, 1:
+		// Protocol v1: the buffered JSON envelope. An explicit "v":1
+		// means the same thing as the historical version-less body.
+		return &BatchRequest{
+			Canvas: env.Canvas, Layer: env.Layer, Size: env.Size,
+			Design: env.Design, Codec: env.Codec, Tiles: env.Tiles,
+		}, nil, nil
+	case BatchV2Version:
+		return nil, &BatchRequestV2{
+			V: env.V, Canvas: env.Canvas, Codec: env.Codec, Items: env.Items,
+		}, nil
+	}
+	return nil, nil, fmt.Errorf("unsupported batch protocol v%d", env.V)
+}

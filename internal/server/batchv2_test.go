@@ -1,0 +1,308 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// --- frame codec, in isolation ---
+
+func TestBatchV2FrameRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Index: 0, Kind: FrameTile, Status: FrameOK, Payload: []byte("tile payload")},
+		{Index: 2, Kind: FrameDBox, Status: FrameBadRequest, Payload: []byte("bad box")},
+		{Index: 1, Kind: FrameDBox, Status: FrameOK, Payload: nil},
+		{Index: 3, Kind: FrameTile, Status: FrameInternal, Payload: bytes.Repeat([]byte{0xAB}, 4096)},
+	}
+	var buf bytes.Buffer
+	if err := WriteBatchHeader(&buf, len(frames)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	n, err := ReadBatchHeader(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frames) {
+		t.Fatalf("frame count = %d, want %d", n, len(frames))
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Index != want.Index || got.Kind != want.Kind || got.Status != want.Status {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d payload differs", i)
+		}
+	}
+	// The stream is exactly consumed: one more read is a clean EOF.
+	if _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestBatchV2TruncatedAndCorrupt(t *testing.T) {
+	var buf bytes.Buffer
+	_ = WriteBatchHeader(&buf, 2)
+	_ = WriteFrame(&buf, Frame{Index: 0, Kind: FrameTile, Status: FrameOK, Payload: []byte("0123456789")})
+	_ = WriteFrame(&buf, Frame{Index: 1, Kind: FrameDBox, Status: FrameOK, Payload: []byte("abcdef")})
+	whole := buf.Bytes()
+
+	// Truncating the stream at every possible boundary must yield an
+	// error (or a clean EOF strictly before both frames arrived) —
+	// never a bogus success.
+	for cut := 0; cut < len(whole); cut++ {
+		br := bufio.NewReader(bytes.NewReader(whole[:cut]))
+		n, err := ReadBatchHeader(br)
+		if err != nil {
+			continue // truncated inside the header: detected
+		}
+		got := 0
+		for got < n {
+			if _, err := ReadFrame(br); err != nil {
+				break
+			}
+			got++
+		}
+		if got >= n {
+			t.Fatalf("cut at %d bytes still decoded %d/%d frames", cut, got, n)
+		}
+	}
+
+	// Corrupt magic.
+	bad := append([]byte{}, whole...)
+	bad[0] = 'X'
+	if _, err := ReadBatchHeader(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	// Unknown version.
+	bad = append([]byte{}, whole...)
+	bad[4] = 9
+	if _, err := ReadBatchHeader(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+		t.Fatal("unknown version must fail")
+	}
+	// Unknown frame kind and status.
+	var kbuf bytes.Buffer
+	_ = WriteBatchHeader(&kbuf, 1)
+	_ = WriteFrame(&kbuf, Frame{Index: 0, Kind: FrameKind(7), Status: FrameOK})
+	br := bufio.NewReader(bytes.NewReader(kbuf.Bytes()))
+	if _, err := ReadBatchHeader(br); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(br); err == nil {
+		t.Fatal("unknown frame kind must fail")
+	}
+	var sbuf bytes.Buffer
+	_ = WriteBatchHeader(&sbuf, 1)
+	_ = WriteFrame(&sbuf, Frame{Index: 0, Kind: FrameTile, Status: FrameStatus(9)})
+	br = bufio.NewReader(bytes.NewReader(sbuf.Bytes()))
+	if _, err := ReadBatchHeader(br); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFrame(br); err == nil {
+		t.Fatal("unknown frame status must fail")
+	}
+	// A corrupt (absurd) payload length must error out instead of
+	// attempting the allocation.
+	huge := []byte{0, byte(FrameTile), byte(FrameOK), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(huge))); err == nil {
+		t.Fatal("absurd payload length must fail")
+	}
+}
+
+// --- the HTTP endpoint ---
+
+// postBatchV2Raw posts a v2 request and fully decodes the framed
+// stream, returning frames indexed by item position.
+func postBatchV2Raw(t *testing.T, url string, req BatchRequestV2) ([]Frame, *http.Response) {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("batch v2: %s: %s", resp.Status, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != BatchV2ContentType {
+		t.Fatalf("content type = %q, want %q", ct, BatchV2ContentType)
+	}
+	br := bufio.NewReader(resp.Body)
+	n, err := ReadBatchHeader(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(req.Items) {
+		t.Fatalf("announced %d frames for %d items", n, len(req.Items))
+	}
+	out := make([]Frame, n)
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		f, err := ReadFrame(br)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Index >= n || seen[f.Index] {
+			t.Fatalf("bogus frame index %d", f.Index)
+		}
+		seen[f.Index] = true
+		out[f.Index] = f
+	}
+	if _, err := ReadFrame(br); err != io.EOF {
+		t.Fatalf("stream should end after %d frames, got %v", n, err)
+	}
+	return out, resp
+}
+
+func TestBatchV2MixedTileDBox(t *testing.T) {
+	srv, hs := newPointsServer(t, 2000, 4096, 2048)
+
+	get := func(path string) []byte {
+		resp, err := http.Get(hs.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s: %s", path, resp.Status, data)
+		}
+		return data
+	}
+
+	req := BatchRequestV2{
+		V: BatchV2Version, Canvas: "main", Codec: CodecJSON,
+		Items: []BatchItem{
+			{Kind: "tile", Layer: 0, Size: 512, Col: 1, Row: 1},
+			{Kind: "dbox", Layer: 0, MinX: 100, MinY: 100, MaxX: 900, MaxY: 700},
+			{Kind: "tile", Layer: 0, Size: 512, Col: -3, Row: 0},                 // per-frame error
+			{Kind: "dbox", Layer: 0, MinX: 500, MinY: 500, MaxX: 100, MaxY: 100}, // invalid box
+			{Kind: "tile", Layer: 9, Size: 512, Col: 0, Row: 0},                  // no such layer
+			{Kind: "tile", Layer: 0, Size: 512, Col: 2, Row: 0},
+		},
+	}
+	frames, _ := postBatchV2Raw(t, hs.URL, req)
+
+	// Good frames carry exactly the bytes the single-request
+	// endpoints would have returned — no base64, no envelope.
+	if frames[0].Status != FrameOK || frames[0].Kind != FrameTile {
+		t.Fatalf("frame 0 = %+v", frames[0])
+	}
+	if want := get("/tile?canvas=main&layer=0&size=512&col=1&row=1"); !bytes.Equal(frames[0].Payload, want) {
+		t.Fatal("tile frame payload differs from GET /tile")
+	}
+	if frames[1].Status != FrameOK || frames[1].Kind != FrameDBox {
+		t.Fatalf("frame 1 = %+v", frames[1])
+	}
+	if want := get("/dbox?canvas=main&layer=0&minx=100&miny=100&maxx=900&maxy=700"); !bytes.Equal(frames[1].Payload, want) {
+		t.Fatal("dbox frame payload differs from GET /dbox")
+	}
+	if frames[5].Status != FrameOK {
+		t.Fatalf("frame 5 = %+v", frames[5])
+	}
+
+	// Failures are isolated per frame, siblings unaffected.
+	for _, idx := range []int{2, 3, 4} {
+		if frames[idx].Status != FrameBadRequest {
+			t.Fatalf("frame %d status = %d, want bad request", idx, frames[idx].Status)
+		}
+		if len(frames[idx].Payload) == 0 {
+			t.Fatalf("frame %d error payload empty", idx)
+		}
+	}
+
+	// Stats: one batch, tile/dbox items counted by kind.
+	if got := srv.Stats.BatchRequests.Load(); got != 1 {
+		t.Fatalf("BatchRequests = %d", got)
+	}
+	if got := srv.Stats.BoxRequests.Load(); got != 3 { // 2 batch dboxes + 1 GET /dbox
+		t.Fatalf("BoxRequests = %d", got)
+	}
+}
+
+func TestBatchV2Validation(t *testing.T) {
+	_, hs := newPointsServer(t, 200, 4096, 2048)
+	post := func(req BatchRequestV2) int {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(hs.URL+"/batch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post(BatchRequestV2{V: 2, Canvas: "main"}); code != http.StatusBadRequest {
+		t.Fatalf("empty items = %d", code)
+	}
+	big := BatchRequestV2{V: 2, Canvas: "main"}
+	for i := 0; i <= MaxBatchItems; i++ {
+		big.Items = append(big.Items, BatchItem{Kind: "tile", Size: 512, Col: i})
+	}
+	if code := post(big); code != http.StatusBadRequest {
+		t.Fatalf("oversize batch = %d", code)
+	}
+	if code := post(BatchRequestV2{V: 2, Canvas: "main", Codec: "xml",
+		Items: []BatchItem{{Kind: "tile", Size: 512}}}); code != http.StatusBadRequest {
+		t.Fatalf("unknown codec = %d", code)
+	}
+	// Unknown protocol versions are rejected at dispatch.
+	body := []byte(`{"v":3,"canvas":"main","items":[{"kind":"tile","size":512}]}`)
+	resp, err := http.Post(hs.URL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("v3 request = %d", resp.StatusCode)
+	}
+	// An unknown item kind is a per-frame error, not a request error.
+	frames, _ := postBatchV2Raw(t, hs.URL, BatchRequestV2{
+		V: 2, Canvas: "main",
+		Items: []BatchItem{{Kind: "polygon", Layer: 0}},
+	})
+	if frames[0].Status != FrameBadRequest {
+		t.Fatalf("unknown kind frame = %+v", frames[0])
+	}
+}
+
+// TestBatchV2CoalescesWithSingles verifies batch items ride the same
+// cache as single requests: a tile served via GET /tile is a backend
+// cache hit when re-requested inside a v2 batch.
+func TestBatchV2CoalescesWithSingles(t *testing.T) {
+	srv, hs := newPointsServer(t, 1000, 4096, 2048)
+	resp, err := http.Get(hs.URL + "/tile?canvas=main&layer=0&size=512&col=1&row=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	dbqBefore := srv.Stats.DBQueries.Load()
+	frames, _ := postBatchV2Raw(t, hs.URL, BatchRequestV2{
+		V: 2, Canvas: "main",
+		Items: []BatchItem{{Kind: "tile", Layer: 0, Size: 512, Col: 1, Row: 1}},
+	})
+	if frames[0].Status != FrameOK {
+		t.Fatalf("frame = %+v", frames[0])
+	}
+	if got := srv.Stats.DBQueries.Load() - dbqBefore; got != 0 {
+		t.Fatalf("batched re-request ran %d queries, want cache hit", got)
+	}
+}

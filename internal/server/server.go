@@ -37,6 +37,11 @@ type Options struct {
 	// BatchConcurrency bounds how many tiles of one /batch request are
 	// served concurrently (0 = an automatic bound).
 	BatchConcurrency int
+	// PlanCacheSize bounds the prepared-plan cache (parsed SELECT
+	// statements, LRU-evicted). 0 picks the default of 512 plans —
+	// far above the constant per-layer statement shapes, but a hard
+	// ceiling if ad-hoc SQL ever flows through RunSelect.
+	PlanCacheSize int
 	// Precompute controls which physical structures are built at
 	// startup for every layer.
 	Precompute fetch.Options
@@ -84,10 +89,18 @@ type Server struct {
 	// flight coalesces concurrent identical tile/box requests onto one
 	// database query.
 	flight singleflight.Group
-	// plans caches parsed SELECT statements by SQL text. Every layer
-	// emits a constant statement shape per design (arguments ride in
-	// '?' placeholders), so the hot path skips the parser entirely.
-	plans sync.Map // string -> *sqldb.SelectStmt
+	// cacheGen is the backend-cache generation, bumped by every
+	// /update before the cache is cleared. Query results started under
+	// an older generation are never stored (and flight keys embed the
+	// generation, so post-update requests never join a stale flight) —
+	// an in-flight coalesced query from before the update cannot
+	// repopulate the cache with pre-update rows.
+	cacheGen atomic.Int64
+	// plans caches parsed SELECT statements by SQL text, bounded by
+	// Options.PlanCacheSize with LRU eviction. Every layer emits a
+	// constant statement shape per design (arguments ride in '?'
+	// placeholders), so the hot path skips the parser entirely.
+	plans *cache.LRU
 
 	// queryHook, when set (tests only), runs inside every database
 	// query execution; the coalescing test uses it to hold a query
@@ -107,12 +120,19 @@ func layerKey(canvasID string, idx int) string {
 // under a bounded worker pool; the first error wins and the remaining
 // work is abandoned.
 func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
+	planCap := opts.PlanCacheSize
+	if planCap <= 0 {
+		planCap = 512
+	}
 	s := &Server{
 		db:     db,
 		ca:     ca,
 		layers: make(map[string]*fetch.PhysicalLayer),
 		bcache: cache.NewLRUSharded(opts.CacheBytes, opts.CacheShards),
-		opts:   opts,
+		// One entry = size 1, so the byte budget counts plans; a single
+		// shard keeps exact LRU order (the cap is tiny).
+		plans: cache.NewLRUSharded(int64(planCap), 1),
+		opts:  opts,
 	}
 
 	type job struct{ ci, li int }
@@ -322,7 +342,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/app", s.handleApp)
 	mux.HandleFunc("/tile", s.handleTile)
-	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/batch", s.handleBatchDispatch)
 	mux.HandleFunc("/dbox", s.handleDBox)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
@@ -413,16 +433,24 @@ func httpStatusOf(err error) int {
 // executes the query (through the plan cache) and stores the payload.
 // Unless disabled, concurrent identical keys collapse onto a single
 // execution whose payload all callers share.
+//
+// The cache generation is captured before the query runs and checked
+// before the payload is stored: a query that raced an /update holds
+// pre-update rows and must not repopulate the just-cleared cache. The
+// flight key embeds the generation too, so a request arriving after
+// the update never coalesces onto (and never re-serves) a stale
+// in-flight query.
 func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec) ([]byte, error) {
+	gen := s.cacheGen.Load()
 	if s.opts.DisableCoalescing {
 		payload, err := s.runQuery(sql, args, codec)
 		if err != nil {
 			return nil, err
 		}
-		s.bcache.Put(key, payload, int64(len(payload)))
+		s.putUnlessStale(gen, key, payload)
 		return payload, nil
 	}
-	v, err, dup := s.flight.Do(key, func() (any, error) {
+	v, err, dup := s.flight.Do(flightKey(gen, key), func() (any, error) {
 		// Double-check the cache: a previous flight for this key may
 		// have populated it while this caller was queuing for a slot.
 		// Peek, not Get — the caller already recorded this key's miss,
@@ -435,7 +463,7 @@ func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec)
 		if err != nil {
 			return nil, err
 		}
-		s.bcache.Put(key, payload, int64(len(payload)))
+		s.putUnlessStale(gen, key, payload)
 		return payload, nil
 	})
 	if err != nil {
@@ -445,6 +473,30 @@ func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec)
 		s.Stats.CoalescedHits.Add(1)
 	}
 	return v.([]byte), nil
+}
+
+// flightKey scopes a coalescing key to a cache generation.
+func flightKey(gen int64, key string) string {
+	return fmt.Sprintf("g%d/%s", gen, key)
+}
+
+// putUnlessStale stores a query payload produced under generation gen,
+// guaranteeing no stale entry survives an /update race. A plain
+// check-then-Put would be a TOCTOU hole: the generation could bump
+// (and the cache clear) between the check and the Put, leaving the
+// stale payload resident. Re-checking after the Put closes it — if
+// the generation moved, either the Clear already wiped this entry or
+// the Remove below does. The one benign loss: the Remove may also
+// delete a fresh same-key entry written by a newer-generation flight
+// in the window, which costs a cache miss, never staleness.
+func (s *Server) putUnlessStale(gen int64, key string, payload []byte) {
+	if s.cacheGen.Load() != gen {
+		return
+	}
+	s.bcache.Put(key, payload, int64(len(payload)))
+	if s.cacheGen.Load() != gen {
+		s.bcache.Remove(key)
+	}
 }
 
 // handleTile answers one static-tile request under either database
@@ -530,11 +582,12 @@ func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect) (
 }
 
 // preparedSelect returns the parsed form of sql, parsing at most once
-// per statement text. Layer query shapes are constant strings with '?'
-// placeholders, so after warm-up the hot path never touches the
-// parser.
+// per resident statement text. Layer query shapes are constant strings
+// with '?' placeholders, so after warm-up the hot path never touches
+// the parser; the cache is bounded (Options.PlanCacheSize, LRU), so
+// ad-hoc SQL through RunSelect cannot grow it without limit.
 func (s *Server) preparedSelect(sql string) (*sqldb.SelectStmt, error) {
-	if v, ok := s.plans.Load(sql); ok {
+	if v, ok := s.plans.Get(sql); ok {
 		return v.(*sqldb.SelectStmt), nil
 	}
 	st, err := sqldb.Parse(sql)
@@ -546,8 +599,8 @@ func (s *Server) preparedSelect(sql string) (*sqldb.SelectStmt, error) {
 		return nil, fmt.Errorf("server: layer statement is not a SELECT: %T", st)
 	}
 	// Concurrent parsers may race here; either winner is equivalent.
-	actual, _ := s.plans.LoadOrStore(sql, sel)
-	return actual.(*sqldb.SelectStmt), nil
+	s.plans.Put(sql, sel, 1)
+	return sel, nil
 }
 
 func (s *Server) runQuery(sql string, args []storage.Value, codec Codec) ([]byte, error) {
@@ -622,6 +675,11 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	s.Stats.Updates.Add(1)
 	// Edits invalidate cached responses; drop the whole backend cache
 	// (coarse but correct — the paper defers caching-under-updates).
+	// The generation bump comes first: any query that started before
+	// this point sees a stale generation and skips its cache store, so
+	// an in-flight coalesced query cannot repopulate the cache with
+	// pre-update rows after the Clear.
+	s.cacheGen.Add(1)
 	s.bcache.Clear()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]int64{"affected": n})

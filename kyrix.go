@@ -39,7 +39,7 @@
 //     statement shapes are parsed once and re-executed with fresh '?'
 //     arguments, skipping the SQL parser on the hot path.
 //
-// # Batch tile endpoint
+// # Batch endpoint, protocol v1 (buffered JSON, tiles only)
 //
 // POST /batch fetches many tiles of one layer in a single round trip.
 // Request body (design defaults to "spatial", codec to "json"):
@@ -57,6 +57,46 @@
 // At most 256 tiles per request. The frontend uses it when
 // [ClientOptions].BatchSize > 1, both for viewport fetches and for
 // [Client.PrefetchTiles] cache warming.
+//
+// # Batch endpoint, protocol v2 (binary framed stream, tiles + dboxes)
+//
+// Protocol v2 removes v1's two costs — base64 (~33% wire overhead) and
+// whole-response buffering — and widens the batch to dynamic boxes, so
+// a multi-layer canvas viewport is served in exactly one round trip.
+// The request is still a JSON POST to /batch, now with "v":2 and a
+// heterogeneous item list, each item addressing its own layer of one
+// canvas:
+//
+//	{"v":2,"canvas":"main","codec":"binary","items":[
+//	 {"kind":"tile","layer":0,"size":256,"col":0,"row":0},
+//	 {"kind":"dbox","layer":1,"minx":0,"miny":0,"maxx":900,"maxy":700}]}
+//
+// The response is a binary stream (Content-Type
+// application/x-kyrix-batch-v2), flushed frame by frame as sub-results
+// complete so the client renders layers as they arrive. All integers
+// are unsigned varints:
+//
+//	header:  magic "KYXB" | version 0x02 | item count
+//	frame:   index | kind (1B: 0=tile 1=dbox) | status (1B) |
+//	         payload length | payload
+//
+// Frames arrive in completion order; index maps a frame to its item.
+// Status 0 (OK) carries the item's payload in the request codec — the
+// exact bytes a single GET /tile or /dbox would return, no base64;
+// statuses 1 (bad request) and 2 (internal) carry a UTF-8 message, and
+// failures stay per-frame instead of failing the batch. The stream
+// ends after exactly `item count` frames; an earlier EOF is a
+// truncated stream. Versioning: the magic names the framed family, the
+// version byte bumps on incompatible layout changes, and decoders
+// reject versions they do not know. At most 256 items per request.
+//
+// [ClientOptions].BatchProtocol negotiates ([ProtocolAuto],
+// [ProtocolV1], [ProtocolV2]): in auto mode dbox-scheme clients (and
+// tile clients with BatchSize > 1) speak v2 and downgrade (once,
+// remembered) when the backend rejects the protocol; forcing v1 or v2
+// is an option. The concurrent bench (`kyrix-bench -clients ...
+// -proto 1|2`) reports wire bytes and time-to-first-frame for both
+// protocols.
 //
 // The experiment harness that regenerates the paper's Figures 6 and 7
 // lives in internal/experiments and is exposed through cmd/kyrix-bench
@@ -154,7 +194,29 @@ type (
 	Server = server.Server
 	// ServerOptions configures precomputation and the backend cache.
 	ServerOptions = server.Options
+	// PrecomputeOptions selects which physical structures are built at
+	// startup (ServerOptions.Precompute). The alias makes the knobs
+	// constructible by external module consumers, who cannot import
+	// the internal package the struct lives in.
+	PrecomputeOptions = fetch.Options
+	// IndexKind selects the index structure on the tuple–tile mapping
+	// table (PrecomputeOptions.MappingIndex).
+	IndexKind = sqldb.IndexKind
 )
+
+// Mapping-table index kinds (§3.1 compares B-tree and hash).
+const (
+	IndexBTree = sqldb.IndexBTree
+	IndexHash  = sqldb.IndexHash
+)
+
+// DefaultPrecomputeOptions builds both §3.1 database designs with the
+// paper's three tile sizes — the Precompute field of
+// DefaultServerOptions, exposed so callers can start from it and
+// adjust single knobs.
+func DefaultPrecomputeOptions() PrecomputeOptions {
+	return server.DefaultOptions().Precompute
+}
 
 // NewServer precomputes every layer and returns a ready backend.
 func NewServer(db *DB, ca *CompiledApp, opts ServerOptions) (*Server, error) {
@@ -178,6 +240,14 @@ type (
 	// LayerMeta is what the frontend knows about one layer (schema,
 	// placement parameters, renderer name); renderers receive it.
 	LayerMeta = server.LayerMeta
+)
+
+// Batch wire protocol selection for [ClientOptions].BatchProtocol:
+// auto-negotiate v2 with remembered v1 fallback, or force a version.
+const (
+	ProtocolAuto = frontend.ProtocolAuto
+	ProtocolV1   = frontend.ProtocolV1
+	ProtocolV2   = frontend.ProtocolV2
 )
 
 // NewClient connects a frontend to a backend URL.

@@ -244,3 +244,84 @@ func TestTilePrefetcherThroughPublicAPI(t *testing.T) {
 		t.Fatalf("predicted pan still issued %d requests", rep.Requests)
 	}
 }
+
+// TestPrecomputeOptionsConstructible pins the fix for the
+// ServerOptions.Precompute internal-type leak: a downstream module
+// (which cannot import kyrix/internal/...) must be able to build
+// ServerOptions entirely from root-level names. This test deliberately
+// avoids the internal fetch package.
+func TestPrecomputeOptionsConstructible(t *testing.T) {
+	db, app, reg := buildDemo(t, 1000)
+	opts := kyrix.ServerOptions{
+		CacheBytes: 4 << 20,
+		Precompute: kyrix.PrecomputeOptions{
+			BuildSpatial: true,
+			TileSizes:    []float64{512},
+			MappingIndex: kyrix.IndexBTree,
+		},
+	}
+	inst, err := kyrix.Launch(db, app, reg, opts, kyrix.DefaultClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rep, err := inst.Client.Load()
+	if err != nil || rep.Rows == 0 {
+		t.Fatalf("load over root-constructed options: %v, %d rows", err, rep.Rows)
+	}
+	// The default precompute options are the ones DefaultServerOptions
+	// ships, and the hash-index kind is usable too.
+	def := kyrix.DefaultPrecomputeOptions()
+	if !def.BuildSpatial || len(def.TileSizes) != 3 {
+		t.Fatalf("default precompute = %+v", def)
+	}
+	if kyrix.IndexHash == kyrix.IndexBTree {
+		t.Fatal("index kinds must differ")
+	}
+}
+
+// TestMultiLayerOneRoundTripThroughPublicAPI: the v2 protocol headline
+// through the public API — a two-data-layer canvas loads in one /batch
+// round trip and the report carries the new wire metrics.
+func TestMultiLayerOneRoundTripThroughPublicAPI(t *testing.T) {
+	db, app, reg := buildDemo(t, 1500)
+	// Add a second data layer over the same transform.
+	c0 := &app.Canvases[0]
+	c0.Layers = append(c0.Layers, kyrix.Layer{
+		TransformID: "t",
+		Placement:   &kyrix.Placement{XCol: "x", YCol: "y", Radius: 6},
+		Renderer:    "dots",
+	})
+	inst, err := kyrix.Launch(db, app, reg, kyrix.ServerOptions{
+		CacheBytes: 4 << 20,
+		Precompute: kyrix.PrecomputeOptions{BuildSpatial: true, TileSizes: []float64{512}},
+	}, kyrix.ClientOptions{
+		Scheme:     kyrix.DBox50,
+		CacheBytes: 4 << 20,
+		BatchSize:  8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst.Close()
+	rep, err := inst.Client.Load()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 {
+		t.Fatalf("two-layer load used %d round trips, want 1", rep.Requests)
+	}
+	if rep.WireBytes == 0 || rep.FirstFrame == 0 {
+		t.Fatalf("wire metrics missing: %+v", rep)
+	}
+	if inst.Server.Stats.BatchRequests.Load() != 1 || inst.Server.Stats.BoxRequests.Load() != 2 {
+		t.Fatalf("server stats: batches=%d boxes=%d",
+			inst.Server.Stats.BatchRequests.Load(), inst.Server.Stats.BoxRequests.Load())
+	}
+	for li := 0; li < 2; li++ {
+		rows, err := inst.Client.ObjectsInViewport(li)
+		if err != nil || len(rows) == 0 {
+			t.Fatalf("layer %d: %v, %d rows", li, err, len(rows))
+		}
+	}
+}
