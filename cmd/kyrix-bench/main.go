@@ -13,15 +13,23 @@
 //
 // -clients switches to concurrent-clients mode: N parallel frontends
 // replay random-walk traces against one backend, measuring throughput
-// (steps/s), latency (mean/p95), and how far the serving pipeline
+// (steps/s), latency (mean/p50/p95), and how far the serving pipeline
 // (sharded cache, request coalescing, batched tile fetch) cuts
 // database queries per step. -steps and -batch tune the workload;
 // -proto selects the /batch wire protocol (1 = buffered JSON, 2 =
-// binary framed stream), and the table reports wireKB/step and
-// time-to-first-frame so the two can be compared directly.
+// binary framed stream, 3 = compressed/delta framed stream) and -comp
+// toggles v3 per-frame compression; the table reports wireKB/step,
+// time-to-first-frame and the wire/raw compression ratio so the
+// protocols can be compared directly.
+//
+// -json writes the concurrent-mode results to BENCH_<label>.json
+// (label from -label) so the perf trajectory is machine-readable
+// across PRs: wireKB/step, ttff ms, p50/p95 latency and compression
+// ratio per client count.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -31,6 +39,9 @@ import (
 	"time"
 
 	"kyrix/internal/experiments"
+	"kyrix/internal/fetch"
+	"kyrix/internal/frontend"
+	"kyrix/internal/server"
 )
 
 func main() {
@@ -40,7 +51,12 @@ func main() {
 	clients := flag.String("clients", "", "concurrent-clients mode: comma-separated client counts (e.g. 1,4,16); replaces the figure runs")
 	steps := flag.Int("steps", 12, "pan steps per client in concurrent-clients mode")
 	batch := flag.Int("batch", 8, "frontend tile batch size in concurrent-clients mode (0 = per-tile GETs)")
-	proto := flag.Int("proto", 0, "batch wire protocol in concurrent-clients mode: 0 auto, 1 buffered JSON, 2 binary framed stream (compare wireKB/step and ttff)")
+	proto := flag.Int("proto", 0, "batch wire protocol in concurrent-clients mode: 0 auto, 1 buffered JSON, 2 binary framed stream, 3 compressed/delta framed stream (compare wireKB/step, ttff and ratio)")
+	comp := flag.Bool("comp", true, "v3 per-frame compression in concurrent-clients mode (false asks for raw frames)")
+	scheme := flag.String("scheme", "tile", "fetching scheme in concurrent-clients mode: tile (spatial 1024) or dbox (dbox 50% — the pan/zoom workload v3 delta frames target)")
+	codec := flag.String("codec", "", "override the wire codec (json | binary; default from -scale config)")
+	jsonOut := flag.Bool("json", false, "concurrent-clients mode: also write the results to BENCH_<label>.json")
+	label := flag.String("label", "", "label for the -json artifact (default proto+clients)")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -57,6 +73,13 @@ func main() {
 	if *runs > 0 {
 		cfg.Runs = *runs
 	}
+	switch *codec {
+	case "":
+	case "json", "binary":
+		cfg.Codec = server.Codec(*codec)
+	default:
+		log.Fatalf("unknown -codec %q", *codec)
+	}
 
 	if *clients != "" {
 		counts, err := parseCounts(*clients)
@@ -70,12 +93,30 @@ func main() {
 		opts.StepsPerClient = *steps
 		opts.BatchSize = *batch
 		opts.Protocol = *proto
-		t, err := experiments.ConcurrentClients(env, opts)
+		if !*comp {
+			opts.Compression = frontend.CompressionOff
+		}
+		switch *scheme {
+		case "tile":
+		case "dbox":
+			opts.Scheme = fetch.DBox50
+		default:
+			log.Fatalf("unknown -scheme %q", *scheme)
+		}
+		t, stats, err := experiments.ConcurrentClients(env, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(t.Format())
+		if *jsonOut {
+			if err := writeBenchJSON(*label, *scale, *clients, opts, stats); err != nil {
+				log.Fatal(err)
+			}
+		}
 		return
+	}
+	if *jsonOut {
+		log.Fatal("kyrix-bench: -json requires -clients (the concurrent sweep is the machine-readable surface)")
 	}
 
 	want := func(name string) bool { return *fig == "all" || strings.EqualFold(*fig, name) }
@@ -166,6 +207,41 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kyrix-bench: unknown -fig %q\n", *fig)
 		os.Exit(2)
 	}
+}
+
+// benchArtifact is the BENCH_<label>.json shape: enough run context to
+// interpret the rows, plus the machine-readable sweep itself.
+type benchArtifact struct {
+	Label   string                           `json:"label"`
+	Mode    string                           `json:"mode"`
+	Scale   string                           `json:"scale"`
+	Clients string                           `json:"clients"`
+	Steps   int                              `json:"stepsPerClient"`
+	Batch   int                              `json:"batchSize"`
+	Proto   int                              `json:"proto"`
+	Scheme  string                           `json:"scheme"`
+	Rows    []experiments.ConcurrentRowStats `json:"rows"`
+}
+
+func writeBenchJSON(label, scale, clients string, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats) error {
+	if label == "" {
+		label = fmt.Sprintf("proto%d_clients%s", opts.Protocol, strings.ReplaceAll(clients, ",", "-"))
+	}
+	art := benchArtifact{
+		Label: label, Mode: "concurrent", Scale: scale, Clients: clients,
+		Steps: opts.StepsPerClient, Batch: opts.BatchSize, Proto: opts.Protocol,
+		Scheme: opts.Scheme.Name(), Rows: stats,
+	}
+	data, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := "BENCH_" + label + ".json"
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	return nil
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -26,9 +26,12 @@ type ConcurrentOptions struct {
 	// only; 0 disables).
 	BatchSize int
 	// Protocol selects the /batch wire protocol
-	// (frontend.ProtocolAuto/V1/V2): the v1-vs-v2 comparison axis for
-	// wire bytes and time-to-first-frame.
+	// (frontend.ProtocolAuto/V1/V2/V3): the protocol comparison axis
+	// for wire bytes, compression ratio and time-to-first-frame.
 	Protocol int
+	// Compression selects v3 per-frame compression
+	// (frontend.CompressionAuto/Off).
+	Compression int
 	// SharedTraces groups clients onto this many distinct traces, so
 	// concurrent clients overlap and request coalescing has identical
 	// in-flight requests to merge. 0 means every client gets its own
@@ -48,31 +51,56 @@ func DefaultConcurrentOptions() ConcurrentOptions {
 	}
 }
 
+// ConcurrentRowStats is one client-count row of the concurrent sweep
+// in machine-readable form — what kyrix-bench -json persists so the
+// perf trajectory is comparable across PRs.
+type ConcurrentRowStats struct {
+	Clients     int     `json:"clients"`
+	StepsPerSec float64 `json:"stepsPerSec"`
+	MeanMs      float64 `json:"meanMs"`
+	P50Ms       float64 `json:"p50Ms"`
+	P95Ms       float64 `json:"p95Ms"`
+	DbqPerStep  float64 `json:"dbqPerStep"`
+	CoalPerStep float64 `json:"coalPerStep"`
+	// WireKBPerStep is bytes read off the wire by batch round trips
+	// per measured step; TtffMs the mean time to first decoded frame
+	// (framed protocols only).
+	WireKBPerStep float64 `json:"wireKBPerStep"`
+	TtffMs        float64 `json:"ttffMs"`
+	// CompressionRatio is wire bytes over logical payload bytes across
+	// the measured steps: ~1 on v2 (framing only), below 1 when v3's
+	// compression and delta frames earn their keep. 0 when unbatched.
+	CompressionRatio float64 `json:"compressionRatio"`
+}
+
 // ConcurrentClients measures the backend under N parallel frontends:
 // the throughput/latency sweep behind the ROADMAP's "heavy traffic"
 // goal, and the ablation surface for the serving pipeline (sharded
-// cache, coalescing, batching). Each client replays a random-walk
-// trace; clients sharing a trace issue identical requests and exercise
-// coalescing. The backend cache is cleared before each client count so
-// rows are comparable cold starts.
-func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
+// cache, coalescing, batching, wire protocol). Each client replays a
+// random-walk trace; clients sharing a trace issue identical requests
+// and exercise coalescing. The backend cache is cleared before each
+// client count so rows are comparable cold starts. Returns the
+// formatted table plus per-row machine-readable stats.
+func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRowStats, error) {
 	if len(opts.ClientCounts) == 0 || opts.StepsPerClient <= 0 {
-		return nil, fmt.Errorf("experiments: concurrent run needs client counts and steps")
+		return nil, nil, fmt.Errorf("experiments: concurrent run needs client counts and steps")
 	}
 	rows := make([]string, len(opts.ClientCounts))
 	for i, n := range opts.ClientCounts {
 		rows[i] = fmt.Sprintf("%d clients", n)
 	}
-	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step", "wireKB/step", "ttff ms"}
+	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step", "wireKB/step", "ttff ms", "ratio"}
 	t := NewTable(
 		fmt.Sprintf("Concurrent clients: %s over %q", opts.Scheme.Name(), env.Cfg.Name),
 		"mixed units, see columns", rows, cols)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("steps/client=%d batch=%d proto=%s sharedTraces=%d; backend cache cleared per row",
 			opts.StepsPerClient, opts.BatchSize, protoName(opts.Protocol), opts.SharedTraces),
-		"wireKB/step: bytes read off the wire by batch round trips (v1 counts the base64 JSON envelope, v2 the raw framed stream); 0 when unbatched",
-		"ttff ms: mean time to first decoded frame, v2 streaming only")
+		"wireKB/step: bytes read off the wire by batch round trips (v1 counts the base64 JSON envelope, v2/v3 the framed stream); 0 when unbatched",
+		"ttff ms: mean time to first decoded frame, framed streaming only",
+		"ratio: wire bytes / logical payload bytes (v3 compression + delta savings; ~1 on v2)")
 
+	var stats []ConcurrentRowStats
 	canvas := env.Dataset.Canvas()
 	for _, n := range opts.ClientCounts {
 		row := fmt.Sprintf("%d clients", n)
@@ -95,8 +123,9 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 
 		type result struct {
 			durs  []float64 // per-pan-step, ms
-			ttffs []float64 // per-step time to first frame, ms (v2 only)
+			ttffs []float64 // per-step time to first frame, ms (framed only)
 			wire  int64     // bytes on the wire across measured steps
+			raw   int64     // logical payload bytes across measured steps
 			err   error
 		}
 		results := make([]result, n)
@@ -117,6 +146,7 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 					CacheBytes:    env.Cfg.FrontendCacheBytes,
 					BatchSize:     opts.BatchSize,
 					BatchProtocol: opts.Protocol,
+					Compression:   opts.Compression,
 				})
 				if err == nil {
 					_, err = c.Pan(traces[i].Steps[0])
@@ -136,6 +166,7 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 					results[i].durs = append(results[i].durs,
 						float64(rep.Duration.Microseconds())/1000)
 					results[i].wire += rep.WireBytes
+					results[i].raw += rep.Bytes
 					if rep.FirstFrame > 0 {
 						results[i].ttffs = append(results[i].ttffs,
 							float64(rep.FirstFrame.Microseconds())/1000)
@@ -155,24 +186,26 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 		wall := time.Since(wallStart).Seconds()
 
 		var durs, ttffs []float64
-		var wire int64
+		var wireBytes, rawBytes int64
 		for i := range results {
 			if results[i].err != nil {
-				return nil, fmt.Errorf("experiments: client %d: %w", i, results[i].err)
+				return nil, nil, fmt.Errorf("experiments: client %d: %w", i, results[i].err)
 			}
 			durs = append(durs, results[i].durs...)
 			ttffs = append(ttffs, results[i].ttffs...)
-			wire += results[i].wire
+			wireBytes += results[i].wire
+			rawBytes += results[i].raw
 		}
 		steps := float64(len(durs))
 		if steps == 0 || wall <= 0 {
-			return nil, fmt.Errorf("experiments: concurrent run measured nothing")
+			return nil, nil, fmt.Errorf("experiments: concurrent run measured nothing")
 		}
 		sort.Float64s(durs)
 		var sum float64
 		for _, d := range durs {
 			sum += d
 		}
+		p50 := durs[int(math.Ceil(0.50*steps))-1]
 		p95 := durs[int(math.Ceil(0.95*steps))-1]
 		dbq := float64(env.Srv.Stats.DBQueries.Load() - dbqBefore)
 		coal := float64(env.Srv.Stats.CoalescedHits.Load() - coalBefore)
@@ -184,16 +217,35 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, error) {
 			}
 			ttffMean /= float64(len(ttffs))
 		}
+		var ratio float64
+		if rawBytes > 0 {
+			ratio = float64(wireBytes) / float64(rawBytes)
+		}
 
-		t.Set(row, "steps/s", steps/wall, Series{})
-		t.Set(row, "mean ms", sum/steps, Series{})
-		t.Set(row, "p95 ms", p95, Series{})
-		t.Set(row, "dbq/step", dbq/steps, Series{})
-		t.Set(row, "coal/step", coal/steps, Series{})
-		t.Set(row, "wireKB/step", float64(wire)/1024/steps, Series{})
-		t.Set(row, "ttff ms", ttffMean, Series{})
+		rs := ConcurrentRowStats{
+			Clients:          n,
+			StepsPerSec:      steps / wall,
+			MeanMs:           sum / steps,
+			P50Ms:            p50,
+			P95Ms:            p95,
+			DbqPerStep:       dbq / steps,
+			CoalPerStep:      coal / steps,
+			WireKBPerStep:    float64(wireBytes) / 1024 / steps,
+			TtffMs:           ttffMean,
+			CompressionRatio: ratio,
+		}
+		stats = append(stats, rs)
+
+		t.Set(row, "steps/s", rs.StepsPerSec, Series{})
+		t.Set(row, "mean ms", rs.MeanMs, Series{})
+		t.Set(row, "p95 ms", rs.P95Ms, Series{})
+		t.Set(row, "dbq/step", rs.DbqPerStep, Series{})
+		t.Set(row, "coal/step", rs.CoalPerStep, Series{})
+		t.Set(row, "wireKB/step", rs.WireKBPerStep, Series{})
+		t.Set(row, "ttff ms", rs.TtffMs, Series{})
+		t.Set(row, "ratio", rs.CompressionRatio, Series{})
 	}
-	return t, nil
+	return t, stats, nil
 }
 
 func protoName(p int) string {
@@ -202,6 +254,8 @@ func protoName(p int) string {
 		return "v1"
 	case frontend.ProtocolV2:
 		return "v2"
+	case frontend.ProtocolV3:
+		return "v3"
 	}
 	return "auto"
 }

@@ -338,7 +338,7 @@ func TestTableHelpers(t *testing.T) {
 
 func TestConcurrentClients(t *testing.T) {
 	env, _ := quickEnvs(t)
-	tbl, err := ConcurrentClients(env, ConcurrentOptions{
+	tbl, stats, err := ConcurrentClients(env, ConcurrentOptions{
 		ClientCounts:   []int{1, 4},
 		StepsPerClient: 4,
 		Scheme:         fetch.TileSpatial1024,
@@ -348,8 +348,21 @@ func TestConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tbl.Rows) != 2 || len(tbl.Cols) != 7 {
+	if len(tbl.Rows) != 2 || len(tbl.Cols) != 8 {
 		t.Fatalf("table shape = %dx%d", len(tbl.Rows), len(tbl.Cols))
+	}
+	if len(stats) != 2 || stats[0].Clients != 1 || stats[1].Clients != 4 {
+		t.Fatalf("stats rows = %+v", stats)
+	}
+	for _, rs := range stats {
+		if rs.StepsPerSec <= 0 || rs.P50Ms <= 0 || rs.P95Ms < rs.P50Ms {
+			t.Fatalf("implausible stats row: %+v", rs)
+		}
+		// Batched tile fetches over the framed protocol: the ratio must
+		// be measured and below 1 under v3 compression.
+		if rs.CompressionRatio <= 0 || rs.CompressionRatio >= 1.5 {
+			t.Fatalf("compression ratio out of range: %+v", rs)
+		}
 	}
 	for ri := range tbl.Rows {
 		for ci := range tbl.Cols {
@@ -366,7 +379,7 @@ func TestConcurrentClients(t *testing.T) {
 		t.Fatalf("format output missing rows:\n%s", out)
 	}
 	// Bad options error.
-	if _, err := ConcurrentClients(env, ConcurrentOptions{}); err == nil {
+	if _, _, err := ConcurrentClients(env, ConcurrentOptions{}); err == nil {
 		t.Fatal("empty options must fail")
 	}
 }

@@ -223,7 +223,9 @@ func v1OnlyProxy(t *testing.T, backend http.Handler) *httptest.Server {
 		if r.Method == http.MethodPost && r.URL.Path == "/batch" {
 			body, _ := io.ReadAll(r.Body)
 			r.Body.Close()
-			if strings.Contains(string(body), `"v":2`) {
+			// A v1 server never learned the version field: any framed
+			// request decodes to zero tiles and is rejected.
+			if strings.Contains(string(body), `"v":2`) || strings.Contains(string(body), `"v":3`) {
 				rejected++
 				http.Error(w, "empty batch", http.StatusBadRequest)
 				return
@@ -323,9 +325,9 @@ func TestV2PerFrameErrorIsolation(t *testing.T) {
 	var got []int
 	subs := []v2Sub{
 		{item: server.BatchItem{Kind: "dbox", Layer: 0, MinX: 0, MinY: 0, MaxX: 500, MaxY: 500},
-			merge: func(dr *server.DataResponse, _ int64) { got = append(got, len(dr.Rows)) }},
+			merge: func(fr frameResult) { got = append(got, len(fr.dr.Rows)) }},
 		{item: server.BatchItem{Kind: "dbox", Layer: 9, MinX: 0, MinY: 0, MaxX: 500, MaxY: 500},
-			merge: func(dr *server.DataResponse, _ int64) { t.Error("broken item must not merge") }},
+			merge: func(fr frameResult) { t.Error("broken item must not merge") }},
 	}
 	var rep FetchReport
 	err = c.runBatchV2(subs, &rep, time.Now())
@@ -334,6 +336,12 @@ func TestV2PerFrameErrorIsolation(t *testing.T) {
 	}
 	if len(got) != 1 || got[0] == 0 {
 		t.Fatalf("good sibling did not merge: %v", got)
+	}
+	// The server accepted the protocol and streamed the batch; a
+	// per-frame error must still settle negotiation, or chunked
+	// fetches would re-negotiate (and never overlap) forever.
+	if !c.protoConfirmed {
+		t.Fatal("per-frame error left the protocol unconfirmed")
 	}
 }
 

@@ -63,13 +63,18 @@ type Options struct {
 	// 0 or 1 keeps the one-request-per-tile protocol.
 	BatchSize int
 	// BatchProtocol selects the /batch wire protocol: ProtocolAuto
-	// (default) negotiates v2 — the binary framed stream covering both
-	// tiles and dynamic boxes, one round trip per viewport — with a
-	// remembered fallback to v1 against older servers; ProtocolV1 and
-	// ProtocolV2 force a version. In auto mode v2 engages for dbox
-	// schemes always and for tile schemes when BatchSize > 1,
-	// mirroring the v1 batching opt-in.
+	// (default) negotiates v3 — the binary framed stream covering both
+	// tiles and dynamic boxes with per-frame compression and
+	// delta-encoded boxes — stepping down to v2 and then v1 against
+	// older servers (each downgrade remembered); ProtocolV1,
+	// ProtocolV2 and ProtocolV3 force a version. In auto mode the
+	// framed path engages for dbox schemes always and for tile schemes
+	// when BatchSize > 1, mirroring the v1 batching opt-in.
 	BatchProtocol int
+	// Compression selects v3 per-frame compression: CompressionAuto
+	// (default) lets the server DEFLATE-compress frames that pass its
+	// worth-it heuristic, CompressionOff asks for raw frames.
+	Compression int
 }
 
 // DefaultOptions uses dynamic boxes with a 64 MB frontend cache.
@@ -90,16 +95,19 @@ type FetchReport struct {
 	Requests  int
 	CacheHits int
 	Rows      int
-	// Bytes counts payload bytes (what Decode consumed).
+	// Bytes counts logical payload bytes: what a raw (uncompressed,
+	// un-delta'd) frame would have carried, so the number is comparable
+	// across protocol versions.
 	Bytes int64
 	// WireBytes counts bytes actually read off the wire by batch round
-	// trips, envelope and framing included — the quantity the v2
-	// protocol shrinks by dropping base64. Zero for unbatched fetches
-	// (where it would equal Bytes).
+	// trips, envelope and framing included — the quantity v2 shrinks
+	// by dropping base64 and v3 shrinks further with per-frame
+	// compression and delta boxes (WireBytes/Bytes is the achieved
+	// ratio). Zero for unbatched fetches (where it would equal Bytes).
 	WireBytes int64
 	// FirstFrame is the time from interaction start to the first
-	// decoded v2 frame — how long before the first layer could render.
-	// Zero outside the framed protocol.
+	// decoded batch frame — how long before the first layer could
+	// render. Zero outside the framed protocols.
 	FirstFrame time.Duration
 	OverBudget bool // exceeded the 500 ms interactivity budget
 }
@@ -108,9 +116,17 @@ type FetchReport struct {
 // its data ("whenever the viewport moves outside the current box,
 // frontend sends the current viewport location to backend and requests
 // a new box").
+// A boxState's box, data and wireID are immutable once the state is
+// published into Client.boxes (merges replace whole states); overlapped
+// batch chunks rely on that to read declared delta bases off the
+// client goroutine.
 type boxState struct {
 	box  geom.Rect
 	data *server.DataResponse
+	// wireID identifies the exact payload bytes data decodes from
+	// (wire.PayloadID) — the delta-base id declared to v3 servers.
+	// Zero when unknown (v1 fetches), which just disables deltas.
+	wireID uint64
 	// prefetched holds a box fetched ahead of need (momentum
 	// prefetching, §4); promoted when the viewport enters it.
 	prefetched *boxState
@@ -131,9 +147,14 @@ type Client struct {
 	density     map[int]float64 // scalar rows per px², per layer
 	densityGrid map[int]map[cellKey]float64
 	renderers   map[string]RenderFunc
-	// v1Fallback records a failed v2 negotiation: the server rejected
-	// a framed batch once, so later fetches skip the retry.
-	v1Fallback bool
+	// The negotiation ladder's memory: v2Fallback records that the
+	// server rejected a v3 batch (it speaks at most v2), v1Fallback
+	// that it rejected framed batches entirely, and protoConfirmed
+	// that one framed exchange has succeeded — from then on chunks may
+	// overlap without risking a mid-flight downgrade.
+	v1Fallback     bool
+	v2Fallback     bool
+	protoConfirmed bool
 
 	// TotalReports accumulates every interaction's report.
 	TotalReports []FetchReport
@@ -264,8 +285,8 @@ func (c *Client) fetchViewport(vp geom.Rect, includeStatic bool) (FetchReport, e
 		if !errors.Is(err, errServerIsV1) {
 			return rep, err
 		}
-		if c.opts.BatchProtocol == ProtocolV2 {
-			return rep, fmt.Errorf("frontend: batch v2 forced but %w", err)
+		if c.forcedFramed() {
+			return rep, fmt.Errorf("frontend: framed batch forced but %w", err)
 		}
 		// Downgrade once and re-plan from scratch: nothing merged, but
 		// the planning pass counted cache hits — reset the report so
@@ -650,14 +671,14 @@ func (c *Client) PrefetchTiles(li int, sz float64, tiles []geom.TileID) error {
 					Kind: "tile", Layer: li, Size: sz,
 					Design: c.opts.Scheme.Design, Col: tid.Col, Row: tid.Row,
 				},
-				merge: func(dr *server.DataResponse, n int64) {
-					c.fcache.Put(c.tileCacheKey(li, sz, tid), dr, n)
+				merge: func(fr frameResult) {
+					c.fcache.Put(c.tileCacheKey(li, sz, tid), fr.dr, fr.rawN)
 				},
 			}
 		}
 		var rep FetchReport // prefetches do not count toward interaction reports
 		err := c.runBatchV2(subs, &rep, time.Now())
-		if !errors.Is(err, errServerIsV1) || c.opts.BatchProtocol == ProtocolV2 {
+		if !errors.Is(err, errServerIsV1) || c.forcedFramed() {
 			return err
 		}
 		c.v1Fallback = true // downgrade and fall through to the v1 paths

@@ -6,15 +6,23 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"strconv"
 	"testing"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/wire"
 )
 
-// The batch benchmarks compare the two /batch wire protocols on one
-// fixed viewport-sized workload: 16 tiles plus 2 dynamic boxes (v1
-// cannot batch dboxes, so it spends two extra GET /dbox round trips —
-// exactly the gap v2 closes). bytes/op reports bytes on the wire.
-// They are wired into CI's benchstat regression job next to the cache
-// contention benchmark.
+// The batch benchmarks compare the /batch wire protocols on two
+// workloads. The viewport workload is 16 tiles plus 2 dynamic boxes
+// (v1 cannot batch dboxes, so it spends two extra GET /dbox round
+// trips — exactly the gap v2 closes; v3 compresses the same frames).
+// The pan-zoom workload is a sequence of heavily overlapping dynamic
+// boxes — the case v3's delta frames target. All of them report
+// wire-B/op (bytes on the wire per operation) and the v3 ones also
+// report ratio (wire bytes / raw payload bytes), so the benchstat
+// regression job in CI tracks wire size and compression ratio across
+// PRs next to the timing columns.
 
 func benchBatchServer(b *testing.B) (*Server, string, func(path string) []byte) {
 	srv, hs := newPointsServer(b, 4000, 4096, 2048)
@@ -84,6 +92,7 @@ func BenchmarkBatchV1(b *testing.B) {
 		}
 	}
 	b.SetBytes(wire / int64(b.N))
+	b.ReportMetric(float64(wire)/float64(b.N), "wire-B/op")
 }
 
 // BenchmarkBatchV2 serves the same workload as one framed-stream round
@@ -134,6 +143,161 @@ func BenchmarkBatchV2(b *testing.B) {
 		wire += cr.n
 	}
 	b.SetBytes(wire / int64(b.N))
+	b.ReportMetric(float64(wire)/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkBatchV3 serves the viewport workload as one v3 stream with
+// per-frame compression: same frames as v2, fewer bytes on the wire.
+func BenchmarkBatchV3(b *testing.B) {
+	srv, base, _ := benchBatchServer(b)
+	req := BatchRequestV2{V: BatchV3Version, Canvas: "main", Codec: CodecBinary}
+	for _, ref := range benchTileRefs() {
+		req.Items = append(req.Items, BatchItem{
+			Kind: "tile", Layer: 0, Size: 512, Col: ref.Col, Row: ref.Row,
+		})
+	}
+	req.Items = append(req.Items,
+		BatchItem{Kind: "dbox", Layer: 0, MinX: 0, MinY: 0, MaxX: 900, MaxY: 700},
+		BatchItem{Kind: "dbox", Layer: 0, MinX: 1000, MinY: 800, MaxX: 1900, MaxY: 1500},
+	)
+	body, _ := json.Marshal(req)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wireBytes, rawBytes int64
+	for i := 0; i < b.N; i++ {
+		srv.BackendCache().Clear()
+		w, raw := postFramedOnce(b, base, body, wire.V3, nil)
+		wireBytes += w
+		rawBytes += raw
+	}
+	b.SetBytes(wireBytes / int64(b.N))
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
+	b.ReportMetric(float64(wireBytes)/float64(rawBytes), "ratio")
+}
+
+// panBoxes is the pan-zoom workload: a viewport-sized box panning
+// right in steps that overlap ~78% — the Kyrix-S observation that
+// successive viewports of a session share most of their rows.
+func panBoxes() []geom.Rect {
+	boxes := make([]geom.Rect, 8)
+	for i := range boxes {
+		x := float64(i) * 200
+		boxes[i] = geom.Rect{MinX: x, MinY: 0, MaxX: x + 900, MaxY: 700}
+	}
+	return boxes
+}
+
+// BenchmarkBatchPanZoomV2 replays the pan sequence over v2: every step
+// ships the full new box.
+func BenchmarkBatchPanZoomV2(b *testing.B) {
+	_, base, _ := benchBatchServer(b)
+	boxes := panBoxes()
+	bodies := make([][]byte, len(boxes))
+	for i, box := range boxes {
+		bodies[i], _ = json.Marshal(BatchRequestV2{
+			V: BatchV2Version, Canvas: "main", Codec: CodecBinary,
+			Items: []BatchItem{{Kind: "dbox", Layer: 0,
+				MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY}},
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wireBytes int64
+	for i := 0; i < b.N; i++ {
+		for _, body := range bodies {
+			w, _ := postFramedOnce(b, base, body, wire.V2, nil)
+			wireBytes += w
+		}
+	}
+	b.SetBytes(wireBytes / int64(b.N))
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
+}
+
+// BenchmarkBatchPanZoomV3 replays the same pans over v3 with delta
+// frames: after the first step only entering rows and tombstones cross
+// the wire. ratio is wire bytes over the full-payload equivalent.
+func BenchmarkBatchPanZoomV3(b *testing.B) {
+	_, base, _ := benchBatchServer(b)
+	boxes := panBoxes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wireBytes, rawBytes int64
+	for i := 0; i < b.N; i++ {
+		var prev *BaseRef
+		for _, box := range boxes {
+			it := BatchItem{Kind: "dbox", Layer: 0,
+				MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY,
+				Base: prev}
+			body, _ := json.Marshal(BatchRequestV2{
+				V: BatchV3Version, Canvas: "main", Codec: CodecBinary,
+				Items: []BatchItem{it},
+			})
+			var nextID uint64
+			w, raw := postFramedOnce(b, base, body, wire.V3, &nextID)
+			wireBytes += w
+			rawBytes += raw
+			prev = &BaseRef{MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY,
+				ID: strconv.FormatUint(nextID, 16)}
+		}
+	}
+	b.SetBytes(wireBytes / int64(b.N))
+	b.ReportMetric(float64(wireBytes)/float64(b.N), "wire-B/op")
+	b.ReportMetric(float64(wireBytes)/float64(rawBytes), "ratio")
+}
+
+// postFramedOnce posts one framed batch and drains the stream,
+// returning (wire bytes, raw-equivalent payload bytes). When nextID is
+// non-nil it receives the payload identity of the first dbox frame —
+// the delta base id the next pan step declares.
+func postFramedOnce(b *testing.B, base string, body []byte, version byte, nextID *uint64) (int64, int64) {
+	b.Helper()
+	resp, err := http.Post(base+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		b.Fatalf("batch: %s: %s", resp.Status, data)
+	}
+	cr := &countingRd{r: resp.Body}
+	br := bufio.NewReader(cr)
+	v, n, err := wire.ReadHeader(br)
+	if err != nil || v != version {
+		b.Fatalf("header: v=%d err=%v", v, err)
+	}
+	var raw int64
+	for j := 0; j < n; j++ {
+		f, err := wire.ReadFrame(br, v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Status != FrameOK {
+			b.Fatalf("frame %d: %s", f.Index, f.Payload)
+		}
+		payload := f.Payload
+		if f.Codec.Compressed() {
+			if payload, err = wire.Decompress(payload, maxFramePayload); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if f.Codec.IsDelta() {
+			d, err := wire.DecodeDelta(payload)
+			if err != nil {
+				b.Fatal(err)
+			}
+			raw += int64(d.FullLen)
+			if nextID != nil && f.Kind == FrameDBox {
+				*nextID = d.NewID
+			}
+			continue
+		}
+		raw += int64(len(payload))
+		if nextID != nil && f.Kind == FrameDBox {
+			*nextID = wire.PayloadID(payload)
+		}
+	}
+	return cr.n, raw
 }
 
 type countingRd struct {

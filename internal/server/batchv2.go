@@ -2,7 +2,6 @@ package server
 
 import (
 	"bufio"
-	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,95 +10,126 @@ import (
 	"sync"
 
 	"kyrix/internal/geom"
+	"kyrix/internal/wire"
 )
 
-// Batch wire protocol v2: a length-prefixed binary framed stream.
+// Batch wire protocols v2/v3: a length-prefixed binary framed stream.
 //
 // The v1 /batch reply is one buffered JSON envelope with base64 tile
 // payloads — ~33% encoding overhead and whole-response memory on both
 // sides. v2 streams raw payloads as frames, flushed as each sub-result
 // completes, and covers both static tiles and dynamic boxes so a
-// multi-layer canvas viewport is exactly one round trip.
+// multi-layer canvas viewport is exactly one round trip. v3 keeps the
+// same stream shape and adds a per-frame codec byte: OK payloads may be
+// DEFLATE-compressed, and dynamic-box frames may be delta-encoded
+// against a base box the client declares it already holds (only the
+// rows entering the new box cross the wire, plus a tombstone list for
+// the rows leaving).
 //
-// Stream layout (all integers are unsigned varints unless noted):
-//
-//	header:  magic "KYXB" (4 bytes) | version (1 byte, 0x02) | item count
-//	frame:   index | kind (1 byte) | status (1 byte) | payload length | payload
-//
-// Frames arrive in completion order, not request order; index maps a
-// frame back to its item. The stream ends after exactly `item count`
-// frames — EOF before that is a truncated stream. For status OK the
-// payload is the item's data encoded with the request codec (the same
-// bytes a single GET /tile or /dbox would return); for error statuses
-// it is a UTF-8 message.
-//
-// Versioning rules: the magic identifies the framed-batch family; the
-// version byte is bumped on any layout change AND on any new frame
-// kind or status, and decoders reject versions, kinds and statuses
-// they do not know — better a loud error than silently dropping a
-// sub-result the server believed it delivered.
+// The frame codec itself (header/frame layout, compression, the delta
+// format) lives in the internal/wire package shared with the frontend;
+// this file owns the HTTP endpoint, version dispatch and the
+// per-item serving path. See the package doc of internal/wire for the
+// byte-level layout and kyrix's root package doc for the protocol
+// overview.
 
-// BatchV2Magic opens every v2 batch stream.
-const BatchV2Magic = "KYXB"
+// BatchV2Magic opens every framed batch stream (v2 and v3 share it;
+// the version byte after the magic separates them).
+const BatchV2Magic = wire.Magic
 
-// BatchV2Version is the current framed-stream version byte.
-const BatchV2Version = 2
+// Framed-stream protocol versions.
+const (
+	BatchV2Version = wire.V2
+	BatchV3Version = wire.V3
+)
 
-// BatchV2ContentType is the response content type of a v2 batch
-// stream; the frontend uses it for content negotiation (a v1-only
-// server replies with application/json or an error instead).
-const BatchV2ContentType = "application/x-kyrix-batch-v2"
+// Content types of the framed batch responses; the frontend uses them
+// for content negotiation (a v1-only server replies with
+// application/json or an error instead).
+const (
+	BatchV2ContentType = "application/x-kyrix-batch-v2"
+	BatchV3ContentType = "application/x-kyrix-batch-v3"
+)
 
-// MaxBatchItems bounds one v2 /batch request, like MaxBatchTiles for
-// v1; the frontend splits larger viewports into multiple round trips.
+// MaxBatchItems bounds one framed /batch request, like MaxBatchTiles
+// for v1; the frontend splits larger viewports into multiple round
+// trips (overlapped client-side past this limit).
 const MaxBatchItems = MaxBatchTiles
 
-// maxFramePayload bounds a decoded frame payload (a corrupt length
-// prefix must not translate into an unbounded allocation).
-const maxFramePayload = 1 << 28
+// maxFramePayload bounds a decoded frame payload, both as read and
+// after decompression (a corrupt length prefix or a hostile DEFLATE
+// stream must not become an unbounded allocation).
+const maxFramePayload = wire.MaxFramePayload
 
-// FrameKind tags what a v2 frame carries.
-type FrameKind byte
+// Frame types and enums are shared with the frontend through
+// internal/wire; the aliases keep the server API (and its callers)
+// stable across the extraction.
+type (
+	// FrameKind tags what a frame carries.
+	FrameKind = wire.FrameKind
+	// FrameStatus is the per-frame outcome.
+	FrameStatus = wire.FrameStatus
+	// FrameCodec is the v3 per-frame payload encoding.
+	FrameCodec = wire.FrameCodec
+	// Frame is one decoded stream frame.
+	Frame = wire.Frame
+)
 
 // Frame kinds.
 const (
-	FrameTile FrameKind = 0
-	FrameDBox FrameKind = 1
+	FrameTile = wire.FrameTile
+	FrameDBox = wire.FrameDBox
 )
-
-// FrameStatus is the per-frame outcome, the framed analogue of the
-// HTTP status a single /tile or /dbox request would have returned.
-type FrameStatus byte
 
 // Frame statuses.
 const (
-	FrameOK         FrameStatus = 0
-	FrameBadRequest FrameStatus = 1
-	FrameInternal   FrameStatus = 2
+	FrameOK         = wire.FrameOK
+	FrameBadRequest = wire.FrameBadRequest
+	FrameInternal   = wire.FrameInternal
 )
 
-// Frame is one decoded v2 stream frame.
-type Frame struct {
-	Index   int
-	Kind    FrameKind
-	Status  FrameStatus
-	Payload []byte
+// v3 frame codecs.
+const (
+	FrameRaw        = wire.CodecRaw
+	FrameFlate      = wire.CodecFlate
+	FrameDelta      = wire.CodecDelta
+	FrameDeltaFlate = wire.CodecDeltaFlate
+)
+
+// BaseRef declares the dynamic box a client already holds, offered as
+// the delta base for a v3 dbox item: its bounds plus the identity of
+// the exact payload bytes (wire.PayloadID, hex-encoded — JSON numbers
+// cannot carry a full uint64). The server only delta-encodes when its
+// cached copy of that box hashes identically.
+type BaseRef struct {
+	MinX float64 `json:"minx"`
+	MinY float64 `json:"miny"`
+	MaxX float64 `json:"maxx"`
+	MaxY float64 `json:"maxy"`
+	ID   string  `json:"id"`
 }
 
-// BatchItem is one sub-request of a v2 batch: a tile (Col/Row/Size/
-// Design) or a dynamic box (MinX..MaxY), each addressing its own layer
-// of the request's canvas.
+// Box returns the base's rectangle.
+func (b BaseRef) Box() geom.Rect {
+	return geom.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY}
+}
+
+// BatchItem is one sub-request of a framed batch: a tile (Col/Row/
+// Size/Design) or a dynamic box (MinX..MaxY), each addressing its own
+// layer of the request's canvas. Base (v3, dbox only) declares a delta
+// base; v2 servers ignore it.
 type BatchItem struct {
-	Kind   string  `json:"kind"` // "tile" | "dbox"
-	Layer  int     `json:"layer"`
-	Size   float64 `json:"size,omitempty"`
-	Design string  `json:"design,omitempty"`
-	Col    int     `json:"col,omitempty"`
-	Row    int     `json:"row,omitempty"`
-	MinX   float64 `json:"minx,omitempty"`
-	MinY   float64 `json:"miny,omitempty"`
-	MaxX   float64 `json:"maxx,omitempty"`
-	MaxY   float64 `json:"maxy,omitempty"`
+	Kind   string   `json:"kind"` // "tile" | "dbox"
+	Layer  int      `json:"layer"`
+	Size   float64  `json:"size,omitempty"`
+	Design string   `json:"design,omitempty"`
+	Col    int      `json:"col,omitempty"`
+	Row    int      `json:"row,omitempty"`
+	MinX   float64  `json:"minx,omitempty"`
+	MinY   float64  `json:"miny,omitempty"`
+	MaxX   float64  `json:"maxx,omitempty"`
+	MaxY   float64  `json:"maxy,omitempty"`
+	Base   *BaseRef `json:"base,omitempty"`
 }
 
 // Box returns the dbox item's rectangle.
@@ -107,158 +137,109 @@ func (it BatchItem) Box() geom.Rect {
 	return geom.Rect{MinX: it.MinX, MinY: it.MinY, MaxX: it.MaxX, MaxY: it.MaxY}
 }
 
-// BatchRequestV2 is the POST /batch body for protocol v2: one
+// Compression modes for BatchRequestV2.Comp.
+const (
+	// CompFlate (the v3 default, also selected by "") lets the server
+	// DEFLATE-compress OK payloads that pass the worth-it heuristic.
+	CompFlate = "flate"
+	// CompOff forces raw payloads (ablations, pre-compressed codecs).
+	CompOff = "off"
+)
+
+// BatchRequestV2 is the POST /batch body for the framed protocols: one
 // viewport's worth of tile and dbox sub-requests against one canvas,
-// answered as a binary framed stream. V must be 2 — a v1 server
-// ignores the unknown fields, sees no tiles and rejects the request,
-// which is what the frontend's fallback detection keys on.
+// answered as a binary framed stream. V selects the stream version (2
+// or 3) — a v1 server ignores the unknown fields, sees no tiles and
+// rejects the request, and a v2 server rejects v=3 at dispatch, which
+// is what the frontend's downgrade ladder keys on. Comp ("flate"|
+// "off", v3 only) negotiates per-request compression.
 type BatchRequestV2 struct {
 	V      int         `json:"v"`
 	Canvas string      `json:"canvas"`
 	Codec  Codec       `json:"codec,omitempty"`
+	Comp   string      `json:"comp,omitempty"`
 	Items  []BatchItem `json:"items"`
 }
 
-// WriteBatchHeader writes the v2 stream header for n frames.
+// WriteBatchHeader writes a v2 stream header for n frames. (v3 streams
+// are written through wire.WriteHeader directly.)
 func WriteBatchHeader(w io.Writer, n int) error {
-	var buf [4 + 1 + binary.MaxVarintLen64]byte
-	copy(buf[:4], BatchV2Magic)
-	buf[4] = BatchV2Version
-	ln := 5 + binary.PutUvarint(buf[5:], uint64(n))
-	_, err := w.Write(buf[:ln])
-	return err
+	return wire.WriteHeader(w, wire.V2, n)
 }
 
-// ReadBatchHeader reads and validates the v2 stream header, returning
-// the frame count.
+// ReadBatchHeader reads and validates a v2 stream header, returning
+// the frame count. A v3 stream is rejected here: callers that can
+// consume both versions use wire.ReadHeader.
 func ReadBatchHeader(br *bufio.Reader) (int, error) {
-	var magic [5]byte
-	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return 0, fmt.Errorf("server: batch v2 header: %w", err)
-	}
-	if string(magic[:4]) != BatchV2Magic {
-		return 0, fmt.Errorf("server: batch v2 bad magic %q", magic[:4])
-	}
-	if magic[4] != BatchV2Version {
-		return 0, fmt.Errorf("server: batch v2 unknown version %d", magic[4])
-	}
-	n, err := binary.ReadUvarint(br)
+	v, n, err := wire.ReadHeader(br)
 	if err != nil {
-		return 0, fmt.Errorf("server: batch v2 frame count: %w", err)
+		return 0, fmt.Errorf("server: batch: %w", err)
 	}
-	if n > maxFramePayload {
-		return 0, fmt.Errorf("server: batch v2 absurd frame count %d", n)
+	if v != wire.V2 {
+		return 0, fmt.Errorf("server: batch v2 reader got version %d stream", v)
 	}
-	return int(n), nil
+	return n, nil
 }
 
-// WriteFrame writes one frame.
+// WriteFrame writes one v2 frame.
 func WriteFrame(w io.Writer, f Frame) error {
-	var buf [2*binary.MaxVarintLen64 + 2]byte
-	ln := binary.PutUvarint(buf[:], uint64(f.Index))
-	buf[ln] = byte(f.Kind)
-	buf[ln+1] = byte(f.Status)
-	ln += 2
-	ln += binary.PutUvarint(buf[ln:], uint64(len(f.Payload)))
-	if _, err := w.Write(buf[:ln]); err != nil {
-		return err
-	}
-	_, err := w.Write(f.Payload)
-	return err
+	return wire.WriteFrame(w, wire.V2, f)
 }
 
-// ReadFrame reads one frame. io.EOF at the first byte is returned
+// ReadFrame reads one v2 frame. io.EOF at the first byte is returned
 // verbatim (a clean between-frames boundary); any other failure is a
 // truncated or corrupt stream.
 func ReadFrame(br *bufio.Reader) (Frame, error) {
-	var f Frame
-	idx, err := binary.ReadUvarint(br)
-	if err != nil {
-		if err == io.EOF {
-			return f, io.EOF
-		}
-		return f, fmt.Errorf("server: batch v2 frame index: %w", err)
-	}
-	f.Index = int(idx)
-	kb, err := br.ReadByte()
-	if err != nil {
-		return f, fmt.Errorf("server: batch v2 frame kind: %w", eofIsUnexpected(err))
-	}
-	f.Kind = FrameKind(kb)
-	if f.Kind != FrameTile && f.Kind != FrameDBox {
-		return f, fmt.Errorf("server: batch v2 unknown frame kind %d", kb)
-	}
-	sb, err := br.ReadByte()
-	if err != nil {
-		return f, fmt.Errorf("server: batch v2 frame status: %w", eofIsUnexpected(err))
-	}
-	f.Status = FrameStatus(sb)
-	if f.Status > FrameInternal {
-		return f, fmt.Errorf("server: batch v2 unknown frame status %d", sb)
-	}
-	plen, err := binary.ReadUvarint(br)
-	if err != nil {
-		return f, fmt.Errorf("server: batch v2 payload length: %w", eofIsUnexpected(err))
-	}
-	if plen > maxFramePayload {
-		return f, fmt.Errorf("server: batch v2 payload of %d bytes exceeds limit", plen)
-	}
-	f.Payload = make([]byte, plen)
-	if _, err := io.ReadFull(br, f.Payload); err != nil {
-		return f, fmt.Errorf("server: batch v2 payload: %w", err)
-	}
-	return f, nil
-}
-
-// eofIsUnexpected maps a mid-frame EOF to ErrUnexpectedEOF so callers
-// can always distinguish truncation from a clean end of stream.
-func eofIsUnexpected(err error) error {
-	if err == io.EOF {
-		return io.ErrUnexpectedEOF
-	}
-	return err
+	return wire.ReadFrame(br, wire.V2)
 }
 
 // frameWriter serializes concurrent frame writes onto one HTTP
 // response, flushing after each frame so the client renders sub-
 // results as they complete instead of waiting for the whole batch.
 type frameWriter struct {
-	mu    sync.Mutex
-	w     io.Writer
-	fl    http.Flusher
-	err   error // first write error; later writes are dropped
-	bytes int64 // payload bytes written (raw, comparable to /tile)
+	version byte
+	mu      sync.Mutex
+	w       io.Writer
+	fl      http.Flusher
+	err     error // first write error; later writes are dropped
+	// bytes counts payload bytes as written (post-compression/delta);
+	// rawBytes counts the full-frame equivalent (what a raw v2 frame
+	// would have carried) — the pair is the stream's compression ratio.
+	bytes    int64
+	rawBytes int64
 }
 
-func newFrameWriter(w http.ResponseWriter) *frameWriter {
-	fw := &frameWriter{w: w}
+func newFrameWriter(w http.ResponseWriter, version byte) *frameWriter {
+	fw := &frameWriter{version: version, w: w}
 	if fl, ok := w.(http.Flusher); ok {
 		fw.fl = fl
 	}
 	return fw
 }
 
-func (fw *frameWriter) writeFrame(f Frame) {
+func (fw *frameWriter) writeFrame(f Frame, rawLen int) {
 	fw.mu.Lock()
 	defer fw.mu.Unlock()
 	if fw.err != nil {
 		return // client went away; drain remaining work silently
 	}
-	if err := WriteFrame(fw.w, f); err != nil {
+	if err := wire.WriteFrame(fw.w, fw.version, f); err != nil {
 		fw.err = err
 		return
 	}
 	fw.bytes += int64(len(f.Payload))
+	fw.rawBytes += int64(rawLen)
 	if fw.fl != nil {
 		fw.fl.Flush()
 	}
 }
 
-// handleBatchV2 answers a v2 batch: tile and dbox sub-requests against
-// one canvas, served concurrently under the bounded worker pool and
-// streamed back as binary frames in completion order. Every item goes
-// through the same cache + coalescing path as its single-request
-// equivalent.
+// handleBatchV2 answers a framed batch (v2 or v3): tile and dbox
+// sub-requests against one canvas, served concurrently under the
+// bounded worker pool and streamed back as binary frames in completion
+// order. Every item goes through the same cache + coalescing path as
+// its single-request equivalent; v3 additionally compresses and
+// delta-encodes OK payloads per frame (batchv3.go).
 func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 	if len(req.Items) == 0 {
 		http.Error(w, "empty batch", http.StatusBadRequest)
@@ -275,6 +256,19 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 	if codec != CodecJSON && codec != CodecBinary {
 		http.Error(w, fmt.Sprintf("unknown codec %q", codec), http.StatusBadRequest)
 		return
+	}
+	version := byte(wire.V2)
+	compress := false
+	if req.V == BatchV3Version {
+		version = wire.V3
+		switch req.Comp {
+		case "", CompFlate:
+			compress = true
+		case CompOff:
+		default:
+			http.Error(w, fmt.Sprintf("unknown compression %q", req.Comp), http.StatusBadRequest)
+			return
+		}
 	}
 
 	s.Stats.BatchRequests.Add(1)
@@ -300,9 +294,13 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 	// Past this point errors are per-frame: the header commits the
 	// stream, so an item failure becomes an error frame, never an HTTP
 	// error code.
-	w.Header().Set("Content-Type", BatchV2ContentType)
-	fw := newFrameWriter(w)
-	if err := WriteBatchHeader(w, len(req.Items)); err != nil {
+	if version == wire.V3 {
+		w.Header().Set("Content-Type", BatchV3ContentType)
+	} else {
+		w.Header().Set("Content-Type", BatchV2ContentType)
+	}
+	fw := newFrameWriter(w, version)
+	if err := wire.WriteHeader(w, version, len(req.Items)); err != nil {
 		return // client went away before the header landed
 	}
 
@@ -317,17 +315,27 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 			if it.Kind == "dbox" {
 				f.Kind = FrameDBox
 			}
+			rawLen := 0
 			// Contain panics like v1 does: net/http's recovery only
 			// covers the connection goroutine.
 			defer func() {
 				if r := recover(); r != nil {
-					f.Status, f.Payload = FrameInternal, []byte(fmt.Sprintf("internal: %v", r))
+					f.Status, f.Codec, f.Payload = FrameInternal, FrameRaw, []byte(fmt.Sprintf("internal: %v", r))
+					rawLen = len(f.Payload)
 				}
-				fw.writeFrame(f)
+				fw.writeFrame(f, rawLen)
 			}()
-			payload, err := s.serveItem(req.Canvas, it, codec)
+			if version == wire.V3 && it.Kind == "dbox" && it.Base != nil {
+				// Delta-eligible: hold the epoch read lock across query
+				// + delta plan so an /update cannot slip between them
+				// and pair a post-update result with a pre-update base.
+				s.epochMu.RLock()
+				defer s.epochMu.RUnlock()
+			}
+			payload, err := s.serveItem(req.Canvas, it, codec, version == wire.V3)
 			if err != nil {
 				f.Payload = []byte(err.Error())
+				rawLen = len(f.Payload)
 				if httpStatusOf(err) == http.StatusBadRequest {
 					f.Status = FrameBadRequest
 				} else {
@@ -336,15 +344,23 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 				return
 			}
 			f.Payload = payload
+			rawLen = len(payload)
+			if version == wire.V3 {
+				f.Payload, f.Codec = s.encodeFrameV3(req.Canvas, it, codec, payload, compress)
+			}
 		}(i, req.Items[i])
 	}
 	wg.Wait()
-	s.Stats.BytesServed.Add(fw.bytes)
+	// BytesServed stays the raw-payload count (comparable to /tile and
+	// to v2); the wire-side count and savings land in their own stats.
+	s.Stats.BytesServed.Add(fw.rawBytes)
+	s.Stats.WireBytes.Add(fw.bytes)
 }
 
-// serveItem resolves and serves one v2 batch item through the same
-// cache/coalescing path as the single-request endpoints.
-func (s *Server) serveItem(canvas string, it BatchItem, codec Codec) ([]byte, error) {
+// serveItem resolves and serves one framed batch item through the same
+// cache/coalescing path as the single-request endpoints. memoDBox asks
+// dbox queries to park decoded rows for the v3 delta planner.
+func (s *Server) serveItem(canvas string, it BatchItem, codec Codec, memoDBox bool) ([]byte, error) {
 	pl, ok := s.Layer(canvas, it.Layer)
 	if !ok || pl.Table == "" {
 		return nil, badRequestError{fmt.Errorf("no data layer %s/%d", canvas, it.Layer)}
@@ -367,17 +383,18 @@ func (s *Server) serveItem(canvas string, it BatchItem, codec Codec) ([]byte, er
 		if !box.Valid() {
 			return nil, badRequestError{fmt.Errorf("invalid box %+v", box)}
 		}
-		return s.serveBox(pl, codec, box)
+		return s.serveBox(pl, codec, box, memoDBox)
 	}
 	return nil, badRequestError{fmt.Errorf("unknown item kind %q", it.Kind)}
 }
 
-// batchEnvelope is the union of the v1 and v2 request shapes, so one
+// batchEnvelope is the union of the v1 and v2/v3 request shapes, so one
 // JSON parse serves both the version dispatch and the request itself.
 type batchEnvelope struct {
 	V      int         `json:"v"`
 	Canvas string      `json:"canvas"`
 	Codec  Codec       `json:"codec,omitempty"`
+	Comp   string      `json:"comp,omitempty"`
 	Layer  int         `json:"layer"`
 	Size   float64     `json:"size"`
 	Design string      `json:"design,omitempty"`
@@ -387,8 +404,8 @@ type batchEnvelope struct {
 
 // decodeBatchBody reads one /batch POST body and dispatches on the
 // protocol version: absent or zero "v" is a v1 tiles-only request,
-// v=2 is the framed-stream protocol. Exactly one of the returns is
-// non-nil on success.
+// v=2 and v=3 are the framed-stream protocols. Exactly one of the
+// returns is non-nil on success.
 func decodeBatchBody(w http.ResponseWriter, r *http.Request) (*BatchRequest, *BatchRequestV2, error) {
 	// A valid request is a few KB (MaxBatchItems refs plus header
 	// fields); cap the body so an oversized request is rejected while
@@ -405,9 +422,10 @@ func decodeBatchBody(w http.ResponseWriter, r *http.Request) (*BatchRequest, *Ba
 			Canvas: env.Canvas, Layer: env.Layer, Size: env.Size,
 			Design: env.Design, Codec: env.Codec, Tiles: env.Tiles,
 		}, nil, nil
-	case BatchV2Version:
+	case BatchV2Version, BatchV3Version:
 		return nil, &BatchRequestV2{
-			V: env.V, Canvas: env.Canvas, Codec: env.Codec, Items: env.Items,
+			V: env.V, Canvas: env.Canvas, Codec: env.Codec,
+			Comp: env.Comp, Items: env.Items,
 		}, nil
 	}
 	return nil, nil, fmt.Errorf("unsupported batch protocol v%d", env.V)

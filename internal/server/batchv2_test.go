@@ -262,7 +262,7 @@ func TestBatchV2Validation(t *testing.T) {
 		t.Fatalf("unknown codec = %d", code)
 	}
 	// Unknown protocol versions are rejected at dispatch.
-	body := []byte(`{"v":3,"canvas":"main","items":[{"kind":"tile","size":512}]}`)
+	body := []byte(`{"v":4,"canvas":"main","items":[{"kind":"tile","size":512}]}`)
 	resp, err := http.Post(hs.URL+"/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
@@ -270,7 +270,7 @@ func TestBatchV2Validation(t *testing.T) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("v3 request = %d", resp.StatusCode)
+		t.Fatalf("v4 request = %d", resp.StatusCode)
 	}
 	// An unknown item kind is a per-frame error, not a request error.
 	frames, _ := postBatchV2Raw(t, hs.URL, BatchRequestV2{

@@ -18,6 +18,7 @@ import (
 	"kyrix/internal/spec"
 	"kyrix/internal/sqldb"
 	"kyrix/internal/storage"
+	"kyrix/internal/wire"
 )
 
 // Options configures a backend server.
@@ -74,6 +75,15 @@ type Stats struct {
 	BytesServed   atomic.Int64
 	Updates       atomic.Int64
 	QueryNanos    atomic.Int64
+	// WireBytes counts frame payload bytes as actually written on
+	// framed /batch streams (post-compression/delta); BytesServed keeps
+	// counting the raw-payload equivalent, so WireBytes/BytesServed is
+	// the served compression ratio.
+	WireBytes atomic.Int64
+	// DeltaFrames counts v3 dbox frames that shipped as deltas;
+	// CompressedFrames counts frames that shipped DEFLATE-compressed.
+	DeltaFrames      atomic.Int64
+	CompressedFrames atomic.Int64
 }
 
 // Server is the Kyrix backend: precomputed physical layers over an
@@ -96,11 +106,28 @@ type Server struct {
 	// an in-flight coalesced query from before the update cannot
 	// repopulate the cache with pre-update rows.
 	cacheGen atomic.Int64
+	// epochMu orders v3 delta planning against updates: a delta frame
+	// diffs TWO payloads (the cached base and the fresh full result),
+	// and mixing epochs — a pre-update base with a post-update result —
+	// would ship rows the tombstone/entering diff cannot see changed.
+	// Delta-eligible items hold the read side across query + plan;
+	// handleUpdate holds the write side across exec + generation bump +
+	// cache clear, so a plan is wholly before or wholly after an update
+	// (and "after" finds the base evicted, degrading to a full frame).
+	// Non-delta serving never touches this lock.
+	epochMu sync.RWMutex
 	// plans caches parsed SELECT statements by SQL text, bounded by
 	// Options.PlanCacheSize with LRU eviction. Every layer emits a
 	// constant statement shape per design (arguments ride in '?'
 	// placeholders), so the hot path skips the parser entirely.
 	plans *cache.LRU
+	// deltaMemo caches decoded dbox payloads for the v3 delta planner,
+	// keyed by the payload's content hash (wire.PayloadID) — during a
+	// pan chain each payload is decoded once, when it is the "new" box,
+	// and found here when the next request declares it as the base.
+	// Content-addressed entries are immutable, so updates need no
+	// invalidation; the LRU bound caps residency.
+	deltaMemo *cache.LRU
 
 	// queryHook, when set (tests only), runs inside every database
 	// query execution; the coalescing test uses it to hold a query
@@ -132,7 +159,11 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 		// One entry = size 1, so the byte budget counts plans; a single
 		// shard keeps exact LRU order (the cap is tiny).
 		plans: cache.NewLRUSharded(int64(planCap), 1),
-		opts:  opts,
+		// Entries are charged their encoded-payload size (the decoded
+		// rows scale with it), so resident memory stays bounded like
+		// the other caches; 32 MB covers every live pan chain.
+		deltaMemo: cache.NewLRUSharded(32<<20, 1),
+		opts:      opts,
 	}
 
 	type job struct{ ci, li int }
@@ -411,7 +442,7 @@ func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, 
 	default:
 		return nil, badRequestError{fmt.Errorf("unknown design %q", design)}
 	}
-	return s.cachedQuery(key, sql, args, codec)
+	return s.cachedQuery(key, sql, args, codec, false)
 }
 
 // badRequestError marks an error as the caller's fault (HTTP 400);
@@ -440,10 +471,10 @@ func httpStatusOf(err error) int {
 // flight key embeds the generation too, so a request arriving after
 // the update never coalesces onto (and never re-serves) a stale
 // in-flight query.
-func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec) ([]byte, error) {
+func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	gen := s.cacheGen.Load()
 	if s.opts.DisableCoalescing {
-		payload, err := s.runQuery(sql, args, codec)
+		payload, err := s.runQuery(sql, args, codec, memoize)
 		if err != nil {
 			return nil, err
 		}
@@ -459,7 +490,7 @@ func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec)
 			s.Stats.CacheHits.Add(1)
 			return data.([]byte), nil
 		}
-		payload, err := s.runQuery(sql, args, codec)
+		payload, err := s.runQuery(sql, args, codec, memoize)
 		if err != nil {
 			return nil, err
 		}
@@ -561,7 +592,7 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	codec := codecOf(r)
-	payload, err := s.serveBox(pl, codec, box)
+	payload, err := s.serveBox(pl, codec, box, false)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatusOf(err))
 		return
@@ -570,15 +601,18 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveBox produces the payload of one dynamic-box request, with the
-// same cache + coalescing treatment as serveTile.
-func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect) ([]byte, error) {
-	key := fmt.Sprintf("%s/%s", codec, fetch.BoxKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), box))
+// same cache + coalescing treatment as serveTile. memoize asks the
+// query to park its decoded rows for the v3 delta planner — only worth
+// paying for requests whose payload can become a delta base (v3
+// batches); the v1/v2 paths skip it.
+func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, memoize bool) ([]byte, error) {
+	key := s.boxCacheKey(pl, codec, box)
 	if data, ok := s.bcache.Get(key); ok {
 		s.Stats.CacheHits.Add(1)
 		return data.([]byte), nil
 	}
 	sql, args := pl.WindowSQL(box)
-	return s.cachedQuery(key, sql, args, codec)
+	return s.cachedQuery(key, sql, args, codec, memoize)
 }
 
 // preparedSelect returns the parsed form of sql, parsing at most once
@@ -603,7 +637,7 @@ func (s *Server) preparedSelect(sql string) (*sqldb.SelectStmt, error) {
 	return sel, nil
 }
 
-func (s *Server) runQuery(sql string, args []storage.Value, codec Codec) ([]byte, error) {
+func (s *Server) runQuery(sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	sel, err := s.preparedSelect(sql)
 	if err != nil {
 		return nil, err
@@ -619,7 +653,18 @@ func (s *Server) runQuery(sql string, args []storage.Value, codec Codec) ([]byte
 	}
 	s.Stats.QueryNanos.Add(time.Since(start).Nanoseconds())
 	s.Stats.RowsServed.Add(int64(len(res.Rows)))
-	return Encode(responseFromResult(res), codec)
+	dr := responseFromResult(res)
+	payload, err := Encode(dr, codec)
+	if err != nil {
+		return nil, err
+	}
+	if memoize {
+		// The decoded rows are in hand right now; parking them in the
+		// content-addressed delta memo means a later delta plan against
+		// this payload never re-decodes it.
+		s.memoizeDecoded(wire.PayloadID(payload), codec, dr, len(payload))
+	}
+	return payload, nil
 }
 
 func (s *Server) writePayload(w http.ResponseWriter, codec Codec, payload []byte) {
@@ -667,22 +712,35 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 	for i, a := range req.Args {
 		args[i] = a.Value()
 	}
-	n, err := s.db.Exec(req.SQL, args...)
+	n, err := s.execUpdate(req.SQL, args)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.Stats.Updates.Add(1)
-	// Edits invalidate cached responses; drop the whole backend cache
-	// (coarse but correct — the paper defers caching-under-updates).
-	// The generation bump comes first: any query that started before
-	// this point sees a stale generation and skips its cache store, so
-	// an in-flight coalesced query cannot repopulate the cache with
-	// pre-update rows after the Clear.
-	s.cacheGen.Add(1)
-	s.bcache.Clear()
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]int64{"affected": n})
+}
+
+// execUpdate applies one update statement and invalidates cached
+// responses by dropping the whole backend cache (coarse but correct —
+// the paper defers caching-under-updates). The generation bump comes
+// before the Clear: any query that started earlier sees a stale
+// generation and skips its cache store, so an in-flight coalesced
+// query cannot repopulate the cache with pre-update rows after the
+// Clear. The whole transition runs under the epoch write lock (see
+// Server.epochMu), so a v3 delta plan is never half-old half-new:
+// in-flight plans drain first, later plans find the base evicted.
+func (s *Server) execUpdate(sql string, args []storage.Value) (int64, error) {
+	s.epochMu.Lock()
+	defer s.epochMu.Unlock()
+	n, err := s.db.Exec(sql, args...)
+	if err != nil {
+		return 0, err
+	}
+	s.cacheGen.Add(1)
+	s.bcache.Clear()
+	return n, nil
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -698,6 +756,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"bytesServed":        s.Stats.BytesServed.Load(),
 		"updates":            s.Stats.Updates.Load(),
 		"queryNanos":         s.Stats.QueryNanos.Load(),
+		"wireBytes":          s.Stats.WireBytes.Load(),
+		"deltaFrames":        s.Stats.DeltaFrames.Load(),
+		"compressedFrames":   s.Stats.CompressedFrames.Load(),
 		"backendCacheBytes":  bc.Bytes,
 		"backendCacheHits":   bc.Hits,
 		"backendCacheShards": int64(s.bcache.ShardCount()),

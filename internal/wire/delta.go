@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Delta is the v3 dynamic-box delta frame: successive viewports of a
+// pan session overlap heavily, so instead of re-shipping the whole new
+// box the server sends only the rows entering it plus a tombstone list
+// for the rows leaving, relative to a base box the client declared it
+// already holds.
+//
+// Rows are identified by their first column (an integer id — the same
+// identity the frontend already uses to deduplicate objects across
+// tiles). The base is identified by PayloadID of the exact payload
+// bytes the client holds; the server only delta-encodes when its cached
+// copy of the base hashes identically, so a stale client base (e.g.
+// across an /update) degrades to a full frame, never to wrong rows.
+//
+// Decompressed delta layout:
+//
+//	full length  (uvarint)  — byte size of the full payload replaced
+//	new box id   (8 bytes BE) — PayloadID of that full payload; the
+//	             client stores it as its next base id without ever
+//	             materializing the full payload
+//	tombstones   (uvarint count, then count signed varint row ids)
+//	entering     (remaining bytes: a payload in the request codec
+//	             holding only the entering rows)
+type Delta struct {
+	FullLen    int
+	NewID      uint64
+	Tombstones []int64
+	Entering   []byte
+}
+
+// PayloadID is the identity of a payload's exact bytes (FNV-64a),
+// used to match a client-declared delta base against the server's
+// cached copy.
+func PayloadID(payload []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(payload)
+	return h.Sum64()
+}
+
+// EncodeDelta serializes d.
+func EncodeDelta(d Delta) []byte {
+	buf := make([]byte, 0, 2*binary.MaxVarintLen64+8+
+		len(d.Tombstones)*binary.MaxVarintLen64+len(d.Entering))
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(d.FullLen))
+	buf = append(buf, tmp[:n]...)
+	var id [8]byte
+	binary.BigEndian.PutUint64(id[:], d.NewID)
+	buf = append(buf, id[:]...)
+	n = binary.PutUvarint(tmp[:], uint64(len(d.Tombstones)))
+	buf = append(buf, tmp[:n]...)
+	for _, t := range d.Tombstones {
+		n = binary.PutVarint(tmp[:], t)
+		buf = append(buf, tmp[:n]...)
+	}
+	return append(buf, d.Entering...)
+}
+
+// DecodeDelta parses a delta payload. Counts and lengths are bounded
+// by the input size, so a corrupt prefix errors out instead of
+// allocating.
+func DecodeDelta(b []byte) (Delta, error) {
+	var d Delta
+	fullLen, n := binary.Uvarint(b)
+	if n <= 0 || fullLen > MaxFramePayload {
+		return d, fmt.Errorf("wire: delta full length corrupt")
+	}
+	d.FullLen = int(fullLen)
+	b = b[n:]
+	if len(b) < 8 {
+		return d, fmt.Errorf("wire: delta truncated before box id")
+	}
+	d.NewID = binary.BigEndian.Uint64(b[:8])
+	b = b[8:]
+	ntomb, n := binary.Uvarint(b)
+	if n <= 0 {
+		return d, fmt.Errorf("wire: delta tombstone count corrupt")
+	}
+	b = b[n:]
+	// Each tombstone costs at least one byte; a count beyond the
+	// remaining bytes is corruption, caught before the allocation.
+	if ntomb > uint64(len(b)) {
+		return d, fmt.Errorf("wire: delta claims %d tombstones in %d bytes", ntomb, len(b))
+	}
+	d.Tombstones = make([]int64, ntomb)
+	for i := range d.Tombstones {
+		v, n := binary.Varint(b)
+		if n <= 0 {
+			return d, fmt.Errorf("wire: delta tombstone %d corrupt", i)
+		}
+		d.Tombstones[i] = v
+		b = b[n:]
+	}
+	d.Entering = b
+	return d, nil
+}

@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"compress/flate"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestHeaderVersions(t *testing.T) {
+	for _, v := range []byte{V2, V3} {
+		var buf bytes.Buffer
+		if err := WriteHeader(&buf, v, 7); err != nil {
+			t.Fatal(err)
+		}
+		gotV, n, err := ReadHeader(bufio.NewReader(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotV != v || n != 7 {
+			t.Fatalf("header = v%d n=%d, want v%d n=7", gotV, n, v)
+		}
+	}
+	if err := WriteHeader(io.Discard, 9, 1); err == nil {
+		t.Fatal("unknown version must not be writable")
+	}
+	var buf bytes.Buffer
+	buf.WriteString(Magic)
+	buf.WriteByte(4)
+	buf.WriteByte(1)
+	if _, _, err := ReadHeader(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("unknown version must not be readable")
+	}
+}
+
+func TestFrameRoundTripV3(t *testing.T) {
+	frames := []Frame{
+		{Index: 0, Kind: FrameTile, Status: FrameOK, Codec: CodecRaw, Payload: []byte("raw")},
+		{Index: 1, Kind: FrameDBox, Status: FrameOK, Codec: CodecFlate, Payload: []byte("deflated bytes")},
+		{Index: 2, Kind: FrameDBox, Status: FrameOK, Codec: CodecDelta, Payload: []byte("delta")},
+		{Index: 3, Kind: FrameDBox, Status: FrameOK, Codec: CodecDeltaFlate, Payload: nil},
+		{Index: 4, Kind: FrameTile, Status: FrameInternal, Codec: CodecRaw, Payload: []byte("boom")},
+	}
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, V3, len(frames)); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := WriteFrame(&buf, V3, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(buf.Bytes()))
+	v, n, err := ReadHeader(br)
+	if err != nil || v != V3 || n != len(frames) {
+		t.Fatalf("header: v=%d n=%d err=%v", v, n, err)
+	}
+	for i, want := range frames {
+		got, err := ReadFrame(br, V3)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Index != want.Index || got.Kind != want.Kind ||
+			got.Status != want.Status || got.Codec != want.Codec ||
+			!bytes.Equal(got.Payload, want.Payload) {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadFrame(br, V3); err != io.EOF {
+		t.Fatalf("read past end = %v, want io.EOF", err)
+	}
+}
+
+func TestV2CannotCarryCodec(t *testing.T) {
+	err := WriteFrame(io.Discard, V2, Frame{Codec: CodecFlate, Payload: []byte("x")})
+	if err == nil {
+		t.Fatal("v2 frame with a non-raw codec must fail to encode")
+	}
+	// And an unknown codec byte on a v3 stream is rejected.
+	var buf bytes.Buffer
+	buf.Write([]byte{0, byte(FrameTile), byte(FrameOK), 9, 0})
+	if _, err := ReadFrame(bufio.NewReader(&buf), V3); err == nil {
+		t.Fatal("unknown frame codec must fail to decode")
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	src := bytes.Repeat([]byte("kyrix rows kyrix rows "), 512)
+	comp, err := Compress(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp) >= len(src) {
+		t.Fatalf("redundant payload did not shrink: %d -> %d", len(src), len(comp))
+	}
+	back, err := Decompress(comp, MaxFramePayload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, src) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+// TestDecompressionBombBounded is the regression test for the bounded
+// inflate: a small compressed payload claiming to expand far past the
+// limit must error out instead of allocating the expansion.
+func TestDecompressionBombBounded(t *testing.T) {
+	// ~1 MB of zeros deflates to ~1 KB: a 1000x bomb relative to a
+	// 64 KB limit.
+	bomb, err := Compress(make([]byte, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bomb) > 16<<10 {
+		t.Fatalf("bomb unexpectedly large: %d bytes", len(bomb))
+	}
+	if _, err := Decompress(bomb, 64<<10); err == nil {
+		t.Fatal("bomb exceeding the limit must be rejected")
+	}
+	// Exactly at the limit is fine.
+	if out, err := Decompress(bomb, 1<<20); err != nil || len(out) != 1<<20 {
+		t.Fatalf("at-limit payload rejected: %d bytes, %v", len(out), err)
+	}
+}
+
+func TestDecompressCorruptAndTruncated(t *testing.T) {
+	if _, err := Decompress([]byte{0xde, 0xad, 0xbe, 0xef}, 1<<16); err == nil {
+		t.Fatal("garbage must not inflate")
+	}
+	good, err := Compress(bytes.Repeat([]byte("abc"), 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decompress(good[:len(good)/2], 1<<16); err == nil {
+		t.Fatal("truncated stream must not inflate")
+	}
+}
+
+func TestShouldCompressHeuristic(t *testing.T) {
+	if ShouldCompress([]byte("tiny")) {
+		t.Fatal("tiny payloads must skip compression")
+	}
+	redundant := bytes.Repeat([]byte(`{"x":1.5,"y":2.5},`), 200)
+	if !ShouldCompress(redundant) {
+		t.Fatal("redundant JSON must compress")
+	}
+	noise := make([]byte, 64<<10)
+	rnd := rand.New(rand.NewSource(42))
+	rnd.Read(noise)
+	if ShouldCompress(noise) {
+		t.Fatal("high-entropy payload must skip compression")
+	}
+	// Sanity: the heuristic agrees with flate on the noise payload.
+	var buf bytes.Buffer
+	fw, _ := flate.NewWriter(&buf, flateLevel)
+	fw.Write(noise)
+	fw.Close()
+	if buf.Len() < len(noise)*99/100 {
+		t.Fatalf("flate shrank noise to %d/%d — heuristic assumption broken", buf.Len(), len(noise))
+	}
+}
+
+func TestDeltaRoundTrip(t *testing.T) {
+	d := Delta{
+		FullLen:    123456,
+		NewID:      0xDEADBEEFCAFEF00D,
+		Tombstones: []int64{0, 1, -7, 1 << 40, 42},
+		Entering:   []byte("entering payload bytes"),
+	}
+	b := EncodeDelta(d)
+	got, err := DecodeDelta(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FullLen != d.FullLen || got.NewID != d.NewID {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Tombstones) != len(d.Tombstones) {
+		t.Fatalf("tombstones = %v", got.Tombstones)
+	}
+	for i := range d.Tombstones {
+		if got.Tombstones[i] != d.Tombstones[i] {
+			t.Fatalf("tombstone %d = %d, want %d", i, got.Tombstones[i], d.Tombstones[i])
+		}
+	}
+	if !bytes.Equal(got.Entering, d.Entering) {
+		t.Fatal("entering payload mismatch")
+	}
+
+	// Empty delta (pure overlap, nothing entering or leaving).
+	b = EncodeDelta(Delta{FullLen: 10, NewID: 1})
+	if got, err := DecodeDelta(b); err != nil || len(got.Tombstones) != 0 || len(got.Entering) != 0 {
+		t.Fatalf("empty delta: %+v, %v", got, err)
+	}
+}
+
+func TestDeltaCorrupt(t *testing.T) {
+	d := Delta{FullLen: 64, NewID: 7, Tombstones: []int64{1, 2, 3}, Entering: []byte("x")}
+	b := EncodeDelta(d)
+	// Every strict prefix must fail or decode without panicking.
+	for cut := 0; cut < len(b)-1; cut++ {
+		_, _ = DecodeDelta(b[:cut])
+	}
+	// A tombstone count that exceeds the remaining bytes is corruption,
+	// not an allocation.
+	bad := []byte{10, 0, 0, 0, 0, 0, 0, 0, 0, // fullLen + id
+		0xFF, 0xFF, 0xFF, 0xFF, 0x7F} // absurd tombstone count
+	if _, err := DecodeDelta(bad); err == nil {
+		t.Fatal("absurd tombstone count must fail")
+	}
+	if _, err := DecodeDelta(nil); err == nil {
+		t.Fatal("empty delta payload must fail")
+	}
+}
+
+func TestPayloadIDStable(t *testing.T) {
+	a := PayloadID([]byte("payload"))
+	if a != PayloadID([]byte("payload")) {
+		t.Fatal("id not deterministic")
+	}
+	if a == PayloadID([]byte("payloae")) {
+		t.Fatal("distinct payloads collided (fnv64 on 7 bytes)")
+	}
+}

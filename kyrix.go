@@ -88,15 +88,57 @@
 // ends after exactly `item count` frames; an earlier EOF is a
 // truncated stream. Versioning: the magic names the framed family, the
 // version byte bumps on incompatible layout changes, and decoders
-// reject versions they do not know. At most 256 items per request.
+// reject versions they do not know. At most 256 items per request;
+// the frontend splits (and, past the first negotiated exchange,
+// overlaps) larger viewports across multiple round trips.
+//
+// # Batch protocol v3 (per-frame compression + delta boxes)
+//
+// Protocol v3 attacks the remaining wire cost: frames still ship whole
+// payloads even when the client already holds almost all of the rows
+// (successive viewports of a pan session overlap heavily — the
+// Kyrix-S observation). The request is the same JSON POST with "v":3,
+// optionally "comp":"off" to disable compression, and dbox items may
+// declare a base box the client holds:
+//
+//	{"v":3,"canvas":"main","codec":"binary","items":[
+//	 {"kind":"dbox","layer":0,"minx":200,"miny":0,"maxx":1200,"maxy":800,
+//	  "base":{"minx":0,"miny":0,"maxx":1000,"maxy":800,"id":"e5f1a9..."}}]}
+//
+// The response stream (Content-Type application/x-kyrix-batch-v3) adds
+// one codec byte per frame after the status:
+//
+//	header:  magic "KYXB" | version 0x03 | item count
+//	frame:   index | kind (1B) | status (1B) |
+//	         codec (1B: 0=raw 1=flate 2=delta 3=delta+flate) |
+//	         payload length | payload
+//
+// Flate payloads are DEFLATE streams of the raw payload, emitted only
+// when a cheap size/entropy heuristic says compression will pay;
+// decompression is bounded, so a corrupt or hostile length can never
+// become a decompression bomb. Delta payloads carry the byte size and
+// content hash of the full payload they replace, a tombstone list (ids
+// of rows leaving the base box) and the entering rows as a nested
+// payload: the client reconstructs base − tombstones + entering, which
+// is row-for-row the full result. The "id" is the FNV-64a hash of the
+// exact payload bytes the client holds; the server only delta-encodes
+// when its cached copy of the base hashes identically, so stale bases
+// (after an /update), evicted bases, low overlap, or a delta bigger
+// than the full payload all degrade to a full frame — the delta is an
+// optimization, never a correctness dependency. Error frames are
+// always raw.
 //
 // [ClientOptions].BatchProtocol negotiates ([ProtocolAuto],
-// [ProtocolV1], [ProtocolV2]): in auto mode dbox-scheme clients (and
-// tile clients with BatchSize > 1) speak v2 and downgrade (once,
-// remembered) when the backend rejects the protocol; forcing v1 or v2
-// is an option. The concurrent bench (`kyrix-bench -clients ...
-// -proto 1|2`) reports wire bytes and time-to-first-frame for both
-// protocols.
+// [ProtocolV1], [ProtocolV2], [ProtocolV3]): in auto mode dbox-scheme
+// clients (and tile clients with BatchSize > 1) speak v3 and walk the
+// ladder down (v3 -> v2 -> v1, each downgrade remembered) when the
+// backend rejects a version; forcing a version is an option.
+// [ClientOptions].Compression ([CompressionAuto], [CompressionOff])
+// negotiates per-request compression. The concurrent bench
+// (`kyrix-bench -clients ... -proto 1|2|3 -scheme dbox`) reports wire
+// bytes, compression ratio and time-to-first-frame for all protocols,
+// and `kyrix-bench -json` writes the sweep to a BENCH_<label>.json
+// artifact.
 //
 // The experiment harness that regenerates the paper's Figures 6 and 7
 // lives in internal/experiments and is exposed through cmd/kyrix-bench
@@ -243,11 +285,20 @@ type (
 )
 
 // Batch wire protocol selection for [ClientOptions].BatchProtocol:
-// auto-negotiate v2 with remembered v1 fallback, or force a version.
+// auto-negotiate v3 with a remembered v2-then-v1 fallback ladder, or
+// force a version.
 const (
 	ProtocolAuto = frontend.ProtocolAuto
 	ProtocolV1   = frontend.ProtocolV1
 	ProtocolV2   = frontend.ProtocolV2
+	ProtocolV3   = frontend.ProtocolV3
+)
+
+// Per-frame compression selection for [ClientOptions].Compression
+// (batch protocol v3).
+const (
+	CompressionAuto = frontend.CompressionAuto
+	CompressionOff  = frontend.CompressionOff
 )
 
 // NewClient connects a frontend to a backend URL.
