@@ -12,7 +12,7 @@
 // slow).
 //
 // -clients switches to concurrent-clients mode: N parallel frontends
-// replay random-walk traces against one backend, measuring throughput
+// replay viewport traces against one backend, measuring throughput
 // (steps/s), latency (mean/p50/p95), and how far the serving pipeline
 // (sharded cache, request coalescing, batched tile fetch) cuts
 // database queries per step. -steps and -batch tune the workload;
@@ -22,10 +22,18 @@
 // time-to-first-frame and the wire/raw compression ratio so the
 // protocols can be compared directly.
 //
+// -workload selects the trace shape: walk (random pans, the default),
+// zipf (zipf-hot-set pan/zoom — clients share a skewed hot set), scan
+// (one-shot sequential canvas sweep) or mixed (zipf tenants plus a
+// scanning tenant — the cache-admission adversary). -admission picks
+// the backend cache policy (lfu = W-TinyLFU admission, off = plain
+// sharded LRU); the hit% column and hitRatio JSON field make the two
+// directly comparable on the same trace.
+//
 // -json writes the concurrent-mode results to BENCH_<label>.json
 // (label from -label) so the perf trajectory is machine-readable
-// across PRs: wireKB/step, ttff ms, p50/p95 latency and compression
-// ratio per client count.
+// across PRs: wireKB/step, ttff ms, p50/p95 latency, compression
+// ratio and backend-cache hit ratio per client count.
 package main
 
 import (
@@ -54,6 +62,9 @@ func main() {
 	proto := flag.Int("proto", 0, "batch wire protocol in concurrent-clients mode: 0 auto, 1 buffered JSON, 2 binary framed stream, 3 compressed/delta framed stream (compare wireKB/step, ttff and ratio)")
 	comp := flag.Bool("comp", true, "v3 per-frame compression in concurrent-clients mode (false asks for raw frames)")
 	scheme := flag.String("scheme", "tile", "fetching scheme in concurrent-clients mode: tile (spatial 1024) or dbox (dbox 50% — the pan/zoom workload v3 delta frames target)")
+	workloadKind := flag.String("workload", "walk", "concurrent-clients trace shape: walk | zipf | scan | mixed (zipf/scan/mixed are the cache-admission adversaries)")
+	admission := flag.String("admission", "lfu", "backend cache admission policy: lfu (W-TinyLFU) | off (plain sharded LRU)")
+	cacheMB := flag.Int("cachemb", 0, "override the backend cache budget in MB (0 = config default; shrink it so the zipf/scan workloads actually contend the budget)")
 	codec := flag.String("codec", "", "override the wire codec (json | binary; default from -scale config)")
 	jsonOut := flag.Bool("json", false, "concurrent-clients mode: also write the results to BENCH_<label>.json")
 	label := flag.String("label", "", "label for the -json artifact (default proto+clients)")
@@ -81,6 +92,16 @@ func main() {
 		log.Fatalf("unknown -codec %q", *codec)
 	}
 
+	switch *admission {
+	case "lfu", "off":
+		cfg.CacheAdmission = *admission
+	default:
+		log.Fatalf("unknown -admission %q", *admission)
+	}
+	if *cacheMB > 0 {
+		cfg.BackendCacheBytes = int64(*cacheMB) << 20
+	}
+
 	if *clients != "" {
 		counts, err := parseCounts(*clients)
 		if err != nil {
@@ -93,6 +114,7 @@ func main() {
 		opts.StepsPerClient = *steps
 		opts.BatchSize = *batch
 		opts.Protocol = *proto
+		opts.Workload = *workloadKind
 		if !*comp {
 			opts.Compression = frontend.CompressionOff
 		}
@@ -109,7 +131,7 @@ func main() {
 		}
 		fmt.Println(t.Format())
 		if *jsonOut {
-			if err := writeBenchJSON(*label, *scale, *clients, opts, stats); err != nil {
+			if err := writeBenchJSON(*label, *scale, *clients, *admission, opts, stats); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -212,25 +234,35 @@ func main() {
 // benchArtifact is the BENCH_<label>.json shape: enough run context to
 // interpret the rows, plus the machine-readable sweep itself.
 type benchArtifact struct {
-	Label   string                           `json:"label"`
-	Mode    string                           `json:"mode"`
-	Scale   string                           `json:"scale"`
-	Clients string                           `json:"clients"`
-	Steps   int                              `json:"stepsPerClient"`
-	Batch   int                              `json:"batchSize"`
-	Proto   int                              `json:"proto"`
-	Scheme  string                           `json:"scheme"`
-	Rows    []experiments.ConcurrentRowStats `json:"rows"`
+	Label     string                           `json:"label"`
+	Mode      string                           `json:"mode"`
+	Scale     string                           `json:"scale"`
+	Clients   string                           `json:"clients"`
+	Steps     int                              `json:"stepsPerClient"`
+	Batch     int                              `json:"batchSize"`
+	Proto     int                              `json:"proto"`
+	Scheme    string                           `json:"scheme"`
+	Workload  string                           `json:"workload"`
+	Admission string                           `json:"admission"`
+	Rows      []experiments.ConcurrentRowStats `json:"rows"`
 }
 
-func writeBenchJSON(label, scale, clients string, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats) error {
+func writeBenchJSON(label, scale, clients, admission string, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats) error {
+	workloadName := opts.Workload
+	if workloadName == "" {
+		workloadName = "walk"
+	}
 	if label == "" {
 		label = fmt.Sprintf("proto%d_clients%s", opts.Protocol, strings.ReplaceAll(clients, ",", "-"))
+		if workloadName != "walk" {
+			label = fmt.Sprintf("%s_%s_%s", label, workloadName, admission)
+		}
 	}
 	art := benchArtifact{
 		Label: label, Mode: "concurrent", Scale: scale, Clients: clients,
 		Steps: opts.StepsPerClient, Batch: opts.BatchSize, Proto: opts.Protocol,
-		Scheme: opts.Scheme.Name(), Rows: stats,
+		Scheme: opts.Scheme.Name(), Workload: workloadName, Admission: admission,
+		Rows: stats,
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"kyrix/internal/cache"
 	"kyrix/internal/fetch"
 	"kyrix/internal/frontend"
 	"kyrix/internal/geom"
@@ -35,8 +36,22 @@ type ConcurrentOptions struct {
 	// SharedTraces groups clients onto this many distinct traces, so
 	// concurrent clients overlap and request coalescing has identical
 	// in-flight requests to merge. 0 means every client gets its own
-	// trace (no overlap).
+	// trace (no overlap). Random-walk workload only.
 	SharedTraces int
+	// Workload selects each client's trace shape:
+	//
+	//	"walk" (or "")  random-walk pans — the historical default
+	//	"zipf"          zipf-hot-set pan/zoom: all clients share one
+	//	                hot-spot layout and revisit it with zipf skew
+	//	"scan"          one-shot sequential scan of the canvas
+	//	"mixed"         3 of every 4 clients run zipf, the fourth runs
+	//	                a scan — the adversarial multi-tenant case the
+	//	                cache admission policy exists for
+	//
+	// The zipf/scan/mixed workloads disable the frontend cache so the
+	// backend cache sees the full request stream (the hit-ratio column
+	// measures the backend policy, not the client's cache).
+	Workload string
 }
 
 // DefaultConcurrentOptions sweeps 1..16 clients replaying tile fetches
@@ -71,6 +86,13 @@ type ConcurrentRowStats struct {
 	// the measured steps: ~1 on v2 (framing only), below 1 when v3's
 	// compression and delta frames earn their keep. 0 when unbatched.
 	CompressionRatio float64 `json:"compressionRatio"`
+	// HitRatio is the backend cache hit ratio over the measured steps
+	// (hits/(hits+misses) deltas); CacheAdmitted/CacheRejected count
+	// the W-TinyLFU admission gate's decisions in that window (both 0
+	// with admission off).
+	HitRatio      float64 `json:"hitRatio"`
+	CacheAdmitted int64   `json:"cacheAdmitted"`
+	CacheRejected int64   `json:"cacheRejected"`
 }
 
 // ConcurrentClients measures the backend under N parallel frontends:
@@ -89,36 +111,30 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 	for i, n := range opts.ClientCounts {
 		rows[i] = fmt.Sprintf("%d clients", n)
 	}
-	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step", "wireKB/step", "ttff ms", "ratio"}
+	workloadName := opts.Workload
+	if workloadName == "" {
+		workloadName = "walk"
+	}
+	cols := []string{"steps/s", "mean ms", "p95 ms", "dbq/step", "coal/step", "hit%", "wireKB/step", "ttff ms", "ratio"}
 	t := NewTable(
-		fmt.Sprintf("Concurrent clients: %s over %q", opts.Scheme.Name(), env.Cfg.Name),
+		fmt.Sprintf("Concurrent clients: %s over %q (%s workload)", opts.Scheme.Name(), env.Cfg.Name, workloadName),
 		"mixed units, see columns", rows, cols)
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("steps/client=%d batch=%d proto=%s sharedTraces=%d; backend cache cleared per row",
 			opts.StepsPerClient, opts.BatchSize, protoName(opts.Protocol), opts.SharedTraces),
+		"hit%: backend cache hit ratio over the measured steps (zipf/scan/mixed workloads disable the frontend cache so the backend policy is what is measured)",
 		"wireKB/step: bytes read off the wire by batch round trips (v1 counts the base64 JSON envelope, v2/v3 the framed stream); 0 when unbatched",
 		"ttff ms: mean time to first decoded frame, framed streaming only",
 		"ratio: wire bytes / logical payload bytes (v3 compression + delta savings; ~1 on v2)")
 
 	var stats []ConcurrentRowStats
-	canvas := env.Dataset.Canvas()
 	for _, n := range opts.ClientCounts {
 		row := fmt.Sprintf("%d clients", n)
 		env.Srv.BackendCache().Clear()
 
-		traces := make([]*workload.Trace, n)
-		for i := range traces {
-			seed := int64(i)
-			if opts.SharedTraces > 0 {
-				seed = int64(i % opts.SharedTraces)
-			}
-			start := geom.Point{
-				X: env.Cfg.ViewportW/2 + float64(seed)*env.Cfg.ViewportW,
-				Y: canvas.H() / 2,
-			}
-			traces[i] = workload.RandomWalkTrace(start, env.Cfg.ViewportW/2,
-				opts.StepsPerClient, env.Cfg.ViewportW, env.Cfg.ViewportH,
-				1000+seed, canvas)
+		traces, err := buildTraces(env, opts, n)
+		if err != nil {
+			return nil, nil, err
 		}
 
 		type result struct {
@@ -140,10 +156,17 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 			ready.Add(1)
 			go func(i int) {
 				defer wg.Done()
+				fcache := env.Cfg.FrontendCacheBytes
+				if cacheWorkload(opts.Workload) {
+					// The hit-ratio column measures the backend cache
+					// policy; a frontend cache would absorb the very
+					// revisits the zipf workload exists to produce.
+					fcache = 0
+				}
 				c, err := frontend.NewClient(env.BaseURL, env.CA, frontend.Options{
 					Scheme:        opts.Scheme,
 					Codec:         env.Cfg.Codec,
-					CacheBytes:    env.Cfg.FrontendCacheBytes,
+					CacheBytes:    fcache,
 					BatchSize:     opts.BatchSize,
 					BatchProtocol: opts.Protocol,
 					Compression:   opts.Compression,
@@ -180,6 +203,7 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 		// measured steps.
 		dbqBefore := env.Srv.Stats.DBQueries.Load()
 		coalBefore := env.Srv.Stats.CoalescedHits.Load()
+		bcBefore := env.Srv.BackendCache().Stats()
 		wallStart := time.Now()
 		close(start)
 		wg.Wait()
@@ -209,6 +233,11 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 		p95 := durs[int(math.Ceil(0.95*steps))-1]
 		dbq := float64(env.Srv.Stats.DBQueries.Load() - dbqBefore)
 		coal := float64(env.Srv.Stats.CoalescedHits.Load() - coalBefore)
+		bcAfter := env.Srv.BackendCache().Stats()
+		bcDelta := cache.Stats{
+			Hits:   bcAfter.Hits - bcBefore.Hits,
+			Misses: bcAfter.Misses - bcBefore.Misses,
+		}
 
 		var ttffMean float64
 		if len(ttffs) > 0 {
@@ -233,6 +262,9 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 			WireKBPerStep:    float64(wireBytes) / 1024 / steps,
 			TtffMs:           ttffMean,
 			CompressionRatio: ratio,
+			HitRatio:         bcDelta.HitRatio(),
+			CacheAdmitted:    bcAfter.Admitted - bcBefore.Admitted,
+			CacheRejected:    bcAfter.Rejected - bcBefore.Rejected,
 		}
 		stats = append(stats, rs)
 
@@ -241,11 +273,93 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 		t.Set(row, "p95 ms", rs.P95Ms, Series{})
 		t.Set(row, "dbq/step", rs.DbqPerStep, Series{})
 		t.Set(row, "coal/step", rs.CoalPerStep, Series{})
+		t.Set(row, "hit%", 100*rs.HitRatio, Series{})
 		t.Set(row, "wireKB/step", rs.WireKBPerStep, Series{})
 		t.Set(row, "ttff ms", rs.TtffMs, Series{})
 		t.Set(row, "ratio", rs.CompressionRatio, Series{})
 	}
 	return t, stats, nil
+}
+
+// cacheWorkload reports whether w is one of the backend-cache
+// adversaries (which disable the frontend cache).
+func cacheWorkload(w string) bool {
+	return w == "zipf" || w == "scan" || w == "mixed"
+}
+
+// buildTraces constructs each client's trace for the selected
+// workload. The zipf workload shares one hot-spot layout across
+// clients (the multi-tenant skew the admission policy protects);
+// scans read windows of one canvas sweep, spaced evenly so the
+// windows are disjoint whenever the sweep is long enough — once the
+// scanning clients together demand more viewports than one sweep
+// holds, the windows wrap and scan traffic stops being strictly
+// one-shot (the hit%% column then also reflects scan re-reads); mixed
+// gives every fourth client the scan role.
+func buildTraces(env *Env, opts ConcurrentOptions, n int) ([]*workload.Trace, error) {
+	canvas := env.Dataset.Canvas()
+	traces := make([]*workload.Trace, n)
+	zipfTrace := func(i int) *workload.Trace {
+		return workload.ZipfHotSetTrace(workload.ZipfOptions{
+			Canvas:   canvas,
+			TileSize: env.Cfg.ViewportW,
+			HotSpots: 64, Skew: 1.2,
+			Steps: opts.StepsPerClient,
+			VpW:   env.Cfg.ViewportW, VpH: env.Cfg.ViewportH,
+			LayoutSeed: 7, Seed: 1000 + int64(i),
+		})
+	}
+	var scanFull *workload.Trace
+	scanTrace := func(ord, total int) *workload.Trace {
+		if scanFull == nil {
+			scanFull = workload.SequentialScanTrace(canvas, env.Cfg.ViewportW, env.Cfg.ViewportH)
+		}
+		stride := opts.StepsPerClient + 1
+		if total > 0 && len(scanFull.Steps)/total > stride {
+			stride = len(scanFull.Steps) / total
+		}
+		steps := make([]geom.Rect, 0, opts.StepsPerClient+1)
+		start := ord * stride
+		for k := 0; k <= opts.StepsPerClient; k++ {
+			steps = append(steps, scanFull.Steps[(start+k)%len(scanFull.Steps)])
+		}
+		return &workload.Trace{Name: "sequential-scan", Steps: steps}
+	}
+	switch opts.Workload {
+	case "", "walk":
+		for i := range traces {
+			seed := int64(i)
+			if opts.SharedTraces > 0 {
+				seed = int64(i % opts.SharedTraces)
+			}
+			start := geom.Point{
+				X: env.Cfg.ViewportW/2 + float64(seed)*env.Cfg.ViewportW,
+				Y: canvas.H() / 2,
+			}
+			traces[i] = workload.RandomWalkTrace(start, env.Cfg.ViewportW/2,
+				opts.StepsPerClient, env.Cfg.ViewportW, env.Cfg.ViewportH,
+				1000+seed, canvas)
+		}
+	case "zipf":
+		for i := range traces {
+			traces[i] = zipfTrace(i)
+		}
+	case "scan":
+		for i := range traces {
+			traces[i] = scanTrace(i, n)
+		}
+	case "mixed":
+		for i := range traces {
+			if i%4 == 3 {
+				traces[i] = scanTrace(i/4, n/4)
+			} else {
+				traces[i] = zipfTrace(i)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q (want walk|zipf|scan|mixed)", opts.Workload)
+	}
+	return traces, nil
 }
 
 func protoName(p int) string {

@@ -51,6 +51,10 @@ type Config struct {
 	// FrontendCacheBytes / BackendCacheBytes size the two caches.
 	FrontendCacheBytes int64
 	BackendCacheBytes  int64
+	// CacheAdmission selects the backend cache admission policy
+	// ("lfu" = W-TinyLFU frequency-based admission, "off"/"" = plain
+	// sharded LRU) — the comparison axis for the zipf/scan workloads.
+	CacheAdmission string
 	// Codec is the wire encoding.
 	Codec server.Codec
 }
@@ -177,7 +181,8 @@ func NewEnvFor(cfg Config, d *workload.Dataset) (*Env, error) {
 		return nil, err
 	}
 	srv, err := server.New(db, ca, server.Options{
-		CacheBytes: cfg.BackendCacheBytes,
+		CacheBytes:     cfg.BackendCacheBytes,
+		CacheAdmission: cfg.CacheAdmission,
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    cfg.TileSizes,

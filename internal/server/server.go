@@ -28,6 +28,18 @@ type Options struct {
 	// CacheShards is the backend cache shard count (rounded up to a
 	// power of two; 0 picks an automatic count from GOMAXPROCS).
 	CacheShards int
+	// CacheAdmission selects the backend cache admission policy:
+	// "lfu" enables W-TinyLFU frequency-based admission (a count-min
+	// sketch estimates key popularity; once the cache is at budget a
+	// new entry must be more frequent than the would-be victim to
+	// displace it, so one-shot scans cannot flush the hot tile set);
+	// "off" or "" keeps the plain sharded LRU. DefaultOptions enables
+	// "lfu".
+	CacheAdmission string
+	// CacheSketchCounters sizes the TinyLFU frequency sketch (total
+	// 4-bit counters across shards; 0 derives a size from CacheBytes).
+	// Ignored unless CacheAdmission is "lfu".
+	CacheSketchCounters int
 	// DisableCoalescing turns off singleflight request coalescing.
 	// With coalescing on (the default), N concurrent requests for the
 	// same tile/box key run one database query and share the payload.
@@ -52,7 +64,8 @@ type Options struct {
 // tile sizes and a 256 MB backend cache.
 func DefaultOptions() Options {
 	return Options{
-		CacheBytes: 256 << 20,
+		CacheBytes:     256 << 20,
+		CacheAdmission: "lfu",
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    []float64{256, 1024, 4096},
@@ -151,11 +164,25 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 	if planCap <= 0 {
 		planCap = 512
 	}
+	var admission cache.Admission
+	switch opts.CacheAdmission {
+	case "", "off":
+		admission = cache.AdmissionOff
+	case "lfu":
+		admission = cache.AdmissionLFU
+	default:
+		return nil, fmt.Errorf("server: unknown CacheAdmission %q (want \"lfu\" or \"off\")", opts.CacheAdmission)
+	}
 	s := &Server{
 		db:     db,
 		ca:     ca,
 		layers: make(map[string]*fetch.PhysicalLayer),
-		bcache: cache.NewLRUSharded(opts.CacheBytes, opts.CacheShards),
+		bcache: cache.New(cache.Config{
+			Budget:         opts.CacheBytes,
+			Shards:         opts.CacheShards,
+			Admission:      admission,
+			SketchCounters: opts.CacheSketchCounters,
+		}),
 		// One entry = size 1, so the byte budget counts plans; a single
 		// shard keeps exact LRU order (the cap is tiny).
 		plans: cache.NewLRUSharded(int64(planCap), 1),
@@ -746,22 +773,25 @@ func (s *Server) execUpdate(sql string, args []storage.Value) (int64, error) {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	bc := s.bcache.Stats()
 	out := map[string]int64{
-		"tileRequests":       s.Stats.TileRequests.Load(),
-		"boxRequests":        s.Stats.BoxRequests.Load(),
-		"batchRequests":      s.Stats.BatchRequests.Load(),
-		"cacheHits":          s.Stats.CacheHits.Load(),
-		"coalescedHits":      s.Stats.CoalescedHits.Load(),
-		"dbQueries":          s.Stats.DBQueries.Load(),
-		"rowsServed":         s.Stats.RowsServed.Load(),
-		"bytesServed":        s.Stats.BytesServed.Load(),
-		"updates":            s.Stats.Updates.Load(),
-		"queryNanos":         s.Stats.QueryNanos.Load(),
-		"wireBytes":          s.Stats.WireBytes.Load(),
-		"deltaFrames":        s.Stats.DeltaFrames.Load(),
-		"compressedFrames":   s.Stats.CompressedFrames.Load(),
-		"backendCacheBytes":  bc.Bytes,
-		"backendCacheHits":   bc.Hits,
-		"backendCacheShards": int64(s.bcache.ShardCount()),
+		"tileRequests":         s.Stats.TileRequests.Load(),
+		"boxRequests":          s.Stats.BoxRequests.Load(),
+		"batchRequests":        s.Stats.BatchRequests.Load(),
+		"cacheHits":            s.Stats.CacheHits.Load(),
+		"coalescedHits":        s.Stats.CoalescedHits.Load(),
+		"dbQueries":            s.Stats.DBQueries.Load(),
+		"rowsServed":           s.Stats.RowsServed.Load(),
+		"bytesServed":          s.Stats.BytesServed.Load(),
+		"updates":              s.Stats.Updates.Load(),
+		"queryNanos":           s.Stats.QueryNanos.Load(),
+		"wireBytes":            s.Stats.WireBytes.Load(),
+		"deltaFrames":          s.Stats.DeltaFrames.Load(),
+		"compressedFrames":     s.Stats.CompressedFrames.Load(),
+		"backendCacheBytes":    bc.Bytes,
+		"backendCacheHits":     bc.Hits,
+		"backendCacheMisses":   bc.Misses,
+		"backendCacheAdmitted": bc.Admitted,
+		"backendCacheRejected": bc.Rejected,
+		"backendCacheShards":   int64(s.bcache.ShardCount()),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)

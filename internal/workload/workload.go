@@ -204,6 +204,127 @@ func RevisitTrace(a, b geom.Point, n int, vpW, vpH float64) *Trace {
 	return tr
 }
 
+// ZipfOptions configures ZipfHotSetTrace.
+type ZipfOptions struct {
+	// Canvas bounds every viewport.
+	Canvas geom.Rect
+	// TileSize aligns the hot-spot anchors (and the one-tile dwell
+	// pans) with the tile grid, so revisits produce identical tile
+	// keys.
+	TileSize float64
+	// HotSpots is the number of anchor viewports; Skew is the zipf
+	// exponent over their ranks (must be > 1; higher = more skewed).
+	HotSpots int
+	Skew     float64
+	// Steps is the number of measured pan steps (Steps+1 viewports).
+	Steps int
+	// VpW, VpH size the viewport.
+	VpW, VpH float64
+	// LayoutSeed fixes the anchor placement — clients sharing a
+	// LayoutSeed share one hot set (the multi-tenant case) while Seed
+	// varies their visit order.
+	LayoutSeed int64
+	Seed       int64
+}
+
+// ZipfHotSetTrace is the skewed-revisit adversary for cache admission:
+// the viewport jumps among HotSpots tile-aligned anchors whose
+// popularity follows a zipf law (rank 0 most popular), and dwells
+// after each jump with a one-tile pan around the anchor — the
+// pan/zoom-around-a-hot-region pattern of a multi-tenant deployment.
+// A byte-budgeted cache that protects the high-rank anchors' tiles
+// keeps its hit ratio; one that admits everything gets its hot set
+// flushed by whatever else shares the cache.
+func ZipfHotSetTrace(o ZipfOptions) *Trace {
+	// Fail loudly on misuse: rand.NewZipf silently returns nil for
+	// skew <= 1, which would surface as an opaque nil dereference mid
+	// trace generation.
+	if o.HotSpots < 1 {
+		panic(fmt.Sprintf("workload: ZipfHotSetTrace needs HotSpots >= 1, got %d", o.HotSpots))
+	}
+	if o.Skew <= 1 {
+		panic(fmt.Sprintf("workload: ZipfHotSetTrace needs Skew > 1 (rand.NewZipf requirement), got %g", o.Skew))
+	}
+	layout := rand.New(rand.NewSource(o.LayoutSeed))
+	cols := int((o.Canvas.W() - o.VpW) / o.TileSize)
+	rows := int((o.Canvas.H() - o.VpH) / o.TileSize)
+	if cols < 1 {
+		cols = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	anchors := make([]geom.Point, o.HotSpots)
+	for i := range anchors {
+		anchors[i] = geom.Point{
+			X: o.Canvas.MinX + float64(layout.Intn(cols))*o.TileSize,
+			Y: o.Canvas.MinY + float64(layout.Intn(rows))*o.TileSize,
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	z := rand.NewZipf(rng, o.Skew, 1, uint64(o.HotSpots-1))
+	tr := &Trace{Name: "zipf-hot-set"}
+	cur := geom.RectXYWH(anchors[0].X, anchors[0].Y, o.VpW, o.VpH)
+	tr.Steps = append(tr.Steps, cur)
+	for len(tr.Steps) < o.Steps+1 {
+		if len(tr.Steps)%3 == 0 {
+			// Dwell: pan one tile in a random axis direction, staying
+			// on the tile grid near the current anchor.
+			dx, dy := 0.0, 0.0
+			if rng.Intn(2) == 0 {
+				dx = o.TileSize * float64(1-2*rng.Intn(2))
+			} else {
+				dy = o.TileSize * float64(1-2*rng.Intn(2))
+			}
+			cur = cur.Translate(dx, dy).Clamp(o.Canvas)
+		} else {
+			a := anchors[z.Uint64()]
+			cur = geom.RectXYWH(a.X, a.Y, o.VpW, o.VpH).Clamp(o.Canvas)
+		}
+		tr.Steps = append(tr.Steps, cur)
+	}
+	return tr
+}
+
+// SequentialScanTrace sweeps the whole canvas once in row-major
+// viewport-sized strides — the one-shot scan adversary: every tile is
+// requested exactly once and never again, so an admitting cache should
+// let almost none of it displace resident hot entries.
+func SequentialScanTrace(canvas geom.Rect, vpW, vpH float64) *Trace {
+	tr := &Trace{Name: "sequential-scan"}
+	for y := canvas.MinY; y < canvas.MaxY; y += vpH {
+		for x := canvas.MinX; x < canvas.MaxX; x += vpW {
+			tr.Steps = append(tr.Steps,
+				geom.RectXYWH(x, y, vpW, vpH).Clamp(canvas))
+		}
+	}
+	return tr
+}
+
+// InterleaveTrace mixes two traces: period steps of primary, then
+// burstLen steps of burst, repeating (and cycling either trace when it
+// runs out) until the result has steps+1 viewports — the mixed
+// zipf+scan workload where a shared cache either protects the hot set
+// or collapses.
+func InterleaveTrace(name string, primary, burst *Trace, period, burstLen, steps int) *Trace {
+	tr := &Trace{Name: name}
+	pi, bi := 0, 0
+	next := func(src *Trace, i *int) geom.Rect {
+		r := src.Steps[*i%len(src.Steps)]
+		*i++
+		return r
+	}
+	for len(tr.Steps) < steps+1 {
+		for k := 0; k < period && len(tr.Steps) < steps+1; k++ {
+			tr.Steps = append(tr.Steps, next(primary, &pi))
+		}
+		for k := 0; k < burstLen && len(tr.Steps) < steps+1; k++ {
+			tr.Steps = append(tr.Steps, next(burst, &bi))
+		}
+	}
+	return tr
+}
+
 // PaperTraces builds traces a, b, c positioned for the given dataset
 // the way Fig. 5 places them: for skewed data, traces a and b run near
 // the dense-region boundary and trace c crosses from the dense corner

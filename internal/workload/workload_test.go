@@ -264,3 +264,101 @@ func BenchmarkUniform1M(b *testing.B) {
 		Uniform(1_000_000, 131072, 16384, 1)
 	}
 }
+
+func TestZipfHotSetTrace(t *testing.T) {
+	canvas := geom.Rect{MinX: 0, MinY: 0, MaxX: 32768, MaxY: 16384}
+	o := ZipfOptions{
+		Canvas: canvas, TileSize: 1024, HotSpots: 16, Skew: 1.2,
+		Steps: 400, VpW: 1024, VpH: 1024, LayoutSeed: 7, Seed: 1,
+	}
+	a := ZipfHotSetTrace(o)
+	if a.NumPans() != 400 {
+		t.Fatalf("pans = %d", a.NumPans())
+	}
+	if err := a.Validate(canvas); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for the same seeds.
+	b := ZipfHotSetTrace(o)
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatal("same seeds must give identical traces")
+		}
+	}
+	// Different draw seed, same layout: the visited viewport SET must
+	// overlap heavily (shared hot set) while the order differs.
+	o2 := o
+	o2.Seed = 99
+	c := ZipfHotSetTrace(o2)
+	seen := map[geom.Rect]bool{}
+	for _, s := range a.Steps {
+		seen[s] = true
+	}
+	shared := 0
+	for _, s := range c.Steps {
+		if seen[s] {
+			shared++
+		}
+	}
+	if shared < len(c.Steps)/2 {
+		t.Fatalf("shared layout overlap too low: %d/%d", shared, len(c.Steps))
+	}
+	// Skew: the most common viewport must dominate a uniform share.
+	counts := map[geom.Rect]int{}
+	for _, s := range a.Steps {
+		counts[s]++
+	}
+	max := 0
+	for _, n := range counts {
+		if n > max {
+			max = n
+		}
+	}
+	if max < len(a.Steps)/8 {
+		t.Fatalf("trace not skewed: top viewport count %d of %d", max, len(a.Steps))
+	}
+}
+
+func TestSequentialScanTrace(t *testing.T) {
+	canvas := geom.Rect{MinX: 0, MinY: 0, MaxX: 8192, MaxY: 4096}
+	tr := SequentialScanTrace(canvas, 1024, 1024)
+	if got, want := len(tr.Steps), 8*4; got != want {
+		t.Fatalf("steps = %d, want %d", got, want)
+	}
+	if err := tr.Validate(canvas); err != nil {
+		t.Fatal(err)
+	}
+	// One-shot: every viewport distinct.
+	seen := map[geom.Rect]bool{}
+	for _, s := range tr.Steps {
+		if seen[s] {
+			t.Fatalf("scan revisited %v", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestInterleaveTrace(t *testing.T) {
+	canvas := geom.Rect{MinX: 0, MinY: 0, MaxX: 8192, MaxY: 4096}
+	zipf := ZipfHotSetTrace(ZipfOptions{
+		Canvas: canvas, TileSize: 1024, HotSpots: 8, Skew: 1.3,
+		Steps: 100, VpW: 1024, VpH: 1024, LayoutSeed: 3, Seed: 4,
+	})
+	scan := SequentialScanTrace(canvas, 1024, 1024)
+	mixed := InterleaveTrace("mixed", zipf, scan, 5, 2, 300)
+	if mixed.NumPans() != 300 {
+		t.Fatalf("pans = %d", mixed.NumPans())
+	}
+	if err := mixed.Validate(canvas); err != nil {
+		t.Fatal(err)
+	}
+	// The first period comes from the primary, then a burst from scan.
+	for i := 0; i < 5; i++ {
+		if mixed.Steps[i] != zipf.Steps[i] {
+			t.Fatalf("step %d should come from the primary trace", i)
+		}
+	}
+	if mixed.Steps[5] != scan.Steps[0] || mixed.Steps[6] != scan.Steps[1] {
+		t.Fatal("burst steps should come from the scan trace")
+	}
+}

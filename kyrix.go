@@ -23,11 +23,13 @@
 //
 // The backend is built to scale with cores, not collapse on one lock:
 //
-//   - Both caches are sharded LRUs: keys are fnv-hashed onto a
+//   - Both caches are sharded: keys are fnv-hashed onto a
 //     power-of-two number of independently locked shards. Shard counts
 //     are knobs ([ServerOptions].CacheShards, [ClientOptions].CacheShards;
 //     0 picks an automatic count, and small budgets collapse to one
-//     shard with exact global LRU order).
+//     shard with exact global LRU order). The backend cache adds a
+//     frequency-aware admission policy — see "Backend cache admission"
+//     below.
 //   - Identical concurrent tile/box requests are coalesced
 //     (singleflight): one database query runs, every caller shares the
 //     payload. Disable with [ServerOptions].DisableCoalescing for
@@ -38,6 +40,42 @@
 //   - The server keeps a prepared-plan cache: each layer's constant
 //     statement shapes are parsed once and re-executed with fresh '?'
 //     arguments, skipping the SQL parser on the hot path.
+//
+// # Backend cache admission (W-TinyLFU)
+//
+// The backend cache is more than a sharded LRU: with
+// [ServerOptions].CacheAdmission set to "lfu" (the
+// [DefaultServerOptions] setting) it is a frequency-aware admitting
+// cache in the W-TinyLFU family. Each shard keeps a 4-bit count-min
+// sketch of access frequencies — every lookup, hit or miss, is
+// recorded, and the sketch is aged by periodic halving so yesterday's
+// hot keys decay — plus a small probationary window in front of a
+// segmented main area (probation/protected). While the cache is under
+// its byte budget everything is admitted; once the budget is
+// contended, a new entry must be estimated strictly more frequent
+// than the would-be victim (the main area's LRU entry) to displace
+// it. The effect on skewed multi-tenant traffic is exactly what the
+// 500 ms budget needs: a one-shot sequential scan (a cold dbox sweep,
+// a crawler) is rejected wholesale and cannot flush the hot tile set,
+// while a genuinely popular key is admitted on its second touch.
+// Entries re-accessed in the window or probation graduate to the
+// protected segment (capped at 4/5 of a shard's share; overflow
+// demotes back to probation). Knobs: [ServerOptions].CacheAdmission
+// ("lfu"|"off" — "off" keeps the plain sharded LRU) and
+// [ServerOptions].CacheSketchCounters (sketch size, 0 = derived from
+// the budget). The cache's Stats expose Admitted/Rejected gate
+// decisions, surfaced by GET /stats.
+//
+// Two invariants hold regardless of policy. First, the byte budget is
+// hard: after every Put, resident bytes <= budget — eviction tries
+// the inserting shard, then a cross-shard steal, and finally drops
+// the just-inserted entry itself rather than over-committing. Second,
+// the cross-shard steal is capped at a fair share: no neighbor shard
+// is drained below (budget - incoming)/shards by someone else's
+// insert, so one oversized value cannot empty a warm neighbor. The
+// adversarial workloads behind these guarantees ship with the bench:
+// `kyrix-bench -clients ... -workload zipf|scan|mixed -admission
+// lfu|off` compares hit ratios policy-by-policy on the same trace.
 //
 // # Batch endpoint, protocol v1 (buffered JSON, tiles only)
 //
