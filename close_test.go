@@ -1,0 +1,96 @@
+package kyrix_test
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"kyrix"
+	"kyrix/internal/fetch"
+)
+
+// TestInstanceCloseDrainsInFlight: Close must let a request already in
+// flight finish (up to the grace period) instead of snapping the
+// connection under it. The request is held open deterministically by
+// streaming its body through a pipe: the /batch handler blocks in the
+// JSON decoder until the second half of the body arrives, which we
+// send only after Close has begun waiting.
+func TestInstanceCloseDrainsInFlight(t *testing.T) {
+	db, app, reg := buildDemo(t, 500)
+	inst, err := kyrix.Launch(db, app, reg, kyrix.ServerOptions{
+		CacheBytes: 4 << 20,
+		Precompute: fetch.Options{BuildSpatial: true, TileSizes: []float64{512}},
+	}, kyrix.DefaultClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		body   string
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		req, rerr := http.NewRequest(http.MethodPost, inst.BaseURL+"/batch", pr)
+		if rerr != nil {
+			done <- result{err: rerr}
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, rerr := http.DefaultClient.Do(req)
+		if rerr != nil {
+			done <- result{err: rerr}
+			return
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		done <- result{status: resp.StatusCode, body: string(body)}
+	}()
+
+	// First half of the body: once it is on the wire and the server
+	// has picked the connection up, the handler blocks mid-decode and
+	// the connection counts as active. The settle delay covers the
+	// accept + header-read window (pw.Write returns when the client
+	// transport consumed the bytes, not when the server did).
+	if _, err := pw.Write([]byte(`{"canvas":"main","layer":0,"size":512,`)); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- inst.Close() }()
+
+	// Give Shutdown time to stop the listener and start draining; the
+	// in-flight request must still be alive (no result yet).
+	select {
+	case r := <-done:
+		t.Fatalf("request finished before its body did: status=%d body=%q err=%v", r.status, r.body, r.err)
+	case <-time.After(150 * time.Millisecond):
+	}
+
+	// Finish the request; the drained server must answer it whole.
+	if _, err := pw.Write([]byte(`"tiles":[{"col":0,"row":0}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("in-flight request failed under Close: %v", r.err)
+	}
+	if r.status != http.StatusOK || !strings.Contains(r.body, "tiles") {
+		t.Fatalf("in-flight request: status %d body %q", r.status, r.body)
+	}
+	if err := <-closed; err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+
+	// And the listener really is gone for NEW work.
+	if _, err := http.Get(inst.BaseURL + "/app"); err == nil {
+		t.Fatal("server still accepting after Close")
+	}
+}

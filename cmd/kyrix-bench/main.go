@@ -30,6 +30,14 @@
 // sharded LRU); the hit% column and hitRatio JSON field make the two
 // directly comparable on the same trace.
 //
+// -nodes N runs the sweep against an in-process serving cluster of N
+// nodes (consistent-hash tile ownership with peer cache fill); clients
+// round-robin across the nodes and the table gains aggregate fill%
+// plus per-node hit%/fill%/dbq columns. `-nodes 2 -workload zipf
+// -cachemb 1` is the scaling demonstration: cluster-wide db-queries
+// per step drop below the 1-node baseline because each key is filled
+// by exactly one owner and the aggregate cache capacity doubles.
+//
 // -json writes the concurrent-mode results to BENCH_<label>.json
 // (label from -label) so the perf trajectory is machine-readable
 // across PRs: wireKB/step, ttff ms, p50/p95 latency, compression
@@ -63,6 +71,7 @@ func main() {
 	comp := flag.Bool("comp", true, "v3 per-frame compression in concurrent-clients mode (false asks for raw frames)")
 	scheme := flag.String("scheme", "tile", "fetching scheme in concurrent-clients mode: tile (spatial 1024) or dbox (dbox 50% — the pan/zoom workload v3 delta frames target)")
 	workloadKind := flag.String("workload", "walk", "concurrent-clients trace shape: walk | zipf | scan | mixed (zipf/scan/mixed are the cache-admission adversaries)")
+	nodes := flag.Int("nodes", 1, "concurrent-clients mode: run an in-process serving cluster of N nodes (clients round-robin across nodes; 1 = standalone baseline through the same harness)")
 	admission := flag.String("admission", "lfu", "backend cache admission policy: lfu (W-TinyLFU) | off (plain sharded LRU)")
 	cacheMB := flag.Int("cachemb", 0, "override the backend cache budget in MB (0 = config default; shrink it so the zipf/scan workloads actually contend the budget)")
 	codec := flag.String("codec", "", "override the wire codec (json | binary; default from -scale config)")
@@ -107,8 +116,6 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		env := buildEnv(cfg, "uniform")
-		defer env.Close()
 		opts := experiments.DefaultConcurrentOptions()
 		opts.ClientCounts = counts
 		opts.StepsPerClient = *steps
@@ -125,13 +132,27 @@ func main() {
 		default:
 			log.Fatalf("unknown -scheme %q", *scheme)
 		}
-		t, stats, err := experiments.ConcurrentClients(env, opts)
+		var t *experiments.Table
+		var stats []experiments.ConcurrentRowStats
+		if *nodes > 1 {
+			// Cluster mode: N in-process nodes over one dataset, the
+			// multi-node counterpart of the concurrent sweep. The
+			// single-backend path below stays untouched so historical
+			// BENCH artifacts remain comparable.
+			cenv := buildClusterEnv(cfg, "uniform", *nodes)
+			defer cenv.Close()
+			t, stats, err = experiments.ClusterRun(cenv, opts)
+		} else {
+			env := buildEnv(cfg, "uniform")
+			defer env.Close()
+			t, stats, err = experiments.ConcurrentClients(env, opts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(t.Format())
 		if *jsonOut {
-			if err := writeBenchJSON(*label, *scale, *clients, *admission, opts, stats); err != nil {
+			if err := writeBenchJSON(*label, *scale, *clients, *admission, *nodes, opts, stats); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -244,25 +265,33 @@ type benchArtifact struct {
 	Scheme    string                           `json:"scheme"`
 	Workload  string                           `json:"workload"`
 	Admission string                           `json:"admission"`
+	Nodes     int                              `json:"nodes,omitempty"`
 	Rows      []experiments.ConcurrentRowStats `json:"rows"`
 }
 
-func writeBenchJSON(label, scale, clients, admission string, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats) error {
+func writeBenchJSON(label, scale, clients, admission string, nodes int, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats) error {
 	workloadName := opts.Workload
 	if workloadName == "" {
 		workloadName = "walk"
+	}
+	mode := "concurrent"
+	if nodes > 1 {
+		mode = "cluster"
 	}
 	if label == "" {
 		label = fmt.Sprintf("proto%d_clients%s", opts.Protocol, strings.ReplaceAll(clients, ",", "-"))
 		if workloadName != "walk" {
 			label = fmt.Sprintf("%s_%s_%s", label, workloadName, admission)
 		}
+		if nodes > 1 {
+			label = fmt.Sprintf("%s_%dnode", label, nodes)
+		}
 	}
 	art := benchArtifact{
-		Label: label, Mode: "concurrent", Scale: scale, Clients: clients,
+		Label: label, Mode: mode, Scale: scale, Clients: clients,
 		Steps: opts.StepsPerClient, Batch: opts.BatchSize, Proto: opts.Protocol,
 		Scheme: opts.Scheme.Name(), Workload: workloadName, Admission: admission,
-		Rows: stats,
+		Nodes: nodes, Rows: stats,
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {
@@ -286,6 +315,18 @@ func parseCounts(s string) ([]int, error) {
 		counts = append(counts, n)
 	}
 	return counts, nil
+}
+
+func buildClusterEnv(cfg experiments.Config, kind string, n int) *experiments.ClusterEnv {
+	log.Printf("building %d-node %s cluster (%d points per node, canvas %gx%g)...",
+		n, kind, cfg.NumPoints, cfg.CanvasW, cfg.CanvasH)
+	start := time.Now()
+	cenv, err := experiments.NewClusterEnv(cfg, kind, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("cluster ready in %v (load + both database designs on every node)", time.Since(start).Round(time.Millisecond))
+	return cenv
 }
 
 func buildEnv(cfg experiments.Config, kind string) *experiments.Env {

@@ -12,8 +12,22 @@
 //
 //	kyrix-server -spec app.json -table states=states.csv -table counties=counties.csv
 //
+// Cluster mode joins this node to a serving cluster: -self is the URL
+// peers reach this node at, -peers the comma-separated base URLs of
+// every node (this node included is fine). Cache-key ownership is
+// partitioned over a consistent-hash ring; a non-owner forwards misses
+// to the owner's /peer endpoint instead of querying its database, hot
+// keys replicate locally, and /update bumps a gossiped cluster epoch:
+//
+//	kyrix-server -demo uniform -addr :8080 -self http://10.0.0.1:8080 \
+//	  -peers http://10.0.0.1:8080,http://10.0.0.2:8080
+//
+// Every node must serve the same data (shared or identically loaded
+// backing store — the epoch protocol keeps caches coherent, data
+// placement is the store's job).
+//
 // Endpoints (consumed by the kyrix frontend client): /app /tile /dbox
-// /update /stats.
+// /update /stats, plus /peer for cluster fills.
 package main
 
 import (
@@ -48,9 +62,27 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "backend cache budget in MB")
 	tileSizes := flag.String("tile-sizes", "256,1024,4096", "comma-separated tile sizes to precompute")
 	walPath := flag.String("wal", "", "attach a write-ahead log at this path (enables the update model)")
+	self := flag.String("self", "", "cluster mode: this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
+	peers := flag.String("peers", "", "cluster mode: comma-separated base URLs of every cluster node (may include -self)")
 	var tables tableList
 	flag.Var(&tables, "table", "load a CSV table: name=path.csv (repeatable, spec mode)")
 	flag.Parse()
+
+	var clusterOpts server.ClusterOptions
+	if *peers != "" || *self != "" {
+		if *self == "" || *peers == "" {
+			log.Fatal("cluster mode needs both -self and -peers")
+		}
+		clusterOpts.Self = *self
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				clusterOpts.Peers = append(clusterOpts.Peers, p)
+			}
+		}
+		if !clusterOpts.Enabled() {
+			log.Fatalf("-peers %q names no peer besides -self", *peers)
+		}
+	}
 
 	var sizes []float64
 	for _, s := range strings.Split(*tileSizes, ",") {
@@ -89,6 +121,7 @@ func main() {
 
 	srv, err := server.New(db, ca, server.Options{
 		CacheBytes: *cacheMB << 20,
+		Cluster:    clusterOpts,
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    sizes,
@@ -97,6 +130,9 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("precompute: %v", err)
+	}
+	if clusterOpts.Enabled() {
+		log.Printf("cluster node %s joined ring of %d peers", clusterOpts.Self, len(clusterOpts.Peers))
 	}
 	log.Printf("kyrix backend serving app %q on %s", ca.Spec.Name, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

@@ -95,6 +95,13 @@ type Config struct {
 	// two). 0 derives a size from the budget assuming ~4 KB mean
 	// entries. Ignored when admission is off.
 	SketchCounters int
+	// Doorkeeper puts a bloom filter in front of each shard's
+	// frequency sketch: a key's first sighting per decay period sets
+	// bloom bits instead of count-min counters, so one-hit wonders
+	// cannot inflate the sketch (and, through collisions, the
+	// estimates of unrelated keys). The filter is cleared on every
+	// sketch decay. Ignored when admission is off.
+	Doorkeeper bool
 }
 
 // Stats reports cache activity, aggregated across shards.
@@ -246,7 +253,7 @@ func New(cfg Config) *LRU {
 		if lfu {
 			s.windowCap = share / 8
 			s.protectedCap = (share - s.windowCap) * 4 / 5
-			s.sk = newSketch(perShardCounters)
+			s.sk = newSketch(perShardCounters, cfg.Doorkeeper)
 		}
 		c.shards[i] = s
 	}
@@ -320,6 +327,21 @@ func (c *LRU) Peek(key string) (any, bool) {
 		return nil, false
 	}
 	return el.Value.(*cacheEntry).value, true
+}
+
+// EstimateFreq returns the admission sketch's decayed frequency
+// estimate for key (0..15, doorkeeper-adjusted), or -1 when the cache
+// keeps no sketch (admission off). It does not record an access. The
+// cluster's hot-key replication reads it to decide whether a peer-
+// filled payload is popular enough to double-cache locally.
+func (c *LRU) EstimateFreq(key string) int {
+	s := c.shards[c.shardIdx(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sk == nil {
+		return -1
+	}
+	return s.sk.estimate(fnv64a(key))
 }
 
 // Contains reports presence without affecting recency or stats.

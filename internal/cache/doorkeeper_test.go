@@ -1,0 +1,173 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestDoorkeeperFirstSightingStaysOutOfSketch: with the doorkeeper on,
+// a single sighting lives in the bloom filter (estimate 1) and the
+// count-min rows stay untouched; the second sighting graduates into
+// the rows.
+func TestDoorkeeperFirstSightingStaysOutOfSketch(t *testing.T) {
+	sk := newSketch(1024, true)
+	h := fnv64a("tile/main/0/1024/3/7")
+	sk.add(h)
+	if got := sk.estimate(h); got != 1 {
+		t.Fatalf("estimate after first sighting = %d, want 1 (doorkeeper only)", got)
+	}
+	// The rows themselves must be clean: every counter the key maps to
+	// is still zero.
+	for r := 0; r < sketchDepth; r++ {
+		if c := sk.counter(r, sk.idx(h, r)); c != 0 {
+			t.Fatalf("row %d counter = %d after one sighting, want 0", r, c)
+		}
+	}
+	sk.add(h)
+	if got := sk.estimate(h); got != 2 {
+		t.Fatalf("estimate after second sighting = %d, want 2", got)
+	}
+	for r := 0; r < sketchDepth; r++ {
+		if c := sk.counter(r, sk.idx(h, r)); c != 1 {
+			t.Fatalf("row %d counter = %d after second sighting, want 1", r, c)
+		}
+	}
+}
+
+// TestDoorkeeperResetsOnDecay: the halving that ages the counters also
+// clears the doorkeeper, so first-sighting memory is as perishable as
+// the counts (and the bloom filter cannot fill up forever).
+func TestDoorkeeperResetsOnDecay(t *testing.T) {
+	sk := newSketch(64, true) // resetAt = max(8*64, 256) = 512
+	h := fnv64a("hot-key")
+	sk.add(h)
+	if !sk.dk.contains(h) {
+		t.Fatal("doorkeeper lost a fresh sighting")
+	}
+	// Drive one-hit traffic until the sample period elapses. These
+	// first sightings count toward additions, so a pure scan still
+	// cycles the decay.
+	for i := 0; sk.additions > 0 && i < 10_000; i++ {
+		sk.add(fnv64a(fmt.Sprintf("scan-%d", i)))
+	}
+	if sk.dk.contains(h) && sk.estimate(h) > 0 {
+		// Not a hard failure on contains alone (a post-reset scan key
+		// may collide), but the original bits must be gone.
+		t.Fatalf("doorkeeper not cleared by decay: estimate=%d", sk.estimate(h))
+	}
+}
+
+// TestDoorkeeperKeepsSketchClean: a long one-hit scan must not bleed
+// into the count-min rows. With the doorkeeper, an unseen probe key
+// estimates 0 despite thousands of scan sightings; without it, the
+// tiny sketch's collisions make cold keys look warm — the admission
+// precision the doorkeeper buys.
+func TestDoorkeeperKeepsSketchClean(t *testing.T) {
+	withDK := newSketch(64, true)
+	noDK := newSketch(64, false)
+	// Stay inside one decay period for the clean-rows assertion: at
+	// resetAt the halving clears both structures.
+	scan := withDK.resetAt - 1
+	for i := 0; i < scan; i++ {
+		h := fnv64a(fmt.Sprintf("scan/%d", i))
+		withDK.add(h)
+		noDK.add(h)
+	}
+	var dirtyWith, dirtyWithout int
+	for i := 0; i < 200; i++ {
+		h := fnv64a(fmt.Sprintf("probe/%d", i)) // never added
+		// Probe the raw rows (not estimate) so doorkeeper false
+		// positives cannot mask row pollution.
+		minWith, minWithout := counterMax, counterMax
+		for r := 0; r < sketchDepth; r++ {
+			if c := int(withDK.counter(r, withDK.idx(h, r))); c < minWith {
+				minWith = c
+			}
+			if c := int(noDK.counter(r, noDK.idx(h, r))); c < minWithout {
+				minWithout = c
+			}
+		}
+		if minWith > 0 {
+			dirtyWith++
+		}
+		if minWithout > 0 {
+			dirtyWithout++
+		}
+	}
+	if dirtyWith != 0 {
+		t.Fatalf("doorkeeper let %d/200 unseen keys look warm in the rows", dirtyWith)
+	}
+	if dirtyWithout == 0 {
+		t.Fatal("control broken: the doorkeeper-less sketch shows no scan pollution, so the test proves nothing")
+	}
+}
+
+// TestAdmissionPrecisionScanWorkload is the cache-level payoff: warm a
+// hot set under a contended budget, run a long one-shot scan, and the
+// doorkeeper-backed cache keeps the entire hot set resident — the scan
+// keys estimate at most 1 (bloom bit) while the hot keys' counts sit
+// clean in the rows, so the admission gate rejects the scan wholesale.
+func TestAdmissionPrecisionScanWorkload(t *testing.T) {
+	build := func(dk bool) *LRU {
+		return New(Config{
+			Budget:    64 << 10,
+			Shards:    1,
+			Admission: AdmissionLFU,
+			// A deliberately small sketch so scan collisions are the
+			// norm: precision has to come from the doorkeeper keeping
+			// the rows clean, not from sketch width.
+			SketchCounters: 256,
+			Doorkeeper:     dk,
+		})
+	}
+	hot := make([]string, 16)
+	for i := range hot {
+		hot[i] = fmt.Sprintf("hot/%d", i)
+	}
+	run := func(c *LRU) float64 {
+		const entry = 2 << 10 // 32 entries fill the 64 KB budget
+		// Warm the hot set: three touches each (Get records frequency,
+		// Put inserts), filling half the budget.
+		for _, k := range hot {
+			c.Get(k)
+			c.Put(k, k, entry)
+			c.Get(k)
+			c.Get(k)
+		}
+		// Fill the rest of the budget with background entries so the
+		// scan below contends the gate instead of free space.
+		for i := 0; i < 16; i++ {
+			k := fmt.Sprintf("bg/%d", i)
+			c.Get(k)
+			c.Put(k, k, entry)
+			c.Get(k)
+		}
+		// One-shot scan: distinct keys, each fetched exactly once
+		// (Get miss, then the fill's Put — the serving path's shape,
+		// so every scan key touches the sketch twice without a
+		// doorkeeper and once with it). Sized to stay within one
+		// decay period: the halving mid-scan would reset both
+		// structures and blur what is being compared.
+		for i := 0; i < 200; i++ {
+			k := fmt.Sprintf("scan/%d", i)
+			c.Get(k)
+			c.Put(k, k, entry)
+		}
+		// Measure: how much of the hot set survived the scan.
+		hits := 0
+		for _, k := range hot {
+			if c.Contains(k) {
+				hits++
+			}
+		}
+		return float64(hits) / float64(len(hot))
+	}
+	withDK := run(build(true))
+	without := run(build(false))
+	if withDK < 1 {
+		t.Fatalf("doorkeeper cache kept only %.0f%% of the hot set through the scan, want 100%%", 100*withDK)
+	}
+	if withDK < without {
+		t.Fatalf("doorkeeper made admission precision worse: %.2f vs %.2f", withDK, without)
+	}
+}

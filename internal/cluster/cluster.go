@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kyrix/internal/wire"
+)
+
+// Options configures one node's membership in the serving cluster.
+// The zero value disables clustering (Enabled reports false).
+type Options struct {
+	// Self is this node's base URL as peers reach it
+	// (e.g. "http://10.0.0.3:8080"). Required when clustering.
+	Self string
+	// Peers are the base URLs of every cluster node. Self may appear in
+	// the list (the harness passes one list to every node); it is
+	// skipped for transport purposes and deduplicated on the ring.
+	Peers []string
+	// VirtualNodes is the consistent-hash ring's virtual-node count per
+	// physical node (0 = DefaultVirtualNodes).
+	VirtualNodes int
+	// HotReplicate is the sketch-frequency threshold at which a
+	// non-owned key is admitted into the local cache after a peer fill,
+	// so cluster-hot keys are served locally everywhere instead of
+	// bottlenecking their owner. 0 picks DefaultHotReplicate; < 0
+	// disables replication (every non-owned request pays the peer hop).
+	HotReplicate int
+	// PeerTimeout bounds one peer fill end to end (0 = 2s).
+	PeerTimeout time.Duration
+	// PeerConcurrency bounds in-flight fills per peer (0 = 32).
+	PeerConcurrency int
+}
+
+// DefaultHotReplicate is the default hot-key replication threshold:
+// a key estimated at this sketch frequency or above (i.e. touched a
+// few times within the decay window) is worth double-caching.
+const DefaultHotReplicate = 3
+
+// Enabled reports whether the options describe a real cluster: a self
+// identity plus at least one other peer.
+func (o Options) Enabled() bool {
+	if o.Self == "" {
+		return false
+	}
+	for _, p := range o.Peers {
+		if p != "" && p != o.Self {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats counts one node's cluster activity.
+type Stats struct {
+	// PeerFills counts misses on non-owned keys that were served by the
+	// owner; PeerErrors counts peer fetches that failed (and fell back
+	// to a local query, counted in LocalFallbacks).
+	PeerFills      atomic.Int64
+	PeerErrors     atomic.Int64
+	LocalFallbacks atomic.Int64
+	// PeerServes counts fills this node performed for other nodes.
+	PeerServes atomic.Int64
+	// HotReplicas counts peer-filled payloads admitted into the local
+	// cache because the key's sketch frequency crossed HotReplicate.
+	HotReplicas atomic.Int64
+	// EpochAdoptions counts times this node observed a newer cluster
+	// epoch on a peer exchange and invalidated its cache.
+	EpochAdoptions atomic.Int64
+}
+
+// EpochVector is the cluster invalidation clock: one monotone counter
+// per origin node (a G-counter CRDT). Every /update bumps the updating
+// node's own component; peer exchanges gossip the whole vector and
+// merge by pointwise max. A scalar max-merged epoch would lose
+// concurrent updates — two nodes both bumping 0→1 would each see the
+// other's "1" as not-newer and never invalidate — while per-origin
+// components can never collide: only the origin advances its own
+// counter, so any remotely-larger component is proof of an unseen
+// update.
+type EpochVector map[string]int64
+
+// Sum flattens the vector for display (total updates observed).
+func (v EpochVector) Sum() int64 {
+	var s int64
+	for _, c := range v {
+		s += c
+	}
+	return s
+}
+
+// Node is one member of the serving cluster: the ring it places keys
+// on, the transport it fills through, and the epoch vector it gossips.
+type Node struct {
+	opts Options
+	ring *Ring
+	tr   *Transport
+
+	// epochMu guards vec. The invalidation hook runs outside the lock,
+	// once per merge that advanced any component — a node that adopts
+	// invalidates its cache through onEpoch (the server clears + bumps
+	// its generation), so a stale node refetches everything at most
+	// one exchange after an update.
+	epochMu sync.Mutex
+	vec     EpochVector
+	onEpoch func(epoch EpochVector)
+
+	Stats Stats
+}
+
+// New validates opts and builds the node. The caller wires cache
+// invalidation with SetEpochHook before serving.
+func New(opts Options) (*Node, error) {
+	if !opts.Enabled() {
+		return nil, fmt.Errorf("cluster: options name no peers (Self=%q, %d peers)", opts.Self, len(opts.Peers))
+	}
+	if opts.HotReplicate == 0 {
+		opts.HotReplicate = DefaultHotReplicate
+	}
+	members := append(append([]string{}, opts.Peers...), opts.Self)
+	var others []string
+	for _, p := range opts.Peers {
+		if p != "" && p != opts.Self {
+			others = append(others, p)
+		}
+	}
+	return &Node{
+		opts: opts,
+		ring: NewRing(opts.VirtualNodes, members...),
+		tr:   NewTransport(others, opts.PeerConcurrency, opts.PeerTimeout),
+		vec:  EpochVector{},
+	}, nil
+}
+
+// SetEpochHook registers the invalidation callback run (outside any
+// cluster lock) each time the node adopts newer epoch components from
+// a peer.
+func (n *Node) SetEpochHook(fn func(epoch EpochVector)) { n.onEpoch = fn }
+
+// Self returns this node's identity on the ring.
+func (n *Node) Self() string { return n.opts.Self }
+
+// Ring exposes the placement ring (read-only).
+func (n *Node) Ring() *Ring { return n.ring }
+
+// HotReplicate returns the replication threshold (< 0 = disabled).
+func (n *Node) HotReplicate() int { return n.opts.HotReplicate }
+
+// Owner returns the node owning key.
+func (n *Node) Owner(key string) string { return n.ring.Owner(key) }
+
+// Owns reports whether this node owns key.
+func (n *Node) Owns(key string) bool { return n.ring.Owner(key) == n.opts.Self }
+
+// Epoch returns the sum of the node's epoch components (total updates
+// observed cluster-wide — the /stats display value).
+func (n *Node) Epoch() int64 {
+	n.epochMu.Lock()
+	defer n.epochMu.Unlock()
+	return n.vec.Sum()
+}
+
+// EpochVec returns a snapshot copy of the epoch vector.
+func (n *Node) EpochVec() EpochVector {
+	n.epochMu.Lock()
+	defer n.epochMu.Unlock()
+	out := make(EpochVector, len(n.vec))
+	for k, v := range n.vec {
+		out[k] = v
+	}
+	return out
+}
+
+// Bump advances this node's own epoch component for a local update.
+// The local cache transition (generation bump + clear) is the
+// caller's: it already owns that machinery for single-node updates.
+// Only the origin ever advances its component, so concurrent updates
+// at different nodes can neither collide nor be erased by a merge.
+func (n *Node) Bump() {
+	n.epochMu.Lock()
+	n.vec[n.opts.Self]++
+	n.epochMu.Unlock()
+}
+
+// Observe merges a remotely seen epoch vector into the local one
+// (pointwise max). If any component advanced, the invalidation hook
+// runs exactly once with the merged vector; an already-covered vector
+// is a no-op. Safe for concurrent use.
+func (n *Node) Observe(remote EpochVector) {
+	if len(remote) == 0 {
+		return
+	}
+	n.epochMu.Lock()
+	advanced := false
+	for node, c := range remote {
+		if c > n.vec[node] {
+			n.vec[node] = c
+			advanced = true
+		}
+	}
+	var merged EpochVector
+	hook := n.onEpoch
+	if advanced {
+		merged = make(EpochVector, len(n.vec))
+		for k, v := range n.vec {
+			merged[k] = v
+		}
+	}
+	n.epochMu.Unlock()
+	if advanced {
+		n.Stats.EpochAdoptions.Add(1)
+		if hook != nil {
+			hook(merged)
+		}
+	}
+}
+
+// Fetch fills one key from its owner, gossiping epoch vectors both
+// ways: the request carries this node's vector, the response's vector
+// is folded in (possibly invalidating the local cache) before the
+// payload returns.
+func (n *Node) Fetch(owner string, fr *FillRequest) ([]byte, error) {
+	fr.Epochs = n.EpochVec()
+	payload, remoteEpochs, err := n.tr.Fetch(owner, fr)
+	n.Observe(remoteEpochs)
+	if err != nil {
+		n.Stats.PeerErrors.Add(1)
+		return nil, err
+	}
+	n.Stats.PeerFills.Add(1)
+	return payload, nil
+}
+
+// FrameKindOf maps a fill request kind to its wire frame kind.
+func FrameKindOf(kind string) wire.FrameKind {
+	if kind == "dbox" {
+		return wire.FrameDBox
+	}
+	return wire.FrameTile
+}

@@ -1,0 +1,209 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"kyrix/internal/wire"
+)
+
+// PeerPath is the HTTP endpoint peers fill from; the server mounts its
+// handler there.
+const PeerPath = "/peer"
+
+// EpochHeader carries the responding node's epoch vector (JSON-encoded
+// EpochVector) on every peer response — the gossip channel of the
+// invalidation protocol.
+const EpochHeader = "X-Kyrix-Epoch"
+
+// PeerContentType is the /peer response body: a one-frame stream in
+// the internal/wire v3 framing (header + exactly one frame), so the
+// peer protocol reuses the batch codec — per-frame status, bounded
+// DEFLATE, the works — instead of inventing a second envelope.
+const PeerContentType = "application/x-kyrix-peer-v3"
+
+// FillRequest asks a key's owner to produce one tile or dynamic-box
+// payload. It carries the same addressing fields as a /batch item plus
+// the canonical cache key (debugging identity; the owner recomputes
+// its own) and the requester's epoch vector (gossip flows both ways:
+// an owner behind on updates learns from its requesters).
+type FillRequest struct {
+	Key    string      `json:"key"`
+	Canvas string      `json:"canvas"`
+	Layer  int         `json:"layer"`
+	Kind   string      `json:"kind"` // "tile" | "dbox"
+	Codec  string      `json:"codec"`
+	Design string      `json:"design,omitempty"`
+	Size   float64     `json:"size,omitempty"`
+	Col    int         `json:"col,omitempty"`
+	Row    int         `json:"row,omitempty"`
+	MinX   float64     `json:"minx,omitempty"`
+	MinY   float64     `json:"miny,omitempty"`
+	MaxX   float64     `json:"maxx,omitempty"`
+	MaxY   float64     `json:"maxy,omitempty"`
+	Epochs EpochVector `json:"epochs,omitempty"`
+}
+
+// peer is one remote node: a shared pooled HTTP client plus a
+// per-peer concurrency bound, so one slow or dead peer saturates its
+// own slots and nothing else.
+type peer struct {
+	base string
+	sem  chan struct{}
+}
+
+// Transport performs peer cache fills over HTTP with pooled
+// connections, per-peer bounded concurrency and a hard timeout. It is
+// safe for concurrent use.
+type Transport struct {
+	peers   map[string]*peer
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewTransport builds a transport to the given peer base URLs.
+// perPeer bounds in-flight fills per peer (0 = 32); timeout bounds one
+// fill end to end, queue wait included (0 = 2s).
+func NewTransport(peers []string, perPeer int, timeout time.Duration) *Transport {
+	if perPeer <= 0 {
+		perPeer = 32
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	t := &Transport{
+		peers:   make(map[string]*peer, len(peers)),
+		timeout: timeout,
+		client: &http.Client{
+			Timeout: timeout,
+			Transport: &http.Transport{
+				MaxIdleConns:        4 * perPeer,
+				MaxIdleConnsPerHost: perPeer,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, p := range peers {
+		if p != "" {
+			t.peers[p] = &peer{base: p, sem: make(chan struct{}, perPeer)}
+		}
+	}
+	return t
+}
+
+// Fetch asks node to produce the payload for fr, returning the payload
+// and the node's epoch vector. One deadline covers the whole fill —
+// semaphore queue wait AND the HTTP exchange share it, so a fill never
+// outlives PeerTimeout. Every failure mode — unknown node, a full
+// concurrency budget that does not drain in time, transport errors,
+// non-OK frames — comes back as an error the caller treats as "fall
+// back to a local query"; a peer problem degrades the cluster to N
+// independent nodes, never to an outage.
+func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs EpochVector, err error) {
+	p, ok := t.peers[node]
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: unknown peer %q", node)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.timeout)
+	defer cancel()
+	// Bounded concurrency with a bounded wait: a peer that is slow
+	// enough to back its queue up past the deadline is treated as
+	// down. Time spent queuing comes out of the same budget the
+	// request itself runs under.
+	select {
+	case p.sem <- struct{}{}:
+		defer func() { <-p.sem }()
+	case <-ctx.Done():
+		return nil, nil, fmt.Errorf("cluster: peer %s at concurrency limit", node)
+	}
+
+	body, err := json.Marshal(fr)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+PeerPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := t.client.Do(req)
+	if err != nil {
+		return nil, nil, fmt.Errorf("cluster: peer %s: %w", node, err)
+	}
+	defer resp.Body.Close()
+	if eh := resp.Header.Get(EpochHeader); eh != "" {
+		// A malformed epoch header is ignored, not fatal: the payload
+		// is still usable, the gossip just did not advance.
+		var v EpochVector
+		if perr := json.Unmarshal([]byte(eh), &v); perr == nil {
+			epochs = v
+		}
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, epochs, fmt.Errorf("cluster: peer %s: HTTP %d", node, resp.StatusCode)
+	}
+	payload, err = readPeerResponse(bufio.NewReader(resp.Body))
+	return payload, epochs, err
+}
+
+// readPeerResponse decodes the one-frame wire stream of a /peer reply.
+func readPeerResponse(br *bufio.Reader) ([]byte, error) {
+	version, n, err := wire.ReadHeader(br)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer reply: %w", err)
+	}
+	if n != 1 {
+		return nil, fmt.Errorf("cluster: peer reply has %d frames, want 1", n)
+	}
+	f, err := wire.ReadFrame(br, version)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: peer reply: %w", err)
+	}
+	if f.Status != wire.FrameOK {
+		return nil, fmt.Errorf("cluster: peer fill failed (status %d): %s", f.Status, f.Payload)
+	}
+	payload := f.Payload
+	if f.Codec.Compressed() {
+		payload, err = wire.Decompress(payload, wire.MaxFramePayload)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peer reply: %w", err)
+		}
+	} else if f.Codec != wire.CodecRaw {
+		return nil, fmt.Errorf("cluster: peer reply carries codec %d", f.Codec)
+	}
+	return payload, nil
+}
+
+// WritePeerResponse writes the one-frame wire stream of a /peer reply:
+// an OK payload (DEFLATE-compressed when the worth-it heuristic says
+// so) or an error frame. kind is the frame kind matching the request.
+func WritePeerResponse(w http.ResponseWriter, epochs EpochVector, kind wire.FrameKind, payload []byte, serveErr error, badRequest bool) error {
+	w.Header().Set("Content-Type", PeerContentType)
+	if eh, err := json.Marshal(epochs); err == nil {
+		w.Header().Set(EpochHeader, string(eh))
+	}
+	f := wire.Frame{Index: 0, Kind: kind, Status: wire.FrameOK, Codec: wire.CodecRaw}
+	if serveErr != nil {
+		f.Status = wire.FrameInternal
+		if badRequest {
+			f.Status = wire.FrameBadRequest
+		}
+		f.Payload = []byte(serveErr.Error())
+	} else {
+		f.Payload = payload
+		if wire.ShouldCompress(payload) {
+			if cb, cerr := wire.Compress(payload); cerr == nil && len(cb) < len(payload) {
+				f.Payload, f.Codec = cb, wire.CodecFlate
+			}
+		}
+	}
+	if err := wire.WriteHeader(w, wire.V3, 1); err != nil {
+		return err
+	}
+	return wire.WriteFrame(w, wire.V3, f)
+}

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+// ringKeys builds K realistic cache keys (tile-shaped strings, the
+// ring's real workload).
+func ringKeys(k int) []string {
+	keys := make([]string, k)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("json/spatial/tile/main/%d/1024/%d/%d", i%3, i/64, i%64)
+	}
+	return keys
+}
+
+func nodeNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("http://10.0.0.%d:8080", i+1)
+	}
+	return names
+}
+
+// TestRingUniformOwnership: across 8 nodes, every node owns its fair
+// share of keys within 10% relative deviation (the ISSUE's property).
+func TestRingUniformOwnership(t *testing.T) {
+	const nodes = 8
+	const K = 80_000
+	r := NewRing(0, nodeNames(nodes)...)
+	counts := make(map[string]int)
+	for _, k := range ringKeys(K) {
+		counts[r.Owner(k)]++
+	}
+	if len(counts) != nodes {
+		t.Fatalf("only %d of %d nodes own keys", len(counts), nodes)
+	}
+	fair := float64(K) / nodes
+	for n, c := range counts {
+		dev := math.Abs(float64(c)-fair) / fair
+		if dev > 0.10 {
+			t.Fatalf("node %s owns %d keys (fair %.0f, deviation %.1f%% > 10%%)",
+				n, c, fair, 100*dev)
+		}
+	}
+}
+
+// TestRingJoinLeaveRemap: adding or removing one node remaps at most
+// ~1.3·K/N keys — the consistent-hashing contract that makes scaling
+// the tier cheap.
+func TestRingJoinLeaveRemap(t *testing.T) {
+	const K = 60_000
+	keys := ringKeys(K)
+	for _, n := range []int{2, 4, 8} {
+		names := nodeNames(n + 1)
+		base := NewRing(0, names[:n]...)
+		owners := make([]string, K)
+		for i, k := range keys {
+			owners[i] = base.Owner(k)
+		}
+
+		// Join: keys move only onto the new node, and only ~K/(N+1).
+		joined := base.With(names[n])
+		movedJoin := 0
+		for i, k := range keys {
+			if o := joined.Owner(k); o != owners[i] {
+				movedJoin++
+				if o != names[n] {
+					t.Fatalf("join moved %q to old node %s (was %s)", k, o, owners[i])
+				}
+			}
+		}
+		capJoin := int(1.3 * float64(K) / float64(n+1))
+		if movedJoin > capJoin {
+			t.Fatalf("join of node %d moved %d keys, cap %d (~1.3·K/N)", n+1, movedJoin, capJoin)
+		}
+		if movedJoin == 0 {
+			t.Fatalf("join moved no keys — new node owns nothing")
+		}
+
+		// Leave: exactly the leaving node's keys move, ~K/N.
+		left := base.Without(names[0])
+		movedLeave := 0
+		for i, k := range keys {
+			if o := left.Owner(k); o != owners[i] {
+				movedLeave++
+				if owners[i] != names[0] {
+					t.Fatalf("leave moved %q that %s did not own", k, names[0])
+				}
+			}
+		}
+		capLeave := int(1.3 * float64(K) / float64(n))
+		if movedLeave > capLeave {
+			t.Fatalf("leave from %d nodes moved %d keys, cap %d", n, movedLeave, capLeave)
+		}
+	}
+}
+
+// TestRingDeterministic: ownership is a pure function of membership —
+// construction order and duplicates must not matter, or two nodes
+// could disagree on placement and forward forever.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(64, "n1", "n2", "n3")
+	b := NewRing(64, "n3", "n1", "n2", "n2", "")
+	for _, k := range ringKeys(2000) {
+		if a.Owner(k) != b.Owner(k) {
+			t.Fatalf("ownership of %q depends on construction order", k)
+		}
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	empty := NewRing(8)
+	if got := empty.Owner("x"); got != "" {
+		t.Fatalf("empty ring owner = %q", got)
+	}
+	solo := NewRing(8, "only")
+	for _, k := range ringKeys(100) {
+		if solo.Owner(k) != "only" {
+			t.Fatal("single-node ring must own everything")
+		}
+	}
+	if solo.With("other").Size() != 2 || solo.Without("only").Size() != 0 {
+		t.Fatal("With/Without membership bookkeeping broken")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"kyrix/internal/fetch"
 	"kyrix/internal/frontend"
 	"kyrix/internal/geom"
+	"kyrix/internal/spec"
 	"kyrix/internal/workload"
 )
 
@@ -93,6 +94,33 @@ type ConcurrentRowStats struct {
 	HitRatio      float64 `json:"hitRatio"`
 	CacheAdmitted int64   `json:"cacheAdmitted"`
 	CacheRejected int64   `json:"cacheRejected"`
+	// Nodes carries per-node counters in cluster runs (ClusterRun);
+	// empty for single-backend sweeps. In cluster rows, DbqPerStep /
+	// HitRatio above are the cluster-wide aggregates.
+	Nodes []NodeRowStats `json:"nodes,omitempty"`
+}
+
+// NodeRowStats is one cluster node's share of a concurrent-sweep row.
+type NodeRowStats struct {
+	// Node is the node's base URL (its ring identity).
+	Node string `json:"node"`
+	// HitRatio is this node's backend-cache hit ratio over the
+	// measured steps.
+	HitRatio float64 `json:"hitRatio"`
+	// PeerFillRatio is peer fills / (peer fills + local database
+	// queries) — the fraction of this node's cache fills served by
+	// the owning peer instead of its own database.
+	PeerFillRatio float64 `json:"peerFillRatio"`
+	// DbqPerStep is this node's database queries per measured step
+	// (cluster-wide steps, so the per-node columns sum to the row's
+	// aggregate DbqPerStep).
+	DbqPerStep float64 `json:"dbqPerStep"`
+	// PeerFills/PeerServes/LocalFallbacks/HotReplicas are the raw
+	// cluster counters over the measured window.
+	PeerFills      int64 `json:"peerFills"`
+	PeerServes     int64 `json:"peerServes"`
+	LocalFallbacks int64 `json:"localFallbacks"`
+	HotReplicas    int64 `json:"hotReplicas"`
 }
 
 // ConcurrentClients measures the backend under N parallel frontends:
@@ -137,100 +165,18 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 			return nil, nil, err
 		}
 
-		type result struct {
-			durs  []float64 // per-pan-step, ms
-			ttffs []float64 // per-step time to first frame, ms (framed only)
-			wire  int64     // bytes on the wire across measured steps
-			raw   int64     // logical payload bytes across measured steps
-			err   error
+		var dbqBefore, coalBefore int64
+		var bcBefore cache.Stats
+		sweep, err := runClientSweep(traces, opts, func(i int) (*frontend.Client, error) {
+			return newSweepClient(env.BaseURL, env.CA, env.Cfg, opts)
+		}, func() {
+			dbqBefore = env.Srv.Stats.DBQueries.Load()
+			coalBefore = env.Srv.Stats.CoalescedHits.Load()
+			bcBefore = env.Srv.BackendCache().Stats()
+		})
+		if err != nil {
+			return nil, nil, err
 		}
-		results := make([]result, n)
-		var wg sync.WaitGroup
-		// Setup (client construction's /app fetch and the cold initial
-		// load) happens before the wall clock starts: steps/s measures
-		// the measured pan steps only, like the per-step figures.
-		start := make(chan struct{})
-		var ready sync.WaitGroup
-		for i := 0; i < n; i++ {
-			wg.Add(1)
-			ready.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				fcache := env.Cfg.FrontendCacheBytes
-				if cacheWorkload(opts.Workload) {
-					// The hit-ratio column measures the backend cache
-					// policy; a frontend cache would absorb the very
-					// revisits the zipf workload exists to produce.
-					fcache = 0
-				}
-				c, err := frontend.NewClient(env.BaseURL, env.CA, frontend.Options{
-					Scheme:        opts.Scheme,
-					Codec:         env.Cfg.Codec,
-					CacheBytes:    fcache,
-					BatchSize:     opts.BatchSize,
-					BatchProtocol: opts.Protocol,
-					Compression:   opts.Compression,
-				})
-				if err == nil {
-					_, err = c.Pan(traces[i].Steps[0])
-				}
-				results[i].err = err
-				ready.Done()
-				<-start
-				if err != nil {
-					return
-				}
-				for _, step := range traces[i].Steps[1:] {
-					rep, err := c.Pan(step)
-					if err != nil {
-						results[i].err = err
-						return
-					}
-					results[i].durs = append(results[i].durs,
-						float64(rep.Duration.Microseconds())/1000)
-					results[i].wire += rep.WireBytes
-					results[i].raw += rep.Bytes
-					if rep.FirstFrame > 0 {
-						results[i].ttffs = append(results[i].ttffs,
-							float64(rep.FirstFrame.Microseconds())/1000)
-					}
-				}
-			}(i)
-		}
-		ready.Wait()
-		// Snapshot server counters only now: the untimed setup phase
-		// (concurrent cold initial loads) must not be billed to the
-		// measured steps.
-		dbqBefore := env.Srv.Stats.DBQueries.Load()
-		coalBefore := env.Srv.Stats.CoalescedHits.Load()
-		bcBefore := env.Srv.BackendCache().Stats()
-		wallStart := time.Now()
-		close(start)
-		wg.Wait()
-		wall := time.Since(wallStart).Seconds()
-
-		var durs, ttffs []float64
-		var wireBytes, rawBytes int64
-		for i := range results {
-			if results[i].err != nil {
-				return nil, nil, fmt.Errorf("experiments: client %d: %w", i, results[i].err)
-			}
-			durs = append(durs, results[i].durs...)
-			ttffs = append(ttffs, results[i].ttffs...)
-			wireBytes += results[i].wire
-			rawBytes += results[i].raw
-		}
-		steps := float64(len(durs))
-		if steps == 0 || wall <= 0 {
-			return nil, nil, fmt.Errorf("experiments: concurrent run measured nothing")
-		}
-		sort.Float64s(durs)
-		var sum float64
-		for _, d := range durs {
-			sum += d
-		}
-		p50 := durs[int(math.Ceil(0.50*steps))-1]
-		p95 := durs[int(math.Ceil(0.95*steps))-1]
 		dbq := float64(env.Srv.Stats.DBQueries.Load() - dbqBefore)
 		coal := float64(env.Srv.Stats.CoalescedHits.Load() - coalBefore)
 		bcAfter := env.Srv.BackendCache().Stats()
@@ -239,33 +185,12 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 			Misses: bcAfter.Misses - bcBefore.Misses,
 		}
 
-		var ttffMean float64
-		if len(ttffs) > 0 {
-			for _, v := range ttffs {
-				ttffMean += v
-			}
-			ttffMean /= float64(len(ttffs))
-		}
-		var ratio float64
-		if rawBytes > 0 {
-			ratio = float64(wireBytes) / float64(rawBytes)
-		}
-
-		rs := ConcurrentRowStats{
-			Clients:          n,
-			StepsPerSec:      steps / wall,
-			MeanMs:           sum / steps,
-			P50Ms:            p50,
-			P95Ms:            p95,
-			DbqPerStep:       dbq / steps,
-			CoalPerStep:      coal / steps,
-			WireKBPerStep:    float64(wireBytes) / 1024 / steps,
-			TtffMs:           ttffMean,
-			CompressionRatio: ratio,
-			HitRatio:         bcDelta.HitRatio(),
-			CacheAdmitted:    bcAfter.Admitted - bcBefore.Admitted,
-			CacheRejected:    bcAfter.Rejected - bcBefore.Rejected,
-		}
+		rs := sweep.rowStats(n)
+		rs.DbqPerStep = dbq / sweep.steps
+		rs.CoalPerStep = coal / sweep.steps
+		rs.HitRatio = bcDelta.HitRatio()
+		rs.CacheAdmitted = bcAfter.Admitted - bcBefore.Admitted
+		rs.CacheRejected = bcAfter.Rejected - bcBefore.Rejected
 		stats = append(stats, rs)
 
 		t.Set(row, "steps/s", rs.StepsPerSec, Series{})
@@ -285,6 +210,144 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 // adversaries (which disable the frontend cache).
 func cacheWorkload(w string) bool {
 	return w == "zipf" || w == "scan" || w == "mixed"
+}
+
+// newSweepClient builds one sweep client against baseURL with the
+// shared option mapping (the zipf/scan/mixed workloads disable the
+// frontend cache: the hit-ratio column measures the backend policy,
+// and a frontend cache would absorb the very revisits the zipf
+// workload exists to produce).
+func newSweepClient(baseURL string, ca *spec.CompiledApp, cfg Config, opts ConcurrentOptions) (*frontend.Client, error) {
+	fcache := cfg.FrontendCacheBytes
+	if cacheWorkload(opts.Workload) {
+		fcache = 0
+	}
+	return frontend.NewClient(baseURL, ca, frontend.Options{
+		Scheme:        opts.Scheme,
+		Codec:         cfg.Codec,
+		CacheBytes:    fcache,
+		BatchSize:     opts.BatchSize,
+		BatchProtocol: opts.Protocol,
+		Compression:   opts.Compression,
+	})
+}
+
+// sweepResult aggregates one client-count row of a sweep: the measured
+// step durations (sorted), wall time, and wire-side counters.
+type sweepResult struct {
+	durs       []float64 // sorted, ms
+	ttffs      []float64
+	wire, raw  int64
+	wall       float64
+	steps, sum float64
+}
+
+// rowStats converts the aggregate into the common ConcurrentRowStats
+// fields (latency, throughput, wire); callers fill the server-counter
+// fields they snapshot themselves.
+func (sr *sweepResult) rowStats(clients int) ConcurrentRowStats {
+	var ttffMean float64
+	if len(sr.ttffs) > 0 {
+		for _, v := range sr.ttffs {
+			ttffMean += v
+		}
+		ttffMean /= float64(len(sr.ttffs))
+	}
+	var ratio float64
+	if sr.raw > 0 {
+		ratio = float64(sr.wire) / float64(sr.raw)
+	}
+	return ConcurrentRowStats{
+		Clients:          clients,
+		StepsPerSec:      sr.steps / sr.wall,
+		MeanMs:           sr.sum / sr.steps,
+		P50Ms:            sr.durs[int(math.Ceil(0.50*sr.steps))-1],
+		P95Ms:            sr.durs[int(math.Ceil(0.95*sr.steps))-1],
+		WireKBPerStep:    float64(sr.wire) / 1024 / sr.steps,
+		TtffMs:           ttffMean,
+		CompressionRatio: ratio,
+	}
+}
+
+// runClientSweep is the shared client-driving harness of
+// ConcurrentClients and ClusterRun: one goroutine per trace, each
+// building its frontend through newClient(i) and replaying Steps[0]
+// cold BEFORE the wall clock starts (steps/s measures the measured
+// pan steps only, like the per-step figures). snapshot runs after
+// every client is ready and before the clock, so callers snapshot
+// their server counters without billing the untimed setup phase.
+func runClientSweep(traces []*workload.Trace, opts ConcurrentOptions, newClient func(i int) (*frontend.Client, error), snapshot func()) (*sweepResult, error) {
+	n := len(traces)
+	type result struct {
+		durs  []float64 // per-pan-step, ms
+		ttffs []float64 // per-step time to first frame, ms (framed only)
+		wire  int64     // bytes on the wire across measured steps
+		raw   int64     // logical payload bytes across measured steps
+		err   error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	var ready sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		ready.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c, err := newClient(i)
+			if err == nil {
+				_, err = c.Pan(traces[i].Steps[0])
+			}
+			results[i].err = err
+			ready.Done()
+			<-start
+			if err != nil {
+				return
+			}
+			for _, step := range traces[i].Steps[1:] {
+				rep, err := c.Pan(step)
+				if err != nil {
+					results[i].err = err
+					return
+				}
+				results[i].durs = append(results[i].durs,
+					float64(rep.Duration.Microseconds())/1000)
+				results[i].wire += rep.WireBytes
+				results[i].raw += rep.Bytes
+				if rep.FirstFrame > 0 {
+					results[i].ttffs = append(results[i].ttffs,
+						float64(rep.FirstFrame.Microseconds())/1000)
+				}
+			}
+		}(i)
+	}
+	ready.Wait()
+	if snapshot != nil {
+		snapshot()
+	}
+	wallStart := time.Now()
+	close(start)
+	wg.Wait()
+
+	sr := &sweepResult{wall: time.Since(wallStart).Seconds()}
+	for i := range results {
+		if results[i].err != nil {
+			return nil, fmt.Errorf("experiments: client %d: %w", i, results[i].err)
+		}
+		sr.durs = append(sr.durs, results[i].durs...)
+		sr.ttffs = append(sr.ttffs, results[i].ttffs...)
+		sr.wire += results[i].wire
+		sr.raw += results[i].raw
+	}
+	sr.steps = float64(len(sr.durs))
+	if sr.steps == 0 || sr.wall <= 0 {
+		return nil, fmt.Errorf("experiments: sweep measured nothing")
+	}
+	sort.Float64s(sr.durs)
+	for _, d := range sr.durs {
+		sr.sum += d
+	}
+	return sr, nil
 }
 
 // buildTraces constructs each client's trace for the selected

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"net"
@@ -144,6 +145,14 @@ func NewEnv(cfg Config, kind string) (*Env, error) {
 
 // NewEnvFor builds an environment over an existing dataset.
 func NewEnvFor(cfg Config, d *workload.Dataset) (*Env, error) {
+	return newEnv(cfg, d, server.ClusterOptions{}, nil)
+}
+
+// newEnv is the shared constructor: standalone envs pass a zero
+// ClusterOptions and a nil listener; cluster nodes pass their
+// membership and the pre-created listener their Self URL names (the
+// ring needs every node's address before any server exists).
+func newEnv(cfg Config, d *workload.Dataset, copts server.ClusterOptions, ln net.Listener) (*Env, error) {
 	start := time.Now()
 	db := sqldb.NewDB()
 	if _, err := db.Exec("CREATE TABLE points (id INT, x DOUBLE, y DOUBLE, val DOUBLE)"); err != nil {
@@ -183,6 +192,7 @@ func NewEnvFor(cfg Config, d *workload.Dataset) (*Env, error) {
 	srv, err := server.New(db, ca, server.Options{
 		CacheBytes:     cfg.BackendCacheBytes,
 		CacheAdmission: cfg.CacheAdmission,
+		Cluster:        copts,
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    cfg.TileSizes,
@@ -194,16 +204,20 @@ func NewEnvFor(cfg Config, d *workload.Dataset) (*Env, error) {
 	}
 	env := &Env{Cfg: cfg, Dataset: d, DB: db, CA: ca, Srv: srv}
 	env.PrecomputeTime = time.Since(start)
-	if err := env.serve(); err != nil {
+	if err := env.serve(ln); err != nil {
 		return nil, err
 	}
 	return env, nil
 }
 
-func (e *Env) serve() error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		return fmt.Errorf("experiments: listen: %w", err)
+// serve starts the HTTP side on ln (created here when nil).
+func (e *Env) serve(ln net.Listener) error {
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fmt.Errorf("experiments: listen: %w", err)
+		}
 	}
 	e.ln = ln
 	e.hsrv = &http.Server{Handler: e.Srv.Handler()}
@@ -212,11 +226,18 @@ func (e *Env) serve() error {
 	return nil
 }
 
-// Close shuts the backend down, releasing the listener too (hsrv.Close
-// only closes listeners its Serve goroutine already registered).
+// Close shuts the backend down: stop accepting, give in-flight
+// requests (streaming /batch responses, peer fills this node is
+// serving) a bounded grace to drain, then force-close the stragglers.
+// The listener is released explicitly too (Shutdown only knows
+// listeners its Serve goroutine already registered).
 func (e *Env) Close() {
 	if e.hsrv != nil {
-		_ = e.hsrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := e.hsrv.Shutdown(ctx); err != nil {
+			_ = e.hsrv.Close()
+		}
+		cancel()
 		e.hsrv = nil
 	}
 	if e.ln != nil {

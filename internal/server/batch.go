@@ -149,7 +149,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *BatchRequest) {
 					bt.Err = fmt.Sprintf("internal: %v", r)
 				}
 			}()
-			payload, err := s.serveTile(pl, design, codec, req.Size, geom.TileID{Col: ref.Col, Row: ref.Row})
+			payload, err := s.serveTile(pl, design, codec, req.Size, geom.TileID{Col: ref.Col, Row: ref.Row}, false)
 			if err != nil {
 				bt.Err = err.Error()
 				return

@@ -326,13 +326,24 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 				fw.writeFrame(f, rawLen)
 			}()
 			if version == wire.V3 && it.Kind == "dbox" && it.Base != nil {
-				// Delta-eligible: hold the epoch read lock across query
-				// + delta plan so an /update cannot slip between them
-				// and pair a post-update result with a pre-update base.
-				s.epochMu.RLock()
-				defer s.epochMu.RUnlock()
+				if s.ownsDBox(req.Canvas, it, codec) {
+					// Delta-eligible: hold the epoch read lock across
+					// query + delta plan so an /update cannot slip
+					// between them and pair a post-update result with
+					// a pre-update base.
+					s.epochMu.RLock()
+					defer s.epochMu.RUnlock()
+				} else {
+					// Non-owned in a cluster: the payload may arrive
+					// from a peer at a different epoch, and the
+					// content-blind id diff cannot prove a cross-epoch
+					// delta safe. Dropping the base ships a full frame
+					// (and keeps the peer hop outside epochMu, where a
+					// gossiped epoch adoption needs the write lock).
+					it.Base = nil
+				}
 			}
-			payload, err := s.serveItem(req.Canvas, it, codec, version == wire.V3)
+			payload, err := s.serveItem(req.Canvas, it, codec, version == wire.V3, false)
 			if err != nil {
 				f.Payload = []byte(err.Error())
 				rawLen = len(f.Payload)
@@ -359,8 +370,9 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 
 // serveItem resolves and serves one framed batch item through the same
 // cache/coalescing path as the single-request endpoints. memoDBox asks
-// dbox queries to park decoded rows for the v3 delta planner.
-func (s *Server) serveItem(canvas string, it BatchItem, codec Codec, memoDBox bool) ([]byte, error) {
+// dbox queries to park decoded rows for the v3 delta planner; localOnly
+// (peer-originated fills) suppresses cluster forwarding.
+func (s *Server) serveItem(canvas string, it BatchItem, codec Codec, memoDBox, localOnly bool) ([]byte, error) {
 	pl, ok := s.Layer(canvas, it.Layer)
 	if !ok || pl.Table == "" {
 		return nil, badRequestError{fmt.Errorf("no data layer %s/%d", canvas, it.Layer)}
@@ -377,13 +389,13 @@ func (s *Server) serveItem(canvas string, it BatchItem, codec Codec, memoDBox bo
 		if design == "" {
 			design = "spatial"
 		}
-		return s.serveTile(pl, design, codec, it.Size, geom.TileID{Col: it.Col, Row: it.Row})
+		return s.serveTile(pl, design, codec, it.Size, geom.TileID{Col: it.Col, Row: it.Row}, localOnly)
 	case "dbox":
 		box := it.Box()
 		if !box.Valid() {
 			return nil, badRequestError{fmt.Errorf("invalid box %+v", box)}
 		}
-		return s.serveBox(pl, codec, box, memoDBox)
+		return s.serveBox(pl, codec, box, memoDBox, localOnly)
 	}
 	return nil, badRequestError{fmt.Errorf("unknown item kind %q", it.Kind)}
 }

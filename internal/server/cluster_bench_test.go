@@ -1,0 +1,65 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+
+	"kyrix/internal/geom"
+)
+
+// BenchmarkClusterFill measures the peer cache-fill path on a two-node
+// in-process cluster: every iteration cold-starts both caches and
+// pulls a viewport's worth of tiles through ONE node, so roughly half
+// the keys are non-owned and fill over the peer hop. Custom metrics:
+// peer-fill-ratio (peer fills / requests — the fraction of traffic the
+// ring pushed across the wire) and db-q/req (database queries per
+// request cluster-wide — stays ~1 per unique key regardless of which
+// node was asked, the cross-node singleflight contract). Tracked by
+// the CI bench-regression job.
+func BenchmarkClusterFill(b *testing.B) {
+	nodes := newTestCluster(b, 2, 2000, nil)
+	front := nodes[0]
+
+	var tiles []geom.TileID
+	for col := 0; col < 8; col++ {
+		for row := 0; row < 4; row++ {
+			tiles = append(tiles, geom.TileID{Col: col, Row: row})
+		}
+	}
+	// Warm connections + plan caches once so the measured loop is the
+	// fill path, not TCP setup.
+	for _, tid := range tiles {
+		if _, err := getTileErr(front.url, tid); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var fills, reqs, dbq int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for _, n := range nodes {
+			n.srv.bcache.Clear()
+		}
+		fillsBefore := front.srv.cluster.Stats.PeerFills.Load()
+		dbqBefore := nodes[0].srv.Stats.DBQueries.Load() + nodes[1].srv.Stats.DBQueries.Load()
+		b.StartTimer()
+		for _, tid := range tiles {
+			if _, err := getTileErr(front.url, tid); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		fills += front.srv.cluster.Stats.PeerFills.Load() - fillsBefore
+		reqs += int64(len(tiles))
+		dbq += nodes[0].srv.Stats.DBQueries.Load() + nodes[1].srv.Stats.DBQueries.Load() - dbqBefore
+		b.StartTimer()
+	}
+	if reqs > 0 {
+		b.ReportMetric(float64(fills)/float64(reqs), "peer-fill-ratio")
+		b.ReportMetric(float64(dbq)/float64(reqs), "db-q/req")
+	}
+	if fills == 0 {
+		b.Fatal(fmt.Errorf("no peer fills happened — ring routed nothing"))
+	}
+}

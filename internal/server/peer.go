@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"kyrix/internal/cluster"
+	"kyrix/internal/storage"
+)
+
+// Clustered serving: this file is the server half of internal/cluster.
+// POST /peer is the owner-side fill endpoint (a peer's cache miss
+// lands here and is served through the normal cache + singleflight
+// path), and peerQuery is the requester-side routing for misses on
+// keys another node owns.
+
+// Cluster exposes this node's cluster membership (nil when serving
+// standalone); experiment harnesses read its stats.
+func (s *Server) Cluster() *cluster.Node { return s.cluster }
+
+// handlePeer serves one fill request from another cluster node. The
+// item is served strictly locally (localOnly) — if the requester's
+// ring disagrees with ours about ownership, the worst case is a query
+// on the wrong node, never a forwarding loop. Epochs gossip both ways:
+// the request carries the requester's, the response header ours.
+func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
+	if s.cluster == nil {
+		http.Error(w, "not a cluster node", http.StatusNotFound)
+		return
+	}
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var fr cluster.FillRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&fr); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.cluster.Observe(fr.Epochs)
+	s.cluster.Stats.PeerServes.Add(1)
+
+	codec := Codec(fr.Codec)
+	if codec == "" {
+		codec = CodecJSON
+	}
+	it := BatchItem{
+		Kind: fr.Kind, Layer: fr.Layer, Size: fr.Size, Design: fr.Design,
+		Col: fr.Col, Row: fr.Row,
+		MinX: fr.MinX, MinY: fr.MinY, MaxX: fr.MaxX, MaxY: fr.MaxY,
+	}
+	payload, err := s.serveItem(fr.Canvas, it, codec, false, true)
+	badReq := err != nil && httpStatusOf(err) == http.StatusBadRequest
+	_ = cluster.WritePeerResponse(w, s.cluster.EpochVec(), cluster.FrameKindOf(fr.Kind), payload, err, badReq)
+}
+
+// peerQuery fills a locally missed key this node does not own: forward
+// to the owner, falling back to a local database query when the peer
+// is unreachable — a peer problem degrades the cluster to independent
+// nodes, never to an outage. Concurrent identical misses coalesce onto
+// one peer exchange (and, at the owner, onto one generation-scoped
+// flight), so one database query serves the whole cluster per key per
+// generation.
+//
+// Peer-filled payloads are admitted into the local cache only when the
+// key's sketch frequency has crossed the HotReplicate threshold —
+// cluster-hot keys become locally resident everywhere instead of
+// bottlenecking their owner, while the long tail stays owner-only and
+// the cluster's aggregate cache capacity scales with node count. With
+// admission off (no sketch) every fill replicates, the plain
+// groupcache behavior.
+func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
+	gen := s.cacheGen.Load()
+	owner := s.cluster.Owner(key)
+	fill := func() (any, error) {
+		// Double-check like cachedQuery: a previous flight (or a hot
+		// replication) may have populated the cache while queuing.
+		if data, ok := s.bcache.Peek(key); ok {
+			s.Stats.CacheHits.Add(1)
+			return data.([]byte), nil
+		}
+		payload, err := s.cluster.Fetch(owner, fr)
+		if err == nil {
+			if hr := s.cluster.HotReplicate(); hr >= 0 {
+				if f := s.bcache.EstimateFreq(key); f < 0 || f >= hr {
+					s.putUnlessStale(gen, key, payload)
+					// Count replicas actually resident after the Put —
+					// the generation re-check or the cache's own
+					// admission gate may have declined the store.
+					if s.bcache.Contains(key) {
+						s.cluster.Stats.HotReplicas.Add(1)
+					}
+				}
+			}
+			return payload, nil
+		}
+		s.cluster.Stats.LocalFallbacks.Add(1)
+		payload, qerr := s.runQuery(sql, args, codec, memoize)
+		if qerr != nil {
+			return nil, qerr
+		}
+		s.putUnlessStale(gen, key, payload)
+		return payload, nil
+	}
+	if s.opts.DisableCoalescing {
+		v, err := fill()
+		if err != nil {
+			return nil, err
+		}
+		return v.([]byte), nil
+	}
+	v, err, dup := s.flight.Do(flightKey(gen, key), fill)
+	if err != nil {
+		return nil, err
+	}
+	if dup {
+		s.Stats.CoalescedHits.Add(1)
+	}
+	return v.([]byte), nil
+}
+
+// ownsDBox reports whether this node serves the item's dynamic box
+// itself (always true when standalone). The v3 batch path uses it to
+// decide whether delta encoding is safe: a non-owned item's payload
+// may come from a peer at a different cluster epoch, and the delta
+// diff is id-based and content-blind — cross-epoch deltas could skip
+// changed rows, so non-owned items always ship full frames.
+func (s *Server) ownsDBox(canvas string, it BatchItem, codec Codec) bool {
+	if s.cluster == nil {
+		return true
+	}
+	pl, ok := s.Layer(canvas, it.Layer)
+	if !ok || pl.Table == "" {
+		return true // the error path is local either way
+	}
+	box := it.Box()
+	if !box.Valid() {
+		return true
+	}
+	return s.cluster.Owns(s.boxCacheKey(pl, codec, box))
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kyrix/internal/cache"
+	"kyrix/internal/cluster"
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
 	"kyrix/internal/singleflight"
@@ -20,6 +21,11 @@ import (
 	"kyrix/internal/storage"
 	"kyrix/internal/wire"
 )
+
+// ClusterOptions configures this node's membership in a serving
+// cluster (consistent-hash tile ownership with peer cache fill). The
+// alias keeps the knobs constructible by external module consumers.
+type ClusterOptions = cluster.Options
 
 // Options configures a backend server.
 type Options struct {
@@ -40,6 +46,20 @@ type Options struct {
 	// 4-bit counters across shards; 0 derives a size from CacheBytes).
 	// Ignored unless CacheAdmission is "lfu".
 	CacheSketchCounters int
+	// CacheDoorkeeper puts a bloom-filter doorkeeper in front of the
+	// TinyLFU sketch: a key's first sighting per decay period sets
+	// bloom bits instead of count-min counters, so one-hit wonders (a
+	// sequential scan) cannot inflate the sketch and, through
+	// collisions, make unrelated cold keys look admissible. The filter
+	// resets on sketch decay. Ignored unless CacheAdmission is "lfu".
+	CacheDoorkeeper bool
+	// Cluster joins this node to a serving cluster: cache keys are
+	// partitioned over a consistent-hash ring, a non-owner forwards
+	// misses to the owner instead of querying the database, hot keys
+	// are replicated locally, and /update bumps a cluster epoch
+	// gossiped on every peer exchange. The zero value serves
+	// standalone.
+	Cluster ClusterOptions
 	// DisableCoalescing turns off singleflight request coalescing.
 	// With coalescing on (the default), N concurrent requests for the
 	// same tile/box key run one database query and share the payload.
@@ -142,6 +162,10 @@ type Server struct {
 	// invalidation; the LRU bound caps residency.
 	deltaMemo *cache.LRU
 
+	// cluster is this node's membership in the serving cluster (ring,
+	// peer transport, epoch); nil when serving standalone.
+	cluster *cluster.Node
+
 	// queryHook, when set (tests only), runs inside every database
 	// query execution; the coalescing test uses it to hold a query
 	// open until all concurrent callers have piled onto the flight.
@@ -182,6 +206,7 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 			Shards:         opts.CacheShards,
 			Admission:      admission,
 			SketchCounters: opts.CacheSketchCounters,
+			Doorkeeper:     opts.CacheDoorkeeper,
 		}),
 		// One entry = size 1, so the byte budget counts plans; a single
 		// shard keeps exact LRU order (the cap is tiny).
@@ -191,6 +216,27 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 		// the other caches; 32 MB covers every live pan chain.
 		deltaMemo: cache.NewLRUSharded(32<<20, 1),
 		opts:      opts,
+	}
+	if opts.Cluster.Enabled() {
+		cn, err := cluster.New(opts.Cluster)
+		if err != nil {
+			return nil, err
+		}
+		// Adopting a newer cluster epoch is the remote form of
+		// execUpdate's cache transition: generation bump first (so
+		// in-flight queries refuse to store), then the clear, the
+		// whole step under the epoch write lock so it cannot
+		// interleave with a v3 delta plan. The hook never runs while
+		// this node holds epochMu itself: epochs are only observed on
+		// peer exchanges, and delta-eligible items hold the read lock
+		// only when their key is locally owned (no peer hop).
+		cn.SetEpochHook(func(cluster.EpochVector) {
+			s.epochMu.Lock()
+			s.cacheGen.Add(1)
+			s.bcache.Clear()
+			s.epochMu.Unlock()
+		})
+		s.cluster = cn
 	}
 
 	type job struct{ ci, li int }
@@ -404,6 +450,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/dbox", s.handleDBox)
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc(cluster.PeerPath, s.handlePeer)
 	return mux
 }
 
@@ -448,8 +495,12 @@ func floatParam(r *http.Request, name string) (float64, error) {
 
 // serveTile produces the payload of one tile request under either
 // database design, consulting the backend cache and coalescing
-// concurrent identical requests onto one database query.
-func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, size float64, tid geom.TileID) ([]byte, error) {
+// concurrent identical requests onto one database query. In a cluster,
+// a miss on a key another node owns is forwarded there instead of
+// queried locally; localOnly (peer-originated requests) suppresses the
+// forwarding so two nodes with diverging ring views can never bounce a
+// request between each other.
+func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, size float64, tid geom.TileID, localOnly bool) ([]byte, error) {
 	key := fmt.Sprintf("%s/%s/%s", codec, design, fetch.TileKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), size, tid))
 	if data, ok := s.bcache.Get(key); ok {
 		s.Stats.CacheHits.Add(1)
@@ -468,6 +519,14 @@ func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, 
 		}
 	default:
 		return nil, badRequestError{fmt.Errorf("unknown design %q", design)}
+	}
+	if !localOnly && s.cluster != nil && !s.cluster.Owns(key) {
+		fr := &cluster.FillRequest{
+			Key: key, Canvas: pl.CanvasID, Layer: pl.LayerIdx,
+			Kind: "tile", Codec: string(codec), Design: design,
+			Size: size, Col: tid.Col, Row: tid.Row,
+		}
+		return s.peerQuery(key, fr, sql, args, codec, false)
 	}
 	return s.cachedQuery(key, sql, args, codec, false)
 }
@@ -583,7 +642,7 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		design = "spatial"
 	}
 	codec := codecOf(r)
-	payload, err := s.serveTile(pl, design, codec, size, geom.TileID{Col: col, Row: row})
+	payload, err := s.serveTile(pl, design, codec, size, geom.TileID{Col: col, Row: row}, false)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatusOf(err))
 		return
@@ -619,7 +678,7 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	codec := codecOf(r)
-	payload, err := s.serveBox(pl, codec, box, false)
+	payload, err := s.serveBox(pl, codec, box, false, false)
 	if err != nil {
 		http.Error(w, err.Error(), httpStatusOf(err))
 		return
@@ -628,17 +687,25 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 }
 
 // serveBox produces the payload of one dynamic-box request, with the
-// same cache + coalescing treatment as serveTile. memoize asks the
-// query to park its decoded rows for the v3 delta planner — only worth
-// paying for requests whose payload can become a delta base (v3
-// batches); the v1/v2 paths skip it.
-func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, memoize bool) ([]byte, error) {
+// same cache + coalescing + cluster-routing treatment as serveTile.
+// memoize asks the query to park its decoded rows for the v3 delta
+// planner — only worth paying for requests whose payload can become a
+// delta base (v3 batches); the v1/v2 paths skip it.
+func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, memoize, localOnly bool) ([]byte, error) {
 	key := s.boxCacheKey(pl, codec, box)
 	if data, ok := s.bcache.Get(key); ok {
 		s.Stats.CacheHits.Add(1)
 		return data.([]byte), nil
 	}
 	sql, args := pl.WindowSQL(box)
+	if !localOnly && s.cluster != nil && !s.cluster.Owns(key) {
+		fr := &cluster.FillRequest{
+			Key: key, Canvas: pl.CanvasID, Layer: pl.LayerIdx,
+			Kind: "dbox", Codec: string(codec),
+			MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY,
+		}
+		return s.peerQuery(key, fr, sql, args, codec, memoize)
+	}
 	return s.cachedQuery(key, sql, args, codec, memoize)
 }
 
@@ -767,6 +834,13 @@ func (s *Server) execUpdate(sql string, args []storage.Value) (int64, error) {
 	}
 	s.cacheGen.Add(1)
 	s.bcache.Clear()
+	if s.cluster != nil {
+		// Bump the cluster epoch inside the same epoch-locked
+		// transition: peers learn on their next exchange with this
+		// node (the epoch rides every /peer request and response) and
+		// clear their own caches.
+		s.cluster.Bump()
+	}
 	return n, nil
 }
 
@@ -792,6 +866,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"backendCacheAdmitted": bc.Admitted,
 		"backendCacheRejected": bc.Rejected,
 		"backendCacheShards":   int64(s.bcache.ShardCount()),
+	}
+	if s.cluster != nil {
+		cs := &s.cluster.Stats
+		out["clusterEpoch"] = s.cluster.Epoch()
+		out["peerFills"] = cs.PeerFills.Load()
+		out["peerErrors"] = cs.PeerErrors.Load()
+		out["peerServes"] = cs.PeerServes.Load()
+		out["localFallbacks"] = cs.LocalFallbacks.Load()
+		out["hotReplicas"] = cs.HotReplicas.Load()
+		out["epochAdoptions"] = cs.EpochAdoptions.Load()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(out)

@@ -77,6 +77,63 @@
 // `kyrix-bench -clients ... -workload zipf|scan|mixed -admission
 // lfu|off` compares hit ratios policy-by-policy on the same trace.
 //
+// [ServerOptions].CacheDoorkeeper adds a bloom-filter doorkeeper in
+// front of the sketch: a key's first sighting per decay period sets
+// bloom bits instead of count-min counters, so one-hit wonders cannot
+// inflate the sketch and — through counter collisions — make unrelated
+// cold keys look admissible. The filter clears on every sketch decay;
+// estimates transparently count the bloom bit as one sighting.
+//
+// # Clustered serving
+//
+// One process, however well sharded, is one machine. With
+// [ServerOptions].Cluster ([ClusterOptions]: Self, Peers,
+// VirtualNodes, HotReplicate) N backends form a serving tier in the
+// groupcache mold, assuming a shared (or identically loaded) backing
+// store:
+//
+//   - Ownership. Every canonical cache key (layer+tile, layer+box —
+//     the same strings the backend cache stores) maps to exactly one
+//     owner node on a consistent-hash ring with virtual nodes. Node
+//     join/leave remaps only ~K/N keys (property-tested in
+//     internal/cluster), so growing the tier does not restart the
+//     world.
+//   - Peer fill. A node that misses its cache on a key it does not
+//     own forwards the request to the owner's /peer endpoint instead
+//     of querying the database. The reply reuses the wire v3 frame
+//     codec (one frame: status byte, bounded DEFLATE when worth it).
+//     Transport is pooled HTTP with per-peer bounded concurrency and
+//     a hard timeout; any peer failure degrades to a local database
+//     query — a slow or dead peer costs latency, never availability.
+//   - Cross-node singleflight. The non-owner's concurrent identical
+//     misses coalesce onto one peer exchange, and the owner dedupes
+//     that exchange against its own misses via the generation-scoped
+//     flight keys — so one database query serves the entire cluster
+//     per key per generation (asserted under -race in the server
+//     tests).
+//   - Hot-key replication. A non-owned key whose sketch frequency
+//     crosses HotReplicate is admitted into the local cache after a
+//     peer fill, so a viral viewport is served everywhere locally
+//     instead of bottlenecking its owner; the long tail stays
+//     owner-only and aggregate cache capacity scales with N.
+//   - Invalidation. /update bumps the updating node's component of a
+//     per-origin epoch vector (a G-counter: only the origin advances
+//     its own counter, so concurrent updates at different nodes can
+//     neither collide nor erase each other) carried on every peer
+//     request and response header; a node observing any advanced
+//     component clears its cache and bumps its generation (staleness
+//     is bounded by one peer exchange). Cross-epoch v3 delta frames
+//     are refused: non-owned dbox items always ship full frames,
+//     because the id-based delta diff cannot prove a cross-epoch base
+//     safe.
+//
+// `kyrix-server -self URL -peers URL,URL,...` joins a real node;
+// `kyrix-bench -nodes N -workload zipf` runs the in-process scaling
+// demonstration (per-node hit%/fill%/dbq columns, BENCH JSON via
+// -json). The committed BENCH_cluster_{1,2}node.json artifacts show
+// cluster-wide db-queries/step for two nodes below the one-node
+// baseline at parity p50 latency.
+//
 // # Batch endpoint, protocol v1 (buffered JSON, tiles only)
 //
 // POST /batch fetches many tiles of one layer in a single round trip.
@@ -185,10 +242,12 @@
 package kyrix
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"time"
 
 	"kyrix/internal/fetch"
 	"kyrix/internal/frontend"
@@ -282,6 +341,10 @@ type (
 	// IndexKind selects the index structure on the tuple–tile mapping
 	// table (PrecomputeOptions.MappingIndex).
 	IndexKind = sqldb.IndexKind
+	// ClusterOptions joins a backend to a serving cluster
+	// (ServerOptions.Cluster): consistent-hash tile ownership with
+	// peer cache fill — see the "Clustered serving" section above.
+	ClusterOptions = server.ClusterOptions
 )
 
 // Mapping-table index kinds (§3.1 compares B-tree and hash).
@@ -412,16 +475,34 @@ func Launch(db *DB, app *App, reg *Registry, srvOpts ServerOptions, cliOpts Clie
 	}, nil
 }
 
-// Close shuts the instance down, closing both the HTTP server and its
-// listener. It is idempotent.
+// CloseGrace bounds how long Close waits for in-flight requests —
+// /batch streams mid-frame in particular — to drain before forcing
+// connections shut.
+const CloseGrace = 5 * time.Second
+
+// Close shuts the instance down gracefully: the listener stops
+// accepting immediately, in-flight requests (streaming /batch
+// responses included) get up to CloseGrace to complete, and only then
+// are surviving connections force-closed. Draining instead of
+// snapping the listener shut removes the connection-reset race that
+// concurrent tests could trip over, and is what lets a cluster node
+// leave without failing the peer fills it is mid-way through serving.
+// It is idempotent.
 func (in *Instance) Close() error {
 	if in.hsrv == nil {
 		return nil
 	}
-	err := in.hsrv.Close()
-	// hsrv.Close closes listeners Serve has registered, but a listener
-	// whose Serve goroutine has not started yet is not registered —
-	// close it directly (double-close yields ErrClosed, ignored).
+	ctx, cancel := context.WithTimeout(context.Background(), CloseGrace)
+	err := in.hsrv.Shutdown(ctx)
+	cancel()
+	if err != nil {
+		// Grace expired (or Shutdown failed): force the stragglers.
+		_ = in.hsrv.Close()
+	}
+	// Shutdown/Close cover listeners Serve has registered, but a
+	// listener whose Serve goroutine has not started yet is not
+	// registered — close it directly (double-close yields ErrClosed,
+	// ignored).
 	if in.ln != nil {
 		if cerr := in.ln.Close(); cerr != nil && !errors.Is(cerr, net.ErrClosed) && err == nil {
 			err = cerr
