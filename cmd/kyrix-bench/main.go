@@ -24,8 +24,9 @@
 //
 // -workload selects the trace shape: walk (random pans, the default),
 // zipf (zipf-hot-set pan/zoom — clients share a skewed hot set), scan
-// (one-shot sequential canvas sweep) or mixed (zipf tenants plus a
-// scanning tenant — the cache-admission adversary). -admission picks
+// (one-shot sequential canvas sweep), mixed (zipf tenants plus a
+// scanning tenant — the cache-admission adversary) or zoom (zipf-zoom
+// in/out around hot centers — the auto-LOD case). -admission picks
 // the backend cache policy (lfu = W-TinyLFU admission, off = plain
 // sharded LRU); the hit% column and hitRatio JSON field make the two
 // directly comparable on the same trace.
@@ -37,6 +38,13 @@
 // -cachemb 1` is the scaling demonstration: cluster-wide db-queries
 // per step drop below the 1-node baseline because each key is filled
 // by exactly one owner and the aggregate cache capacity doubles.
+//
+// -lod declares the point layer "lod": "auto", so precompute builds the
+// aggregation pyramid and zoomed-out windows serve bounded aggregate
+// rows. -lodsweep runs the bounded-row demonstration instead: the same
+// zoom workload at 1x and 10x dataset scale, with and without -lod
+// deciding the knob, writing rowsScannedPerStep and p50 per size to the
+// -json artifact — flat with LOD on, linear growth with it off.
 //
 // -json writes the concurrent-mode results to BENCH_<label>.json
 // (label from -label) so the perf trajectory is machine-readable
@@ -70,7 +78,9 @@ func main() {
 	proto := flag.Int("proto", 0, "batch wire protocol in concurrent-clients mode: 0 auto, 1 buffered JSON, 2 binary framed stream, 3 compressed/delta framed stream (compare wireKB/step, ttff and ratio)")
 	comp := flag.Bool("comp", true, "v3 per-frame compression in concurrent-clients mode (false asks for raw frames)")
 	scheme := flag.String("scheme", "tile", "fetching scheme in concurrent-clients mode: tile (spatial 1024) or dbox (dbox 50% — the pan/zoom workload v3 delta frames target)")
-	workloadKind := flag.String("workload", "walk", "concurrent-clients trace shape: walk | zipf | scan | mixed (zipf/scan/mixed are the cache-admission adversaries)")
+	workloadKind := flag.String("workload", "walk", "concurrent-clients trace shape: walk | zipf | scan | mixed | zoom (zipf/scan/mixed are the cache-admission adversaries; zoom is the auto-LOD case)")
+	lod := flag.Bool("lod", false, "declare the point layer lod \"auto\": precompute builds the aggregation pyramid and zoomed-out windows serve bounded aggregate rows")
+	lodSweep := flag.Bool("lodsweep", false, "run the bounded-row sweep: the zoom workload at 1x and 10x dataset scale (with -lod deciding the knob); writes rowsScannedPerStep per size with -json")
 	nodes := flag.Int("nodes", 1, "concurrent-clients mode: run an in-process serving cluster of N nodes (clients round-robin across nodes; 1 = standalone baseline through the same harness)")
 	admission := flag.String("admission", "lfu", "backend cache admission policy: lfu (W-TinyLFU) | off (plain sharded LRU)")
 	cacheMB := flag.Int("cachemb", 0, "override the backend cache budget in MB (0 = config default; shrink it so the zipf/scan workloads actually contend the budget)")
@@ -109,6 +119,32 @@ func main() {
 	}
 	if *cacheMB > 0 {
 		cfg.BackendCacheBytes = int64(*cacheMB) << 20
+	}
+	cfg.LOD = *lod
+
+	if *lodSweep {
+		stats, err := experiments.LODSweep(experiments.LODSweepOptions{
+			Base:           cfg,
+			StepsPerClient: *steps,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, rs := range stats {
+			fmt.Printf("points=%-10d clients=%d rows-scanned/step=%-10.1f p50=%.2fms mean=%.2fms dbq/step=%.2f\n",
+				rs.NumPoints, rs.Clients, rs.RowsScannedPerStep, rs.P50Ms, rs.MeanMs, rs.DbqPerStep)
+		}
+		if *jsonOut {
+			opts := experiments.ConcurrentOptions{Workload: "zoom", StepsPerClient: *steps, Scheme: fetch.DBox50}
+			lbl := *label
+			if lbl == "" {
+				lbl = fmt.Sprintf("lod_%s", map[bool]string{true: "on", false: "off"}[*lod])
+			}
+			if err := writeBenchJSON(lbl, *scale, "4", *admission, 1, opts, stats); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
 	}
 
 	if *clients != "" {

@@ -5,6 +5,7 @@
 //
 //	kyrix-server -demo uniform -n 1000000 -addr :8080
 //	kyrix-server -demo skewed  -n 1000000
+//	kyrix-server -demo uniform -lod        # "lod": "auto" on the point layer
 //
 // Spec mode serves a JSON spec against CSV-loaded tables. Each -table
 // flag is name=path.csv, where the CSV header declares typed columns as
@@ -57,6 +58,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	demo := flag.String("demo", "", "serve a synthetic demo dataset: uniform | skewed")
 	n := flag.Int("n", 1_000_000, "demo dataset size")
+	lod := flag.Bool("lod", false, "demo mode: declare \"lod\": \"auto\" on the point layer (aggregation pyramid)")
 	specPath := flag.String("spec", "", "JSON app spec to serve (spec mode)")
 	seed := flag.Int64("seed", 2019, "demo dataset seed")
 	cacheMB := flag.Int64("cache-mb", 256, "backend cache budget in MB")
@@ -109,7 +111,7 @@ func main() {
 	var err error
 	switch {
 	case *demo != "":
-		ca, err = buildDemo(db, *demo, *n, *seed)
+		ca, err = buildDemo(db, *demo, *n, *seed, *lod)
 	case *specPath != "":
 		ca, err = buildFromSpec(db, *specPath, tables)
 	default:
@@ -138,7 +140,7 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
 }
 
-func buildDemo(db *sqldb.DB, kind string, n int, seed int64) (*spec.CompiledApp, error) {
+func buildDemo(db *sqldb.DB, kind string, n int, seed int64, lod bool) (*spec.CompiledApp, error) {
 	const w, h = 131072.0, 16384.0
 	var d *workload.Dataset
 	switch kind {
@@ -160,7 +162,7 @@ func buildDemo(db *sqldb.DB, kind string, n int, seed int64) (*spec.CompiledApp,
 			return nil, err
 		}
 	}
-	log.Printf("loaded %d %s points on a %gx%g canvas", n, kind, w, h)
+	log.Printf("loaded %d %s points on a %gx%g canvas (lod=%v)", n, kind, w, h, lod)
 	reg := spec.NewRegistry()
 	reg.RegisterRenderer("dots")
 	app := &spec.App{
@@ -178,12 +180,20 @@ func buildDemo(db *sqldb.DB, kind string, n int, seed int64) (*spec.CompiledApp,
 				TransformID: "pts",
 				Placement:   &spec.Placement{XCol: "x", YCol: "y", Radius: 1},
 				Renderer:    "dots",
+				LOD:         lodKnob(lod),
 			}},
 		}},
 		InitialCanvas: "main", InitialX: w / 2, InitialY: h / 2,
 		ViewportW: 1024, ViewportH: 1024,
 	}
 	return spec.Compile(app, reg)
+}
+
+func lodKnob(on bool) string {
+	if on {
+		return "auto"
+	}
+	return ""
 }
 
 func buildFromSpec(db *sqldb.DB, path string, tables tableList) (*spec.CompiledApp, error) {

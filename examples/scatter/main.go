@@ -7,7 +7,10 @@
 // It pans a constant-velocity trace twice — without and with the
 // momentum prefetcher — and prints per-step response times and the
 // prefetch hit rate; then it compares exact/inflated/adaptive boxes
-// crossing from the sparse region into the dense one.
+// crossing from the sparse region into the dense one; finally it zooms
+// out with and without the layer's "lod": "auto" aggregation pyramid
+// and prints the fetched row counts — bounded at any zoom with LOD on,
+// proportional to the visible area without (see README.md).
 //
 // Run with:
 //
@@ -61,6 +64,10 @@ func main() {
 				TransformID: "t",
 				Placement:   &kyrix.Placement{XCol: "x", YCol: "y", Radius: 1},
 				Renderer:    "dots",
+				// Build the aggregation pyramid: zoomed-out viewports
+				// are served from per-level aggregate cells instead of
+				// every raw point they cover.
+				LOD: "auto",
 			}},
 		}},
 		InitialCanvas: "main", InitialX: canvasW / 2, InitialY: canvasH / 2,
@@ -159,5 +166,57 @@ func main() {
 		}
 		fmt.Printf("%-16s %5d rows, %2d requests, mean %6.2f ms/step\n",
 			g.Name(), rows, reqs, totalMs/float64(cross.NumPans()))
+	}
+
+	// ---- auto-LOD: bounded rows at any zoom ----
+	// The same data served through a second app WITHOUT "lod": "auto"
+	// (separable layers share the base table, so nothing is copied);
+	// zooming out then fetches every raw point the viewport covers,
+	// while the pyramid app reads one aggregate level.
+	rawApp := *app
+	rawApp.Name = "scatterraw"
+	rawApp.Canvases = append([]kyrix.Canvas(nil), app.Canvases...)
+	rawApp.Canvases[0].Layers = append([]kyrix.Layer(nil), app.Canvases[0].Layers...)
+	rawApp.Canvases[0].Layers[0].LOD = ""
+	rawInst, err := kyrix.Launch(db, &rawApp, reg, srvOpts, kyrix.DefaultClientOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rawInst.Close()
+
+	fmt.Println("\nzoom-out row counts, raw vs auto-LOD pyramid:")
+	zoomRows := func(inst *kyrix.Instance, appSpec *kyrix.App, window kyrix.Rect) int {
+		ca, _ := kyrix.Compile(appSpec, reg)
+		opts := kyrix.DefaultClientOptions()
+		opts.Scheme = kyrix.DBoxExact
+		opts.CacheBytes = 0 // measure the fetch, not the cache
+		c, err := kyrix.NewClient(inst.BaseURL, ca, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := c.Pan(window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep.Rows
+	}
+	for _, zoom := range []struct {
+		label string
+		w, h  float64
+	}{
+		{"viewport (1x)", 1024, 1024},
+		{"zoom-out  8x", 8192, 8192},
+		{"full canvas", canvasW, canvasH},
+	} {
+		win := kyrix.Rect{
+			MinX: canvasW/2 - zoom.w/2, MinY: canvasH/2 - zoom.h/2,
+			MaxX: canvasW/2 + zoom.w/2, MaxY: canvasH/2 + zoom.h/2,
+		}
+		if zoom.h > canvasH {
+			win.MinY, win.MaxY = 0, canvasH
+		}
+		raw := zoomRows(rawInst, &rawApp, win)
+		lod := zoomRows(inst, app, win)
+		fmt.Printf("%-14s raw %7d rows   lod %5d rows\n", zoom.label, raw, lod)
 	}
 }

@@ -48,10 +48,13 @@ type ConcurrentOptions struct {
 	//	"mixed"         3 of every 4 clients run zipf, the fourth runs
 	//	                a scan — the adversarial multi-tenant case the
 	//	                cache admission policy exists for
+	//	"zoom"          zipf-zoom: clients zoom in and out around shared
+	//	                zipf-hot centers — the zoom-heavy case auto-LOD
+	//	                serving exists for
 	//
-	// The zipf/scan/mixed workloads disable the frontend cache so the
-	// backend cache sees the full request stream (the hit-ratio column
-	// measures the backend policy, not the client's cache).
+	// The zipf/scan/mixed/zoom workloads disable the frontend cache so
+	// the backend cache sees the full request stream (the hit-ratio
+	// column measures the backend policy, not the client's cache).
 	Workload string
 }
 
@@ -94,6 +97,13 @@ type ConcurrentRowStats struct {
 	HitRatio      float64 `json:"hitRatio"`
 	CacheAdmitted int64   `json:"cacheAdmitted"`
 	CacheRejected int64   `json:"cacheRejected"`
+	// RowsScannedPerStep is database rows scanned per measured step —
+	// the bounded-row metric for auto-LOD runs: with LOD on it should
+	// stay flat as NumPoints grows; without it it grows linearly.
+	RowsScannedPerStep float64 `json:"rowsScannedPerStep,omitempty"`
+	// NumPoints records the dataset size behind the row (LODSweep runs
+	// several sizes in one artifact); 0 when the caller didn't vary it.
+	NumPoints int `json:"numPoints,omitempty"`
 	// Nodes carries per-node counters in cluster runs (ClusterRun);
 	// empty for single-backend sweeps. In cluster rows, DbqPerStep /
 	// HitRatio above are the cluster-wide aggregates.
@@ -165,13 +175,14 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 			return nil, nil, err
 		}
 
-		var dbqBefore, coalBefore int64
+		var dbqBefore, coalBefore, scannedBefore int64
 		var bcBefore cache.Stats
 		sweep, err := runClientSweep(traces, opts, func(i int) (*frontend.Client, error) {
 			return newSweepClient(env.BaseURL, env.CA, env.Cfg, opts)
 		}, func() {
 			dbqBefore = env.Srv.Stats.DBQueries.Load()
 			coalBefore = env.Srv.Stats.CoalescedHits.Load()
+			scannedBefore = env.DB.Stats().RowsScanned
 			bcBefore = env.Srv.BackendCache().Stats()
 		})
 		if err != nil {
@@ -179,6 +190,7 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 		}
 		dbq := float64(env.Srv.Stats.DBQueries.Load() - dbqBefore)
 		coal := float64(env.Srv.Stats.CoalescedHits.Load() - coalBefore)
+		scanned := float64(env.DB.Stats().RowsScanned - scannedBefore)
 		bcAfter := env.Srv.BackendCache().Stats()
 		bcDelta := cache.Stats{
 			Hits:   bcAfter.Hits - bcBefore.Hits,
@@ -188,6 +200,7 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 		rs := sweep.rowStats(n)
 		rs.DbqPerStep = dbq / sweep.steps
 		rs.CoalPerStep = coal / sweep.steps
+		rs.RowsScannedPerStep = scanned / sweep.steps
 		rs.HitRatio = bcDelta.HitRatio()
 		rs.CacheAdmitted = bcAfter.Admitted - bcBefore.Admitted
 		rs.CacheRejected = bcAfter.Rejected - bcBefore.Rejected
@@ -209,11 +222,11 @@ func ConcurrentClients(env *Env, opts ConcurrentOptions) (*Table, []ConcurrentRo
 // cacheWorkload reports whether w is one of the backend-cache
 // adversaries (which disable the frontend cache).
 func cacheWorkload(w string) bool {
-	return w == "zipf" || w == "scan" || w == "mixed"
+	return w == "zipf" || w == "scan" || w == "mixed" || w == "zoom"
 }
 
 // newSweepClient builds one sweep client against baseURL with the
-// shared option mapping (the zipf/scan/mixed workloads disable the
+// shared option mapping (the zipf/scan/mixed/zoom workloads disable the
 // frontend cache: the hit-ratio column measures the backend policy,
 // and a frontend cache would absorb the very revisits the zipf
 // workload exists to produce).
@@ -419,8 +432,21 @@ func buildTraces(env *Env, opts ConcurrentOptions, n int) ([]*workload.Trace, er
 				traces[i] = zipfTrace(i)
 			}
 		}
+	case "zoom":
+		for i := range traces {
+			traces[i] = workload.ZipfZoomTrace(workload.ZipfZoomOptions{
+				Canvas:   canvas,
+				HotSpots: 64, Skew: 1.2,
+				Steps: opts.StepsPerClient,
+				VpW:   env.Cfg.ViewportW, VpH: env.Cfg.ViewportH,
+				// Deep enough that the top level shows most of the
+				// canvas on the quick/default configs.
+				ZoomLevels: 5,
+				LayoutSeed: 7, Seed: 1000 + int64(i),
+			})
+		}
 	default:
-		return nil, fmt.Errorf("experiments: unknown workload %q (want walk|zipf|scan|mixed)", opts.Workload)
+		return nil, fmt.Errorf("experiments: unknown workload %q (want walk|zipf|scan|mixed|zoom)", opts.Workload)
 	}
 	return traces, nil
 }

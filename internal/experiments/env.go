@@ -58,6 +58,13 @@ type Config struct {
 	CacheAdmission string
 	// Codec is the wire encoding.
 	Codec server.Codec
+	// LOD declares the point layer "lod": "auto", so precompute builds
+	// the aggregation pyramid and zoomed-out windows serve aggregate
+	// cells — the comparison axis for the zoom workload.
+	LOD bool
+	// LODRowBudget bounds the rows any window query returns on the
+	// auto-LOD layer (0 = the fetch package default).
+	LODRowBudget int
 }
 
 // DefaultConfig is the laptop-scale mapping of the paper's setup
@@ -179,6 +186,7 @@ func newEnv(cfg Config, d *workload.Dataset, copts server.ClusterOptions, ln net
 				TransformID: "pts",
 				Placement:   &spec.Placement{XCol: "x", YCol: "y", Radius: cfg.Radius},
 				Renderer:    "dots",
+				LOD:         lodKnob(cfg.LOD),
 			}},
 		}},
 		InitialCanvas: "main",
@@ -197,6 +205,7 @@ func newEnv(cfg Config, d *workload.Dataset, copts server.ClusterOptions, ln net
 			BuildSpatial: true,
 			TileSizes:    cfg.TileSizes,
 			MappingIndex: sqldb.IndexBTree,
+			LODRowBudget: cfg.LODRowBudget,
 		},
 	})
 	if err != nil {
@@ -208,6 +217,13 @@ func newEnv(cfg Config, d *workload.Dataset, copts server.ClusterOptions, ln net
 		return nil, err
 	}
 	return env, nil
+}
+
+func lodKnob(on bool) string {
+	if on {
+		return "auto"
+	}
+	return ""
 }
 
 // serve starts the HTTP side on ln (created here when nil).

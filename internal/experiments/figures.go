@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -344,7 +345,7 @@ func AblationSeparability(cfg Config) (*Table, error) {
 			return err
 		}
 		start := time.Now()
-		if _, err := fetch.Materialize(db, ca, 0, 0, fetch.Options{BuildSpatial: true}); err != nil {
+		if _, err := fetch.Materialize(context.Background(), db, ca, 0, 0, fetch.Options{BuildSpatial: true}); err != nil {
 			return err
 		}
 		elapsed := time.Since(start).Seconds()

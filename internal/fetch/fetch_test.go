@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -151,7 +152,7 @@ func buildPointsApp(t *testing.T, n int) (*sqldb.DB, *spec.CompiledApp) {
 
 func TestMaterializeSeparable(t *testing.T) {
 	db, ca := buildPointsApp(t, 3000)
-	pl, err := Materialize(db, ca, 0, 0, Options{
+	pl, err := Materialize(context.Background(), db, ca, 0, 0, Options{
 		BuildSpatial: true,
 		TileSizes:    []float64{1024},
 	})
@@ -194,7 +195,7 @@ func TestMaterializeSeparable(t *testing.T) {
 
 func TestTileMappingMatchesSpatial(t *testing.T) {
 	db, ca := buildPointsApp(t, 2000)
-	pl, err := Materialize(db, ca, 0, 0, Options{
+	pl, err := Materialize(context.Background(), db, ca, 0, 0, Options{
 		BuildSpatial: true,
 		TileSizes:    []float64{1024},
 		MappingIndex: sqldb.IndexBTree,
@@ -306,7 +307,7 @@ func TestMaterializeFunctional(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := Materialize(db, ca, 0, 0, Options{BuildSpatial: true, TileSizes: []float64{512}})
+	pl, err := Materialize(context.Background(), db, ca, 0, 0, Options{BuildSpatial: true, TileSizes: []float64{512}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestMaterializeStaticLegend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pl, err := Materialize(db, ca, 0, 0, Options{})
+	pl, err := Materialize(context.Background(), db, ca, 0, 0, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,17 +380,17 @@ func TestMaterializeErrors(t *testing.T) {
 	db, ca := buildPointsApp(t, 10)
 	// Break the query.
 	ca.Spec.Canvases[0].Transforms[0].Query = "SELECT * FROM missing_table"
-	if _, err := Materialize(db, ca, 0, 0, Options{}); err == nil {
+	if _, err := Materialize(context.Background(), db, ca, 0, 0, Options{}); err == nil {
 		t.Fatal("missing table must fail")
 	}
 	ca.Spec.Canvases[0].Transforms[0].Query = "not sql"
-	if _, err := Materialize(db, ca, 0, 0, Options{}); err == nil {
+	if _, err := Materialize(context.Background(), db, ca, 0, 0, Options{}); err == nil {
 		t.Fatal("bad sql must fail")
 	}
 	// Separable columns that don't exist in the base table.
 	db2, ca2 := buildPointsApp(t, 10)
 	ca2.Spec.Canvases[0].Layers[0].Placement.XCol = "nope"
-	if _, err := Materialize(db2, ca2, 0, 0, Options{}); err == nil {
+	if _, err := Materialize(context.Background(), db2, ca2, 0, 0, Options{}); err == nil {
 		t.Fatal("missing separable column must fail")
 	}
 }

@@ -1,0 +1,371 @@
+package fetch
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+
+	"kyrix/internal/geom"
+	"kyrix/internal/sqldb"
+	"kyrix/internal/storage"
+)
+
+// Auto-LOD aggregation pyramid (the Kyrix-S direction): a layer
+// declaring "lod": "auto" gets per-zoom-level materialized tables of
+// grid-cell aggregates — count, a sum, the cell's canvas extent, and
+// one representative raw row per cell — each indexed by an R-tree over
+// the extent columns. A window query routed to the level whose cell
+// size matches the window's zoom scans at most ~RowBudget cells, so
+// zoomed-out viewports stop touching O(dataset) rows.
+
+// lodAggColumns are the aggregate columns appended AFTER the layer's
+// base schema in every level table. Appending (never prepending or
+// renaming) keeps the base schema's positional contracts intact: the id
+// stays row[0], the separable x/y columns keep their indexes, and a
+// frontend decoding the self-describing payload needs no changes.
+var lodAggColumns = []storage.Column{
+	{Name: "lod_count", Type: storage.TInt64},
+	{Name: "lod_sum", Type: storage.TFloat64},
+	{Name: "lod_minx", Type: storage.TFloat64},
+	{Name: "lod_miny", Type: storage.TFloat64},
+	{Name: "lod_maxx", Type: storage.TFloat64},
+	{Name: "lod_maxy", Type: storage.TFloat64},
+}
+
+// LODLevel is one materialized pyramid level.
+type LODLevel struct {
+	// Table is the level's materialized table (base schema + aggregate
+	// columns, R-tree indexed on the extent columns).
+	Table string
+	// Cell is the level's grid cell size in canvas units.
+	Cell float64
+	// Cells counts the materialized (non-empty) cells.
+	Cells int64
+}
+
+// LODPyramid describes a layer's aggregation pyramid.
+type LODPyramid struct {
+	// RowBudget is the bounded-row target: a window query should scan
+	// at most about this many rows at any zoom.
+	RowBudget int
+	// Density is the layer's raw rows per square canvas unit at build
+	// time — the level-selection rule's estimate of what a raw query
+	// over a window would scan.
+	Density float64
+	// SumCol names the base column lod_sum aggregates (the first float
+	// column that is not a placement coordinate; "" sums nothing).
+	SumCol string
+	// Levels holds the pyramid finest-first: Levels[i].Cell doubles
+	// with i, so higher levels cover the same window with 4x fewer
+	// cells.
+	Levels []LODLevel
+}
+
+// LODLevelFor applies the level-selection rule for one window: raw rows
+// (-1) while the density estimate says the window affords them, else
+// the finest level whose cell count over the window fits the budget,
+// else the coarsest level. The rule depends only on the window and the
+// build-time pyramid, so every node of a cluster — and a cache key's
+// producer and consumer — resolve the same window to the same level.
+func (pl *PhysicalLayer) LODLevelFor(window geom.Rect) int {
+	p := pl.LOD
+	if p == nil || len(p.Levels) == 0 {
+		return -1
+	}
+	area := window.W() * window.H()
+	if area <= 0 || p.Density*area <= float64(p.RowBudget) {
+		return -1
+	}
+	for i, lv := range p.Levels {
+		cells := (window.W()/lv.Cell + 1) * (window.H()/lv.Cell + 1)
+		if cells <= float64(p.RowBudget) {
+			return i
+		}
+	}
+	return len(p.Levels) - 1
+}
+
+// LODWindowSQL builds the window query against one pyramid level. The
+// extent columns are canvas-space, so the window needs no separable
+// translation or radius padding (cell extents already include the
+// member rows' rendered extents).
+func (pl *PhysicalLayer) LODWindowSQL(level int, window geom.Rect) (string, []storage.Value) {
+	lv := pl.LOD.Levels[level]
+	sql := fmt.Sprintf(
+		"SELECT * FROM %s WHERE INTERSECTS(lod_minx, lod_miny, lod_maxx, lod_maxy, ?, ?, ?, ?)",
+		lv.Table)
+	args := []storage.Value{
+		storage.F64(window.MinX), storage.F64(window.MinY),
+		storage.F64(window.MaxX), storage.F64(window.MaxY),
+	}
+	return sql, args
+}
+
+// lodCell is one grid cell's aggregate under construction.
+type lodCell struct {
+	rep   storage.Row
+	repID int64
+	count int64
+	sum   float64
+	ext   geom.Rect
+}
+
+type lodCellKey struct{ col, row int }
+
+// buildLOD materializes the aggregation pyramid for a separable layer.
+// Level 0 is aggregated from the raw table by cell-range (column
+// stripe) tasks run on the work-stealing pool — stripes over a skewed
+// dataset cost wildly different amounts, which is exactly what stealing
+// rebalances — and each higher level folds the previous one 2x2 in
+// memory. Level tables are bulk-inserted concurrently and R-tree
+// indexed at the end (the index build bulk-loads).
+func buildLOD(ctx context.Context, db *sqldb.DB, pl *PhysicalLayer, opts Options) error {
+	budget := opts.LODRowBudget
+	if budget <= 0 {
+		budget = 4096
+	}
+	baseCell := opts.LODBaseCell
+	if baseCell <= 0 {
+		baseCell = 64
+	}
+	workers := opts.LODWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, col := range pl.Schema {
+		if strings.HasPrefix(col.Name, "lod_") {
+			return fmt.Errorf("fetch: auto-LOD layer %s: base column %q collides with the lod_ aggregate namespace", pl.Table, col.Name)
+		}
+	}
+	t, err := db.Table(pl.Table)
+	if err != nil {
+		return err
+	}
+	n := t.RowCount()
+	if n == 0 {
+		return nil // nothing to aggregate; raw queries are already free
+	}
+	xi := pl.Schema.ColIndex(pl.XCol)
+	yi := pl.Schema.ColIndex(pl.YCol)
+	idIdx := pl.Schema.ColIndex(pl.IDCol)
+	if xi < 0 || yi < 0 || idIdx < 0 {
+		return fmt.Errorf("fetch: auto-LOD layer %s: placement/id columns missing", pl.Table)
+	}
+	sumIdx, sumCol := -1, ""
+	for i, col := range pl.Schema {
+		if col.Type == storage.TFloat64 && col.Name != pl.XCol && col.Name != pl.YCol {
+			sumIdx, sumCol = i, col.Name
+			break
+		}
+	}
+
+	// Plan the levels: cell size doubles per level until a full-canvas
+	// window fits the budget, so zooming all the way out still scans a
+	// bounded cell count.
+	gridCells := func(cell float64) float64 {
+		return math.Ceil(pl.CanvasW/cell) * math.Ceil(pl.CanvasH/cell)
+	}
+	var cells []float64
+	for c := baseCell; len(cells) == 0 || gridCells(cells[len(cells)-1]) > float64(budget); c *= 2 {
+		cells = append(cells, c)
+		if len(cells) >= 24 {
+			break // defensive cap; 64 * 2^24 out-sizes any real canvas
+		}
+	}
+
+	// Level 0: column-stripe aggregation tasks over the raw table. Each
+	// stripe queries its canvas slice through the layer's own window SQL
+	// (the point R-tree answers it) and owns a disjoint range of cell
+	// columns, so per-task maps merge without conflicts. Rows pulled in
+	// by the window's radius padding are filtered by their true cell
+	// column, which also keeps stripe-boundary rows from counting twice.
+	cell0 := cells[0]
+	cols0 := int(math.Ceil(pl.CanvasW / cell0))
+	rows0 := int(math.Ceil(pl.CanvasH / cell0))
+	stripes := workers * 4
+	if stripes > cols0 {
+		stripes = cols0
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	perStripe := (cols0 + stripes - 1) / stripes
+	stripeCells := make([]map[lodCellKey]*lodCell, stripes)
+	tasks := make([]Task, stripes)
+	for si := 0; si < stripes; si++ {
+		si := si
+		lo := si * perStripe
+		hi := lo + perStripe
+		if hi > cols0 {
+			hi = cols0
+		}
+		tasks[si] = func(ctx context.Context) error {
+			window := geom.Rect{
+				MinX: float64(lo) * cell0, MinY: 0,
+				MaxX: float64(hi) * cell0, MaxY: pl.CanvasH,
+			}
+			sql, args := pl.WindowSQL(window)
+			res, err := db.Query(sql, args...)
+			if err != nil {
+				return err
+			}
+			m := make(map[lodCellKey]*lodCell)
+			for i, row := range res.Rows {
+				if i%1024 == 0 && ctx.Err() != nil {
+					return ctx.Err()
+				}
+				cx := row[xi].AsFloat() * pl.XScale
+				cy := row[yi].AsFloat() * pl.YScale
+				ccol := clampInt(int(cx/cell0), 0, cols0-1)
+				if ccol < lo || ccol >= hi {
+					continue // the stripe owning this cell aggregates it
+				}
+				crow := clampInt(int(cy/cell0), 0, rows0-1)
+				id := row[idIdx].AsInt()
+				box := geom.RectAround(geom.Point{X: cx, Y: cy}, pl.Radius)
+				key := lodCellKey{ccol, crow}
+				c, ok := m[key]
+				if !ok {
+					m[key] = &lodCell{rep: row, repID: id, count: 1, sum: weightOf(row, sumIdx), ext: box}
+					continue
+				}
+				c.count++
+				c.sum += weightOf(row, sumIdx)
+				c.ext = c.ext.Union(box)
+				if id < c.repID {
+					c.rep, c.repID = row, id
+				}
+			}
+			stripeCells[si] = m
+			return nil
+		}
+	}
+	if err := RunTasks(ctx, workers, tasks); err != nil {
+		return err
+	}
+	level := make(map[lodCellKey]*lodCell)
+	for _, m := range stripeCells {
+		for k, c := range m {
+			level[k] = c // stripes own disjoint cell columns: no conflicts
+		}
+	}
+
+	p := &LODPyramid{
+		RowBudget: budget,
+		Density:   float64(n) / (pl.CanvasW * pl.CanvasH),
+		SumCol:    sumCol,
+	}
+	for li, cellSize := range cells {
+		if li > 0 {
+			// Fold the previous level 2x2: counts and sums add, extents
+			// union, and the representative of the heaviest child (ties
+			// to the smallest id, keeping the fold deterministic)
+			// represents the parent.
+			parent := make(map[lodCellKey]*lodCell, (len(level)+3)/4)
+			for k, c := range level {
+				pk := lodCellKey{k.col / 2, k.row / 2}
+				pc, ok := parent[pk]
+				if !ok {
+					cp := *c
+					parent[pk] = &cp
+					continue
+				}
+				if c.count > pc.count || (c.count == pc.count && c.repID < pc.repID) {
+					pc.rep, pc.repID = c.rep, c.repID
+				}
+				pc.count += c.count
+				pc.sum += c.sum
+				pc.ext = pc.ext.Union(c.ext)
+			}
+			level = parent
+		}
+		table := fmt.Sprintf("lod_%s_%s_%d_%d", sanitize(pl.App), sanitize(pl.CanvasID), pl.LayerIdx, li)
+		if err := createLODTable(db, table, pl.Schema); err != nil {
+			return err
+		}
+		if err := insertLODLevel(ctx, db, table, level, workers); err != nil {
+			return err
+		}
+		if _, err := db.Exec(fmt.Sprintf(
+			"CREATE INDEX kyrix_%s_ext ON %s USING RTREE (lod_minx, lod_miny, lod_maxx, lod_maxy)",
+			sanitize(table), table)); err != nil {
+			return err
+		}
+		p.Levels = append(p.Levels, LODLevel{Table: table, Cell: cellSize, Cells: int64(len(level))})
+	}
+	pl.LOD = p
+	return nil
+}
+
+func weightOf(row storage.Row, sumIdx int) float64 {
+	if sumIdx < 0 {
+		return 0
+	}
+	return row[sumIdx].AsFloat()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func createLODTable(db *sqldb.DB, table string, base storage.Schema) error {
+	var ddl strings.Builder
+	fmt.Fprintf(&ddl, "CREATE TABLE %s (", table)
+	for i, col := range base {
+		if i > 0 {
+			ddl.WriteString(", ")
+		}
+		fmt.Fprintf(&ddl, "%s %s", col.Name, col.Type)
+	}
+	for _, col := range lodAggColumns {
+		fmt.Fprintf(&ddl, ", %s %s", col.Name, col.Type)
+	}
+	ddl.WriteString(")")
+	_, err := db.Exec(ddl.String())
+	return err
+}
+
+// insertLODLevel bulk-loads one level's cells: the cell set is chunked
+// and the chunks inserted concurrently through the batched InsertRows
+// path (one table-lock acquisition per chunk), again on the
+// work-stealing pool.
+func insertLODLevel(ctx context.Context, db *sqldb.DB, table string, level map[lodCellKey]*lodCell, workers int) error {
+	const chunkRows = 1024
+	all := make([]*lodCell, 0, len(level))
+	for _, c := range level {
+		all = append(all, c)
+	}
+	var tasks []Task
+	for start := 0; start < len(all); start += chunkRows {
+		end := start + chunkRows
+		if end > len(all) {
+			end = len(all)
+		}
+		chunk := all[start:end]
+		tasks = append(tasks, func(ctx context.Context) error {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			rows := make([]storage.Row, len(chunk))
+			for i, c := range chunk {
+				row := make(storage.Row, 0, len(c.rep)+len(lodAggColumns))
+				row = append(row, c.rep...)
+				row = append(row,
+					storage.I64(c.count), storage.F64(c.sum),
+					storage.F64(c.ext.MinX), storage.F64(c.ext.MinY),
+					storage.F64(c.ext.MaxX), storage.F64(c.ext.MaxY))
+				rows[i] = row
+			}
+			return db.InsertRows(table, rows)
+		})
+	}
+	return RunTasks(ctx, workers, tasks)
+}

@@ -1,6 +1,7 @@
 package fetch
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -46,6 +47,10 @@ type PhysicalLayer struct {
 	// name, when the tuple–tile design was precomputed.
 	TileMaps map[float64]string
 
+	// LOD is the layer's auto-LOD aggregation pyramid; nil when the
+	// layer serves raw rows at every zoom.
+	LOD *LODPyramid
+
 	CanvasW, CanvasH float64
 	Static           bool
 }
@@ -60,6 +65,16 @@ type Options struct {
 	// MappingIndex is the index kind on the mapping table's tile_id
 	// column (BTREE in the paper's experiments; HASH also supported).
 	MappingIndex sqldb.IndexKind
+
+	// LODRowBudget bounds the rows a window query against an auto-LOD
+	// layer should scan at any zoom (0 = 4096).
+	LODRowBudget int
+	// LODBaseCell is the finest pyramid level's grid cell size in
+	// canvas units (0 = 64).
+	LODBaseCell float64
+	// LODWorkers sizes the work-stealing pool building the pyramid
+	// (0 = GOMAXPROCS).
+	LODWorkers int
 }
 
 // CanvasRect returns the layer's canvas extent.
@@ -142,8 +157,11 @@ func (pl *PhysicalLayer) TileSQLMapping(id geom.TileID, size float64) (string, [
 // query, applies the transform and placement functions, and stores the
 // result in a materialized table with bbox columns; for separable
 // layers it reuses the base table. It then builds the requested
-// indexes and mapping tables.
-func Materialize(db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerIdx int, opts Options) (*PhysicalLayer, error) {
+// indexes and mapping tables, and — for layers declaring "lod": "auto"
+// — the aggregation pyramid. Cancelling ctx aborts the build between
+// row batches; server precompute cancels it when a sibling layer's
+// build fails so doomed work stops early.
+func Materialize(ctx context.Context, db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerIdx int, opts Options) (*PhysicalLayer, error) {
 	app := ca.Spec
 	c := app.Canvases[canvasIdx]
 	l := c.Layers[layerIdx]
@@ -167,9 +185,13 @@ func Materialize(db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerIdx int, op
 	}
 
 	if l.Placement.Separable() {
-		return materializeSeparable(db, ca, pl, tr, l, opts)
+		return materializeSeparable(ctx, db, ca, pl, tr, l, opts)
 	}
-	return materializeFunctional(db, ca, canvasIdx, layerIdx, pl, tr, opts)
+	if l.LOD == "auto" {
+		// The compiler rejects this; recheck for hand-built specs.
+		return nil, fmt.Errorf("fetch: lod \"auto\" requires a separable placement")
+	}
+	return materializeFunctional(ctx, db, ca, canvasIdx, layerIdx, pl, tr, opts)
 }
 
 func sanitize(s string) string {
@@ -185,7 +207,7 @@ func sanitize(s string) string {
 // materializeSeparable skips the copy: it validates the base table,
 // ensures a point R-tree on (xCol, yCol) exists, and derives tile
 // mappings directly from the base table when requested.
-func materializeSeparable(db *sqldb.DB, ca *spec.CompiledApp, pl *PhysicalLayer, tr *spec.Transform, l spec.Layer, opts Options) (*PhysicalLayer, error) {
+func materializeSeparable(ctx context.Context, db *sqldb.DB, ca *spec.CompiledApp, pl *PhysicalLayer, tr *spec.Transform, l spec.Layer, opts Options) (*PhysicalLayer, error) {
 	st, err := sqldb.Parse(tr.Query)
 	if err != nil {
 		return nil, fmt.Errorf("fetch: layer query: %w", err)
@@ -217,7 +239,10 @@ func materializeSeparable(db *sqldb.DB, ca *spec.CompiledApp, pl *PhysicalLayer,
 		return nil, fmt.Errorf("fetch: separable columns %q/%q not in table %q", p.XCol, p.YCol, pl.Table)
 	}
 
-	if opts.BuildSpatial {
+	if opts.BuildSpatial || l.LOD == "auto" {
+		// The pyramid build's stripe queries run through this point
+		// R-tree, so auto-LOD forces it even when the serving design
+		// would not.
 		idxName := fmt.Sprintf("kyrix_%s_xy", sanitize(pl.Table))
 		sql := fmt.Sprintf("CREATE INDEX %s ON %s USING RTREE (%s, %s, %s, %s)",
 			idxName, pl.Table, p.XCol, p.YCol, p.XCol, p.YCol)
@@ -225,8 +250,13 @@ func materializeSeparable(db *sqldb.DB, ca *spec.CompiledApp, pl *PhysicalLayer,
 			return nil, err
 		}
 	}
-	if err := buildTileMaps(db, pl, opts); err != nil {
+	if err := buildTileMaps(ctx, db, pl, opts); err != nil {
 		return nil, err
+	}
+	if l.LOD == "auto" {
+		if err := buildLOD(ctx, db, pl, opts); err != nil {
+			return nil, err
+		}
 	}
 	return pl, nil
 }
@@ -234,7 +264,7 @@ func materializeSeparable(db *sqldb.DB, ca *spec.CompiledApp, pl *PhysicalLayer,
 // materializeFunctional runs the transform query, applies the
 // registered transform and placement functions row by row, and stores
 // payload + bbox in a fresh table.
-func materializeFunctional(db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerIdx int, pl *PhysicalLayer, tr *spec.Transform, opts Options) (*PhysicalLayer, error) {
+func materializeFunctional(ctx context.Context, db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerIdx int, pl *PhysicalLayer, tr *spec.Transform, opts Options) (*PhysicalLayer, error) {
 	fns := ca.LayerFuncs[canvasIdx][layerIdx]
 	if fns.Placement == nil {
 		return nil, fmt.Errorf("fetch: non-separable layer needs a placement function")
@@ -272,6 +302,9 @@ func materializeFunctional(db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerI
 
 	canvas := geom.Rect{MinX: 0, MinY: 0, MaxX: pl.CanvasW, MaxY: pl.CanvasH}
 	for i, row := range res.Rows {
+		if i%1024 == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		out := row
 		if fns.Transform != nil {
 			out = fns.Transform(row)
@@ -313,7 +346,7 @@ func materializeFunctional(db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerI
 			return nil, err
 		}
 	}
-	if err := buildTileMaps(db, pl, opts); err != nil {
+	if err := buildTileMaps(ctx, db, pl, opts); err != nil {
 		return nil, err
 	}
 	return pl, nil
@@ -323,7 +356,7 @@ func materializeFunctional(db *sqldb.DB, ca *spec.CompiledApp, canvasIdx, layerI
 // record in this table corresponds to a tuple that overlaps a tile.
 // Kyrix backend uses placement functions specified by developers to
 // precompute the second table."
-func buildTileMaps(db *sqldb.DB, pl *PhysicalLayer, opts Options) error {
+func buildTileMaps(ctx context.Context, db *sqldb.DB, pl *PhysicalLayer, opts Options) error {
 	if len(opts.TileSizes) == 0 {
 		return nil
 	}
@@ -343,7 +376,12 @@ func buildTileMaps(db *sqldb.DB, pl *PhysicalLayer, opts Options) error {
 		}
 		cols := geom.TileCols(pl.CanvasW, size)
 		var scanErr error
+		scanned := 0
 		err := db.ScanTable(pl.Table, func(row storage.Row) bool {
+			if scanned++; scanned%1024 == 0 && ctx.Err() != nil {
+				scanErr = ctx.Err()
+				return false
+			}
 			box, err := pl.RowBox(row)
 			if err != nil {
 				scanErr = err

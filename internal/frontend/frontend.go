@@ -559,6 +559,7 @@ func (c *Client) missingTiles(li int, sz float64, vp geom.Rect, rep *FetchReport
 // two protocols can never disagree on what to fetch.
 func (c *Client) nextDBox(li int, vp geom.Rect, rep *FetchReport) (geom.Rect, bool) {
 	st := c.boxes[li]
+	want := fetch.BoxFor(c.opts.Scheme, vp, c.canvasRect(), c.density[li])
 	if st != nil {
 		// Promote a prefetched box when the viewport entered it.
 		if st.prefetched != nil && st.prefetched.box.Contains(vp) {
@@ -568,11 +569,21 @@ func (c *Client) nextDBox(li int, vp geom.Rect, rep *FetchReport) (geom.Rect, bo
 			st = promoted
 		}
 		if !fetch.NeedNewBox(st.box, vp) {
-			rep.CacheHits++
-			return geom.Rect{}, false
+			// An auto-LOD layer's rows are zoom-dependent: a box fetched
+			// zoomed-out holds coarse aggregate cells, so reusing it after
+			// a deep zoom-in would pin that coarse detail on screen
+			// forever (the zoomed-in viewport stays inside the big box).
+			// Refetch once the held box is far larger than the box this
+			// viewport would request; 4x area exceeds any inflate
+			// scheme's natural held-to-requested ratio, so pure panning
+			// never trips it.
+			if !c.canvas.Layers[li].LOD || st.box.Area() < 4*want.Area() {
+				rep.CacheHits++
+				return geom.Rect{}, false
+			}
 		}
 	}
-	return fetch.BoxFor(c.opts.Scheme, vp, c.canvasRect(), c.density[li]), true
+	return want, true
 }
 
 // fetchDBox applies the dynamic-box protocol for one layer.

@@ -1,0 +1,111 @@
+package rtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kyrix/internal/geom"
+)
+
+// The aggregation-pyramid access pattern: one STR bulk load of a full
+// grid level (every cell a small box, nothing incremental) followed by
+// many concurrent window queries — precompute builds each level's index
+// once and the serving path only ever reads it. The test property-
+// checks concurrent window results against a brute-force scan; run
+// under -race it also proves the built tree is safe for concurrent
+// readers.
+func TestPyramidBulkLoadConcurrentWindows(t *testing.T) {
+	const (
+		cols, rows = 64, 32
+		cell       = 64.0
+		readers    = 8
+		queries    = 40
+	)
+	rng := rand.New(rand.NewSource(42))
+	// A full level grid, cells slightly inflated the way lod extents
+	// are (member boxes poke past the cell edge by the point radius).
+	items := make([]Item, 0, cols*rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			pad := rng.Float64() * 2
+			items = append(items, Item{
+				Box: geom.Rect{
+					MinX: float64(c)*cell - pad, MinY: float64(r)*cell - pad,
+					MaxX: float64(c+1)*cell + pad, MaxY: float64(r+1)*cell + pad,
+				},
+				Val: uint64(c*rows + r),
+			})
+		}
+	}
+	tr := BulkLoad(items)
+	if tr.Len() != len(items) {
+		t.Fatalf("bulk load kept %d of %d items", tr.Len(), len(items))
+	}
+
+	canvasW, canvasH := float64(cols)*cell, float64(rows)*cell
+	brute := func(w geom.Rect) map[uint64]bool {
+		out := map[uint64]bool{}
+		for _, it := range items {
+			if it.Box.Intersects(w) {
+				out[it.Val] = true
+			}
+		}
+		return out
+	}
+	// Windows at every pyramid-ish zoom: cell-sized through full-level,
+	// placed randomly (deterministic per reader seed).
+	windows := func(seed int64) []geom.Rect {
+		wrng := rand.New(rand.NewSource(seed))
+		ws := make([]geom.Rect, 0, queries)
+		for i := 0; i < queries; i++ {
+			scale := []float64{1, 4, 16, 64}[i%4]
+			w, h := cell*scale, cell*scale
+			if w > canvasW {
+				w = canvasW
+			}
+			if h > canvasH {
+				h = canvasH
+			}
+			ws = append(ws, geom.RectXYWH(
+				wrng.Float64()*(canvasW-w), wrng.Float64()*(canvasH-h), w, h))
+		}
+		return ws
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for _, w := range windows(seed) {
+				got := map[uint64]bool{}
+				tr.Search(w, func(it Item) bool {
+					got[it.Val] = true
+					return true
+				})
+				want := brute(w)
+				if len(got) != len(want) {
+					errs <- "result size mismatch"
+					return
+				}
+				for v := range want {
+					if !got[v] {
+						errs <- "missing item in window result"
+						return
+					}
+				}
+				if tr.Count(w) != len(want) {
+					errs <- "Count disagrees with Search"
+					return
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -79,6 +79,14 @@ func (s *Server) planDeltaFrame(canvas string, it BatchItem, codec Codec, full [
 	if !ok || pl.Table == "" {
 		return nil, false
 	}
+	// An auto-LOD layer serves different pyramid levels at different
+	// zooms, and a representative row keeps its id across levels while
+	// its aggregate columns change — the same-id ⇒ same-content premise
+	// of the row diff does not hold across levels. Delta only within one
+	// level (both -1 for non-LOD layers, preserving their behavior).
+	if pl.LODLevelFor(baseBox) != pl.LODLevelFor(newBox) {
+		return nil, false
+	}
 	cached, ok := s.bcache.Peek(s.boxCacheKey(pl, codec, baseBox))
 	if !ok {
 		return nil, false

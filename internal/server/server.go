@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -117,6 +118,9 @@ type Stats struct {
 	// CompressedFrames counts frames that shipped DEFLATE-compressed.
 	DeltaFrames      atomic.Int64
 	CompressedFrames atomic.Int64
+	// LODQueries counts window queries routed to an aggregation-pyramid
+	// level instead of raw rows.
+	LODQueries atomic.Int64
 }
 
 // Server is the Kyrix backend: precomputed physical layers over an
@@ -239,74 +243,36 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 		s.cluster = cn
 	}
 
-	type job struct{ ci, li int }
-	var jobs []job
-	for ci, c := range ca.Spec.Canvases {
-		for li := range c.Layers {
-			jobs = append(jobs, job{ci, li})
-		}
-	}
+	// Per-layer materialization tasks on the shared work-stealing pool.
+	// The pool cancels the context on the first error, so sibling layer
+	// builds in flight stop at their next batch boundary instead of
+	// running a doomed startup to completion — previously a failure only
+	// kept *unstarted* layers from running.
 	workers := opts.PrecomputeParallelism
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		for _, j := range jobs {
-			c := ca.Spec.Canvases[j.ci]
-			pl, err := fetch.Materialize(db, ca, j.ci, j.li, opts.Precompute)
-			if err != nil {
-				return nil, fmt.Errorf("server: precompute %s layer %d: %w", c.ID, j.li, err)
-			}
-			s.layers[layerKey(c.ID, j.li)] = pl
-		}
-		return s, nil
-	}
-
-	// errgroup-style pool: a shared job feed, workers that stop
-	// pulling once any of them fails, and the first error reported.
 	var (
-		mu       sync.Mutex
-		firstErr error
-		wg       sync.WaitGroup
+		layerMu sync.Mutex
+		tasks   []fetch.Task
 	)
-	feed := make(chan job)
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range feed {
-				if failed() {
-					continue // drain without working
-				}
-				c := ca.Spec.Canvases[j.ci]
-				pl, err := fetch.Materialize(db, ca, j.ci, j.li, opts.Precompute)
-				mu.Lock()
+	for ci, c := range ca.Spec.Canvases {
+		for li := range c.Layers {
+			ci, li, id := ci, li, c.ID
+			tasks = append(tasks, func(ctx context.Context) error {
+				pl, err := fetch.Materialize(ctx, db, ca, ci, li, opts.Precompute)
 				if err != nil {
-					if firstErr == nil {
-						firstErr = fmt.Errorf("server: precompute %s layer %d: %w", c.ID, j.li, err)
-					}
-				} else if firstErr == nil {
-					s.layers[layerKey(c.ID, j.li)] = pl
+					return fmt.Errorf("server: precompute %s layer %d: %w", id, li, err)
 				}
-				mu.Unlock()
-			}
-		}()
+				layerMu.Lock()
+				s.layers[layerKey(id, li)] = pl
+				layerMu.Unlock()
+				return nil
+			})
+		}
 	}
-	for _, j := range jobs {
-		feed <- j
-	}
-	close(feed)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if err := fetch.RunTasks(context.Background(), workers, tasks); err != nil {
+		return nil, err
 	}
 	return s, nil
 }
@@ -348,6 +314,12 @@ type LayerMeta struct {
 	BBoxIdx   [4]int    `json:"bboxIdx"`
 	TileSizes []float64 `json:"tileSizes"`
 	HasData   bool      `json:"hasData"`
+	// LOD reports that the layer serves an aggregation pyramid: zoomed-
+	// out windows return per-cell aggregate rows (base schema + appended
+	// lod_* columns), so cached boxes must be refetched when the zoom
+	// level changes; LODLevels is the pyramid height.
+	LOD       bool `json:"lod,omitempty"`
+	LODLevels int  `json:"lodLevels,omitempty"`
 }
 
 // RowBox computes the canvas bbox of a fetched row client-side.
@@ -431,6 +403,10 @@ func (s *Server) Meta() *AppMeta {
 				for sz := range pl.TileMaps {
 					lm.TileSizes = append(lm.TileSizes, sz)
 				}
+				if pl.LOD != nil {
+					lm.LOD = true
+					lm.LODLevels = len(pl.LOD.Levels)
+				}
 			}
 			cm.Layers = append(cm.Layers, lm)
 		}
@@ -511,7 +487,7 @@ func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, 
 	var err error
 	switch design {
 	case "spatial":
-		sql, args = pl.TileSQLSpatial(tid, size)
+		sql, args = s.windowSQL(pl, tid.TileRect(size))
 	case "mapping":
 		sql, args, err = pl.TileSQLMapping(tid, size)
 		if err != nil {
@@ -697,7 +673,7 @@ func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, m
 		s.Stats.CacheHits.Add(1)
 		return data.([]byte), nil
 	}
-	sql, args := pl.WindowSQL(box)
+	sql, args := s.windowSQL(pl, box)
 	if !localOnly && s.cluster != nil && !s.cluster.Owns(key) {
 		fr := &cluster.FillRequest{
 			Key: key, Canvas: pl.CanvasID, Layer: pl.LayerIdx,
@@ -707,6 +683,23 @@ func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, m
 		return s.peerQuery(key, fr, sql, args, codec, memoize)
 	}
 	return s.cachedQuery(key, sql, args, codec, memoize)
+}
+
+// windowSQL builds the database query answering one window (a tile
+// rectangle or a dynamic box) against a layer: auto-LOD layers route to
+// the aggregation-pyramid level matching the window's zoom, falling
+// through to raw rows at leaf level; everything else queries raw rows.
+// Level selection is a pure function of the window and the build-time
+// pyramid, so a cache key's payload is the same no matter which node —
+// or which side of a cluster forward — computes it, and cache keys need
+// no level component. The tuple–tile mapping design keeps serving raw
+// rows: its precomputed join is already bounded by tile extent.
+func (s *Server) windowSQL(pl *fetch.PhysicalLayer, window geom.Rect) (string, []storage.Value) {
+	if lvl := pl.LODLevelFor(window); lvl >= 0 {
+		s.Stats.LODQueries.Add(1)
+		return pl.LODWindowSQL(lvl, window)
+	}
+	return pl.WindowSQL(window)
 }
 
 // preparedSelect returns the parsed form of sql, parsing at most once
@@ -860,6 +853,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"wireBytes":            s.Stats.WireBytes.Load(),
 		"deltaFrames":          s.Stats.DeltaFrames.Load(),
 		"compressedFrames":     s.Stats.CompressedFrames.Load(),
+		"lodQueries":           s.Stats.LODQueries.Load(),
+		"dbRowsScanned":        s.db.Stats().RowsScanned,
 		"backendCacheBytes":    bc.Bytes,
 		"backendCacheHits":     bc.Hits,
 		"backendCacheMisses":   bc.Misses,

@@ -143,6 +143,17 @@ func Compile(app *App, reg *Registry) (*CompiledApp, error) {
 			} else if !reg.HasRenderer(l.Renderer) {
 				fail("spec: canvas %q layer %d references undeclared renderer %q", c.ID, li, l.Renderer)
 			}
+			switch l.LOD {
+			case "":
+			case "auto":
+				if !l.Placement.Separable() {
+					fail("spec: canvas %q layer %d: lod \"auto\" requires a separable placement", c.ID, li)
+				} else if ok && tr.Query == "" {
+					fail("spec: canvas %q layer %d: lod \"auto\" requires a transform with a query", c.ID, li)
+				}
+			default:
+				fail("spec: canvas %q layer %d has unknown lod %q (want \"auto\" or empty)", c.ID, li, l.LOD)
+			}
 			layerFns = append(layerFns, fns)
 		}
 		ca.LayerFuncs = append(ca.LayerFuncs, layerFns)

@@ -122,6 +122,13 @@ type Layer struct {
 	Placement *Placement `json:"placement,omitempty"`
 	// Renderer names a registered rendering function.
 	Renderer string `json:"renderer"`
+	// LOD selects level-of-detail serving for this layer: "auto" makes
+	// precompute build an aggregation pyramid (per-zoom-level grid cells
+	// carrying count/sum/extent plus a representative row) so any
+	// viewport scans a bounded row count regardless of dataset size.
+	// Empty serves raw rows at every zoom. Only separable layers with a
+	// query support "auto".
+	LOD string `json:"lod,omitempty"`
 }
 
 // Placement locates data objects on the canvas. Exactly one of the two

@@ -197,6 +197,20 @@ func TestCompileConstraints(t *testing.T) {
 			a.Jumps[0].Type = GeometricZoom
 			a.Canvases[1].W = 1000
 		}, "equal widths"},
+		{"unknown lod", func(a *App) {
+			a.Canvases[0].Layers[1].LOD = "pyramid"
+		}, "unknown lod"},
+		{"lod on functional placement", func(a *App) {
+			a.Canvases[0].Layers[1].Placement = &Placement{Func: "pieLayout"}
+			a.Canvases[0].Layers[1].LOD = "auto"
+		}, "separable placement"},
+		{"lod on static layer", func(a *App) {
+			a.Canvases[0].Layers[0].LOD = "auto"
+		}, "separable placement"},
+		{"lod without query", func(a *App) {
+			a.Canvases[0].Transforms[1].Query = ""
+			a.Canvases[0].Layers[1].LOD = "auto"
+		}, "transform with a query"},
 	}
 	reg := usmapRegistry()
 	reg.RegisterPlacement("pieLayout", func(storage.Row) geom.Rect { return geom.Rect{} })
@@ -212,6 +226,26 @@ func TestCompileConstraints(t *testing.T) {
 				t.Fatalf("error %q does not contain %q", err, c.want)
 			}
 		})
+	}
+}
+
+func TestCompileLODAuto(t *testing.T) {
+	app := usmapApp()
+	app.Canvases[0].Layers[1].LOD = "auto"
+	if _, err := Compile(app, usmapRegistry()); err != nil {
+		t.Fatalf(`lod "auto" on a separable layer with a query must compile: %v`, err)
+	}
+	// The knob rides the spec JSON to precompute.
+	data, err := app.ToJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Canvases[0].Layers[1].LOD != "auto" {
+		t.Fatalf("lod knob lost in roundtrip: %+v", back.Canvases[0].Layers[1])
 	}
 }
 

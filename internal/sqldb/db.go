@@ -175,6 +175,43 @@ func (db *DB) InsertRow(table string, row storage.Row) error {
 	return nil
 }
 
+// InsertRows appends a batch of rows under one lock acquisition — the
+// concurrent bulk-load path for precompute passes that build tables
+// from several goroutines at once: each caller coerces its batch
+// outside the lock, then holds the table's write lock once per batch
+// instead of once per row. Rows are coerced in place.
+func (db *DB) InsertRows(table string, rows []storage.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	t, err := db.Table(table)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if len(row) != len(t.schema) {
+			return fmt.Errorf("sqldb: row arity %d != table arity %d", len(row), len(t.schema))
+		}
+		for i := range row {
+			row[i], err = coerce(row[i], t.schema[i].Type)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, row := range rows {
+		rid, err := t.heap.Insert(row)
+		if err != nil {
+			return err
+		}
+		t.indexInsert(rid, row)
+	}
+	db.bump(func(s *DBStats) { s.Inserts += int64(len(rows)) })
+	return nil
+}
+
 // matchingRIDs collects (rid, row-copy) pairs satisfying where, using
 // an index when one applies. Caller holds at least a read lock on t.
 func (db *DB) matchingRIDs(t *Table, tname string, where Expr, args []storage.Value) ([]storage.RID, []storage.Row, error) {

@@ -286,6 +286,102 @@ func ZipfHotSetTrace(o ZipfOptions) *Trace {
 	return tr
 }
 
+// ZipfZoomOptions configures ZipfZoomTrace.
+type ZipfZoomOptions struct {
+	// Canvas bounds every viewport.
+	Canvas geom.Rect
+	// HotSpots is the number of zoom centers; Skew is the zipf exponent
+	// over their ranks (must be > 1; higher = more skewed).
+	HotSpots int
+	Skew     float64
+	// Steps is the number of measured pan/zoom steps (Steps+1
+	// viewports).
+	Steps int
+	// VpW, VpH size the fully zoomed-in viewport; zoom level z shows a
+	// viewport 2^z times that size.
+	VpW, VpH float64
+	// ZoomLevels is the deepest zoom-out level (0 = only the base
+	// viewport size).
+	ZoomLevels int
+	// LayoutSeed fixes the center placement (clients sharing it share
+	// one hot set); Seed varies the visit order.
+	LayoutSeed int64
+	Seed       int64
+}
+
+// ZipfZoomTrace is the zoom-heavy adversary for level-of-detail
+// serving: the viewport zooms in and out around zipf-popular centers —
+// each step either moves one zoom level (a random walk over levels, the
+// common case) or jumps to a newly drawn center at a fresh level. A
+// viewport at level z covers 2^z times the base extent per axis, so
+// without LOD the rows behind a step grow 4^z; with an aggregation
+// pyramid every level's viewport should scan a bounded row count.
+func ZipfZoomTrace(o ZipfZoomOptions) *Trace {
+	if o.HotSpots < 1 {
+		panic(fmt.Sprintf("workload: ZipfZoomTrace needs HotSpots >= 1, got %d", o.HotSpots))
+	}
+	if o.Skew <= 1 {
+		panic(fmt.Sprintf("workload: ZipfZoomTrace needs Skew > 1 (rand.NewZipf requirement), got %g", o.Skew))
+	}
+	if o.ZoomLevels < 0 {
+		panic(fmt.Sprintf("workload: ZipfZoomTrace needs ZoomLevels >= 0, got %d", o.ZoomLevels))
+	}
+	layout := rand.New(rand.NewSource(o.LayoutSeed))
+	centers := make([]geom.Point, o.HotSpots)
+	for i := range centers {
+		centers[i] = geom.Point{
+			X: o.Canvas.MinX + layout.Float64()*o.Canvas.W(),
+			Y: o.Canvas.MinY + layout.Float64()*o.Canvas.H(),
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	z := rand.NewZipf(rng, o.Skew, 1, uint64(o.HotSpots-1))
+
+	center := centers[0]
+	level := 0
+	at := func() geom.Rect {
+		scale := math.Pow(2, float64(level))
+		w, h := o.VpW*scale, o.VpH*scale
+		if w > o.Canvas.W() {
+			w = o.Canvas.W()
+		}
+		if h > o.Canvas.H() {
+			h = o.Canvas.H()
+		}
+		return geom.RectXYWH(center.X-w/2, center.Y-h/2, w, h).Clamp(o.Canvas)
+	}
+	tr := &Trace{Name: "zipf-zoom"}
+	tr.Steps = append(tr.Steps, at())
+	for len(tr.Steps) < o.Steps+1 {
+		if len(tr.Steps)%5 == 4 {
+			// Jump: a new zipf-popular center at a fresh random level —
+			// the "fly to another region" gesture.
+			center = centers[z.Uint64()]
+			level = rng.Intn(o.ZoomLevels + 1)
+		} else {
+			// Walk one zoom level in or out around the current center.
+			if rng.Intn(2) == 0 {
+				level++
+			} else {
+				level--
+			}
+			level = clampLevel(level, 0, o.ZoomLevels)
+		}
+		tr.Steps = append(tr.Steps, at())
+	}
+	return tr
+}
+
+func clampLevel(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // SequentialScanTrace sweeps the whole canvas once in row-major
 // viewport-sized strides — the one-shot scan adversary: every tile is
 // requested exactly once and never again, so an admitting cache should

@@ -362,3 +362,79 @@ func TestInterleaveTrace(t *testing.T) {
 		t.Fatal("burst steps should come from the scan trace")
 	}
 }
+
+func TestZipfZoomTrace(t *testing.T) {
+	canvas := geom.Rect{MinX: 0, MinY: 0, MaxX: 32768, MaxY: 16384}
+	o := ZipfZoomOptions{
+		Canvas: canvas, HotSpots: 16, Skew: 1.2, Steps: 400,
+		VpW: 1024, VpH: 1024, ZoomLevels: 5, LayoutSeed: 7, Seed: 1,
+	}
+	a := ZipfZoomTrace(o)
+	if a.NumPans() != 400 {
+		t.Fatalf("pans = %d", a.NumPans())
+	}
+	if err := a.Validate(canvas); err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic for the same seeds.
+	b := ZipfZoomTrace(o)
+	for i := range a.Steps {
+		if a.Steps[i] != b.Steps[i] {
+			t.Fatal("same seeds must give identical traces")
+		}
+	}
+	// The trace actually zooms: every level's viewport width must
+	// appear, from the base size up to the deepest zoom-out (capped at
+	// the canvas).
+	widths := map[float64]bool{}
+	for _, s := range a.Steps {
+		widths[s.W()] = true
+	}
+	for z := 0; z <= o.ZoomLevels; z++ {
+		w := o.VpW * math.Pow(2, float64(z))
+		if w > canvas.W() {
+			w = canvas.W()
+		}
+		if !widths[w] {
+			t.Fatalf("zoom level %d (width %g) never visited; widths = %v", z, w, widths)
+		}
+	}
+	// Steps mostly move one level at a time: consecutive widths differ
+	// by at most 2x except at the periodic jump steps.
+	for i := 1; i < len(a.Steps); i++ {
+		if i%5 == 4 {
+			continue // jump step: any level allowed
+		}
+		r := a.Steps[i].W() / a.Steps[i-1].W()
+		if r > 2.001 || r < 1/2.001 {
+			t.Fatalf("step %d walked more than one level: %g -> %g", i, a.Steps[i-1].W(), a.Steps[i].W())
+		}
+	}
+}
+
+func TestZipfZoomTracePanics(t *testing.T) {
+	canvas := geom.Rect{MinX: 0, MinY: 0, MaxX: 1024, MaxY: 1024}
+	base := ZipfZoomOptions{
+		Canvas: canvas, HotSpots: 4, Skew: 1.2, Steps: 10,
+		VpW: 128, VpH: 128, ZoomLevels: 2,
+	}
+	for _, c := range []struct {
+		name   string
+		mutate func(*ZipfZoomOptions)
+	}{
+		{"no hotspots", func(o *ZipfZoomOptions) { o.HotSpots = 0 }},
+		{"skew at one", func(o *ZipfZoomOptions) { o.Skew = 1 }},
+		{"negative levels", func(o *ZipfZoomOptions) { o.ZoomLevels = -1 }},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			o := base
+			c.mutate(&o)
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			ZipfZoomTrace(o)
+		})
+	}
+}

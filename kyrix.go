@@ -134,6 +134,46 @@
 // cluster-wide db-queries/step for two nodes below the one-node
 // baseline at parity p50 latency.
 //
+// # Auto-LOD layers (aggregation pyramid)
+//
+// A separable layer declared with "lod": "auto" ([Layer].LOD) gets a
+// per-zoom-level aggregation pyramid at precompute time, the Kyrix-S
+// direction: any viewport at any zoom scans a bounded number of rows.
+//
+//   - Pyramid layout. Level ℓ partitions the canvas into square cells
+//     of side baseCell·2^ℓ ([PrecomputeOptions].LODBaseCell, default
+//     64). Each cell stores one materialized row: the cell's
+//     representative base row (smallest id — so the base-schema prefix,
+//     id/x/y/..., decodes exactly like a raw row) with appended
+//     aggregate columns lod_count (rows in the cell), lod_sum (first
+//     non-coordinate numeric column), and lod_minx/miny/maxx/maxy (the
+//     union of the member rows' rendered boxes, R-tree indexed).
+//     Levels are built until a level's full-canvas cell count fits the
+//     row budget ([PrecomputeOptions].LODRowBudget, default 4096).
+//     Level 0 aggregates the base table; each coarser level folds 2×2
+//     child cells, keeping the heaviest child's representative.
+//   - Level selection. A tile or dbox window routes to the coarsest
+//     need: if the layer's row density times the window area fits the
+//     budget, raw rows are served; otherwise the finest level whose
+//     cell count inside the window fits the budget. The rule is a pure
+//     function of the window and per-layer constants, so cache keys,
+//     cluster ownership and the wire protocols need no level
+//     component — cached pyramid tiles flow through the W-TinyLFU
+//     cache, peer fills and v3 compression unchanged (v3 delta frames
+//     are gated on base and new box selecting the same level: the same
+//     representative id carries different aggregates across levels).
+//   - Build. The pyramid is built by the work-stealing precompute pool
+//     (internal/fetch): level 0 is split into disjoint cell-column
+//     stripes, stolen across [PrecomputeOptions].LODWorkers workers
+//     (0 = GOMAXPROCS), and bulk-inserted in batches; a failure in any
+//     layer cancels the in-flight builds of every other layer.
+//
+// The bounded-row property is measured by `kyrix-bench -lodsweep`
+// (same zoom workload at 1× and 10× dataset scale; the committed
+// BENCH_lod_{off,on}.json artifacts) and guarded by BenchmarkLODZoom
+// in CI's bench-regression job. GET /app advertises lod/lodLevels per
+// layer; GET /stats exposes lodQueries and dbRowsScanned.
+//
 // # Batch endpoint, protocol v1 (buffered JSON, tiles only)
 //
 // POST /batch fetches many tiles of one layer in a single round trip.
