@@ -119,6 +119,31 @@ func BenchmarkFigure5(b *testing.B) {
 	}
 }
 
+// BenchmarkColdStart measures the restart experiment: a first boot
+// serving a zipf hot set cold, then a full restart (fresh DB, re-run
+// precompute, empty L1) over the same persistent L2 directory
+// replaying the identical trace. The custom metrics are the restart
+// phase's warm-up cost: database queries to warm (db-queries-to-warm)
+// and the median latency of the first 100 steps (p50-first-100-ms).
+// With L2 working both should sit far below the first boot's.
+func BenchmarkColdStart(b *testing.B) {
+	cfg := benchConfig()
+	cfg.NumPoints = min(cfg.NumPoints, 120_000) // two precomputes per iter
+	b.ReportAllocs()
+	var last *experiments.RestartResult
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RestartExperiment(cfg,
+			experiments.DefaultRestartOptions(b.TempDir()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	warm := last.Phases[1]
+	b.ReportMetric(float64(warm.DBQueriesToWarm), "db-queries-to-warm")
+	b.ReportMetric(warm.P50FirstStepsMs, "p50-first-100-ms")
+}
+
 // BenchmarkAblationInflation regenerates A1: the dynamic-box inflation
 // sweep.
 func BenchmarkAblationInflation(b *testing.B) {

@@ -94,3 +94,62 @@ func TestInstanceCloseDrainsInFlight(t *testing.T) {
 		t.Fatal("server still accepting after Close")
 	}
 }
+
+// TestInstanceCloseFlushesL2 is the write-behind drain contract at the
+// facade level: a tile served moments before Close — its L2 fill still
+// sitting in the write-behind queue — must be readable from the
+// persistent store after a reopen. The flush interval is pinned to an
+// hour so nothing but Close's drain could have persisted it.
+func TestInstanceCloseFlushesL2(t *testing.T) {
+	dir := t.TempDir()
+	l2opts := func() kyrix.ServerOptions {
+		return kyrix.ServerOptions{
+			Cache: kyrix.CacheOptions{
+				L1: kyrix.L1CacheOptions{Bytes: 4 << 20},
+				L2: kyrix.L2CacheOptions{Path: dir, FlushInterval: time.Hour},
+			},
+			Precompute: fetch.Options{BuildSpatial: true, TileSizes: []float64{512}},
+		}
+	}
+	getTile := func(base string) []byte {
+		resp, err := http.Get(base + "/tile?canvas=main&layer=0&size=512&col=0&row=0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("tile: %s: %s", resp.Status, body)
+		}
+		return body
+	}
+
+	db, app, reg := buildDemo(t, 500)
+	inst, err := kyrix.Launch(db, app, reg, l2opts(), kyrix.DefaultClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := getTile(inst.BaseURL)
+	// No flush, no wait: the fill is (at best) queued when Close runs.
+	if err := inst.Close(); err != nil {
+		t.Fatalf("Close = %v", err)
+	}
+
+	db2, app2, reg2 := buildDemo(t, 500)
+	inst2, err := kyrix.Launch(db2, app2, reg2, l2opts(), kyrix.DefaultClientOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer inst2.Close()
+	got := getTile(inst2.BaseURL)
+	if string(got) != string(want) {
+		t.Fatal("reopened instance served a different payload")
+	}
+	snap := inst2.Server.Snapshot()
+	if snap.Cache.L2 == nil || snap.Cache.L2.Hits == 0 {
+		t.Fatalf("reopened serve did not hit the persistent store: %+v", snap.Cache.L2)
+	}
+	if snap.Serving.DBQueries != 0 {
+		t.Fatalf("reopened serve ran %d db queries, want 0", snap.Serving.DBQueries)
+	}
+}

@@ -46,6 +46,15 @@
 // deciding the knob, writing rowsScannedPerStep and p50 per size to the
 // -json artifact — flat with LOD on, linear growth with it off.
 //
+// -l2dir enables the persistent tile store (the on-disk L2 under the
+// backend cache) at that directory. -restart runs the cold-start
+// experiment instead: a first boot serving a zipf hot set, a full
+// restart (fresh DB, re-run precompute, empty L1) over the same L2
+// directory replaying the identical trace, and the no-L2 baseline for
+// comparison; with -json it writes BENCH_restart_l2.json and
+// BENCH_restart_cold.json (dbQueriesToWarm and p50FirstStepsMs per
+// phase).
+//
 // -json writes the concurrent-mode results to BENCH_<label>.json
 // (label from -label) so the perf trajectory is machine-readable
 // across PRs: wireKB/step, ttff ms, p50/p95 latency, compression
@@ -87,6 +96,8 @@ func main() {
 	codec := flag.String("codec", "", "override the wire codec (json | binary; default from -scale config)")
 	jsonOut := flag.Bool("json", false, "concurrent-clients mode: also write the results to BENCH_<label>.json")
 	label := flag.String("label", "", "label for the -json artifact (default proto+clients)")
+	l2dir := flag.String("l2dir", "", "enable the persistent tile store (L2) at this directory; -restart uses a temp dir when empty")
+	restart := flag.Bool("restart", false, "run the restart cold-start experiment: first boot vs L2-warm restart over the same zipf trace, plus the no-L2 baseline; -json writes BENCH_restart_l2.json and BENCH_restart_cold.json")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -121,6 +132,50 @@ func main() {
 		cfg.BackendCacheBytes = int64(*cacheMB) << 20
 	}
 	cfg.LOD = *lod
+	cfg.L2Dir = *l2dir
+
+	if *restart {
+		dir := *l2dir
+		if dir == "" {
+			tmp, err := os.MkdirTemp("", "kyrix-l2-*")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer os.RemoveAll(tmp)
+			dir = tmp
+		}
+		ropts := experiments.DefaultRestartOptions(dir)
+		ropts.BatchSize = *batch
+		// -steps keeps its concurrent-mode default of 12; only an
+		// explicit value overrides the restart window of 100.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "steps" {
+				ropts.Steps = *steps
+			}
+		})
+		for _, variant := range []struct {
+			l2dir, artifact string
+		}{{dir, "restart_l2"}, {"", "restart_cold"}} {
+			ropts.L2Dir = variant.l2dir
+			res, err := experiments.RestartExperiment(cfg, ropts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println(res.Format())
+			if *jsonOut {
+				data, err := json.MarshalIndent(res, "", "  ")
+				if err != nil {
+					log.Fatal(err)
+				}
+				path := "BENCH_" + variant.artifact + ".json"
+				if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+					log.Fatal(err)
+				}
+				log.Printf("wrote %s", path)
+			}
+		}
+		return
+	}
 
 	if *lodSweep {
 		stats, err := experiments.LODSweep(experiments.LODSweepOptions{

@@ -27,6 +27,12 @@
 // backing store — the epoch protocol keeps caches coherent, data
 // placement is the store's job).
 //
+// -l2dir enables the persistent tile store (L2): rendered payloads are
+// journaled to checksummed segment files under that directory through a
+// write-behind queue, so a restarted node answers its working set from
+// disk instead of re-querying the database. /update (and cluster epoch
+// bumps) invalidate the store by generation without touching disk.
+//
 // Endpoints (consumed by the kyrix frontend client): /app /tile /dbox
 // /update /stats, plus /peer for cluster fills.
 package main
@@ -62,6 +68,8 @@ func main() {
 	specPath := flag.String("spec", "", "JSON app spec to serve (spec mode)")
 	seed := flag.Int64("seed", 2019, "demo dataset seed")
 	cacheMB := flag.Int64("cache-mb", 256, "backend cache budget in MB")
+	l2dir := flag.String("l2dir", "", "enable the persistent tile store (L2) at this directory: rendered payloads survive restarts and warm the node without database queries")
+	l2MB := flag.Int64("l2-mb", 0, "persistent tile store budget in MB (0 = store default, 1 GiB)")
 	tileSizes := flag.String("tile-sizes", "256,1024,4096", "comma-separated tile sizes to precompute")
 	walPath := flag.String("wal", "", "attach a write-ahead log at this path (enables the update model)")
 	self := flag.String("self", "", "cluster mode: this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
@@ -122,8 +130,11 @@ func main() {
 	}
 
 	srv, err := server.New(db, ca, server.Options{
-		CacheBytes: *cacheMB << 20,
-		Cluster:    clusterOpts,
+		Cache: server.CacheOptions{
+			L1: server.L1CacheOptions{Bytes: *cacheMB << 20},
+			L2: server.L2CacheOptions{Path: *l2dir, MaxBytes: *l2MB << 20},
+		},
+		Cluster: clusterOpts,
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    sizes,
@@ -135,6 +146,9 @@ func main() {
 	}
 	if clusterOpts.Enabled() {
 		log.Printf("cluster node %s joined ring of %d peers", clusterOpts.Self, len(clusterOpts.Peers))
+	}
+	if *l2dir != "" {
+		log.Printf("persistent tile store at %s (%d keys resident)", *l2dir, srv.L2().Len())
 	}
 	log.Printf("kyrix backend serving app %q on %s", ca.Spec.Name, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

@@ -65,6 +65,12 @@ type Config struct {
 	// LODRowBudget bounds the rows any window query returns on the
 	// auto-LOD layer (0 = the fetch package default).
 	LODRowBudget int
+	// L2Dir, when non-empty, enables the persistent tile store (the
+	// on-disk L2 under the backend cache) at that directory — the knob
+	// behind the restart/cold-start experiments.
+	L2Dir string
+	// L2MaxBytes bounds the persistent store (0 = store default).
+	L2MaxBytes int64
 }
 
 // DefaultConfig is the laptop-scale mapping of the paper's setup
@@ -198,9 +204,17 @@ func newEnv(cfg Config, d *workload.Dataset, copts server.ClusterOptions, ln net
 		return nil, err
 	}
 	srv, err := server.New(db, ca, server.Options{
-		CacheBytes:     cfg.BackendCacheBytes,
-		CacheAdmission: cfg.CacheAdmission,
-		Cluster:        copts,
+		Cache: server.CacheOptions{
+			L1: server.L1CacheOptions{
+				Bytes:     cfg.BackendCacheBytes,
+				Admission: cfg.CacheAdmission,
+			},
+			L2: server.L2CacheOptions{
+				Path:     cfg.L2Dir,
+				MaxBytes: cfg.L2MaxBytes,
+			},
+		},
+		Cluster: copts,
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    cfg.TileSizes,
@@ -259,6 +273,12 @@ func (e *Env) Close() {
 	if e.ln != nil {
 		_ = e.ln.Close()
 		e.ln = nil
+	}
+	// Last, the server itself: this drains the persistent store's
+	// write-behind queue to disk, so fills from the final pan steps are
+	// readable after a reopen over the same L2 directory.
+	if e.Srv != nil {
+		_ = e.Srv.Close()
 	}
 }
 

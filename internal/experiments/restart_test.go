@@ -1,0 +1,59 @@
+package experiments
+
+import "testing"
+
+// TestRestartExperimentWarm is the acceptance property of the
+// persistent tile store: an L2-warm restart answers the zipf hot set
+// with measurably fewer database queries than the first boot, because
+// the replayed working set comes off disk.
+func TestRestartExperimentWarm(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.NumPoints = 30_000 // two full precomputes per run; keep it fast
+	res, err := RestartExperiment(cfg, RestartOptions{
+		Steps:     40,
+		BatchSize: 4,
+		L2Dir:     t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 2 || !res.L2 {
+		t.Fatalf("unexpected result shape: %+v", res)
+	}
+	cold, warm := res.Phases[0], res.Phases[1]
+	if cold.DBQueriesToWarm == 0 {
+		t.Fatal("first boot ran no database queries — nothing was measured")
+	}
+	if warm.DBQueriesToWarm >= cold.DBQueriesToWarm {
+		t.Fatalf("restart was not warmer: first boot %d db queries, restart %d",
+			cold.DBQueriesToWarm, warm.DBQueriesToWarm)
+	}
+	if warm.L2Hits == 0 {
+		t.Fatal("restart phase recorded no L2 hits")
+	}
+	if out := res.Format(); out == "" {
+		t.Fatal("empty formatted report")
+	}
+}
+
+// TestRestartExperimentBaseline: with no L2 directory the restart
+// phase is just a second cold start — both phases query the database.
+func TestRestartExperimentBaseline(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.NumPoints = 30_000
+	res, err := RestartExperiment(cfg, RestartOptions{Steps: 10, BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L2 {
+		t.Fatal("baseline run reports L2 enabled")
+	}
+	for _, p := range res.Phases {
+		if p.DBQueriesToWarm == 0 {
+			t.Fatalf("phase %q ran no database queries", p.Phase)
+		}
+		if p.L2Hits != 0 {
+			t.Fatalf("phase %q recorded L2 hits without an L2", p.Phase)
+		}
+	}
+}

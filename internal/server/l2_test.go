@@ -1,0 +1,361 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kyrix/internal/fetch"
+	"kyrix/internal/geom"
+	"kyrix/internal/sqldb"
+)
+
+// l2Options is a server config with a small L1 and the persistent tile
+// store enabled at dir.
+func l2Options(dir string) Options {
+	return Options{
+		Cache: CacheOptions{
+			L1: L1CacheOptions{Bytes: 8 << 20},
+			L2: L2CacheOptions{
+				Path:          dir,
+				MaxBytes:      64 << 20,
+				FlushInterval: 2 * time.Millisecond,
+			},
+		},
+		Precompute: fetch.Options{
+			BuildSpatial: true,
+			TileSizes:    []float64{512},
+			MappingIndex: sqldb.IndexBTree,
+		},
+	}
+}
+
+// TestL2WarmRestart is the tier's reason to exist: a server that dies
+// and comes back over the same L2 directory serves its working set
+// from disk — zero database queries — with byte-identical payloads.
+func TestL2WarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	db, ca := newPointsApp(t, 500, 4096, 2048)
+
+	srv1, err := New(db, ca, l2Options(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := srv1.Layer("main", 0)
+	tiles := []geom.TileID{{Col: 0, Row: 0}, {Col: 1, Row: 0}, {Col: 2, Row: 1}}
+	want := make(map[geom.TileID][]byte)
+	for _, tid := range tiles {
+		payload, err := srv1.serveTile(pl, "spatial", CodecJSON, 512, tid, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[tid] = payload
+	}
+	if got := srv1.Stats.DBQueries.Load(); got != int64(len(tiles)) {
+		t.Fatalf("cold serve ran %d db queries, want %d", got, len(tiles))
+	}
+	// Close drains the write-behind queue to disk.
+	if err := srv1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process over the same dataset (workload seeds are
+	// deterministic) and the same L2 directory.
+	db2, ca2 := newPointsApp(t, 500, 4096, 2048)
+	srv2, err := New(db2, ca2, l2Options(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	pl2, _ := srv2.Layer("main", 0)
+	for _, tid := range tiles {
+		payload, err := srv2.serveTile(pl2, "spatial", CodecJSON, 512, tid, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(payload, want[tid]) {
+			t.Fatalf("tile %v: restarted payload differs from original", tid)
+		}
+	}
+	if got := srv2.Stats.DBQueries.Load(); got != 0 {
+		t.Fatalf("warm restart ran %d db queries, want 0 (L2 should answer)", got)
+	}
+	snap := srv2.Snapshot()
+	if snap.Cache.L2 == nil || snap.Cache.L2.Hits != int64(len(tiles)) {
+		t.Fatalf("L2 stats after warm serve: %+v", snap.Cache.L2)
+	}
+	// And the L2 hits were promoted into L1: a re-serve touches
+	// neither disk nor database.
+	l2HitsBefore := srv2.l2.Stats.Hits.Load()
+	for _, tid := range tiles {
+		if _, err := srv2.serveTile(pl2, "spatial", CodecJSON, 512, tid, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := srv2.l2.Stats.Hits.Load(); got != l2HitsBefore {
+		t.Fatalf("re-serve read L2 again (%d extra hits), L1 promotion failed", got-l2HitsBefore)
+	}
+}
+
+// TestL2UpdateInvalidates: /update's generation bump must make every
+// persisted payload invisible — including across a restart — so the
+// tier can never serve pre-update rows.
+func TestL2UpdateInvalidates(t *testing.T) {
+	dir := t.TempDir()
+	db, ca := newPointsApp(t, 200, 4096, 2048)
+
+	srv, err := New(db, ca, l2Options(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := srv.Layer("main", 0)
+	tid := geom.TileID{Col: 0, Row: 0}
+	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, tid, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.l2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := srv.l2.Generation()
+	if _, err := srv.execUpdate("DELETE FROM points WHERE id >= 0", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.l2.Generation(); got != genBefore+1 {
+		t.Fatalf("update bumped L2 generation %d -> %d, want +1", genBefore, got)
+	}
+	dbqBefore := srv.Stats.DBQueries.Load()
+	post, err := srv.serveTile(pl, "spatial", CodecJSON, 512, tid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Stats.DBQueries.Load(); got != dbqBefore+1 {
+		t.Fatalf("post-update serve must re-query the database (queries %d -> %d)", dbqBefore, got)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The invalidation is durable: a restarted server over the same
+	// directory still refuses the pre-update record. The fresh DB gets
+	// the same DELETE so its rows match the post-update state.
+	db2, ca2 := newPointsApp(t, 200, 4096, 2048)
+	if _, err := db2.Exec("DELETE FROM points WHERE id >= 0"); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := New(db2, ca2, l2Options(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	pl2, _ := srv2.Layer("main", 0)
+	dbqBefore = srv2.Stats.DBQueries.Load()
+	payload, err := srv2.serveTile(pl2, "spatial", CodecJSON, 512, tid, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The post-update fill was persisted under the new generation, so
+	// it may legitimately be served from L2 — but it must be the
+	// post-update payload, never the pre-update one.
+	if !bytes.Equal(payload, post) {
+		t.Fatal("restarted server served a pre-update payload from L2")
+	}
+	_ = dbqBefore
+}
+
+// TestL2StaleFillDropped: a query that raced an update must not
+// persist its pre-update payload. The queryHook holds the query open
+// while an update bumps the generation underneath it.
+func TestL2StaleFillDropped(t *testing.T) {
+	dir := t.TempDir()
+	db, ca := newPointsApp(t, 200, 4096, 2048)
+	opts := l2Options(dir)
+	opts.DisableCoalescing = true // hook runs inline, keep the flow simple
+	srv, err := New(db, ca, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	pl, _ := srv.Layer("main", 0)
+	tid := geom.TileID{Col: 0, Row: 0}
+
+	fired := false
+	srv.queryHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		if _, err := srv.execUpdate("DELETE FROM points WHERE id < 0", nil); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, tid, false); err != nil {
+		t.Fatal(err)
+	}
+	srv.queryHook = nil
+	if err := srv.l2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The racing fill was enqueued with the pre-update generation and
+	// must have been dropped at flush time: nothing resident in L2.
+	if got := srv.l2.Len(); got != 0 {
+		t.Fatalf("stale fill persisted: %d L2 keys", got)
+	}
+	if srv.l2.Stats.DroppedStale.Load() == 0 {
+		t.Fatal("expected a stale-generation drop")
+	}
+}
+
+// TestL2ClusterPeerFillAndEpoch: in a cluster, a non-owner's peer fill
+// lands in its local L2 (so the payload survives that node's restart
+// without a network hop), and observing a newer cluster epoch bumps the
+// observer's L2 generation — the remote form of /update invalidation.
+func TestL2ClusterPeerFillAndEpoch(t *testing.T) {
+	dirs := make(map[int]string)
+	nodes := newTestCluster(t, 2, 300, func(i int, o *Options) {
+		dirs[i] = t.TempDir()
+		o.Cluster.HotReplicate = -1 // keep fills out of L1 so L2 answers
+		o.Cache.L2 = L2CacheOptions{
+			Path:          dirs[i],
+			MaxBytes:      64 << 20,
+			FlushInterval: 2 * time.Millisecond,
+		}
+	})
+	owner, other, tid := ownerAndOther(t, nodes)
+	key := tileKeyFor(CodecJSON, "spatial", 512, tid)
+
+	// Non-owner miss: peer fill from the owner, persisted locally.
+	want := getTile(t, other.url, tid)
+	if err := other.srv.l2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := other.srv.l2.Get(key)
+	if !ok {
+		t.Fatal("peer fill did not land in the non-owner's L2")
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("L2 holds a payload that differs from the served tile")
+	}
+
+	// Re-request: with hot-replication off the payload is not in L1, so
+	// the local persistent tier must answer before any peer exchange.
+	fetchesBefore := other.srv.cluster.Stats.PeerFills.Load()
+	l2HitsBefore := other.srv.l2.Stats.Hits.Load()
+	if again := getTile(t, other.url, tid); !bytes.Equal(again, want) {
+		t.Fatal("re-served payload differs")
+	}
+	if got := other.srv.cluster.Stats.PeerFills.Load(); got != fetchesBefore {
+		t.Fatalf("re-request went to the peer (%d new fills), L2 should have answered", got-fetchesBefore)
+	}
+	if other.srv.l2.Stats.Hits.Load() == l2HitsBefore {
+		t.Fatal("re-request did not read the persistent tier")
+	}
+
+	// An update at the owner gossips a newer epoch; the observer must
+	// bump its L2 generation so the stale record becomes invisible.
+	otherL2Gen := other.srv.l2.Generation()
+	postUpdate(t, owner.url, "DELETE FROM points WHERE id >= 0")
+	// The epoch travels on the next peer exchange — requesting the same
+	// tile again would be answered from L2 without one, so fetch a
+	// different owner-owned tile that is not yet resident here.
+	var tid2 geom.TileID
+	found := false
+	for col := 0; col < 8 && !found; col++ {
+		for row := 0; row < 4 && !found; row++ {
+			cand := geom.TileID{Col: col, Row: row}
+			if cand == tid {
+				continue
+			}
+			if other.srv.cluster.Owner(tileKeyFor(CodecJSON, "spatial", 512, cand)) == owner.url {
+				tid2, found = cand, true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no second owner-owned tile")
+	}
+	getTile(t, other.url, tid2)
+	deadline := time.Now().Add(10 * time.Second)
+	for other.srv.l2.Generation() == otherL2Gen {
+		if time.Now().After(deadline) {
+			t.Fatal("epoch adoption did not bump the observer's L2 generation")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, ok := other.srv.l2.Get(key); ok {
+		t.Fatal("pre-epoch payload still visible in L2 after adoption")
+	}
+}
+
+// TestCacheOptionsAliasCompat is the API-migration contract: old flat
+// call sites configure exactly what the nested form does, and an
+// explicitly set nested field wins over its deprecated alias.
+func TestCacheOptionsAliasCompat(t *testing.T) {
+	flat := Options{
+		CacheBytes:          4 << 20,
+		CacheShards:         8,
+		CacheAdmission:      "lfu",
+		CacheSketchCounters: 1 << 12,
+		CacheDoorkeeper:     true,
+	}
+	nested := Options{
+		Cache: CacheOptions{L1: L1CacheOptions{
+			Bytes:          4 << 20,
+			Shards:         8,
+			Admission:      "lfu",
+			SketchCounters: 1 << 12,
+			Doorkeeper:     true,
+		}},
+	}
+	if flat.resolvedCache() != nested.resolvedCache() {
+		t.Fatalf("flat aliases resolve to %+v, nested to %+v",
+			flat.resolvedCache(), nested.resolvedCache())
+	}
+
+	// Per-field precedence: nested wins where set, alias fills the rest.
+	mixed := Options{
+		CacheBytes:     1 << 20,
+		CacheShards:    4,
+		CacheAdmission: "off",
+		Cache: CacheOptions{L1: L1CacheOptions{
+			Bytes:     2 << 20, // explicit nested beats the alias
+			Admission: "lfu",
+		}},
+	}
+	got := mixed.resolvedCache()
+	if got.L1.Bytes != 2<<20 || got.L1.Admission != "lfu" {
+		t.Fatalf("nested fields lost to aliases: %+v", got.L1)
+	}
+	if got.L1.Shards != 4 {
+		t.Fatalf("unset nested field did not fall back to alias: %+v", got.L1)
+	}
+
+	// And a flat-configured server actually serves with those knobs: a
+	// behavioral check, not just a resolver check.
+	db, ca := newPointsApp(t, 100, 4096, 2048)
+	srv, err := New(db, ca, Options{
+		CacheBytes:  4 << 20, // >= 1 MiB per shard, so Shards=2 sticks
+		CacheShards: 2,
+		Precompute: fetch.Options{
+			BuildSpatial: true,
+			TileSizes:    []float64{512},
+			MappingIndex: sqldb.IndexBTree,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if got := srv.BackendCache().ShardCount(); got != 2 {
+		t.Fatalf("flat CacheShards=2 produced %d shards", got)
+	}
+	pl, _ := srv.Layer("main", 0)
+	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, geom.TileID{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, geom.TileID{}, false); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Stats.CacheHits.Load() == 0 {
+		t.Fatal("flat CacheBytes did not enable the cache")
+	}
+}

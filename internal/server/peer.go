@@ -71,6 +71,7 @@ func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
 // groupcache behavior.
 func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	gen := s.cacheGen.Load()
+	l2gen := s.l2Gen()
 	owner := s.cluster.Owner(key)
 	fill := func() (any, error) {
 		// Double-check like cachedQuery: a previous flight (or a hot
@@ -79,8 +80,26 @@ func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args
 			s.Stats.CacheHits.Add(1)
 			return data.([]byte), nil
 		}
+		// The local persistent tier answers before the peer hop: a
+		// payload this node once fetched (or served) survives in L2
+		// across restarts, and a checksum-verified local disk read
+		// beats a network exchange. L1 admission for non-owned keys
+		// stays behind the hot-replicate gate, same as a peer fill.
+		if payload, ok := s.l2Read(key); ok {
+			if hr := s.cluster.HotReplicate(); hr >= 0 {
+				if f := s.bcache.EstimateFreq(key); f < 0 || f >= hr {
+					s.putUnlessStale(gen, key, payload)
+				}
+			}
+			return payload, nil
+		}
 		payload, err := s.cluster.Fetch(owner, fr)
 		if err == nil {
+			// Peer fills populate L2 unconditionally: the hot-replicate
+			// gate protects L1's scarce memory, while the persistent
+			// tier exists precisely to keep refetchable bytes off the
+			// network after a restart.
+			s.l2Fill(l2gen, key, payload)
 			if hr := s.cluster.HotReplicate(); hr >= 0 {
 				if f := s.bcache.EstimateFreq(key); f < 0 || f >= hr {
 					s.putUnlessStale(gen, key, payload)
@@ -100,6 +119,7 @@ func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args
 			return nil, qerr
 		}
 		s.putUnlessStale(gen, key, payload)
+		s.l2Fill(l2gen, key, payload)
 		return payload, nil
 	}
 	if s.opts.DisableCoalescing {

@@ -20,6 +20,7 @@ import (
 	"kyrix/internal/spec"
 	"kyrix/internal/sqldb"
 	"kyrix/internal/storage"
+	"kyrix/internal/store"
 	"kyrix/internal/wire"
 )
 
@@ -28,31 +29,94 @@ import (
 // alias keeps the knobs constructible by external module consumers.
 type ClusterOptions = cluster.Options
 
-// Options configures a backend server.
-type Options struct {
-	// CacheBytes is the backend cache budget (0 disables it).
-	CacheBytes int64
-	// CacheShards is the backend cache shard count (rounded up to a
-	// power of two; 0 picks an automatic count from GOMAXPROCS).
-	CacheShards int
-	// CacheAdmission selects the backend cache admission policy:
-	// "lfu" enables W-TinyLFU frequency-based admission (a count-min
-	// sketch estimates key popularity; once the cache is at budget a
-	// new entry must be more frequent than the would-be victim to
-	// displace it, so one-shot scans cannot flush the hot tile set);
-	// "off" or "" keeps the plain sharded LRU. DefaultOptions enables
-	// "lfu".
-	CacheAdmission string
-	// CacheSketchCounters sizes the TinyLFU frequency sketch (total
-	// 4-bit counters across shards; 0 derives a size from CacheBytes).
-	// Ignored unless CacheAdmission is "lfu".
-	CacheSketchCounters int
-	// CacheDoorkeeper puts a bloom-filter doorkeeper in front of the
+// L1CacheOptions configures the in-memory backend cache (the first
+// tier every request consults).
+type L1CacheOptions struct {
+	// Bytes is the cache byte budget (0 disables the cache — note the
+	// deprecated-alias fallback: a zero here falls back to the flat
+	// Options.CacheBytes, so "disabled" means both are zero).
+	Bytes int64
+	// Shards is the shard count (rounded up to a power of two; 0 picks
+	// an automatic count from GOMAXPROCS).
+	Shards int
+	// Admission selects the admission policy: "lfu" enables W-TinyLFU
+	// frequency-based admission (a count-min sketch estimates key
+	// popularity; once the cache is at budget a new entry must be more
+	// frequent than the would-be victim to displace it, so one-shot
+	// scans cannot flush the hot tile set); "off" or "" keeps the plain
+	// sharded LRU. DefaultOptions enables "lfu".
+	Admission string
+	// SketchCounters sizes the TinyLFU frequency sketch (total 4-bit
+	// counters across shards; 0 derives a size from Bytes). Ignored
+	// unless Admission is "lfu".
+	SketchCounters int
+	// Doorkeeper puts a bloom-filter doorkeeper in front of the
 	// TinyLFU sketch: a key's first sighting per decay period sets
 	// bloom bits instead of count-min counters, so one-hit wonders (a
 	// sequential scan) cannot inflate the sketch and, through
 	// collisions, make unrelated cold keys look admissible. The filter
-	// resets on sketch decay. Ignored unless CacheAdmission is "lfu".
+	// resets on sketch decay. Ignored unless Admission is "lfu".
+	Doorkeeper bool
+}
+
+// L2CacheOptions configures the persistent tile store (internal/store)
+// that sits under the in-memory cache: an embedded log-structured KV
+// tier holding encoded post-render payloads across restarts. The zero
+// value (no Path) disables the tier.
+type L2CacheOptions struct {
+	// Path is the segment directory; empty disables the L2 tier.
+	Path string
+	// MaxBytes is the on-disk budget (0 = 1 GiB); oldest segments are
+	// evicted with live-record salvage when it is exceeded.
+	MaxBytes int64
+	// SegmentBytes bounds one segment file (0 picks a default from
+	// MaxBytes).
+	SegmentBytes int64
+	// WriteQueueDepth bounds the write-behind fill queue; fills finding
+	// it full are dropped, never blocked on (0 = 1024).
+	WriteQueueDepth int
+	// FlushInterval is the longest an enqueued fill waits before its
+	// batch is appended and fsynced (0 = 50 ms).
+	FlushInterval time.Duration
+}
+
+// CacheOptions is the nested cache configuration: L1 is the in-memory
+// W-TinyLFU/LRU tier, L2 the persistent tile store. This is the
+// canonical way to configure caching; the flat Cache* fields on
+// Options remain as deprecated aliases (an explicitly set nested field
+// wins over its alias).
+type CacheOptions struct {
+	L1 L1CacheOptions
+	L2 L2CacheOptions
+}
+
+// Options configures a backend server.
+type Options struct {
+	// Cache is the nested cache configuration (L1 in-memory tier, L2
+	// persistent tile store). Field-by-field precedence: a non-zero
+	// nested field wins over its deprecated flat alias below; a zero
+	// nested field falls back to the alias.
+	Cache CacheOptions
+
+	// CacheBytes is the backend cache budget.
+	//
+	// Deprecated: set Cache.L1.Bytes instead.
+	CacheBytes int64
+	// CacheShards is the backend cache shard count.
+	//
+	// Deprecated: set Cache.L1.Shards instead.
+	CacheShards int
+	// CacheAdmission selects the backend cache admission policy.
+	//
+	// Deprecated: set Cache.L1.Admission instead.
+	CacheAdmission string
+	// CacheSketchCounters sizes the TinyLFU frequency sketch.
+	//
+	// Deprecated: set Cache.L1.SketchCounters instead.
+	CacheSketchCounters int
+	// CacheDoorkeeper enables the TinyLFU bloom doorkeeper.
+	//
+	// Deprecated: set Cache.L1.Doorkeeper instead.
 	CacheDoorkeeper bool
 	// Cluster joins this node to a serving cluster: cache keys are
 	// partitioned over a consistent-hash ring, a non-owner forwards
@@ -82,17 +146,48 @@ type Options struct {
 }
 
 // DefaultOptions builds both database designs with the paper's three
-// tile sizes and a 256 MB backend cache.
+// tile sizes and a 256 MB backend cache. The cache knobs live in the
+// nested Cache struct; callers starting from DefaultOptions should
+// adjust Cache.L1/Cache.L2 fields (overriding the deprecated flat
+// aliases instead would lose to the nested defaults).
 func DefaultOptions() Options {
 	return Options{
-		CacheBytes:     256 << 20,
-		CacheAdmission: "lfu",
+		Cache: CacheOptions{
+			L1: L1CacheOptions{
+				Bytes:     256 << 20,
+				Admission: "lfu",
+			},
+		},
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    []float64{256, 1024, 4096},
 			MappingIndex: sqldb.IndexBTree,
 		},
 	}
+}
+
+// resolvedCache merges the nested Cache struct with the deprecated
+// flat aliases, field by field: a non-zero nested field wins, a zero
+// one falls back to its alias. Bool fields OR (true from either side
+// enables).
+func (o Options) resolvedCache() CacheOptions {
+	c := o.Cache
+	if c.L1.Bytes == 0 {
+		c.L1.Bytes = o.CacheBytes
+	}
+	if c.L1.Shards == 0 {
+		c.L1.Shards = o.CacheShards
+	}
+	if c.L1.Admission == "" {
+		c.L1.Admission = o.CacheAdmission
+	}
+	if c.L1.SketchCounters == 0 {
+		c.L1.SketchCounters = o.CacheSketchCounters
+	}
+	if !c.L1.Doorkeeper {
+		c.L1.Doorkeeper = o.CacheDoorkeeper
+	}
+	return c
 }
 
 // Stats counts server activity.
@@ -170,6 +265,13 @@ type Server struct {
 	// peer transport, epoch); nil when serving standalone.
 	cluster *cluster.Node
 
+	// l2 is the persistent tile store under the in-memory cache (nil
+	// when Options.Cache.L2.Path is empty): an L1 miss reads L2 before
+	// the database, database and peer fills are written back through
+	// the store's bounded write-behind queue, and every generation/
+	// epoch bump invalidates it by prefix (store.Bump).
+	l2 *store.Store
+
 	// queryHook, when set (tests only), runs inside every database
 	// query execution; the coalescing test uses it to hold a query
 	// open until all concurrent callers have piled onto the flight.
@@ -192,25 +294,26 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 	if planCap <= 0 {
 		planCap = 512
 	}
+	cacheOpts := opts.resolvedCache()
 	var admission cache.Admission
-	switch opts.CacheAdmission {
+	switch cacheOpts.L1.Admission {
 	case "", "off":
 		admission = cache.AdmissionOff
 	case "lfu":
 		admission = cache.AdmissionLFU
 	default:
-		return nil, fmt.Errorf("server: unknown CacheAdmission %q (want \"lfu\" or \"off\")", opts.CacheAdmission)
+		return nil, fmt.Errorf("server: unknown cache admission %q (want \"lfu\" or \"off\")", cacheOpts.L1.Admission)
 	}
 	s := &Server{
 		db:     db,
 		ca:     ca,
 		layers: make(map[string]*fetch.PhysicalLayer),
 		bcache: cache.New(cache.Config{
-			Budget:         opts.CacheBytes,
-			Shards:         opts.CacheShards,
+			Budget:         cacheOpts.L1.Bytes,
+			Shards:         cacheOpts.L1.Shards,
 			Admission:      admission,
-			SketchCounters: opts.CacheSketchCounters,
-			Doorkeeper:     opts.CacheDoorkeeper,
+			SketchCounters: cacheOpts.L1.SketchCounters,
+			Doorkeeper:     cacheOpts.L1.Doorkeeper,
 		}),
 		// One entry = size 1, so the byte budget counts plans; a single
 		// shard keeps exact LRU order (the cap is tiny).
@@ -220,6 +323,19 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 		// the other caches; 32 MB covers every live pan chain.
 		deltaMemo: cache.NewLRUSharded(32<<20, 1),
 		opts:      opts,
+	}
+	if cacheOpts.L2.Path != "" {
+		l2, err := store.Open(store.Options{
+			Path:            cacheOpts.L2.Path,
+			MaxBytes:        cacheOpts.L2.MaxBytes,
+			SegmentBytes:    cacheOpts.L2.SegmentBytes,
+			WriteQueueDepth: cacheOpts.L2.WriteQueueDepth,
+			FlushInterval:   cacheOpts.L2.FlushInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open L2 tile store: %w", err)
+		}
+		s.l2 = l2
 	}
 	if opts.Cluster.Enabled() {
 		cn, err := cluster.New(opts.Cluster)
@@ -238,6 +354,14 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 			s.epochMu.Lock()
 			s.cacheGen.Add(1)
 			s.bcache.Clear()
+			if s.l2 != nil {
+				// Remote updates invalidate the persistent tier the
+				// same way local ones do: a generation bump makes every
+				// resident record invisible without touching disk. A
+				// bump failure (store closing mid-shutdown) only means
+				// the tier keeps serving until Close finishes.
+				_, _ = s.l2.Bump()
+			}
 			s.epochMu.Unlock()
 		})
 		s.cluster = cn
@@ -535,12 +659,18 @@ func httpStatusOf(err error) int {
 // in-flight query.
 func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	gen := s.cacheGen.Load()
+	l2gen := s.l2Gen()
 	if s.opts.DisableCoalescing {
+		if payload, ok := s.l2Read(key); ok {
+			s.putUnlessStale(gen, key, payload)
+			return payload, nil
+		}
 		payload, err := s.runQuery(sql, args, codec, memoize)
 		if err != nil {
 			return nil, err
 		}
 		s.putUnlessStale(gen, key, payload)
+		s.l2Fill(l2gen, key, payload)
 		return payload, nil
 	}
 	v, err, dup := s.flight.Do(flightKey(gen, key), func() (any, error) {
@@ -552,11 +682,20 @@ func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec,
 			s.Stats.CacheHits.Add(1)
 			return data.([]byte), nil
 		}
+		// The persistent tier answers before the database: an L2 hit
+		// is a checksum-verified disk read, promoted into L1 so the
+		// next request never touches disk. Inside the flight, so N
+		// concurrent misses do one L2 read.
+		if payload, ok := s.l2Read(key); ok {
+			s.putUnlessStale(gen, key, payload)
+			return payload, nil
+		}
 		payload, err := s.runQuery(sql, args, codec, memoize)
 		if err != nil {
 			return nil, err
 		}
 		s.putUnlessStale(gen, key, payload)
+		s.l2Fill(l2gen, key, payload)
 		return payload, nil
 	})
 	if err != nil {
@@ -566,6 +705,37 @@ func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec,
 		s.Stats.CoalescedHits.Add(1)
 	}
 	return v.([]byte), nil
+}
+
+// l2Gen captures the persistent tier's generation before a query runs;
+// l2Fill hands it back so a fill that raced an invalidation is dropped
+// at flush time (the write-behind analog of putUnlessStale).
+func (s *Server) l2Gen() uint64 {
+	if s.l2 == nil {
+		return 0
+	}
+	return s.l2.Generation()
+}
+
+// l2Read consults the persistent tile store (nil-safe). Every hit was
+// checksum-verified by the store; a torn or corrupt record is a miss.
+func (s *Server) l2Read(key string) ([]byte, bool) {
+	if s.l2 == nil {
+		return nil, false
+	}
+	return s.l2.Get(key)
+}
+
+// l2Fill writes one payload back to the persistent tier through its
+// bounded write-behind queue: never blocking the serving path (a full
+// queue drops the fill), and stamped with the generation captured
+// before the query ran so a fill racing an /update can never persist
+// pre-update rows under the new generation.
+func (s *Server) l2Fill(gen uint64, key string, payload []byte) {
+	if s.l2 == nil {
+		return
+	}
+	s.l2.PutAt(key, payload, gen)
 }
 
 // flightKey scopes a coalescing key to a cache generation.
@@ -827,6 +997,14 @@ func (s *Server) execUpdate(sql string, args []storage.Value) (int64, error) {
 	}
 	s.cacheGen.Add(1)
 	s.bcache.Clear()
+	if s.l2 != nil {
+		// The persistent tier invalidates by generation prefix: one
+		// fsynced marker record makes every resident payload invisible
+		// (across restarts too) without touching the records on disk.
+		if _, err := s.l2.Bump(); err != nil {
+			return 0, fmt.Errorf("server: invalidate L2 tile store: %w", err)
+		}
+	}
 	if s.cluster != nil {
 		// Bump the cluster epoch inside the same epoch-locked
 		// transition: peers learn on their next exchange with this
@@ -837,7 +1015,136 @@ func (s *Server) execUpdate(sql string, args []storage.Value) (int64, error) {
 	return n, nil
 }
 
+// --- versioned /stats ---
+
+// ServingStats is the request-path section of a StatsSnapshot.
+type ServingStats struct {
+	TileRequests     int64 `json:"tileRequests"`
+	BoxRequests      int64 `json:"boxRequests"`
+	BatchRequests    int64 `json:"batchRequests"`
+	CacheHits        int64 `json:"cacheHits"`
+	CoalescedHits    int64 `json:"coalescedHits"`
+	DBQueries        int64 `json:"dbQueries"`
+	RowsServed       int64 `json:"rowsServed"`
+	BytesServed      int64 `json:"bytesServed"`
+	Updates          int64 `json:"updates"`
+	QueryNanos       int64 `json:"queryNanos"`
+	WireBytes        int64 `json:"wireBytes"`
+	DeltaFrames      int64 `json:"deltaFrames"`
+	CompressedFrames int64 `json:"compressedFrames"`
+	DBRowsScanned    int64 `json:"dbRowsScanned"`
+}
+
+// L1Stats is the in-memory backend cache section of a StatsSnapshot.
+type L1Stats struct {
+	Bytes    int64 `json:"bytes"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Shards   int   `json:"shards"`
+}
+
+// CacheStats groups both cache tiers; L2 is absent when the persistent
+// tile store is disabled.
+type CacheStats struct {
+	L1 L1Stats              `json:"l1"`
+	L2 *store.StatsSnapshot `json:"l2,omitempty"`
+}
+
+// ClusterStats is the cluster section of a StatsSnapshot (nil when
+// serving standalone).
+type ClusterStats struct {
+	Epoch          int64 `json:"epoch"`
+	PeerFills      int64 `json:"peerFills"`
+	PeerErrors     int64 `json:"peerErrors"`
+	PeerServes     int64 `json:"peerServes"`
+	LocalFallbacks int64 `json:"localFallbacks"`
+	HotReplicas    int64 `json:"hotReplicas"`
+	EpochAdoptions int64 `json:"epochAdoptions"`
+}
+
+// LODStats is the aggregation-pyramid section of a StatsSnapshot.
+type LODStats struct {
+	Queries int64 `json:"queries"`
+}
+
+// StatsSnapshot is the versioned structured /stats response (schema
+// version 2). GET /stats serves it by default; GET /stats?v=1 serves
+// the legacy flat counter map for older scrapers.
+type StatsSnapshot struct {
+	V       int           `json:"v"`
+	Serving ServingStats  `json:"serving"`
+	Cache   CacheStats    `json:"cache"`
+	Cluster *ClusterStats `json:"cluster,omitempty"`
+	LOD     LODStats      `json:"lod"`
+}
+
+// Snapshot collects the server's counters into the versioned schema.
+func (s *Server) Snapshot() StatsSnapshot {
+	bc := s.bcache.Stats()
+	snap := StatsSnapshot{
+		V: 2,
+		Serving: ServingStats{
+			TileRequests:     s.Stats.TileRequests.Load(),
+			BoxRequests:      s.Stats.BoxRequests.Load(),
+			BatchRequests:    s.Stats.BatchRequests.Load(),
+			CacheHits:        s.Stats.CacheHits.Load(),
+			CoalescedHits:    s.Stats.CoalescedHits.Load(),
+			DBQueries:        s.Stats.DBQueries.Load(),
+			RowsServed:       s.Stats.RowsServed.Load(),
+			BytesServed:      s.Stats.BytesServed.Load(),
+			Updates:          s.Stats.Updates.Load(),
+			QueryNanos:       s.Stats.QueryNanos.Load(),
+			WireBytes:        s.Stats.WireBytes.Load(),
+			DeltaFrames:      s.Stats.DeltaFrames.Load(),
+			CompressedFrames: s.Stats.CompressedFrames.Load(),
+			DBRowsScanned:    s.db.Stats().RowsScanned,
+		},
+		Cache: CacheStats{
+			L1: L1Stats{
+				Bytes:    bc.Bytes,
+				Hits:     bc.Hits,
+				Misses:   bc.Misses,
+				Admitted: bc.Admitted,
+				Rejected: bc.Rejected,
+				Shards:   s.bcache.ShardCount(),
+			},
+		},
+		LOD: LODStats{Queries: s.Stats.LODQueries.Load()},
+	}
+	if s.l2 != nil {
+		l2 := s.l2.Snapshot()
+		snap.Cache.L2 = &l2
+	}
+	if s.cluster != nil {
+		cs := &s.cluster.Stats
+		snap.Cluster = &ClusterStats{
+			Epoch:          s.cluster.Epoch(),
+			PeerFills:      cs.PeerFills.Load(),
+			PeerErrors:     cs.PeerErrors.Load(),
+			PeerServes:     cs.PeerServes.Load(),
+			LocalFallbacks: cs.LocalFallbacks.Load(),
+			HotReplicas:    cs.HotReplicas.Load(),
+			EpochAdoptions: cs.EpochAdoptions.Load(),
+		}
+	}
+	return snap
+}
+
+// handleStats serves the versioned structured schema by default and
+// the legacy v1 flat counter map under ?v=1, byte-compatible with the
+// pre-versioning response so existing scrapers keep working.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if r.URL.Query().Get("v") == "1" {
+		_ = json.NewEncoder(w).Encode(s.legacyStats())
+		return
+	}
+	_ = json.NewEncoder(w).Encode(s.Snapshot())
+}
+
+func (s *Server) legacyStats() map[string]int64 {
 	bc := s.bcache.Stats()
 	out := map[string]int64{
 		"tileRequests":         s.Stats.TileRequests.Load(),
@@ -872,6 +1179,21 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		out["hotReplicas"] = cs.HotReplicas.Load()
 		out["epochAdoptions"] = cs.EpochAdoptions.Load()
 	}
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(out)
+	return out
+}
+
+// L2 exposes the persistent tile store (nil when disabled); experiment
+// harnesses read its stats.
+func (s *Server) L2() *store.Store { return s.l2 }
+
+// Close releases the server's background resources: the persistent
+// tile store's write-behind queue is drained (bounded by its drain
+// deadline) so fills accepted before Close are readable after the next
+// Open. The HTTP listener is owned by the caller and closed
+// separately. Idempotent.
+func (s *Server) Close() error {
+	if s.l2 == nil {
+		return nil
+	}
+	return s.l2.Close()
 }

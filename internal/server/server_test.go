@@ -104,9 +104,11 @@ func TestWireErrors(t *testing.T) {
 	}
 }
 
-// newPointsServer builds a complete backend over a small uniform
-// dataset: the single-canvas separable app the experiments use.
-func newPointsServer(t testing.TB, n int, canvasW, canvasH float64) (*Server, *httptest.Server) {
+// newPointsApp loads a small uniform dataset and compiles the
+// single-canvas separable app the experiments use; servers over it are
+// built by newPointsServer (default options) or directly by tests that
+// need custom Options (the L2 tests rebuild servers over one app).
+func newPointsApp(t testing.TB, n int, canvasW, canvasH float64) (*sqldb.DB, *spec.CompiledApp) {
 	t.Helper()
 	db := sqldb.NewDB()
 	if _, err := db.Exec("CREATE TABLE points (id INT, x DOUBLE, y DOUBLE, val DOUBLE)"); err != nil {
@@ -146,6 +148,14 @@ func newPointsServer(t testing.TB, n int, canvasW, canvasH float64) (*Server, *h
 	if err != nil {
 		t.Fatal(err)
 	}
+	return db, ca
+}
+
+// newPointsServer builds a complete backend over a small uniform
+// dataset: the single-canvas separable app the experiments use.
+func newPointsServer(t testing.TB, n int, canvasW, canvasH float64) (*Server, *httptest.Server) {
+	t.Helper()
+	db, ca := newPointsApp(t, n, canvasW, canvasH)
 	srv, err := New(db, ca, Options{
 		CacheBytes: 8 << 20,
 		Precompute: fetch.Options{
@@ -373,9 +383,28 @@ func TestStatsEndpoint(t *testing.T) {
 	resp, _ := http.Get(hs.URL + "/tile?canvas=main&layer=0&size=512&col=0&row=0")
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	// Default is the versioned structured schema (v2).
+	var snap StatsSnapshot
+	getJSON(t, hs.URL+"/stats", &snap)
+	if snap.V != 2 {
+		t.Fatalf("stats version = %d, want 2", snap.V)
+	}
+	if snap.Serving.TileRequests != 1 || snap.Serving.RowsServed == 0 {
+		t.Fatalf("v2 serving stats = %+v", snap.Serving)
+	}
+	if snap.Cache.L2 != nil {
+		t.Fatal("L2 section present with no persistent store configured")
+	}
+	if snap.Cluster != nil {
+		t.Fatal("cluster section present on a standalone node")
+	}
+	// ?v=1 keeps serving the legacy flat counter map.
 	var stats map[string]int64
-	getJSON(t, hs.URL+"/stats", &stats)
+	getJSON(t, hs.URL+"/stats?v=1", &stats)
 	if stats["tileRequests"] != 1 || stats["rowsServed"] == 0 {
-		t.Fatalf("stats = %v", stats)
+		t.Fatalf("v1 stats = %v", stats)
+	}
+	if _, ok := stats["backendCacheBytes"]; !ok {
+		t.Fatal("v1 flat map missing backendCacheBytes")
 	}
 }

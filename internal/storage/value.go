@@ -84,6 +84,21 @@ func Str(v string) Value { return Value{Kind: TString, S: v} }
 // Bool builds a boolean value.
 func Bool(v bool) Value { return Value{Kind: TBool, B: v} }
 
+// Bytes builds a TEXT value holding arbitrary binary data. TString
+// cells are length-prefixed raw bytes on disk and on the wire, so they
+// carry opaque payloads (encoded tile responses in the persistent tile
+// store) as well as UTF-8 text; the bytes are copied in.
+func Bytes(v []byte) Value { return Value{Kind: TString, S: string(v)} }
+
+// AsBytes returns a TEXT value's contents as a byte slice (copied, the
+// inverse of Bytes). Non-string kinds return nil.
+func (v Value) AsBytes() []byte {
+	if v.Kind != TString {
+		return nil
+	}
+	return []byte(v.S)
+}
+
 // AsFloat coerces numeric values to float64 (integers widen losslessly
 // for the magnitudes used here). Non-numeric kinds return 0.
 func (v Value) AsFloat() float64 {

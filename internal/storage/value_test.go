@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"math"
 	"testing"
 	"testing/quick"
@@ -169,5 +170,40 @@ func TestQuickRowRoundtrip(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBytesValueRoundtrip(t *testing.T) {
+	raw := []byte{0x00, 0xff, 0x7f, 'k', 'y', 0x01}
+	v := Bytes(raw)
+	if v.Kind != TString {
+		t.Fatalf("Bytes kind = %v", v.Kind)
+	}
+	got := v.AsBytes()
+	if !bytes.Equal(got, raw) {
+		t.Fatalf("AsBytes = %x, want %x", got, raw)
+	}
+	// The value owns its copy: mutating the source must not leak in,
+	// and mutating the output must not corrupt the value.
+	raw[0] = 0xaa
+	got[1] = 0xbb
+	if !bytes.Equal(v.AsBytes(), []byte{0x00, 0xff, 0x7f, 'k', 'y', 0x01}) {
+		t.Fatalf("value aliased caller memory: %x", v.AsBytes())
+	}
+	// Binary payloads survive the row codec unchanged.
+	schema := Schema{{Name: "payload", Type: TString}}
+	buf, err := EncodeRow(nil, schema, Row{Bytes([]byte{0, 1, 2, 0xfe})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row, err := DecodeRow(buf, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(row[0].AsBytes(), []byte{0, 1, 2, 0xfe}) {
+		t.Fatalf("roundtrip = %x", row[0].AsBytes())
+	}
+	if I64(7).AsBytes() != nil {
+		t.Fatal("AsBytes on INT returned non-nil")
 	}
 }

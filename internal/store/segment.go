@@ -1,0 +1,65 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kyrix/internal/wal"
+)
+
+// A segment is one size-bounded append-only file of the store, built
+// directly on the WAL's length-prefixed checksummed record framing.
+// Segments are immutable once rotated out of the active slot; the
+// oldest is evicted (after live-record salvage) when the store exceeds
+// its byte budget.
+type segment struct {
+	id   uint64
+	path string
+	log  *wal.Log
+}
+
+const segPrefix = "seg-"
+const segSuffix = ".kyx"
+
+func segPath(dir string, id uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%016x%s", segPrefix, id, segSuffix))
+}
+
+// openSegment opens (creating if absent) the segment file for id,
+// truncating any torn tail — exactly the WAL recovery contract.
+func openSegment(dir string, id uint64) (*segment, error) {
+	p := segPath(dir, id)
+	l, err := wal.Open(p)
+	if err != nil {
+		return nil, err
+	}
+	return &segment{id: id, path: p, log: l}, nil
+}
+
+// listSegmentIDs returns the ids of every segment file in dir, oldest
+// (smallest id) first. Unrecognized files are ignored.
+func listSegmentIDs(dir string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: read dir: %w", err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+		id, err := strconv.ParseUint(hex, 16, 64)
+		if err != nil {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}

@@ -1,0 +1,649 @@
+// Package store implements the persistent L2 tile store: an embedded
+// single-writer log-structured KV tier that sits under the in-memory
+// backend cache and holds encoded (post-render, pre-compression)
+// tile/box payloads across restarts. At the paper's "500-millisecond
+// interactions over billions of rows" bar, a deploy that cold-starts
+// the whole fleet against the database is a thundering herd; a
+// restarted node re-serves its working set from disk instead.
+//
+// # Layout
+//
+// The store is a directory of size-bounded segment files. Each segment
+// is an append-only log reusing the internal/wal framing (uint32
+// length + CRC-32 + payload), and each record's payload is one row of
+// the internal/storage codec: {gen INT, kind INT, key TEXT, val TEXT}.
+// An in-memory index maps key → (segment, offset) and is rebuilt on
+// open by replaying every segment oldest-first (later records win).
+// Reads go through wal.ReadAt, so every payload served is
+// checksum-verified — a torn or corrupt record is a miss, never bad
+// bytes.
+//
+// # Write-behind
+//
+// Put never blocks and never touches disk inline: fills are enqueued
+// on a bounded queue and appended by a single flusher goroutine in
+// batches (a full batch or the flush interval, whichever first), one
+// fsync per batch. When the queue is full the fill is dropped and
+// counted — the L2 is a cache; losing a write costs a future disk
+// miss, never correctness. Close drains the queue under a deadline so
+// a fill enqueued just before shutdown is readable after reopen.
+//
+// # Generations (invalidation by prefix)
+//
+// Every record carries the generation it was written under. Bump
+// persists a generation marker and makes every earlier record
+// invisible — without touching it on disk — which is how /update and
+// cluster epoch adoptions invalidate the whole tier in O(1). Replay
+// honors markers, so invalidated records stay invisible across
+// restarts; compaction reclaims their space when their segment is
+// evicted.
+//
+// # Eviction and compaction
+//
+// When the store exceeds its byte budget the oldest segment is
+// evicted: records still live (indexed, current generation) are
+// salvaged — re-appended to the active segment — as long as salvage
+// keeps the store under budget, and the rest are dropped from the
+// index; then the file is deleted. Stale generations and overwritten
+// records are never salvaged, so eviction doubles as compaction.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kyrix/internal/wal"
+)
+
+// Options configures a Store. Path is required; every other field has
+// a default.
+type Options struct {
+	// Path is the directory holding the segment files (created if
+	// absent).
+	Path string
+	// MaxBytes is the on-disk budget; the oldest segment is evicted
+	// (live records salvaged) when total segment bytes exceed it.
+	// Default 1 GiB.
+	MaxBytes int64
+	// SegmentBytes bounds one segment file; the active segment rotates
+	// when it reaches this size. Default MaxBytes/8, clamped to
+	// [1 MiB, 64 MiB]. Records larger than a segment are dropped.
+	SegmentBytes int64
+	// WriteQueueDepth bounds the write-behind queue; a Put finding it
+	// full is dropped, not blocked. Default 1024.
+	WriteQueueDepth int
+	// FlushInterval is the longest an enqueued fill waits before its
+	// batch is appended and fsynced. Default 50 ms.
+	FlushInterval time.Duration
+	// DrainTimeout bounds how long Close waits for the flusher to
+	// drain the queue before force-closing the segments. Default 5 s.
+	DrainTimeout time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = 1 << 30
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = o.MaxBytes / 8
+		if o.SegmentBytes < 1<<20 {
+			o.SegmentBytes = 1 << 20
+		}
+		if o.SegmentBytes > 64<<20 {
+			o.SegmentBytes = 64 << 20
+		}
+	}
+	if o.WriteQueueDepth <= 0 {
+		o.WriteQueueDepth = 1024
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+	if o.DrainTimeout <= 0 {
+		o.DrainTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// Stats counts store activity. All fields are atomic; read them with
+// Snapshot for a consistent-enough view.
+type Stats struct {
+	Hits            atomic.Int64
+	Misses          atomic.Int64
+	Puts            atomic.Int64
+	DroppedFull     atomic.Int64 // queue full
+	DroppedStale    atomic.Int64 // generation moved between enqueue and flush
+	DroppedOversize atomic.Int64
+	CorruptReads    atomic.Int64 // checksum rejected a record at read time
+	BatchFlushes    atomic.Int64
+	Evictions       atomic.Int64 // segments evicted
+	Salvaged        atomic.Int64 // live records re-appended during eviction
+	EvictedLive     atomic.Int64 // live records dropped because salvage was over budget
+}
+
+// StatsSnapshot is a point-in-time copy of Stats plus the store's
+// current shape — what /stats serves under cache.l2.
+type StatsSnapshot struct {
+	Hits            int64  `json:"hits"`
+	Misses          int64  `json:"misses"`
+	Puts            int64  `json:"puts"`
+	DroppedFull     int64  `json:"droppedFull"`
+	DroppedStale    int64  `json:"droppedStale"`
+	DroppedOversize int64  `json:"droppedOversize"`
+	CorruptReads    int64  `json:"corruptReads"`
+	BatchFlushes    int64  `json:"batchFlushes"`
+	Evictions       int64  `json:"evictions"`
+	Salvaged        int64  `json:"salvaged"`
+	EvictedLive     int64  `json:"evictedLive"`
+	Bytes           int64  `json:"bytes"`
+	Segments        int    `json:"segments"`
+	Keys            int    `json:"keys"`
+	Generation      uint64 `json:"generation"`
+}
+
+// loc addresses one live record.
+type loc struct {
+	seg uint64
+	lsn wal.LSN
+}
+
+type putReq struct {
+	key  string
+	val  []byte
+	gen  uint64
+	done chan struct{} // non-nil: flush barrier, key/val unused
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Store is the persistent tile store. One flusher goroutine performs
+// all disk writes (single-writer); Get is safe for any concurrency.
+type Store struct {
+	opts Options
+
+	// mu guards index, segs, segByID, totalBytes and all segment
+	// mutation. Gets hold the read side across the index lookup AND
+	// the file read, so eviction can never delete a file mid-read.
+	mu         sync.RWMutex
+	segs       []*segment // oldest..newest; last is the active (append) segment
+	segByID    map[uint64]*segment
+	index      map[string]loc
+	totalBytes int64
+	nextSegID  uint64
+	segsClosed bool
+
+	// gen is the current generation; reads/writes outside mu go
+	// through the atomic.
+	gen atomic.Uint64
+
+	// qmu guards the closed flag vs. closing the queue channel, so a
+	// concurrent Put can never send on a closed channel.
+	qmu         sync.RWMutex
+	closed      bool
+	queue       chan putReq
+	flusherDone chan struct{}
+
+	Stats Stats
+}
+
+// Open opens (creating if needed) the store at opts.Path, rebuilding
+// the key index by replaying every segment, and starts the write-
+// behind flusher.
+func Open(opts Options) (*Store, error) {
+	if opts.Path == "" {
+		return nil, errors.New("store: Options.Path is required")
+	}
+	opts = opts.withDefaults()
+	if err := os.MkdirAll(opts.Path, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir: %w", err)
+	}
+	s := &Store{
+		opts:        opts,
+		segByID:     make(map[uint64]*segment),
+		index:       make(map[string]loc),
+		queue:       make(chan putReq, opts.WriteQueueDepth),
+		flusherDone: make(chan struct{}),
+	}
+	ids, err := listSegmentIDs(opts.Path)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range ids {
+		seg, err := openSegment(opts.Path, id)
+		if err != nil {
+			s.closeSegsLocked()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+		s.segByID[id] = seg
+		if err := s.replaySegment(seg); err != nil {
+			s.closeSegsLocked()
+			return nil, err
+		}
+		s.totalBytes += seg.log.Size()
+		if id >= s.nextSegID {
+			s.nextSegID = id + 1
+		}
+	}
+	// Entries indexed before the final generation marker are stale.
+	s.pruneIndexLocked()
+	if len(s.segs) == 0 {
+		if err := s.rotateLocked(); err != nil {
+			return nil, err
+		}
+	}
+	go s.flusher()
+	return s, nil
+}
+
+// replaySegment folds one segment's records into the index. Later
+// records win (replay is oldest segment first, in-file order); a
+// generation marker clears everything indexed so far.
+func (s *Store) replaySegment(seg *segment) error {
+	return seg.log.Replay(func(lsn wal.LSN, payload []byte) error {
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// A record that framed correctly but does not decode is a
+			// foreign or damaged payload: skip it, the index just
+			// won't serve it.
+			s.Stats.CorruptReads.Add(1)
+			return nil
+		}
+		switch rec.kind {
+		case recordGen:
+			if rec.gen > s.gen.Load() {
+				s.gen.Store(rec.gen)
+				s.index = make(map[string]loc)
+			}
+		case recordPut:
+			if rec.gen == s.gen.Load() {
+				s.index[rec.key] = loc{seg: seg.id, lsn: lsn}
+			}
+		}
+		return nil
+	})
+}
+
+// pruneIndexLocked drops index entries from earlier generations (only
+// possible transiently during replay).
+func (s *Store) pruneIndexLocked() {
+	// replaySegment already clears on markers and filters on gen, so
+	// this is a no-op safeguard kept cheap by the small index.
+}
+
+// Generation returns the current generation.
+func (s *Store) Generation() uint64 { return s.gen.Load() }
+
+// Get returns the payload stored for key in the current generation.
+// The read is checksum-verified end to end: a torn, corrupt, or
+// mismatched record counts as a miss (and the bad index entry is
+// dropped), never as served bytes.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	l, ok := s.index[key]
+	if !ok || s.segsClosed {
+		s.mu.RUnlock()
+		s.Stats.Misses.Add(1)
+		return nil, false
+	}
+	seg := s.segByID[l.seg]
+	payload, err := seg.log.ReadAt(l.lsn)
+	var rec decodedRecord
+	if err == nil {
+		rec, err = decodeRecord(payload)
+	}
+	s.mu.RUnlock()
+	if err != nil || rec.kind != recordPut || rec.key != key || rec.gen != s.gen.Load() {
+		s.Stats.CorruptReads.Add(1)
+		s.Stats.Misses.Add(1)
+		s.dropIndexEntry(key, l)
+		return nil, false
+	}
+	s.Stats.Hits.Add(1)
+	return rec.val, true
+}
+
+// dropIndexEntry removes key's index entry if it still points at l
+// (a corrupt record should not be re-read on every lookup).
+func (s *Store) dropIndexEntry(key string, l loc) {
+	s.mu.Lock()
+	if cur, ok := s.index[key]; ok && cur == l {
+		delete(s.index, key)
+	}
+	s.mu.Unlock()
+}
+
+// Put enqueues one fill for asynchronous append. It never blocks: a
+// full queue drops the fill (counted in Stats.DroppedFull), and a
+// fill that straddles a Bump is dropped at flush time. Returns false
+// when the fill was dropped or the store is closed.
+func (s *Store) Put(key string, val []byte) bool {
+	return s.PutAt(key, val, s.gen.Load())
+}
+
+// PutAt is Put with the generation captured by the caller — callers
+// that computed val under a known generation (a server answering a
+// query) pass the generation they started from, so a fill that raced
+// an invalidation is dropped at flush time instead of persisting
+// pre-invalidation data under the new generation.
+func (s *Store) PutAt(key string, val []byte, gen uint64) bool {
+	if int64(len(key)+len(val))+64 > s.opts.SegmentBytes {
+		s.Stats.DroppedOversize.Add(1)
+		return false
+	}
+	// Copy: the caller's buffer may be reused before the flusher runs.
+	v := make([]byte, len(val))
+	copy(v, val)
+	req := putReq{key: key, val: v, gen: gen}
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.closed {
+		return false
+	}
+	select {
+	case s.queue <- req:
+		return true
+	default:
+		s.Stats.DroppedFull.Add(1)
+		return false
+	}
+}
+
+// Bump advances the generation, persisting a marker record before
+// returning: every record written under an earlier generation is
+// invisible from now on — and stays invisible after a restart — while
+// its disk space is reclaimed lazily by eviction. This is how /update
+// and cluster epoch adoptions invalidate the whole tier.
+func (s *Store) Bump() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.segsClosed {
+		return s.gen.Load(), ErrClosed
+	}
+	next := s.gen.Load() + 1
+	rec, err := encodeRecord(next, recordGen, "", nil)
+	if err != nil {
+		return s.gen.Load(), err
+	}
+	active := s.segs[len(s.segs)-1]
+	before := active.log.Size()
+	if _, err := active.log.Append(rec); err != nil {
+		return s.gen.Load(), err
+	}
+	if err := active.log.Sync(); err != nil {
+		return s.gen.Load(), err
+	}
+	s.totalBytes += active.log.Size() - before
+	s.gen.Store(next)
+	// Every indexed entry belongs to an earlier generation now.
+	s.index = make(map[string]loc)
+	return next, nil
+}
+
+// Flush blocks until every fill enqueued before the call is on disk
+// (or dropped by a concurrent Bump). It is the synchronous barrier
+// tests and Close use; the serving path never calls it.
+func (s *Store) Flush() error {
+	done := make(chan struct{})
+	s.qmu.RLock()
+	if s.closed {
+		s.qmu.RUnlock()
+		return ErrClosed
+	}
+	// Blocking send is correct here: the flusher is draining, and a
+	// barrier must wait its turn behind the queued fills anyway.
+	s.queue <- putReq{done: done}
+	s.qmu.RUnlock()
+	<-done
+	return nil
+}
+
+// Close drains the write-behind queue (bounded by DrainTimeout),
+// syncs, and closes every segment. Idempotent.
+func (s *Store) Close() error {
+	s.qmu.Lock()
+	if s.closed {
+		s.qmu.Unlock()
+		// Wait for the closer that got here first.
+		<-s.flusherDone
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.qmu.Unlock()
+
+	// The flusher drains the closed channel's remaining fills, then
+	// exits. Give it the drain deadline; on expiry force-close the
+	// segments — remaining appends fail harmlessly (dropped fills).
+	select {
+	case <-s.flusherDone:
+	case <-time.After(s.opts.DrainTimeout):
+	}
+	s.mu.Lock()
+	s.closeSegsLocked()
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Store) closeSegsLocked() {
+	if s.segsClosed {
+		return
+	}
+	s.segsClosed = true
+	for _, seg := range s.segs {
+		_ = seg.log.Close()
+	}
+}
+
+// Snapshot returns a point-in-time copy of the store's counters and
+// shape.
+func (s *Store) Snapshot() StatsSnapshot {
+	s.mu.RLock()
+	bytes, segments, keys := s.totalBytes, len(s.segs), len(s.index)
+	s.mu.RUnlock()
+	return StatsSnapshot{
+		Hits:            s.Stats.Hits.Load(),
+		Misses:          s.Stats.Misses.Load(),
+		Puts:            s.Stats.Puts.Load(),
+		DroppedFull:     s.Stats.DroppedFull.Load(),
+		DroppedStale:    s.Stats.DroppedStale.Load(),
+		DroppedOversize: s.Stats.DroppedOversize.Load(),
+		CorruptReads:    s.Stats.CorruptReads.Load(),
+		BatchFlushes:    s.Stats.BatchFlushes.Load(),
+		Evictions:       s.Stats.Evictions.Load(),
+		Salvaged:        s.Stats.Salvaged.Load(),
+		EvictedLive:     s.Stats.EvictedLive.Load(),
+		Bytes:           bytes,
+		Segments:        segments,
+		Keys:            keys,
+		Generation:      s.gen.Load(),
+	}
+}
+
+// Len returns the number of live keys.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// --- the single writer ---
+
+// flusher is the only goroutine that appends fills. It batches queued
+// fills (a full batch or one FlushInterval, whichever first) and
+// performs one fsync per batch. When Close closes the queue, the
+// channel drains its remaining buffered fills before ok turns false,
+// which is exactly the Close-drain contract.
+func (s *Store) flusher() {
+	defer close(s.flusherDone)
+	batchMax := s.opts.WriteQueueDepth / 2
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	if batchMax > 256 {
+		batchMax = 256
+	}
+	ticker := time.NewTicker(s.opts.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]putReq, 0, batchMax)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.appendBatch(batch)
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case req, ok := <-s.queue:
+			if !ok {
+				flush()
+				return
+			}
+			if req.done != nil {
+				flush()
+				close(req.done)
+				continue
+			}
+			batch = append(batch, req)
+			if len(batch) >= batchMax {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		}
+	}
+}
+
+// appendBatch writes one batch under the store lock: rotate if the
+// active segment is full, append every still-fresh fill, fsync once,
+// then evict while over budget.
+func (s *Store) appendBatch(batch []putReq) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.segsClosed {
+		for range batch {
+			s.Stats.DroppedStale.Add(1)
+		}
+		return
+	}
+	gen := s.gen.Load()
+	wrote := false
+	for _, req := range batch {
+		if req.gen != gen {
+			// The generation moved between enqueue and flush: this
+			// payload predates an invalidation and must not be
+			// written under the new generation.
+			s.Stats.DroppedStale.Add(1)
+			continue
+		}
+		if err := s.appendPutLocked(req.key, req.val, gen); err != nil {
+			s.Stats.DroppedStale.Add(1)
+			continue
+		}
+		wrote = true
+		s.Stats.Puts.Add(1)
+	}
+	if wrote {
+		active := s.segs[len(s.segs)-1]
+		_ = active.log.Sync()
+		s.Stats.BatchFlushes.Add(1)
+		s.evictLocked()
+	}
+}
+
+// appendPutLocked appends one put record to the active segment
+// (rotating first when full) and indexes it.
+func (s *Store) appendPutLocked(key string, val []byte, gen uint64) error {
+	active := s.segs[len(s.segs)-1]
+	if active.log.Size() >= s.opts.SegmentBytes {
+		// Sync the outgoing active segment before rotating: it is
+		// immutable from here on and must be durable.
+		_ = active.log.Sync()
+		if err := s.rotateLocked(); err != nil {
+			return err
+		}
+		active = s.segs[len(s.segs)-1]
+	}
+	rec, err := encodeRecord(gen, recordPut, key, val)
+	if err != nil {
+		return err
+	}
+	before := active.log.Size()
+	lsn, err := active.log.Append(rec)
+	if err != nil {
+		return err
+	}
+	s.totalBytes += active.log.Size() - before
+	s.index[key] = loc{seg: active.id, lsn: lsn}
+	return nil
+}
+
+// rotateLocked opens a fresh active segment.
+func (s *Store) rotateLocked() error {
+	seg, err := openSegment(s.opts.Path, s.nextSegID)
+	if err != nil {
+		return err
+	}
+	s.nextSegID++
+	s.segs = append(s.segs, seg)
+	s.segByID[seg.id] = seg
+	return nil
+}
+
+// evictLocked brings the store back under its byte budget by evicting
+// oldest segments. Live current-generation records are salvaged into
+// the active segment while salvage keeps the store under budget; the
+// rest are dropped from the index (this is a cache — a dropped record
+// costs a disk miss, never correctness). Overwritten and stale-
+// generation records are simply left behind, so eviction is also the
+// store's compaction.
+func (s *Store) evictLocked() {
+	for s.totalBytes > s.opts.MaxBytes && len(s.segs) > 1 {
+		victim := s.segs[0]
+		freed := victim.log.Size()
+		// Salvage budget: what we may re-append and still land under
+		// MaxBytes once the victim's bytes are gone.
+		budget := s.opts.MaxBytes - (s.totalBytes - freed)
+		gen := s.gen.Load()
+		var salvagedBytes int64
+		_ = victim.log.Replay(func(lsn wal.LSN, payload []byte) error {
+			rec, err := decodeRecord(payload)
+			if err != nil || rec.kind != recordPut {
+				return nil
+			}
+			cur, ok := s.index[rec.key]
+			if !ok || cur.seg != victim.id || cur.lsn != lsn || rec.gen != gen {
+				return nil // overwritten, invalidated, or stale: garbage
+			}
+			recLen := int64(len(payload)) + 8
+			if salvagedBytes+recLen > budget {
+				delete(s.index, rec.key)
+				s.Stats.EvictedLive.Add(1)
+				return nil
+			}
+			if err := s.appendPutLocked(rec.key, rec.val, gen); err != nil {
+				delete(s.index, rec.key)
+				s.Stats.EvictedLive.Add(1)
+				return nil
+			}
+			salvagedBytes += recLen
+			s.Stats.Salvaged.Add(1)
+			return nil
+		})
+		if salvagedBytes > 0 {
+			_ = s.segs[len(s.segs)-1].log.Sync()
+		}
+		_ = victim.log.Close()
+		_ = os.Remove(victim.path)
+		s.totalBytes -= freed
+		s.segs = s.segs[1:]
+		delete(s.segByID, victim.id)
+		s.Stats.Evictions.Add(1)
+	}
+}

@@ -27,6 +27,12 @@ type LSN int64
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("wal: closed")
 
+// ErrCorrupt is returned by ReadAt when a record's stored checksum does
+// not match its payload (torn write, bit rot, or a bad LSN landing
+// mid-record). Random-access readers must treat it as "record absent",
+// never serve the bytes.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
 const frameHeader = 8
 
 // Log is an append-only write-ahead log. Safe for concurrent appends.
@@ -111,6 +117,41 @@ func (l *Log) Sync() error {
 		return ErrClosed
 	}
 	return l.f.Sync()
+}
+
+// ReadAt reads the single record at lsn, verifying its checksum — the
+// random-access counterpart of Replay, for callers that keep an
+// external key→LSN index (the persistent tile store). A record whose
+// stored CRC does not match returns ErrCorrupt; an LSN outside the
+// validated log returns an error. The returned slice is freshly
+// allocated and owned by the caller.
+func (l *Log) ReadAt(lsn LSN) ([]byte, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	off := int64(lsn)
+	if off < 0 || off+frameHeader > l.end {
+		return nil, fmt.Errorf("wal: ReadAt %d: beyond log end %d", off, l.end)
+	}
+	hdr := make([]byte, frameHeader)
+	if _, err := l.f.ReadAt(hdr, off); err != nil {
+		return nil, fmt.Errorf("wal: ReadAt header at %d: %w", off, err)
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:])
+	sum := binary.LittleEndian.Uint32(hdr[4:])
+	if off+frameHeader+int64(length) > l.end {
+		return nil, fmt.Errorf("wal: ReadAt %d: record overruns log end", off)
+	}
+	payload := make([]byte, length)
+	if _, err := l.f.ReadAt(payload, off+frameHeader); err != nil {
+		return nil, fmt.Errorf("wal: ReadAt payload at %d: %w", off, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("wal: ReadAt %d: %w", off, ErrCorrupt)
+	}
+	return payload, nil
 }
 
 // Replay calls fn for every intact record in LSN order.

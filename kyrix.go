@@ -84,6 +84,58 @@
 // cold keys look admissible. The filter clears on every sketch decay;
 // estimates transparently count the bloom bit as one sighting.
 //
+// # Persistent tile store (L2)
+//
+// Setting [ServerOptions].Cache.L2.Path enables a second cache tier
+// under the in-memory one: an embedded single-writer log-structured KV
+// store (internal/store) holding encoded, post-render tile/box
+// payloads across restarts — a redeployed node re-serves its working
+// set from local disk instead of stampeding the database cold.
+//
+//   - Record format. The store is a directory of size-bounded segment
+//     files; each segment reuses the WAL's length-prefixed CRC-32
+//     framing, and each record is one storage-codec row
+//     {generation, kind, key, payload}. Reads are checksum-verified
+//     end to end: a torn or corrupt record is a cache miss, never bad
+//     bytes. An in-memory key→(segment,offset) index is rebuilt on
+//     open by replaying the segments.
+//   - Write-behind semantics. The serving path never waits on L2: an
+//     L1 miss reads L2 before the database, and fills (database or
+//     peer) are enqueued on a bounded queue flushed by one background
+//     writer in batches (a full batch or Cache.L2.FlushInterval — one
+//     fsync per batch). A full queue drops the fill; losing a write
+//     costs a future disk miss, never correctness. [Instance.Close]
+//     drains the queue (bounded by a deadline), so a fill accepted
+//     just before shutdown is readable after restart.
+//   - Invalidation by generation prefix. Every record carries the
+//     generation it was written under; /update and cluster epoch
+//     adoptions append one fsynced generation marker that makes every
+//     earlier record invisible — in O(1), without touching records on
+//     disk, and durably across restarts. Eviction (oldest segment
+//     first, salvaging still-live records within the byte budget)
+//     reclaims the dead space, doubling as compaction.
+//
+// Knobs: [ServerOptions].Cache.L2 Path/MaxBytes/SegmentBytes/
+// WriteQueueDepth/FlushInterval; GET /stats reports the tier under
+// cache.l2 ([StatsSnapshot]). `kyrix-bench -restart -l2dir DIR`
+// measures the restart benefit (the committed BENCH_restart_*.json
+// artifacts), and BenchmarkColdStart guards it in CI.
+//
+// # Cache configuration migration (CacheOptions)
+//
+// The flat [ServerOptions] fields CacheBytes, CacheShards,
+// CacheAdmission, CacheSketchCounters and CacheDoorkeeper are
+// deprecated aliases of the nested [CacheOptions] ([ServerOptions].Cache):
+// Cache.L1.Bytes, Cache.L1.Shards, Cache.L1.Admission,
+// Cache.L1.SketchCounters, Cache.L1.Doorkeeper. Precedence is
+// field-by-field: an explicitly set (non-zero) nested field wins, a
+// zero nested field falls back to its flat alias — so existing call
+// sites keep configuring exactly what they did, and new code should
+// write the nested form. Note that [DefaultServerOptions] populates
+// the nested struct: callers starting from it must override
+// Cache.L1.* (overriding a flat alias would lose to the nested
+// default).
+//
 // # Clustered serving
 //
 // One process, however well sharded, is one machine. With
@@ -385,6 +437,18 @@ type (
 	// (ServerOptions.Cluster): consistent-hash tile ownership with
 	// peer cache fill — see the "Clustered serving" section above.
 	ClusterOptions = server.ClusterOptions
+	// CacheOptions nests the backend cache configuration
+	// (ServerOptions.Cache): L1 is the in-memory W-TinyLFU/LRU tier,
+	// L2 the persistent tile store — see "Persistent tile store (L2)"
+	// above for the migration from the deprecated flat fields.
+	CacheOptions = server.CacheOptions
+	// L1CacheOptions configures the in-memory backend cache tier.
+	L1CacheOptions = server.L1CacheOptions
+	// L2CacheOptions configures the persistent tile store tier.
+	L2CacheOptions = server.L2CacheOptions
+	// StatsSnapshot is the versioned structured GET /stats response
+	// (schema v2); GET /stats?v=1 still serves the legacy flat map.
+	StatsSnapshot = server.StatsSnapshot
 )
 
 // Mapping-table index kinds (§3.1 compares B-tree and hash).
@@ -550,6 +614,15 @@ func (in *Instance) Close() error {
 		in.ln = nil
 	}
 	in.hsrv = nil
+	// Only after the HTTP side has drained: release the backend's own
+	// resources. Crucially this flushes the persistent tile store's
+	// write-behind queue (bounded by its drain deadline), so a fill
+	// accepted moments before Close is readable after the next start.
+	if in.Server != nil {
+		if serr := in.Server.Close(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	return err
 }
 
