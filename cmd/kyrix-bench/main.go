@@ -55,6 +55,13 @@
 // BENCH_restart_cold.json (dbQueriesToWarm and p50FirstStepsMs per
 // phase).
 //
+// -failover runs the replicated-update availability experiment: a
+// 3-node cluster with the quorum-committed update log serves a tile
+// stream with interleaved updates, the leader is killed mid-run, and
+// the survivors carry on. The table reports per-phase tile p50/p95,
+// the re-election window, and updatesLost (contractually 0); with
+// -json it writes BENCH_failover.json.
+//
 // -json writes the concurrent-mode results to BENCH_<label>.json
 // (label from -label) so the perf trajectory is machine-readable
 // across PRs: wireKB/step, ttff ms, p50/p95 latency, compression
@@ -98,6 +105,7 @@ func main() {
 	label := flag.String("label", "", "label for the -json artifact (default proto+clients)")
 	l2dir := flag.String("l2dir", "", "enable the persistent tile store (L2) at this directory; -restart uses a temp dir when empty")
 	restart := flag.Bool("restart", false, "run the restart cold-start experiment: first boot vs L2-warm restart over the same zipf trace, plus the no-L2 baseline; -json writes BENCH_restart_l2.json and BENCH_restart_cold.json")
+	failover := flag.Bool("failover", false, "run the replicated-update failover experiment: 3-node cluster, leader killed mid-run, steady vs failover tile p50 and zero-loss audit; -json writes BENCH_failover.json")
 	flag.Parse()
 
 	var cfg experiments.Config
@@ -173,6 +181,38 @@ func main() {
 				}
 				log.Printf("wrote %s", path)
 			}
+		}
+		return
+	}
+
+	if *failover {
+		root, err := os.MkdirTemp("", "kyrix-replog-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(root)
+		fopts := experiments.DefaultFailoverOptions(root)
+		// -steps keeps its concurrent-mode default of 12; only an
+		// explicit value overrides the failover window of 200.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "steps" {
+				fopts.StepsPerPhase = *steps
+			}
+		})
+		res, err := experiments.FailoverExperiment(cfg, fopts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res.Format())
+		if *jsonOut {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile("BENCH_failover.json", append(data, '\n'), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("wrote BENCH_failover.json")
 		}
 		return
 	}

@@ -27,6 +27,17 @@
 // backing store — the epoch protocol keeps caches coherent, data
 // placement is the store's job).
 //
+// -replog-dir upgrades /update from gossiped invalidation to a
+// quorum-committed replicated log persisted under that directory: any
+// node accepts an update, forwards it to the elected leader, and every
+// node applies the committed log in the same order. A restarted node
+// replays its log and rejoins; updates acked to clients survive the
+// loss of any minority of nodes:
+//
+//	kyrix-server -demo uniform -addr :8080 -self http://10.0.0.1:8080 \
+//	  -peers http://10.0.0.1:8080,http://10.0.0.2:8080,http://10.0.0.3:8080 \
+//	  -replog-dir /var/lib/kyrix/replog
+//
 // -l2dir enables the persistent tile store (L2): rendered payloads are
 // journaled to checksummed segment files under that directory through a
 // write-behind queue, so a restarted node answers its working set from
@@ -74,6 +85,7 @@ func main() {
 	walPath := flag.String("wal", "", "attach a write-ahead log at this path (enables the update model)")
 	self := flag.String("self", "", "cluster mode: this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
 	peers := flag.String("peers", "", "cluster mode: comma-separated base URLs of every cluster node (may include -self)")
+	replogDir := flag.String("replog-dir", "", "persist a replicated update log under this directory: /update commits through a quorum of the cluster and survives node failures (standalone: a durable single-node log)")
 	var tables tableList
 	flag.Var(&tables, "table", "load a CSV table: name=path.csv (repeatable, spec mode)")
 	flag.Parse()
@@ -93,6 +105,7 @@ func main() {
 			log.Fatalf("-peers %q names no peer besides -self", *peers)
 		}
 	}
+	clusterOpts.Replog.Dir = *replogDir
 
 	var sizes []float64
 	for _, s := range strings.Split(*tileSizes, ",") {
@@ -149,6 +162,11 @@ func main() {
 	}
 	if *l2dir != "" {
 		log.Printf("persistent tile store at %s (%d keys resident)", *l2dir, srv.L2().Len())
+	}
+	if *replogDir != "" {
+		rs := srv.Replog().Snapshot()
+		log.Printf("replicated update log at %s (%d members, %d entries on disk)",
+			*replogDir, rs.Members, rs.LastIndex)
 	}
 	log.Printf("kyrix backend serving app %q on %s", ca.Spec.Name, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))

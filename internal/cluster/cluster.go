@@ -32,6 +32,39 @@ type Options struct {
 	PeerTimeout time.Duration
 	// PeerConcurrency bounds in-flight fills per peer (0 = 32).
 	PeerConcurrency int
+	// PeerRetries is the number of extra attempts after a failed peer
+	// fill, each preceded by jittered exponential backoff inside the
+	// same PeerTimeout budget (0 = 2; < 0 disables retry).
+	PeerRetries int
+	// BreakerThreshold opens a peer's circuit after this many
+	// consecutive failures — further exchanges fail fast until a
+	// half-open probe succeeds (0 = 8; < 0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects before the
+	// half-open probe (0 = 1s).
+	BreakerCooldown time.Duration
+	// Replog configures the replicated update log (internal/replog).
+	// When Replog.Dir is non-empty, the server routes /update through
+	// a quorum-committed leader log over this transport instead of
+	// best-effort epoch gossip.
+	Replog ReplogOptions
+}
+
+// ReplogOptions carries the replicated update log's knobs; the server
+// maps them onto internal/replog's config. All durations 0 = that
+// package's defaults.
+type ReplogOptions struct {
+	// Dir is the directory holding this node's log WAL. Non-empty
+	// enables the replicated log (cluster mode required).
+	Dir string
+	// ElectionTimeout is the base leader-election timeout; each
+	// follower randomizes in [1x, 2x).
+	ElectionTimeout time.Duration
+	// Heartbeat is the leader's append/heartbeat interval.
+	Heartbeat time.Duration
+	// SubmitTimeout bounds one /update end to end: forward to leader,
+	// quorum commit, local apply.
+	SubmitTimeout time.Duration
 }
 
 // DefaultHotReplicate is the default hot-key replication threshold:
@@ -129,10 +162,20 @@ func New(opts Options) (*Node, error) {
 	return &Node{
 		opts: opts,
 		ring: NewRing(opts.VirtualNodes, members...),
-		tr:   NewTransport(others, opts.PeerConcurrency, opts.PeerTimeout),
-		vec:  EpochVector{},
+		tr: NewTransport(others, TransportConfig{
+			PerPeer:          opts.PeerConcurrency,
+			Timeout:          opts.PeerTimeout,
+			Retries:          opts.PeerRetries,
+			BreakerThreshold: opts.BreakerThreshold,
+			BreakerCooldown:  opts.BreakerCooldown,
+		}),
+		vec: EpochVector{},
 	}, nil
 }
+
+// Transport exposes the peer transport — the replicated log's RPC
+// channel and the chaos tests' failpoint switchboard.
+func (n *Node) Transport() *Transport { return n.tr }
 
 // SetEpochHook registers the invalidation callback run (outside any
 // cluster lock) each time the node adopts newer epoch components from

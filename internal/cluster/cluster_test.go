@@ -26,7 +26,7 @@ func TestTransportFetchRoundtrip(t *testing.T) {
 	payload := []byte(`{"rows":[[1,2.5]]}`)
 	hs := peerStub(t, EpochVector{"origin": 7}, payload, nil)
 	defer hs.Close()
-	tr := NewTransport([]string{hs.URL}, 4, time.Second)
+	tr := NewTransport([]string{hs.URL}, TransportConfig{PerPeer: 4, Timeout: time.Second})
 	got, epochs, err := tr.Fetch(hs.URL, &FillRequest{Key: "k", Kind: "tile"})
 	if err != nil {
 		t.Fatal(err)
@@ -49,7 +49,7 @@ func TestTransportCompressedFill(t *testing.T) {
 	}
 	hs := peerStub(t, EpochVector{"origin": 1}, big, nil)
 	defer hs.Close()
-	tr := NewTransport([]string{hs.URL}, 4, time.Second)
+	tr := NewTransport([]string{hs.URL}, TransportConfig{PerPeer: 4, Timeout: time.Second})
 	got, _, err := tr.Fetch(hs.URL, &FillRequest{Key: "k", Kind: "tile"})
 	if err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestTransportCompressedFill(t *testing.T) {
 func TestTransportErrors(t *testing.T) {
 	hs := peerStub(t, EpochVector{"origin": 3}, nil, errors.New("no such layer"))
 	defer hs.Close()
-	tr := NewTransport([]string{hs.URL}, 4, time.Second)
+	tr := NewTransport([]string{hs.URL}, TransportConfig{PerPeer: 4, Timeout: time.Second})
 	if _, _, err := tr.Fetch(hs.URL, &FillRequest{}); err == nil {
 		t.Fatal("error frame must surface as an error")
 	}
@@ -70,7 +70,7 @@ func TestTransportErrors(t *testing.T) {
 		t.Fatal("unknown peer must fail")
 	}
 	// A dead peer fails within the timeout instead of hanging.
-	dead := NewTransport([]string{"http://127.0.0.1:1"}, 1, 200*time.Millisecond)
+	dead := NewTransport([]string{"http://127.0.0.1:1"}, TransportConfig{PerPeer: 1, Timeout: 200 * time.Millisecond, Retries: -1})
 	start := time.Now()
 	if _, _, err := dead.Fetch("http://127.0.0.1:1", &FillRequest{}); err == nil {
 		t.Fatal("dead peer must fail")
@@ -100,7 +100,7 @@ func TestTransportConcurrencyBound(t *testing.T) {
 	}))
 	defer hs.Close()
 
-	tr := NewTransport([]string{hs.URL}, bound, 5*time.Second)
+	tr := NewTransport([]string{hs.URL}, TransportConfig{PerPeer: bound, Timeout: 5 * time.Second})
 	var wg sync.WaitGroup
 	for i := 0; i < 6; i++ {
 		wg.Add(1)

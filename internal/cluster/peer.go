@@ -5,8 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net/http"
+	"sync"
 	"time"
 
 	"kyrix/internal/wire"
@@ -26,6 +30,19 @@ const EpochHeader = "X-Kyrix-Epoch"
 // peer protocol reuses the batch codec — per-frame status, bounded
 // DEFLATE, the works — instead of inventing a second envelope.
 const PeerContentType = "application/x-kyrix-peer-v3"
+
+// ErrBreakerOpen is returned (wrapped) when a peer's circuit breaker is
+// rejecting calls: the peer failed BreakerThreshold consecutive times
+// and the cooldown has not elapsed (or a half-open probe is already in
+// flight). Callers fall back exactly as for any other peer error; the
+// point is failing in microseconds instead of burning a timeout per
+// request on a peer already known dead.
+var ErrBreakerOpen = errors.New("cluster: peer circuit open")
+
+// errFailpointDrop is what an injected drop failpoint reports; it
+// counts as a peer failure (feeding the breaker) like a real network
+// drop would.
+var errFailpointDrop = errors.New("cluster: failpoint: dropped")
 
 // FillRequest asks a key's owner to produce one tile or dynamic-box
 // payload. It carries the same addressing fields as a /batch item plus
@@ -49,68 +66,249 @@ type FillRequest struct {
 	Epochs EpochVector `json:"epochs,omitempty"`
 }
 
-// peer is one remote node: a shared pooled HTTP client plus a
-// per-peer concurrency bound, so one slow or dead peer saturates its
-// own slots and nothing else.
+// TransportConfig tunes the peer transport. The zero value gets
+// sensible defaults everywhere.
+type TransportConfig struct {
+	// PerPeer bounds in-flight exchanges per peer (0 = 32).
+	PerPeer int
+	// Timeout bounds one Fetch end to end — queue wait, every retry
+	// attempt and backoff sleep included (0 = 2s).
+	Timeout time.Duration
+	// Retries is the number of extra Fetch attempts after the first
+	// fails, each preceded by jittered exponential backoff within the
+	// same Timeout budget (0 = 2; < 0 disables retry).
+	Retries int
+	// BreakerThreshold opens a peer's circuit after this many
+	// consecutive failures; while open, exchanges fail fast with
+	// ErrBreakerOpen until a cooldown elapses, then a single half-open
+	// probe tests recovery (0 = 8; < 0 disables the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects calls before
+	// allowing the half-open probe (0 = 1s).
+	BreakerCooldown time.Duration
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.PerPeer <= 0 {
+		c.PerPeer = 32
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	}
+	if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 8
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	return c
+}
+
+// PeerStats is a point-in-time snapshot of one peer's health counters.
+type PeerStats struct {
+	// Failures is the lifetime count of failed exchanges (transport
+	// errors, timeouts, non-OK statuses, injected drops).
+	Failures int64 `json:"failures"`
+	// Consecutive is the current run of back-to-back failures; it
+	// resets to zero on any success.
+	Consecutive int64 `json:"consecutive"`
+	// Retries counts Fetch retry attempts (first attempts excluded).
+	Retries int64 `json:"retries"`
+	// BreakerOpens counts transitions into the open state.
+	BreakerOpens int64 `json:"breakerOpens"`
+	// BreakerOpen reports whether the circuit is currently rejecting.
+	BreakerOpen bool `json:"breakerOpen"`
+}
+
+// peer is one remote node: a shared pooled HTTP client plus a per-peer
+// concurrency bound (so one slow or dead peer saturates its own slots
+// and nothing else) and the circuit-breaker state feeding fail-fast
+// behavior when the peer is down.
 type peer struct {
 	base string
 	sem  chan struct{}
+
+	mu          sync.Mutex
+	consecutive int64     // back-to-back failures; 0 = circuit closed
+	openUntil   time.Time // while in the future, reject (open state)
+	probing     bool      // a half-open probe is in flight
+	failures    int64
+	retries     int64
+	opens       int64
 }
 
-// Transport performs peer cache fills over HTTP with pooled
-// connections, per-peer bounded concurrency and a hard timeout. It is
-// safe for concurrent use.
+// allow gates one exchange on the breaker. A nil return either means
+// the circuit is closed or grants this call the half-open probe slot.
+func (p *peer) allow(threshold int, now time.Time) error {
+	if threshold <= 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.consecutive < int64(threshold) {
+		return nil
+	}
+	if now.Before(p.openUntil) {
+		return fmt.Errorf("%w: %s", ErrBreakerOpen, p.base)
+	}
+	if p.probing {
+		return fmt.Errorf("%w: %s (probe in flight)", ErrBreakerOpen, p.base)
+	}
+	p.probing = true
+	return nil
+}
+
+// record folds one exchange outcome into the breaker state.
+func (p *peer) record(ok bool, threshold int, cooldown time.Duration, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.probing = false
+	if ok {
+		p.consecutive = 0
+		return
+	}
+	p.failures++
+	p.consecutive++
+	if threshold > 0 && p.consecutive >= int64(threshold) {
+		if p.consecutive == int64(threshold) || now.After(p.openUntil) {
+			p.opens++ // newly opened, or a failed probe re-opening
+		}
+		p.openUntil = now.Add(cooldown)
+	}
+}
+
+func (p *peer) stats() PeerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PeerStats{
+		Failures:     p.failures,
+		Consecutive:  p.consecutive,
+		Retries:      p.retries,
+		BreakerOpens: p.opens,
+		BreakerOpen:  p.openUntil.After(time.Now()),
+	}
+}
+
+// Transport performs peer exchanges (cache fills and replicated-log
+// RPCs) over HTTP with pooled connections, per-peer bounded
+// concurrency, a hard timeout, retry with jittered exponential backoff
+// and a per-peer circuit breaker. It also hosts the fault-injection
+// failpoints the chaos tests steer. Safe for concurrent use.
 type Transport struct {
-	peers   map[string]*peer
-	client  *http.Client
-	timeout time.Duration
+	peers  map[string]*peer
+	client *http.Client
+	cfg    TransportConfig
+
+	failMu sync.Mutex
+	drops  map[string]bool
+	delays map[string]time.Duration
 }
 
 // NewTransport builds a transport to the given peer base URLs.
-// perPeer bounds in-flight fills per peer (0 = 32); timeout bounds one
-// fill end to end, queue wait included (0 = 2s).
-func NewTransport(peers []string, perPeer int, timeout time.Duration) *Transport {
-	if perPeer <= 0 {
-		perPeer = 32
-	}
-	if timeout <= 0 {
-		timeout = 2 * time.Second
-	}
+func NewTransport(peers []string, cfg TransportConfig) *Transport {
+	cfg = cfg.withDefaults()
 	t := &Transport{
-		peers:   make(map[string]*peer, len(peers)),
-		timeout: timeout,
+		peers: make(map[string]*peer, len(peers)),
+		cfg:   cfg,
 		client: &http.Client{
-			Timeout: timeout,
+			Timeout: cfg.Timeout,
 			Transport: &http.Transport{
-				MaxIdleConns:        4 * perPeer,
-				MaxIdleConnsPerHost: perPeer,
+				MaxIdleConns:        4 * cfg.PerPeer,
+				MaxIdleConnsPerHost: cfg.PerPeer,
 				IdleConnTimeout:     90 * time.Second,
 			},
 		},
 	}
 	for _, p := range peers {
 		if p != "" {
-			t.peers[p] = &peer{base: p, sem: make(chan struct{}, perPeer)}
+			t.peers[p] = &peer{base: p, sem: make(chan struct{}, cfg.PerPeer)}
 		}
 	}
 	return t
 }
 
-// Fetch asks node to produce the payload for fr, returning the payload
-// and the node's epoch vector. One deadline covers the whole fill —
-// semaphore queue wait AND the HTTP exchange share it, so a fill never
-// outlives PeerTimeout. Every failure mode — unknown node, a full
-// concurrency budget that does not drain in time, transport errors,
-// non-OK frames — comes back as an error the caller treats as "fall
-// back to a local query"; a peer problem degrades the cluster to N
-// independent nodes, never to an outage.
-func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs EpochVector, err error) {
-	p, ok := t.peers[node]
-	if !ok {
-		return nil, nil, fmt.Errorf("cluster: unknown peer %q", node)
+// FailDrop injects (or clears) a drop failpoint: every exchange with
+// node fails immediately as if the network ate it, counting toward the
+// breaker like a real failure. Two transports dropping each other's
+// node form a symmetric partition. Test hook; cheap when unused.
+func (t *Transport) FailDrop(node string, on bool) {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	if t.drops == nil {
+		t.drops = make(map[string]bool)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), t.timeout)
-	defer cancel()
+	if on {
+		t.drops[node] = true
+	} else {
+		delete(t.drops, node)
+	}
+}
+
+// FailDelay injects (or clears, with d <= 0) a latency failpoint:
+// every exchange with node first sleeps d (bounded by the exchange's
+// own deadline). Test hook.
+func (t *Transport) FailDelay(node string, d time.Duration) {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	if t.delays == nil {
+		t.delays = make(map[string]time.Duration)
+	}
+	if d > 0 {
+		t.delays[node] = d
+	} else {
+		delete(t.delays, node)
+	}
+}
+
+// FailReset clears every failpoint (heals all injected faults).
+func (t *Transport) FailReset() {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	t.drops, t.delays = nil, nil
+}
+
+func (t *Transport) failState(node string) (drop bool, delay time.Duration) {
+	t.failMu.Lock()
+	defer t.failMu.Unlock()
+	return t.drops[node], t.delays[node]
+}
+
+// PeerStatsSnapshot returns per-peer health counters keyed by base URL.
+func (t *Transport) PeerStatsSnapshot() map[string]PeerStats {
+	out := make(map[string]PeerStats, len(t.peers))
+	for name, p := range t.peers {
+		out[name] = p.stats()
+	}
+	return out
+}
+
+// exchange runs one attempt against p: failpoint delay, breaker gate,
+// failpoint drop, semaphore, then fn; the outcome is recorded into the
+// breaker. Breaker rejections do not count as failures (no exchange
+// happened); injected drops do (a real network would have failed).
+func (t *Transport) exchange(ctx context.Context, p *peer, fn func(ctx context.Context) error) error {
+	drop, delay := t.failState(p.base)
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			p.record(false, t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, time.Now())
+			return fmt.Errorf("cluster: peer %s: %w", p.base, ctx.Err())
+		}
+	}
+	if err := p.allow(t.cfg.BreakerThreshold, time.Now()); err != nil {
+		return err
+	}
+	if drop {
+		p.record(false, t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, time.Now())
+		return fmt.Errorf("%w: %s", errFailpointDrop, p.base)
+	}
 	// Bounded concurrency with a bounded wait: a peer that is slow
 	// enough to back its queue up past the deadline is treated as
 	// down. Time spent queuing comes out of the same budget the
@@ -119,9 +317,63 @@ func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs 
 	case p.sem <- struct{}{}:
 		defer func() { <-p.sem }()
 	case <-ctx.Done():
-		return nil, nil, fmt.Errorf("cluster: peer %s at concurrency limit", node)
+		p.record(false, t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, time.Now())
+		return fmt.Errorf("cluster: peer %s at concurrency limit", p.base)
 	}
+	err := fn(ctx)
+	p.record(err == nil, t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, time.Now())
+	return err
+}
 
+// Fetch asks node to produce the payload for fr, returning the payload
+// and the node's epoch vector. One deadline covers the whole fill —
+// semaphore queue wait, every retry attempt and the backoff sleeps
+// between them all share it, so a fill never outlives Timeout. A
+// failed attempt is retried up to Retries times with jittered
+// exponential backoff (unless the circuit breaker is rejecting, which
+// already means the peer is known dead). Every terminal failure mode —
+// unknown node, a full concurrency budget that does not drain in time,
+// transport errors, non-OK frames, an open breaker — comes back as an
+// error the caller treats as "fall back to a local query"; a peer
+// problem degrades the cluster to N independent nodes, never to an
+// outage.
+func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs EpochVector, err error) {
+	p, ok := t.peers[node]
+	if !ok {
+		return nil, nil, fmt.Errorf("cluster: unknown peer %q", node)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.Timeout)
+	defer cancel()
+	backoff := 10 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		err = t.exchange(ctx, p, func(ctx context.Context) error {
+			payload, epochs, err = t.fetchOnce(ctx, p, fr)
+			return err
+		})
+		if err == nil {
+			return payload, epochs, nil
+		}
+		if attempt >= t.cfg.Retries || errors.Is(err, ErrBreakerOpen) {
+			return nil, epochs, err
+		}
+		// Jittered exponential backoff: sleep in [backoff/2, backoff],
+		// doubling each round, so a brief peer hiccup is ridden out
+		// without N requesters hammering it back down in lockstep.
+		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		backoff *= 2
+		p.mu.Lock()
+		p.retries++
+		p.mu.Unlock()
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return nil, epochs, err
+		}
+	}
+}
+
+// fetchOnce is one HTTP exchange of the fill protocol.
+func (t *Transport) fetchOnce(ctx context.Context, p *peer, fr *FillRequest) (payload []byte, epochs EpochVector, err error) {
 	body, err := json.Marshal(fr)
 	if err != nil {
 		return nil, nil, err
@@ -133,7 +385,7 @@ func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs 
 	req.Header.Set("Content-Type", "application/json")
 	resp, err := t.client.Do(req)
 	if err != nil {
-		return nil, nil, fmt.Errorf("cluster: peer %s: %w", node, err)
+		return nil, nil, fmt.Errorf("cluster: peer %s: %w", p.base, err)
 	}
 	defer resp.Body.Close()
 	if eh := resp.Header.Get(EpochHeader); eh != "" {
@@ -145,10 +397,56 @@ func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs 
 		}
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, epochs, fmt.Errorf("cluster: peer %s: HTTP %d", node, resp.StatusCode)
+		return nil, epochs, fmt.Errorf("cluster: peer %s: HTTP %d", p.base, resp.StatusCode)
 	}
 	payload, err = readPeerResponse(bufio.NewReader(resp.Body))
 	return payload, epochs, err
+}
+
+// PostJSON performs one JSON request/response exchange with node at
+// path — the RPC channel the replicated log (internal/replog) runs
+// over. It shares the failpoints, circuit breaker and per-peer
+// concurrency bound with Fetch but makes a single attempt: the log's
+// own heartbeat/election loops are the retry policy there, and
+// layering another one under them would only distort their timing. If
+// ctx carries no deadline the transport's Timeout applies.
+func (t *Transport) PostJSON(ctx context.Context, node, path string, req, resp any) error {
+	p, ok := t.peers[node]
+	if !ok {
+		return fmt.Errorf("cluster: unknown peer %q", node)
+	}
+	if _, has := ctx.Deadline(); !has {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t.cfg.Timeout)
+		defer cancel()
+	}
+	return t.exchange(ctx, p, func(ctx context.Context) error {
+		body, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, p.base+path, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		hreq.Header.Set("Content-Type", "application/json")
+		hresp, err := t.client.Do(hreq)
+		if err != nil {
+			return fmt.Errorf("cluster: peer %s: %w", p.base, err)
+		}
+		defer hresp.Body.Close()
+		if hresp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 512))
+			return fmt.Errorf("cluster: peer %s %s: HTTP %d: %s", p.base, path, hresp.StatusCode, bytes.TrimSpace(msg))
+		}
+		if resp == nil {
+			return nil
+		}
+		if err := json.NewDecoder(io.LimitReader(hresp.Body, 1<<20)).Decode(resp); err != nil {
+			return fmt.Errorf("cluster: peer %s %s: decode: %w", p.base, path, err)
+		}
+		return nil
+	})
 }
 
 // readPeerResponse decodes the one-frame wire stream of a /peer reply.

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"kyrix/internal/server"
+	"kyrix/internal/storage"
+)
+
+// chaosConfig is the smallest environment that still exercises the full
+// stack: tiny dataset (restart replays must be fast), replicated log
+// enabled under t.TempDir.
+func chaosConfig(t *testing.T) Config {
+	cfg := QuickConfig()
+	cfg.Name = "chaos"
+	cfg.NumPoints = 4_000
+	cfg.CanvasW = 8192
+	cfg.CanvasH = 4096
+	cfg.TileSizes = []float64{1024}
+	cfg.ReplogRoot = t.TempDir()
+	return cfg
+}
+
+// postCountingUpdate submits "set point 1's val to k" to url. The value
+// written IS the sequence number, so a retry of the same k after a lost
+// ack is idempotent — which makes "acked k" a safe lower bound on the
+// final value. Returns nil once the node acked the update.
+func postCountingUpdate(url string, k int) error {
+	req := server.UpdateRequest{
+		SQL:  "UPDATE points SET val = ? WHERE id = 1",
+		Args: []server.ArgValue{{Kind: storage.TFloat64, F: float64(k)}},
+	}
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/update", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("update %d: HTTP %d", k, resp.StatusCode)
+	}
+	return nil
+}
+
+// ackUpdates submits counting updates from+1..to against the given
+// nodes (rotating on failure — a killed leader or mid-election 503 just
+// moves the client to the next survivor), retrying each k until acked.
+func ackUpdates(t *testing.T, urls []string, from, to int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for k := from + 1; k <= to; k++ {
+		for attempt := 0; ; attempt++ {
+			err := postCountingUpdate(urls[attempt%len(urls)], k)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("update %d never acked: %v", k, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+}
+
+// val1 reads point 1's val straight out of a node's database.
+func val1(t *testing.T, e *Env) float64 {
+	t.Helper()
+	res, err := e.Srv.DB().Query("SELECT val FROM points WHERE id = 1")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("query val: %v (%d rows)", err, len(res.Rows))
+	}
+	return res.Rows[0][0].F
+}
+
+// waitVal waits for a node's applied state to reach the acked value.
+func waitVal(t *testing.T, e *Env, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if int(val1(t, e)) == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s: val=%v, want %d (applied=%d)",
+				e.BaseURL, val1(t, e), want, e.Srv.Replog().Applied())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func leaderIndex(t *testing.T, ce *ClusterEnv, live []int) int {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, i := range live {
+			if ce.Nodes[i].Srv.Replog().IsLeader() {
+				return i
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no leader elected")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func getTile(url string) error {
+	resp, err := http.Get(url + "/tile?canvas=main&layer=0&col=0&row=0&size=1024")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("tile: HTTP %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// TestChaosLeaderKillFailover is the acceptance scenario: a 3-node
+// cluster takes quorum-committed updates, the leader is killed mid-
+// stream, the survivors elect a replacement and keep acking updates
+// with zero committed loss, and the restarted ex-leader replays its
+// way back to the same state.
+func TestChaosLeaderKillFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	ce, err := NewClusterEnv(chaosConfig(t), "uniform", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+
+	all := []int{0, 1, 2}
+	ld := leaderIndex(t, ce, all)
+	ackUpdates(t, ce.URLs, 0, 5)
+
+	// Kill the leader. Updates 6..10 must keep committing through the
+	// survivors' new leader.
+	ce.StopNode(ld)
+	survivors := make([]int, 0, 2)
+	var survivorURLs []string
+	for _, i := range all {
+		if i != ld {
+			survivors = append(survivors, i)
+			survivorURLs = append(survivorURLs, ce.URLs[i])
+		}
+	}
+	ackUpdates(t, survivorURLs, 5, 10)
+
+	newLd := leaderIndex(t, ce, survivors)
+	if newLd == ld {
+		t.Fatalf("dead node %d still leader", ld)
+	}
+	for _, i := range survivors {
+		waitVal(t, ce.Nodes[i], 10)
+		if err := getTile(ce.URLs[i]); err != nil {
+			t.Fatalf("survivor %d stopped serving tiles: %v", i, err)
+		}
+	}
+
+	// Crash recovery: the ex-leader reuses its WAL dir and replays the
+	// committed prefix (its acked 1..5 plus the 6..10 it missed).
+	if err := ce.RestartNode(ld); err != nil {
+		t.Fatal(err)
+	}
+	waitVal(t, ce.Nodes[ld], 10)
+	if err := getTile(ce.URLs[ld]); err != nil {
+		t.Fatalf("restarted node not serving tiles: %v", err)
+	}
+}
+
+// TestChaosPartitionedFollowerCatchesUp partitions one follower at the
+// transport (symmetric drops), commits updates through the majority,
+// heals, and requires the follower to converge without a restart.
+func TestChaosPartitionedFollowerCatchesUp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	ce, err := NewClusterEnv(chaosConfig(t), "uniform", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+
+	all := []int{0, 1, 2}
+	ld := leaderIndex(t, ce, all)
+	part := (ld + 1) % 3 // a follower
+
+	// Symmetric partition: the follower drops everyone, everyone drops
+	// the follower.
+	for _, i := range all {
+		if i == part {
+			continue
+		}
+		ce.Nodes[i].Srv.Cluster().Transport().FailDrop(ce.URLs[part], true)
+		ce.Nodes[part].Srv.Cluster().Transport().FailDrop(ce.URLs[i], true)
+	}
+
+	var majorityURLs []string
+	majority := make([]int, 0, 2)
+	for _, i := range all {
+		if i != part {
+			majority = append(majority, i)
+			majorityURLs = append(majorityURLs, ce.URLs[i])
+		}
+	}
+	ackUpdates(t, majorityURLs, 0, 6)
+	for _, i := range majority {
+		waitVal(t, ce.Nodes[i], 6)
+	}
+	if got := int(val1(t, ce.Nodes[part])); got == 6 {
+		t.Fatal("partitioned follower saw updates through a dropped transport")
+	}
+
+	for _, i := range all {
+		ce.Nodes[i].Srv.Cluster().Transport().FailReset()
+	}
+	waitVal(t, ce.Nodes[part], 6)
+}
+
+// TestChaosFullRestartReplaysCommitted stops every node, then restarts
+// the cluster over the surviving WAL dirs: all committed updates must
+// be reapplied onto the freshly rebuilt databases.
+func TestChaosFullRestartReplaysCommitted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test")
+	}
+	ce, err := NewClusterEnv(chaosConfig(t), "uniform", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ce.Close()
+
+	leaderIndex(t, ce, []int{0, 1, 2})
+	ackUpdates(t, ce.URLs, 0, 4)
+
+	for i := range ce.Nodes {
+		ce.StopNode(i)
+	}
+	for i := range ce.Nodes {
+		if err := ce.RestartNode(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range ce.Nodes {
+		waitVal(t, ce.Nodes[i], 4)
+	}
+	// The tier still serves and still replicates: one more update.
+	ackUpdates(t, ce.URLs, 4, 5)
+	for i := range ce.Nodes {
+		waitVal(t, ce.Nodes[i], 5)
+	}
+}

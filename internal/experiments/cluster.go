@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"time"
 
 	"kyrix/internal/cache"
@@ -14,11 +15,19 @@ import (
 // ClusterEnv is an in-process serving cluster: N backend nodes over
 // identical copies of one dataset (the stand-in for a shared backing
 // store), joined on one consistent-hash ring. Clients spread across
-// the nodes like a load balancer would spread real traffic.
+// the nodes like a load balancer would spread real traffic. Nodes can
+// be stopped and restarted individually (StopNode/RestartNode) — the
+// fault-injection surface the chaos and failover experiments drive.
 type ClusterEnv struct {
 	Cfg     Config
 	Dataset *workload.Dataset
 	Nodes   []*Env
+
+	// URLs[i] is node i's base URL for its whole lifetime — a restarted
+	// node rebinds the same address, so the ring and replog membership
+	// stay valid across crash/restart cycles.
+	URLs  []string
+	copts []server.ClusterOptions
 }
 
 // NewClusterEnv builds an n-node cluster (n = 1 builds a standalone
@@ -49,7 +58,7 @@ func NewClusterEnv(cfg Config, kind string, n int) (*ClusterEnv, error) {
 		lns[i] = ln
 		urls[i] = "http://" + ln.Addr().String()
 	}
-	ce := &ClusterEnv{Cfg: cfg, Dataset: d}
+	ce := &ClusterEnv{Cfg: cfg, Dataset: d, URLs: urls}
 	for i := 0; i < n; i++ {
 		var copts server.ClusterOptions
 		if n > 1 {
@@ -59,6 +68,20 @@ func NewClusterEnv(cfg Config, kind string, n int) (*ClusterEnv, error) {
 				PeerTimeout: 5 * time.Second,
 			}
 		}
+		if cfg.ReplogRoot != "" {
+			copts.Self = urls[i]
+			copts.Peers = urls
+			// Chaos-friendly timings: elections settle in well under a
+			// second, and a dead peer's breaker reprobes fast enough
+			// that a restarted node rejoins within one test timeout.
+			copts.BreakerCooldown = 200 * time.Millisecond
+			copts.Replog = server.ReplogOptions{
+				Dir:             filepath.Join(cfg.ReplogRoot, fmt.Sprintf("node%d", i)),
+				ElectionTimeout: 100 * time.Millisecond,
+				SubmitTimeout:   5 * time.Second,
+			}
+		}
+		ce.copts = append(ce.copts, copts)
 		env, err := newEnv(cfg, d, copts, lns[i])
 		if err != nil {
 			ce.Close()
@@ -72,7 +95,44 @@ func NewClusterEnv(cfg Config, kind string, n int) (*ClusterEnv, error) {
 	return ce, nil
 }
 
-// Close shuts every node down (graceful drain per node).
+// StopNode kills node i: HTTP drain, replog close (WAL fsynced), store
+// close. The node's WAL directories survive — RestartNode is a crash
+// recovery, not a fresh join.
+func (ce *ClusterEnv) StopNode(i int) {
+	ce.Nodes[i].Close()
+}
+
+// RestartNode boots node i again on its original address over a fresh
+// copy of the dataset; the replicated log replays its committed prefix
+// on top, so the node rejoins with every committed update applied. The
+// listen is retried briefly: the dying server's socket may still be in
+// the kernel's grip for a moment after Close returns.
+func (ce *ClusterEnv) RestartNode(i int) error {
+	addr := ce.Nodes[i].BaseURL[len("http://"):]
+	var ln net.Listener
+	var err error
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ln, err = net.Listen("tcp", addr)
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiments: rebind %s: %w", addr, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	env, err := newEnv(ce.Cfg, ce.Dataset, ce.copts[i], ln)
+	if err != nil {
+		_ = ln.Close()
+		return err
+	}
+	ce.Nodes[i] = env
+	return nil
+}
+
+// Close shuts every node down (graceful drain per node; stopped nodes
+// close idempotently).
 func (ce *ClusterEnv) Close() {
 	for _, e := range ce.Nodes {
 		e.Close()

@@ -71,6 +71,11 @@ type Config struct {
 	L2Dir string
 	// L2MaxBytes bounds the persistent store (0 = store default).
 	L2MaxBytes int64
+	// ReplogRoot, when non-empty, gives every cluster node a replicated
+	// update log under <ReplogRoot>/node<i> — /update becomes a
+	// quorum-committed log command and the chaos/failover experiments
+	// can kill and restart nodes without losing acknowledged updates.
+	ReplogRoot string
 }
 
 // DefaultConfig is the laptop-scale mapping of the paper's setup

@@ -16,6 +16,7 @@ import (
 	"kyrix/internal/cluster"
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
+	"kyrix/internal/replog"
 	"kyrix/internal/singleflight"
 	"kyrix/internal/spec"
 	"kyrix/internal/sqldb"
@@ -28,6 +29,10 @@ import (
 // cluster (consistent-hash tile ownership with peer cache fill). The
 // alias keeps the knobs constructible by external module consumers.
 type ClusterOptions = cluster.Options
+
+// ReplogOptions configures the replicated update log (Cluster.Replog);
+// setting its Dir turns /update into a quorum-committed log command.
+type ReplogOptions = cluster.ReplogOptions
 
 // L1CacheOptions configures the in-memory backend cache (the first
 // tier every request consults).
@@ -78,6 +83,11 @@ type L2CacheOptions struct {
 	// FlushInterval is the longest an enqueued fill waits before its
 	// batch is appended and fsynced (0 = 50 ms).
 	FlushInterval time.Duration
+	// ScrubInterval, when positive, re-verifies every resident record's
+	// checksum each interval in the background, dropping any that no
+	// longer read back clean (surfaced as scrubbedBad in /stats). 0
+	// disables scrubbing.
+	ScrubInterval time.Duration
 }
 
 // CacheOptions is the nested cache configuration: L1 is the in-memory
@@ -265,6 +275,19 @@ type Server struct {
 	// peer transport, epoch); nil when serving standalone.
 	cluster *cluster.Node
 
+	// replog, when non-nil, is the replicated update log: /update
+	// becomes a quorum-committed log command applied on every node in
+	// log order through applyUpdate, replacing the best-effort epoch
+	// gossip with a committed-prefix guarantee. Configured by
+	// Options.Cluster.Replog.Dir.
+	replog *replog.Node
+	// applyMu guards applyAffected, the bounded index→rows-affected
+	// side channel from applyUpdate back to the /update handler that
+	// submitted the command (the apply callback runs on the log's
+	// applier goroutine, not the handler's).
+	applyMu       sync.Mutex
+	applyAffected map[uint64]int64
+
 	// l2 is the persistent tile store under the in-memory cache (nil
 	// when Options.Cache.L2.Path is empty): an L1 miss reads L2 before
 	// the database, database and peer fills are written back through
@@ -331,6 +354,7 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 			SegmentBytes:    cacheOpts.L2.SegmentBytes,
 			WriteQueueDepth: cacheOpts.L2.WriteQueueDepth,
 			FlushInterval:   cacheOpts.L2.FlushInterval,
+			ScrubInterval:   cacheOpts.L2.ScrubInterval,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: open L2 tile store: %w", err)
@@ -398,8 +422,46 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 	if err := fetch.RunTasks(context.Background(), workers, tasks); err != nil {
 		return nil, err
 	}
+	if opts.Cluster.Replog.Dir != "" {
+		// Opened after precompute so WAL replay applies committed
+		// updates onto the freshly built in-memory tables. Each node
+		// bumps its own generation inside applyUpdate, so the epoch
+		// gossip hook above is redundant for log-carried updates but
+		// harmless (bumps are monotonic; an extra clear only costs a
+		// cache refill).
+		var rpc replog.RPC
+		if s.cluster != nil {
+			rpc = s.cluster.Transport()
+		}
+		self := opts.Cluster.Self
+		if self == "" {
+			self = "standalone"
+		}
+		s.applyAffected = make(map[uint64]int64)
+		rl, err := replog.Open(replog.Config{
+			Self:            self,
+			Peers:           opts.Cluster.Peers,
+			Dir:             opts.Cluster.Replog.Dir,
+			Transport:       rpc,
+			Apply:           s.applyUpdate,
+			ElectionTimeout: opts.Cluster.Replog.ElectionTimeout,
+			Heartbeat:       opts.Cluster.Replog.Heartbeat,
+			SubmitTimeout:   opts.Cluster.Replog.SubmitTimeout,
+		})
+		if err != nil {
+			if s.l2 != nil {
+				_ = s.l2.Close()
+			}
+			return nil, fmt.Errorf("server: open replicated log: %w", err)
+		}
+		s.replog = rl
+	}
 	return s, nil
 }
+
+// Replog exposes the replicated update log (nil when not configured);
+// experiments use it to observe roles and applied indexes.
+func (s *Server) Replog() *replog.Node { return s.replog }
 
 // Layer returns the physical layer for a canvas layer.
 func (s *Server) Layer(canvasID string, idx int) (*fetch.PhysicalLayer, bool) {
@@ -551,6 +613,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/update", s.handleUpdate)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc(cluster.PeerPath, s.handlePeer)
+	if s.replog != nil {
+		mux.Handle("/replog/", s.replog.Handler())
+	}
 	return mux
 }
 
@@ -965,18 +1030,91 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	args := make([]storage.Value, len(req.Args))
-	for i, a := range req.Args {
-		args[i] = a.Value()
-	}
-	n, err := s.execUpdate(req.SQL, args)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var n int64
+	if s.replog != nil {
+		// Replicated path: the update becomes a quorum-committed log
+		// command. Submit returns once the command is committed AND
+		// applied on this node (read-your-writes for this client),
+		// whichever node leads; applyUpdate did the actual Exec.
+		cmd, err := json.Marshal(&req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		idx, err := s.replog.Submit(r.Context(), cmd)
+		if err != nil {
+			status := http.StatusBadRequest
+			if errors.Is(err, replog.ErrNoLeader) || errors.Is(err, replog.ErrClosed) ||
+				errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+				// Not committed (or not known committed): the client may
+				// safely retry against any node.
+				status = http.StatusServiceUnavailable
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		s.applyMu.Lock()
+		n = s.applyAffected[idx]
+		delete(s.applyAffected, idx)
+		s.applyMu.Unlock()
+	} else {
+		args := make([]storage.Value, len(req.Args))
+		for i, a := range req.Args {
+			args[i] = a.Value()
+		}
+		var err error
+		n, err = s.execUpdate(req.SQL, args)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
 	}
 	s.Stats.Updates.Add(1)
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(map[string]int64{"affected": n})
+}
+
+// applyUpdate is the replicated log's state-machine callback: one
+// committed update command, applied in log order on every member. It is
+// execUpdate minus the cluster epoch bump — with the log in charge,
+// every node runs this same transition itself, so gossiping "something
+// changed" to peers is redundant. The affected-row count is parked for
+// the handler that submitted the command; entries for commands
+// submitted elsewhere (or replayed on restart) are pruned by bound.
+func (s *Server) applyUpdate(index uint64, cmd []byte) error {
+	var req UpdateRequest
+	if err := json.Unmarshal(cmd, &req); err != nil {
+		return fmt.Errorf("server: decode update command %d: %w", index, err)
+	}
+	args := make([]storage.Value, len(req.Args))
+	for i, a := range req.Args {
+		args[i] = a.Value()
+	}
+	s.epochMu.Lock()
+	n, err := s.db.Exec(req.SQL, args...)
+	if err != nil {
+		s.epochMu.Unlock()
+		return err
+	}
+	s.cacheGen.Add(1)
+	s.bcache.Clear()
+	if s.l2 != nil {
+		if _, berr := s.l2.Bump(); berr != nil {
+			err = fmt.Errorf("server: invalidate L2 tile store: %w", berr)
+		}
+	}
+	s.epochMu.Unlock()
+	s.applyMu.Lock()
+	s.applyAffected[index] = n
+	if len(s.applyAffected) > 1024 {
+		for k := range s.applyAffected {
+			if k+1024 < index {
+				delete(s.applyAffected, k)
+			}
+		}
+	}
+	s.applyMu.Unlock()
+	return err
 }
 
 // execUpdate applies one update statement and invalidates cached
@@ -1062,6 +1200,9 @@ type ClusterStats struct {
 	LocalFallbacks int64 `json:"localFallbacks"`
 	HotReplicas    int64 `json:"hotReplicas"`
 	EpochAdoptions int64 `json:"epochAdoptions"`
+	// Peers is per-peer transport health: failures, retries, and
+	// circuit-breaker state, keyed by peer base URL.
+	Peers map[string]cluster.PeerStats `json:"peers,omitempty"`
 }
 
 // LODStats is the aggregation-pyramid section of a StatsSnapshot.
@@ -1077,6 +1218,7 @@ type StatsSnapshot struct {
 	Serving ServingStats  `json:"serving"`
 	Cache   CacheStats    `json:"cache"`
 	Cluster *ClusterStats `json:"cluster,omitempty"`
+	Replog  *replog.Stats `json:"replog,omitempty"`
 	LOD     LODStats      `json:"lod"`
 }
 
@@ -1127,7 +1269,12 @@ func (s *Server) Snapshot() StatsSnapshot {
 			LocalFallbacks: cs.LocalFallbacks.Load(),
 			HotReplicas:    cs.HotReplicas.Load(),
 			EpochAdoptions: cs.EpochAdoptions.Load(),
+			Peers:          s.cluster.Transport().PeerStatsSnapshot(),
 		}
+	}
+	if s.replog != nil {
+		rs := s.replog.Snapshot()
+		snap.Replog = &rs
 	}
 	return snap
 }
@@ -1186,14 +1333,25 @@ func (s *Server) legacyStats() map[string]int64 {
 // harnesses read its stats.
 func (s *Server) L2() *store.Store { return s.l2 }
 
-// Close releases the server's background resources: the persistent
-// tile store's write-behind queue is drained (bounded by its drain
-// deadline) so fills accepted before Close are readable after the next
-// Open. The HTTP listener is owned by the caller and closed
-// separately. Idempotent.
+// Close releases the server's background resources in dependency
+// order: the replicated log first (it stops elections and replication,
+// drains every committed entry through applyUpdate, and fsyncs its
+// WAL — applyUpdate touches the caches and L2, so they must still be
+// open), then the persistent tile store (write-behind queue drained so
+// fills accepted before Close are readable after the next Open). The
+// HTTP listener is owned by the caller and closed separately.
+// Idempotent.
 func (s *Server) Close() error {
-	if s.l2 == nil {
-		return nil
+	var err error
+	if s.replog != nil {
+		if cerr := s.replog.Close(); cerr != nil && !errors.Is(cerr, replog.ErrClosed) {
+			err = cerr
+		}
 	}
-	return s.l2.Close()
+	if s.l2 != nil {
+		if cerr := s.l2.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
 }

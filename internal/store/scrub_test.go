@@ -1,0 +1,127 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// corruptMidFile flips one byte in the middle of the newest segment
+// while the store is open — latent bit rot under a live index.
+func corruptMidFile(t *testing.T, dir string) {
+	t.Helper()
+	ids, err := listSegmentIDs(dir)
+	if err != nil || len(ids) == 0 {
+		t.Fatalf("listSegmentIDs: %v (%d)", err, len(ids))
+	}
+	path := segPath(dir, ids[len(ids)-1])
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScrubCleanStore(t *testing.T) {
+	s := mustOpen(t, testOptions(t))
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i + 1)}, 128))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checked, bad, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if checked != 8 || bad != 0 {
+		t.Fatalf("Scrub = (%d checked, %d bad); want (8, 0)", checked, bad)
+	}
+	snap := s.Snapshot()
+	if snap.Scrubs != 1 || snap.ScrubbedBad != 0 {
+		t.Fatalf("stats after clean scrub: %+v", snap)
+	}
+}
+
+func TestScrubDropsCorruptRecords(t *testing.T) {
+	opts := testOptions(t)
+	s := mustOpen(t, opts)
+	defer s.Close()
+	want := map[string][]byte{}
+	for i := 0; i < 16; i++ {
+		k := fmt.Sprintf("k%d", i)
+		v := bytes.Repeat([]byte{byte(i + 1)}, 128)
+		want[k] = v
+		s.Put(k, v)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	corruptMidFile(t, opts.Path)
+
+	checked, bad, err := s.Scrub()
+	if err != nil {
+		t.Fatalf("Scrub: %v", err)
+	}
+	if checked != 16 {
+		t.Fatalf("checked = %d, want 16", checked)
+	}
+	if bad < 1 {
+		t.Fatal("Scrub found no bad record after a bit flip")
+	}
+	if got := s.Stats.ScrubbedBad.Load(); got != int64(bad) {
+		t.Fatalf("ScrubbedBad = %d, want %d", got, bad)
+	}
+	if s.Len() != 16-bad {
+		t.Fatalf("Len = %d after dropping %d of 16", s.Len(), bad)
+	}
+	// Surviving keys still read back clean; scrubbed keys miss rather
+	// than serve damage.
+	for k, v := range want {
+		got, ok := s.Get(k)
+		if ok && !bytes.Equal(got, v) {
+			t.Fatalf("key %s served corrupt bytes after scrub", k)
+		}
+	}
+	// A second pass over the pruned index finds nothing new.
+	checked2, bad2, err := s.Scrub()
+	if err != nil || bad2 != 0 || checked2 != 16-bad {
+		t.Fatalf("second Scrub = (%d, %d, %v)", checked2, bad2, err)
+	}
+}
+
+func TestBackgroundScrubberFindsRotWithoutGets(t *testing.T) {
+	opts := testOptions(t)
+	opts.ScrubInterval = 2 * time.Millisecond
+	s := mustOpen(t, opts)
+	defer s.Close()
+	for i := 0; i < 8; i++ {
+		s.Put(fmt.Sprintf("k%d", i), bytes.Repeat([]byte{byte(i + 1)}, 256))
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	corruptMidFile(t, opts.Path)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats.ScrubbedBad.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("background scrubber never dropped the corrupt record")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

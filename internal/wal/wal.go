@@ -180,6 +180,29 @@ func (l *Log) Replay(fn func(lsn LSN, payload []byte) error) error {
 	return nil
 }
 
+// TruncateAt discards the record at lsn and everything after it, so
+// the next Append lands at lsn. The replicated log uses this to drop a
+// conflicting suffix when a new leader's history diverges from a
+// follower's (committed prefixes never conflict, so only uncommitted
+// bytes are ever cut). lsn must lie on a record boundary at or before
+// the current end.
+func (l *Log) TruncateAt(lsn LSN) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	off := int64(lsn)
+	if off < 0 || off > l.end {
+		return fmt.Errorf("wal: TruncateAt %d: outside log [0, %d]", off, l.end)
+	}
+	if err := l.f.Truncate(off); err != nil {
+		return fmt.Errorf("wal: TruncateAt %d: %w", off, err)
+	}
+	l.end = off
+	return nil
+}
+
 // Size returns the current log length in bytes.
 func (l *Log) Size() int64 {
 	l.mu.Lock()

@@ -309,3 +309,62 @@ func TestReadAtMisalignedLSN(t *testing.T) {
 		}
 	}
 }
+
+func TestTruncateAt(t *testing.T) {
+	l, path := tempLog(t)
+	var lsns []LSN
+	for i := 0; i < 10; i++ {
+		lsn, err := l.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsns = append(lsns, lsn)
+	}
+	// Cut records 6..9; the log ends after record 5.
+	if err := l.TruncateAt(lsns[6]); err != nil {
+		t.Fatal(err)
+	}
+	if l.Size() != int64(lsns[6]) {
+		t.Fatalf("size after truncate = %d want %d", l.Size(), lsns[6])
+	}
+	if _, err := l.ReadAt(lsns[6]); err == nil {
+		t.Fatal("ReadAt of truncated record succeeded")
+	}
+	// Appends resume at the cut point with fresh contents.
+	nl, err := l.Append([]byte("replacement"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nl != lsns[6] {
+		t.Fatalf("append after truncate at %d want %d", nl, lsns[6])
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen sees records 0..5 plus the replacement, nothing else.
+	l2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var got []string
+	if err := l2.Replay(func(_ LSN, p []byte) error {
+		got = append(got, string(p))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"record-0", "record-1", "record-2", "record-3", "record-4", "record-5", "replacement"}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d = %q want %q", i, got[i], want[i])
+		}
+	}
+	// Out-of-range truncation is rejected.
+	if err := l2.TruncateAt(LSN(l2.Size() + 1)); err == nil {
+		t.Fatal("TruncateAt beyond end succeeded")
+	}
+}

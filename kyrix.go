@@ -186,6 +186,49 @@
 // cluster-wide db-queries/step for two nodes below the one-node
 // baseline at parity p50 latency.
 //
+// # Replicated updates
+//
+// The cluster section above shares reads; [ClusterOptions].Replog
+// ([ReplogOptions]: Dir, ElectionTimeout, Heartbeat, SubmitTimeout)
+// replicates writes. With a Dir set, every node runs a member of a
+// leader-based replicated log (internal/replog — a minimal Raft
+// subset, no external dependency): POST /update on any node is
+// forwarded to the leader, appended as a term-numbered log command,
+// acknowledged only once a quorum of members has it durably in their
+// WALs, and then applied on every node in log order. The apply
+// callback executes the SQL and performs the local epoch bump + L1/L2
+// invalidation, replacing the gossip-style epoch vector on the write
+// path — replicated clusters get one total order of updates instead
+// of eventual convergence.
+//
+//   - Durability. Each member persists the log through the same
+//     length-prefixed CRC-32 WAL framing the store uses: an
+//     append-only term/vote file (meta.kyx) and a truncatable entry
+//     log (replog.kyx) under Dir. A restarted node replays its
+//     committed prefix through the apply callback before serving, so
+//     an acked update survives any minority of crashes — and full
+//     restarts, since the entries are on every quorum member's disk.
+//   - Failover. Followers detect a dead leader by heartbeat silence
+//     (randomized election timeouts prevent split votes) and elect a
+//     replacement that first commits a no-op to discover the durable
+//     frontier. Clients see 503 (retryable) during the election
+//     window; an update acked before the kill is never lost.
+//   - Standalone. A single-member log (Self unset, Dir set) commits
+//     with quorum 1 — the same durable, replayable /update without
+//     cluster networking, which is also the crash-recovery story for
+//     one node.
+//
+// GET /stats reports the member under replog (role, term, leader,
+// last/commit/applied indexes) and per-peer transport health under
+// cluster.peers (failure counts, breaker state). `kyrix-server
+// -replog-dir DIR` joins a real member; `kyrix-bench -failover` runs
+// the 3-node kill-the-leader measurement (steady vs failover tile
+// p50, election-bridge time, updates lost — contractually 0; the
+// committed BENCH_failover.json artifact), and the chaos tests in
+// internal/experiments (leader kill, partition, full-cluster restart)
+// assert zero committed-update loss under -race in CI's chaos-smoke
+// job.
+//
 // # Auto-LOD layers (aggregation pyramid)
 //
 // A separable layer declared with "lod": "auto" ([Layer].LOD) gets a
@@ -437,6 +480,10 @@ type (
 	// (ServerOptions.Cluster): consistent-hash tile ownership with
 	// peer cache fill — see the "Clustered serving" section above.
 	ClusterOptions = server.ClusterOptions
+	// ReplogOptions configures the replicated update log
+	// (ClusterOptions.Replog): setting Dir turns /update into a
+	// quorum-committed log command — see "Replicated updates" above.
+	ReplogOptions = server.ReplogOptions
 	// CacheOptions nests the backend cache configuration
 	// (ServerOptions.Cache): L1 is the in-memory W-TinyLFU/LRU tier,
 	// L2 the persistent tile store — see "Persistent tile store (L2)"
