@@ -185,6 +185,41 @@ func TestFailpointDelay(t *testing.T) {
 	}
 }
 
+// TestPostJSONBypassesBreakerGate: an open circuit fails fills fast
+// but does not throttle the replog RPC channel — consensus traffic is
+// the thing that notices a peer recovering, so it must keep flowing
+// (and its successes close the circuit for fills again).
+func TestPostJSONBypassesBreakerGate(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == PeerPath {
+			http.Error(w, "fills down", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{}`))
+	}))
+	defer hs.Close()
+	tr := NewTransport([]string{hs.URL}, TransportConfig{
+		Timeout:          time.Second,
+		Retries:          -1,
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	for i := 0; i < 2; i++ {
+		_, _, _ = tr.Fetch(hs.URL, &FillRequest{})
+	}
+	if _, _, err := tr.Fetch(hs.URL, &FillRequest{}); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("fill with open circuit: %v, want ErrBreakerOpen", err)
+	}
+	var out struct{}
+	if err := tr.PostJSON(context.Background(), hs.URL, "/replog/append", struct{}{}, &out); err != nil {
+		t.Fatalf("replog RPC throttled by open circuit: %v", err)
+	}
+	if st := tr.PeerStatsSnapshot()[hs.URL]; st.Consecutive != 0 {
+		t.Fatalf("RPC success did not reset the failure run: %+v", st)
+	}
+}
+
 // TestPostJSONRoundtrip: the generic JSON RPC shares the transport's
 // failpoints and works end to end.
 func TestPostJSONRoundtrip(t *testing.T) {

@@ -216,8 +216,12 @@ func NewTransport(peers []string, cfg TransportConfig) *Transport {
 	t := &Transport{
 		peers: make(map[string]*peer, len(peers)),
 		cfg:   cfg,
+		// No http.Client.Timeout: every exchange already runs under a
+		// context deadline (Fetch's own, or the caller's / the default
+		// in PostJSON), and a hard client-wide cap would silently clip
+		// RPCs whose callers budget more — e.g. a propose forward
+		// riding out an election under SubmitTimeout.
 		client: &http.Client{
-			Timeout: cfg.Timeout,
 			Transport: &http.Transport{
 				MaxIdleConns:        4 * cfg.PerPeer,
 				MaxIdleConnsPerHost: cfg.PerPeer,
@@ -288,11 +292,14 @@ func (t *Transport) PeerStatsSnapshot() map[string]PeerStats {
 	return out
 }
 
-// exchange runs one attempt against p: failpoint delay, breaker gate,
-// failpoint drop, semaphore, then fn; the outcome is recorded into the
-// breaker. Breaker rejections do not count as failures (no exchange
-// happened); injected drops do (a real network would have failed).
-func (t *Transport) exchange(ctx context.Context, p *peer, fn func(ctx context.Context) error) error {
+// exchange runs one attempt against p: failpoint delay, breaker gate
+// (when gated), failpoint drop, semaphore, then fn; the outcome is
+// recorded into the breaker. Breaker rejections do not count as
+// failures (no exchange happened); injected drops do (a real network
+// would have failed). Ungated exchanges skip the fail-fast rejection
+// but still feed the breaker state, so a recovering peer is noticed by
+// whichever traffic reaches it first.
+func (t *Transport) exchange(ctx context.Context, p *peer, gated bool, fn func(ctx context.Context) error) error {
 	drop, delay := t.failState(p.base)
 	if delay > 0 {
 		select {
@@ -302,8 +309,10 @@ func (t *Transport) exchange(ctx context.Context, p *peer, fn func(ctx context.C
 			return fmt.Errorf("cluster: peer %s: %w", p.base, ctx.Err())
 		}
 	}
-	if err := p.allow(t.cfg.BreakerThreshold, time.Now()); err != nil {
-		return err
+	if gated {
+		if err := p.allow(t.cfg.BreakerThreshold, time.Now()); err != nil {
+			return err
+		}
 	}
 	if drop {
 		p.record(false, t.cfg.BreakerThreshold, t.cfg.BreakerCooldown, time.Now())
@@ -346,7 +355,7 @@ func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs 
 	defer cancel()
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
-		err = t.exchange(ctx, p, func(ctx context.Context) error {
+		err = t.exchange(ctx, p, true, func(ctx context.Context) error {
 			payload, epochs, err = t.fetchOnce(ctx, p, fr)
 			return err
 		})
@@ -405,11 +414,15 @@ func (t *Transport) fetchOnce(ctx context.Context, p *peer, fr *FillRequest) (pa
 
 // PostJSON performs one JSON request/response exchange with node at
 // path — the RPC channel the replicated log (internal/replog) runs
-// over. It shares the failpoints, circuit breaker and per-peer
-// concurrency bound with Fetch but makes a single attempt: the log's
-// own heartbeat/election loops are the retry policy there, and
-// layering another one under them would only distort their timing. If
-// ctx carries no deadline the transport's Timeout applies.
+// over. It shares the failpoints and per-peer concurrency bound with
+// Fetch but makes a single attempt: the log's own heartbeat/election
+// loops are the retry policy there, and layering another one under
+// them would only distort their timing. For the same reason it is
+// exempt from the breaker's fail-fast gate (the breaker is tuned for
+// fill traffic; throttling a rejoining follower's catch-up appends to
+// one probe per cooldown would stall consensus), though its outcomes
+// still feed the breaker state and per-peer stats. If ctx carries no
+// deadline the transport's Timeout applies.
 func (t *Transport) PostJSON(ctx context.Context, node, path string, req, resp any) error {
 	p, ok := t.peers[node]
 	if !ok {
@@ -420,7 +433,7 @@ func (t *Transport) PostJSON(ctx context.Context, node, path string, req, resp a
 		ctx, cancel = context.WithTimeout(ctx, t.cfg.Timeout)
 		defer cancel()
 	}
-	return t.exchange(ctx, p, func(ctx context.Context) error {
+	return t.exchange(ctx, p, false, func(ctx context.Context) error {
 		body, err := json.Marshal(req)
 		if err != nil {
 			return err

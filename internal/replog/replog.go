@@ -132,10 +132,15 @@ var ErrClosed = errors.New("replog: closed")
 // Callers surface it as "temporarily unavailable, retry".
 var ErrNoLeader = errors.New("replog: no leader")
 
-// entry is one log slot.
+// entry is one log slot. ID, when nonempty, is the command's
+// idempotency key: the leader refuses to append a second entry with
+// the same ID, which is what makes Submit's internal retry loop (and a
+// client retry carrying its own key) exactly-once at the state machine
+// instead of at-least-once.
 type entry struct {
 	Index uint64 `json:"index"`
 	Term  uint64 `json:"term"`
+	ID    string `json:"id,omitempty"`
 	Cmd   []byte `json:"cmd,omitempty"`
 }
 
@@ -164,6 +169,8 @@ type Node struct {
 	leader      string // last known leader this term ("" = unknown)
 	log         []entry
 	lsns        []wal.LSN // lsns[i] = WAL offset of log[i]'s record
+	idIndex     map[string]uint64 // log index per nonempty entry ID (dedupe)
+	idSeq       uint64            // Submit's per-process ID counter
 	commit      uint64
 	applied     uint64
 	next        map[string]uint64 // leader: next index to send per peer
@@ -172,6 +179,9 @@ type Node struct {
 	lastAck     map[string]time.Time
 	lastBeat    time.Time // leader: last heartbeat broadcast
 	deadline    time.Time // follower/candidate: election deadline
+	// lastLeaderSeen is the last accepted append/heartbeat from a
+	// current leader — the leader-stickiness window for HandleVote.
+	lastLeaderSeen time.Time
 	closed      bool
 	applyErrs   map[uint64]error // recent apply results, for Submit waiters
 	commitCond  *sync.Cond       // commit advanced (applier wakes)
@@ -180,6 +190,7 @@ type Node struct {
 	wal     *wal.Log // entry log (suffix-truncatable)
 	metaWal *wal.Log // term/vote log (append-only, last wins)
 	rng     *rand.Rand
+	nonce   uint64 // per-process namespace for generated submit IDs
 	stop    chan struct{}
 	wg      sync.WaitGroup
 }
@@ -244,10 +255,12 @@ func Open(cfg Config) (*Node, error) {
 		match:     make(map[string]uint64),
 		inflight:  make(map[string]bool),
 		lastAck:   make(map[string]time.Time),
+		idIndex:   make(map[string]uint64),
 		applyErrs: make(map[uint64]error),
 		rng:       rand.New(rand.NewSource(int64(seedOf(cfg.Self)) ^ time.Now().UnixNano())),
 		stop:      make(chan struct{}),
 	}
+	n.nonce = n.rng.Uint64()
 	for _, m := range members {
 		if m != cfg.Self {
 			n.others = append(n.others, m)
@@ -463,19 +476,39 @@ func (n *Node) becomeLeaderLocked() {
 	// its *own-term* entries toward commit (§5.4.2), so without this
 	// an idle new leader would never learn its predecessors' tail is
 	// committed — and neither would anyone else.
-	n.appendLocalLocked(nil)
+	n.appendLocalLocked("", nil)
 	n.broadcastLocked()
 }
 
 // appendLocalLocked appends one entry with the current term to the
 // local log and WAL (synced — a leader acks nothing it could forget).
-func (n *Node) appendLocalLocked(cmd []byte) uint64 {
-	e := entry{Index: n.lastIndexLocked() + 1, Term: n.term, Cmd: cmd}
+func (n *Node) appendLocalLocked(id string, cmd []byte) uint64 {
+	e := entry{Index: n.lastIndexLocked() + 1, Term: n.term, ID: id, Cmd: cmd}
 	lsn := n.persistEntryLocked(e)
 	n.log = append(n.log, e)
 	n.lsns = append(n.lsns, lsn)
+	if id != "" {
+		n.idIndex[id] = e.Index
+	}
 	n.advanceCommitLocked()
 	return e.Index
+}
+
+// appendCmdLocked is the leader's dedicated command-append path: an ID
+// already present in the log returns its existing index instead of a
+// second entry. This is what turns a retried propose — forward response
+// lost, leader change mid-submit, ambiguous timeout — into the SAME log
+// slot. It is safe across failover: a committed entry is in every
+// electable leader's log (election restriction), so its ID is found
+// here; an uncommitted copy that a new leader lacks is truncated from
+// the old leader's log before it could ever apply.
+func (n *Node) appendCmdLocked(id string, cmd []byte) uint64 {
+	if id != "" {
+		if idx, ok := n.idIndex[id]; ok {
+			return idx
+		}
+	}
+	return n.appendLocalLocked(id, cmd)
 }
 
 // broadcastLocked kicks the per-peer replication loops.
@@ -668,14 +701,36 @@ func (n *Node) waitApplied(ctx context.Context, index uint64) error {
 	return err
 }
 
+// newID mints a process-unique idempotency key for one Submit call.
+func (n *Node) newID() string {
+	n.mu.Lock()
+	n.idSeq++
+	seq := n.idSeq
+	n.mu.Unlock()
+	return fmt.Sprintf("%s/%x.%d", n.cfg.Self, n.nonce, seq)
+}
+
 // Submit replicates cmd through the log and returns its index once it
 // is committed and applied on THIS node (read-your-writes for the node
-// that answered the client). On the leader it proposes directly; on a
-// follower it forwards to the last known leader and then waits for the
-// entry to arrive and apply locally. Retries internally across leader
-// changes until the deadline; returns ErrNoLeader (wrapped) when the
-// cluster has no electable quorum within it.
+// that answered the client). It mints a fresh idempotency key, so one
+// Submit call applies cmd at most once no matter how many internal
+// retries it takes — but two Submit calls with the same cmd are two
+// commands. Callers that need retry-across-calls safety (a client
+// re-posting after an ambiguous error) use SubmitWithID.
 func (n *Node) Submit(ctx context.Context, cmd []byte) (uint64, error) {
+	return n.SubmitWithID(ctx, n.newID(), cmd)
+}
+
+// SubmitWithID is Submit under a caller-chosen idempotency key: all
+// submissions sharing id occupy at most one log slot, so a retry of a
+// non-idempotent command after a lost response cannot double-apply it
+// (the key must be unique per logical command). On the leader it
+// proposes directly; on a follower it forwards to the last known
+// leader and then waits for the entry to arrive and apply locally.
+// Retries internally across leader changes until the deadline; returns
+// ErrNoLeader (wrapped) when the cluster has no electable quorum
+// within it.
+func (n *Node) SubmitWithID(ctx context.Context, id string, cmd []byte) (uint64, error) {
 	if _, has := ctx.Deadline(); !has {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, n.cfg.SubmitTimeout)
@@ -688,7 +743,7 @@ func (n *Node) Submit(ctx context.Context, cmd []byte) (uint64, error) {
 			return 0, ErrClosed
 		}
 		if n.role == Leader {
-			idx := n.appendLocalLocked(cmd)
+			idx := n.appendCmdLocked(id, cmd)
 			n.broadcastLocked()
 			n.mu.Unlock()
 			return idx, n.waitApplied(ctx, idx)
@@ -697,7 +752,7 @@ func (n *Node) Submit(ctx context.Context, cmd []byte) (uint64, error) {
 		n.mu.Unlock()
 
 		if leader != "" && leader != n.cfg.Self {
-			req := &ProposeRequest{Cmd: cmd}
+			req := &ProposeRequest{ID: id, Cmd: cmd}
 			var resp ProposeResponse
 			err := n.cfg.Transport.PostJSON(ctx, leader, ProposePath, req, &resp)
 			if err == nil {

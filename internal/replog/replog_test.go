@@ -404,6 +404,138 @@ func TestRestartAllReplaysCommitted(t *testing.T) {
 	}
 }
 
+// errRPC is a transport to nowhere: every RPC fails. It pins a node in
+// the follower/candidate role for white-box RPC-handler tests.
+type errRPC struct{}
+
+func (errRPC) PostJSON(context.Context, string, string, any, any) error {
+	return errors.New("errRPC: unreachable")
+}
+
+// openFollower opens a 3-member node whose peers are unreachable and
+// whose election timeout is far beyond the test, so its state evolves
+// only through the HandleAppend/HandleVote calls the test makes.
+func openFollower(t *testing.T) (*Node, *applyRec) {
+	t.Helper()
+	rec := &applyRec{}
+	n, err := Open(Config{
+		Self:            "http://a",
+		Peers:           []string{"http://a", "http://b", "http://c"},
+		Dir:             t.TempDir(),
+		Transport:       errRPC{},
+		Apply:           rec.apply,
+		ElectionTimeout: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n, rec
+}
+
+// TestAppendCommitClampedToVerifiedPrefix: the follower commit index
+// advances only over min(leaderCommit, prevIndex+len(entries)) — the
+// prefix this exchange actually verified — never to lastIndex. The
+// scenario: a fast-backup hint walks the leader's nextIndex below a
+// follower's conflicting uncommitted old-term tail; a matching batch
+// ending mid-log must not mark that tail committed.
+func TestAppendCommitClampedToVerifiedPrefix(t *testing.T) {
+	n, rec := openFollower(t)
+	e := func(i, term uint64, cmd string) entry {
+		return entry{Index: i, Term: term, Cmd: []byte(cmd)}
+	}
+	// Term-1 prefix 1..3 (matches every future leader), then an
+	// uncommitted term-2 suffix 4..5 from a deposed leader.
+	if r := n.HandleAppend(&AppendRequest{Term: 1, Leader: "http://b", Entries: []entry{e(1, 1, "A"), e(2, 1, "B"), e(3, 1, "C")}}); !r.Success {
+		t.Fatal("prefix append rejected")
+	}
+	if r := n.HandleAppend(&AppendRequest{Term: 2, Leader: "http://c", PrevIndex: 3, PrevTerm: 1, Entries: []entry{e(4, 2, "X"), e(5, 2, "Y")}}); !r.Success {
+		t.Fatal("suffix append rejected")
+	}
+	// Term-3 leader (whose own 4..5 differ) sends a batch that ends at
+	// index 3, with its commit index already at 5.
+	r := n.HandleAppend(&AppendRequest{Term: 3, Leader: "http://b", PrevIndex: 2, PrevTerm: 1, Entries: []entry{e(3, 1, "C")}, Commit: 5})
+	if !r.Success {
+		t.Fatal("mid-log append rejected")
+	}
+	if got := n.Snapshot().Commit; got != 3 {
+		t.Fatalf("commit = %d after batch verifying through 3, want 3", got)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for n.Applied() < 3 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if got := rec.snapshot(); !equalStrings(got, []string{"A", "B", "C"}) {
+		t.Fatalf("applied %v, want the verified prefix only", got)
+	}
+}
+
+// TestVoteLeaderStickiness: a vote request with an inflated term is
+// refused — without adopting the term — while the follower has heard
+// its leader within an election timeout; once the leader goes silent,
+// the same request is granted.
+func TestVoteLeaderStickiness(t *testing.T) {
+	n, _ := openFollower(t)
+	n.HandleAppend(&AppendRequest{Term: 1, Leader: "http://b"})
+	req := &VoteRequest{Term: 9, Candidate: "http://c", LastIndex: 100, LastTerm: 9}
+	if r := n.HandleVote(req); r.Granted {
+		t.Fatal("vote granted while the leader is live")
+	}
+	if got := n.Snapshot().Term; got != 1 {
+		t.Fatalf("sticky rejection adopted term %d, want 1", got)
+	}
+	// Leader silence: age the last contact past the election timeout.
+	n.mu.Lock()
+	n.lastLeaderSeen = time.Now().Add(-2 * time.Minute)
+	n.mu.Unlock()
+	if r := n.HandleVote(req); !r.Granted {
+		t.Fatal("vote refused after the leader went silent")
+	}
+	if got := n.Snapshot().Term; got != 9 {
+		t.Fatalf("term = %d after granting, want 9", got)
+	}
+}
+
+// TestSubmitWithIDDedupes: submissions sharing an idempotency key
+// occupy one log slot and apply once — directly on a leader, and
+// through a follower's forward path (the lost-response retry shape).
+func TestSubmitWithIDDedupes(t *testing.T) {
+	h := newHarness(t, 3)
+	lead := h.waitLeader(5 * time.Second)
+	follower := (lead + 1) % 3
+	ctx := context.Background()
+	i1, err := h.nodes[lead].SubmitWithID(ctx, "k1", []byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := h.nodes[lead].SubmitWithID(ctx, "k1", []byte("once"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 != i2 {
+		t.Fatalf("leader retry landed on index %d, want %d", i2, i1)
+	}
+	// Forwarded retries dedupe at the leader too — including a replay
+	// of a key the leader already committed.
+	j1, err := h.nodes[follower].SubmitWithID(ctx, "k2", []byte("fwd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, via := range []int{follower, (lead + 2) % 3} {
+		j2, err := h.nodes[via].SubmitWithID(ctx, "k2", []byte("fwd"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j1 != j2 {
+			t.Fatalf("forwarded retry via node %d landed on %d, want %d", via, j2, j1)
+		}
+	}
+	seq := h.waitConverged(2, 5*time.Second)
+	if !equalStrings(seq, []string{"once", "fwd"}) {
+		t.Fatalf("applied %v, want each keyed command exactly once", seq)
+	}
+}
+
 // TestSingleNodeLog: a one-member log (quorum 1) elects itself and
 // commits locally — the degenerate deployment still works.
 func TestSingleNodeLog(t *testing.T) {

@@ -49,8 +49,12 @@ type AppendResponse struct {
 	Hint    uint64 `json:"hint,omitempty"`
 }
 
-// ProposeRequest forwards a command from a follower to the leader.
+// ProposeRequest forwards a command from a follower to the leader. ID
+// is the command's idempotency key: a re-forward of the same command
+// (after a lost response or a leader change) dedupes onto the entry
+// the first forward appended, if it survived.
 type ProposeRequest struct {
+	ID  string `json:"id,omitempty"`
 	Cmd []byte `json:"cmd"`
 }
 
@@ -71,7 +75,19 @@ func (n *Node) HandleVote(req *VoteRequest) *VoteResponse {
 	if n.closed || req.Term < n.term {
 		return resp
 	}
+	// Leader stickiness (raft §6 / thesis §4.2.3): while a live leader
+	// is heartbeating, deny votes WITHOUT adopting the candidate's term
+	// — a briefly partitioned node rejoining with an inflated term must
+	// not depose a healthy leader. The check covers both a follower that
+	// heard its leader within an election timeout and a leader still
+	// holding its quorum lease.
+	now := time.Now()
 	if req.Term > n.term {
+		sticky := now.Sub(n.lastLeaderSeen) < n.cfg.ElectionTimeout ||
+			(n.role == Leader && n.quorumReachableLocked(now))
+		if sticky {
+			return resp
+		}
 		n.becomeFollowerLocked(req.Term, "")
 		resp.Term = n.term
 	}
@@ -102,7 +118,8 @@ func (n *Node) HandleAppend(req *AppendRequest) *AppendResponse {
 		resp.Term = n.term
 	}
 	n.leader = req.Leader
-	n.resetDeadlineLocked(time.Now())
+	n.lastLeaderSeen = time.Now()
+	n.resetDeadlineLocked(n.lastLeaderSeen)
 
 	if req.PrevIndex > 0 {
 		if req.PrevIndex > n.lastIndexLocked() {
@@ -133,6 +150,11 @@ func (n *Node) HandleAppend(req *AppendRequest) *AppendResponse {
 		lsn := n.persistEntryNoSyncLocked(e)
 		n.log = append(n.log, e)
 		n.lsns = append(n.lsns, lsn)
+		if e.ID != "" {
+			// Followers track IDs too: whichever node is elected next
+			// must dedupe retries against the entries it inherited.
+			n.idIndex[e.ID] = e.Index
+		}
 		dirty = true
 	}
 	if dirty {
@@ -140,8 +162,14 @@ func (n *Node) HandleAppend(req *AppendRequest) *AppendResponse {
 		// the leader counts this ack toward quorum commit.
 		_ = n.wal.Sync()
 	}
-	if req.Commit > n.commit {
-		n.commit = min(req.Commit, n.lastIndexLocked())
+	// Advance commit only over the prefix this exchange verified:
+	// min(leaderCommit, prevIndex+len(entries)), the raft figure-2 rule.
+	// Clamping to lastIndex instead would be wrong — after a fast-backup
+	// hint walks the leader's nextIndex below our uncommitted tail, a
+	// matching batch ending mid-log would mark a conflicting old-term
+	// suffix committed before the leader has overwritten it.
+	if c := min(req.Commit, req.PrevIndex+uint64(len(req.Entries))); c > n.commit {
+		n.commit = c
 		n.commitCond.Broadcast()
 	}
 	resp.Success = true
@@ -162,7 +190,7 @@ func (n *Node) HandlePropose(req *ProposeRequest) *ProposeResponse {
 		n.mu.Unlock()
 		return resp
 	}
-	idx := n.appendLocalLocked(req.Cmd)
+	idx := n.appendCmdLocked(req.ID, req.Cmd)
 	n.broadcastLocked()
 	n.mu.Unlock()
 

@@ -51,6 +51,9 @@ func (n *Node) load() error {
 		}
 		n.log = append(n.log, e)
 		n.lsns = append(n.lsns, lsn)
+		if e.ID != "" {
+			n.idIndex[e.ID] = e.Index
+		}
 		return nil
 	})
 }
@@ -88,6 +91,11 @@ func (n *Node) truncateFromLocked(index uint64) {
 		return
 	}
 	_ = n.wal.TruncateAt(n.lsns[index-1])
+	for _, e := range n.log[index-1:] {
+		if e.ID != "" && n.idIndex[e.ID] == e.Index {
+			delete(n.idIndex, e.ID)
+		}
+	}
 	n.log = n.log[:index-1]
 	n.lsns = n.lsns[:index-1]
 }

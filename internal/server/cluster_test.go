@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -327,6 +328,70 @@ func TestClusterEpochInvalidation(t *testing.T) {
 	// queries cannot repopulate the cache.
 	if gen := owner.srv.cacheGen.Load(); gen == 0 {
 		t.Fatal("epoch adoption did not bump the cache generation")
+	}
+}
+
+// TestClusterUpdateIdempotencyKey: on the replicated path, re-POSTing
+// an /update carrying the same client id applies the statement once —
+// the retry-after-ambiguous-503 contract for non-idempotent SQL.
+func TestClusterUpdateIdempotencyKey(t *testing.T) {
+	root := t.TempDir()
+	nodes := newTestCluster(t, 2, 50, func(i int, o *Options) {
+		o.Cluster.Replog = ReplogOptions{
+			Dir:             filepath.Join(root, fmt.Sprintf("n%d", i)),
+			ElectionTimeout: 50 * time.Millisecond,
+		}
+	})
+	postKeyed := func(id, sql string) {
+		t.Helper()
+		body, _ := json.Marshal(UpdateRequest{ID: id, SQL: sql})
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Post(nodes[0].url+"/update", "application/json", bytes.NewReader(body))
+			if err == nil {
+				rb, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+				err = fmt.Errorf("HTTP %d: %s", resp.StatusCode, rb)
+			}
+			// 503 until the log elects a leader; retry.
+			if time.Now().After(deadline) {
+				t.Fatalf("update never acked: %v", err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	valAt := func(n *clusterNode, id int) float64 {
+		t.Helper()
+		res, err := n.srv.db.Query(fmt.Sprintf("SELECT val FROM points WHERE id = %d", id))
+		if err != nil || len(res.Rows) != 1 {
+			t.Fatalf("query val: %v (%d rows)", err, len(res.Rows))
+		}
+		return res.Rows[0][0].F
+	}
+	v0 := valAt(nodes[0], 1)
+
+	// The same non-idempotent statement twice under one key, then a
+	// sentinel under its own key. Log order means the sentinel's
+	// visibility proves the earlier commands have fully applied.
+	postKeyed("req-1", "UPDATE points SET val = val + 1 WHERE id = 1")
+	postKeyed("req-1", "UPDATE points SET val = val + 1 WHERE id = 1")
+	postKeyed("req-2", "UPDATE points SET val = val + 1 WHERE id = 2")
+
+	s0 := valAt(nodes[0], 2)
+	deadline := time.Now().Add(10 * time.Second)
+	for valAt(nodes[1], 2) != s0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sentinel update never reached node 1")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for i, n := range nodes {
+		if got := valAt(n, 1); got != v0+1 {
+			t.Fatalf("node %d: val = %v, want %v (keyed retry must apply once)", i, got, v0+1)
+		}
 	}
 }
 

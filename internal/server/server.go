@@ -1000,8 +1000,13 @@ func (s *Server) writePayload(w http.ResponseWriter, codec Codec, payload []byte
 }
 
 // UpdateRequest is the §4 update-model request: MGH "wants an update
-// model for Kyrix so they can edit and tag relevant data".
+// model for Kyrix so they can edit and tag relevant data". ID, when
+// set, is a client-chosen idempotency key (unique per logical update):
+// on the replicated path the log dedupes submissions sharing it, so a
+// client that got an ambiguous 503 can re-POST the same body without
+// double-applying a non-idempotent statement.
 type UpdateRequest struct {
+	ID   string     `json:"id,omitempty"`
 	SQL  string     `json:"sql"`
 	Args []ArgValue `json:"args,omitempty"`
 }
@@ -1041,18 +1046,29 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		idx, err := s.replog.Submit(r.Context(), cmd)
+		var idx uint64
+		if req.ID != "" {
+			idx, err = s.replog.SubmitWithID(r.Context(), "c/"+req.ID, cmd)
+		} else {
+			idx, err = s.replog.Submit(r.Context(), cmd)
+		}
 		if err != nil {
 			status := http.StatusBadRequest
 			if errors.Is(err, replog.ErrNoLeader) || errors.Is(err, replog.ErrClosed) ||
 				errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-				// Not committed (or not known committed): the client may
-				// safely retry against any node.
+				// Not committed — or not KNOWN committed: the update may
+				// have reached the log before the error. A retry is
+				// exactly-once only when the request carries an id for
+				// the log to dedupe on; without one, retrying a
+				// non-idempotent statement risks applying it twice.
 				status = http.StatusServiceUnavailable
 			}
 			http.Error(w, err.Error(), status)
 			return
 		}
+		// A deduped retry lands on the original index, whose affected
+		// count may already have been claimed (or pruned) — it then
+		// reports 0, but the mutation itself happened exactly once.
 		s.applyMu.Lock()
 		n = s.applyAffected[idx]
 		delete(s.applyAffected, idx)

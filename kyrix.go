@@ -209,10 +209,17 @@
 //     an acked update survives any minority of crashes — and full
 //     restarts, since the entries are on every quorum member's disk.
 //   - Failover. Followers detect a dead leader by heartbeat silence
-//     (randomized election timeouts prevent split votes) and elect a
-//     replacement that first commits a no-op to discover the durable
-//     frontier. Clients see 503 (retryable) during the election
-//     window; an update acked before the kill is never lost.
+//     (randomized election timeouts prevent split votes; a live
+//     leader's followers refuse votes, so a rejoining node cannot
+//     depose it) and elect a replacement that first commits a no-op to
+//     discover the durable frontier. Clients see 503 during the
+//     election window; an update acked before the kill is never lost.
+//     A 503 is ambiguous — the update may have committed before the
+//     error — so each update carries an idempotency key the log
+//     dedupes retries on (the forwarding path mints one per request;
+//     clients needing retry-safety across their own re-POSTs set "id"
+//     in the /update body), making a keyed retry exactly-once even for
+//     non-idempotent SQL.
 //   - Standalone. A single-member log (Self unset, Dir set) commits
 //     with quorum 1 — the same durable, replayable /update without
 //     cluster networking, which is also the crash-recovery story for
