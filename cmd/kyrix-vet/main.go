@@ -1,0 +1,161 @@
+// Command kyrix-vet runs the repo's invariant analyzers (see
+// internal/analysis) over Go packages. It has two modes:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/kyrix-vet ./...
+//
+// As a vet tool, speaking cmd/go's unitchecker protocol (-flags,
+// -V=full, then one JSON vet.cfg per compilation unit):
+//
+//	go build -o kyrix-vet ./cmd/kyrix-vet
+//	go vet -vettool=$PWD/kyrix-vet ./...
+//
+// Both modes exit 0 when clean and nonzero when any finding survives
+// suppression. Findings print as file:line:col: message [kyrix-vet/<analyzer>].
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"kyrix/internal/analysis"
+)
+
+func main() {
+	args := os.Args[1:]
+	for _, a := range args {
+		switch a {
+		case "-V=full":
+			printVersion()
+			return
+		case "-flags":
+			// No analyzer flags: report an empty flag set to cmd/go.
+			fmt.Println("[]")
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(unitcheck(args[0]))
+	}
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: kyrix-vet <packages>  (e.g. kyrix-vet ./...)")
+		os.Exit(2)
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion emits the `name version devel <id>` line cmd/go hashes
+// into its build cache key; the id is the tool binary's content hash
+// so editing an analyzer invalidates cached vet results.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("%s version devel buildID=%s\n", filepath.Base(os.Args[0]), id)
+}
+
+func standalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kyrix-vet:", err)
+		return 1
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kyrix-vet:", err)
+			return 1
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, f)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "kyrix-vet: %d finding(s)\n", bad)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the unit description cmd/go writes for each package
+// when invoked as `go vet -vettool=kyrix-vet`.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kyrix-vet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "kyrix-vet: parse %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// The protocol requires the facts file regardless of outcome; the
+	// suite exchanges no facts, so it is always empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "kyrix-vet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Drop test files: the suite checks production-code invariants
+	// (this also skips external _test package units entirely).
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	fset := token.NewFileSet()
+	imp := analysis.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap)
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, fset, files, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "kyrix-vet:", err)
+		return 1
+	}
+	findings, err := analysis.RunAnalyzers(pkg, analysis.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kyrix-vet:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,356 @@
+// Package analysis is kyrix-vet: a suite of project-specific static
+// analyzers that mechanize the concurrency and durability invariants
+// this codebase has already paid for in review-fix commits — epoch-lock
+// ordering, bounded decompression, context-aware row scans, durable
+// error handling, and goroutine lifecycle hygiene.
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic) but is
+// self-contained on the standard library: packages are loaded through
+// `go list -export` and type-checked against compiled export data from
+// the build cache, so the tool needs no network and no third-party
+// modules. See cmd/kyrix-vet for the standalone and `go vet -vettool`
+// drivers.
+//
+// # Suppressions
+//
+// A diagnostic is suppressed by a directive comment on the flagged
+// line, or on the line directly above it:
+//
+//	//lint:ignore-kyrix <analyzer> <reason>
+//
+// The reason is mandatory: a directive without one is itself reported.
+// Suppressions are deliberately narrow (one line, one analyzer) so an
+// accepted exception cannot quietly grow to cover new code.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and suppression
+	// directives (lowercase, one word).
+	Name string
+	// Doc explains the invariant, the historical bug class behind it,
+	// and how to satisfy or suppress the check.
+	Doc string
+	// Run performs the check over one package, reporting findings
+	// through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// A Diagnostic is one finding at a position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Finding is a resolved diagnostic: position mapped through the
+// file set and attributed to its analyzer.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s [kyrix-vet/%s]", f.Pos, f.Message, f.Analyzer)
+}
+
+// ignoreRe matches the suppression directive. The reason group is
+// validated separately so a missing reason can be reported.
+var ignoreRe = regexp.MustCompile(`lint:ignore-kyrix\s+(\w+)[ \t]*(.*)`)
+
+// suppression is one parsed directive: the analyzer it silences and
+// the line whose diagnostics it covers (its own line; a finding on the
+// following line is covered too).
+type suppression struct {
+	analyzer string
+	file     string
+	line     int
+	hasWhy   bool
+	pos      token.Pos
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) []suppression {
+	var out []suppression
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				out = append(out, suppression{
+					analyzer: m[1],
+					file:     p.Filename,
+					line:     p.Line,
+					hasWhy:   strings.TrimSpace(m[2]) != "",
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to the package and returns the
+// surviving findings, sorted by position. Suppression directives are
+// honored here so every driver (standalone, vettool, tests) shares
+// identical semantics.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	sups := collectSuppressions(pkg.Fset, pkg.Files)
+	var findings []Finding
+	covered := make(map[int]bool, len(sups)) // index into sups: directive matched a finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+		}
+	diags:
+		for _, d := range pass.diags {
+			p := pkg.Fset.Position(d.Pos)
+			for i, s := range sups {
+				if s.analyzer == a.Name && s.file == p.Filename && (s.line == p.Line || s.line == p.Line-1) {
+					covered[i] = true
+					if s.hasWhy {
+						continue diags
+					}
+					// A reasonless directive does not suppress; the
+					// malformed-directive finding below explains why.
+					break
+				}
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: p, Message: d.Message})
+		}
+	}
+	for i, s := range sups {
+		if !s.hasWhy && covered[i] {
+			findings = append(findings, Finding{
+				Analyzer: s.analyzer,
+				Pos:      pkg.Fset.Position(s.pos),
+				Message:  "lint:ignore-kyrix directive needs a reason (//lint:ignore-kyrix " + s.analyzer + " <why>)",
+			})
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// All returns the kyrix-vet analyzer suite.
+func All() []*Analyzer {
+	return []*Analyzer{
+		GuardedBy,
+		BoundedRead,
+		CtxLoop,
+		WALErr,
+		Lifecycle,
+	}
+}
+
+// --- shared AST/type helpers used by several analyzers ---
+
+// inspectStack walks root like ast.Inspect while maintaining the stack
+// of open ancestor nodes (not including n itself).
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// calleeFunc resolves the called function or method object, or nil.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeIs reports whether call is a call to pkgPath.name (a package-
+// level function or a method whose origin package is pkgPath).
+func calleeIs(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.Name() == name && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// namedOrigin unwraps pointers and aliases to the defining named type,
+// or nil for unnamed types.
+func namedOrigin(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// typeFromPackage reports whether t (possibly behind a pointer) is a
+// named type declared in the package with the given import path.
+func typeFromPackage(t types.Type, pkgPath string) bool {
+	n := namedOrigin(t)
+	return n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == pkgPath
+}
+
+// rootIdent descends a selector/index/paren/star chain to its leftmost
+// identifier, or nil (e.g. when the chain is rooted at a call).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// enclosingFuncs returns the stack's function nodes, outermost first.
+// Each element is an *ast.FuncDecl or *ast.FuncLit.
+func enclosingFuncs(stack []ast.Node) []ast.Node {
+	var fns []ast.Node
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fns = append(fns, n)
+		}
+	}
+	return fns
+}
+
+// funcType returns the declared type of a FuncDecl or FuncLit node.
+func funcType(fn ast.Node) *ast.FuncType {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Type
+	case *ast.FuncLit:
+		return f.Type
+	}
+	return nil
+}
+
+// funcBody returns the body of a FuncDecl or FuncLit node.
+func funcBody(fn ast.Node) *ast.BlockStmt {
+	switch f := fn.(type) {
+	case *ast.FuncDecl:
+		return f.Body
+	case *ast.FuncLit:
+		return f.Body
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n := namedOrigin(t)
+	return n != nil && n.Obj().Name() == "Context" &&
+		n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "context"
+}
+
+// ctxParams returns the objects of every context.Context parameter of
+// fn (usually zero or one).
+func ctxParams(info *types.Info, fn ast.Node) []types.Object {
+	ft := funcType(fn)
+	if ft == nil || ft.Params == nil {
+		return nil
+	}
+	var objs []types.Object
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+				objs = append(objs, obj)
+			}
+		}
+	}
+	return objs
+}
+
+// usesAnyObject reports whether any identifier under root resolves to
+// one of the given objects.
+func usesAnyObject(info *types.Info, root ast.Node, objs []types.Object) bool {
+	if root == nil || len(objs) == 0 {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		use := info.Uses[id]
+		for _, o := range objs {
+			if use == o {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

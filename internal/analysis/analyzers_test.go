@@ -1,0 +1,136 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kyrix/internal/analysis"
+	"kyrix/internal/analysis/analysistest"
+)
+
+func TestGuardedBy(t *testing.T) {
+	analysistest.Run(t, analysis.GuardedBy, filepath.Join("testdata", "src", "guardedby"))
+}
+
+func TestBoundedRead(t *testing.T) {
+	analysistest.Run(t, analysis.BoundedRead, filepath.Join("testdata", "src", "boundedread"))
+}
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, analysis.CtxLoop, filepath.Join("testdata", "src", "ctxloop"))
+}
+
+func TestWALErr(t *testing.T) {
+	analysistest.Run(t, analysis.WALErr, filepath.Join("testdata", "src", "walerr"))
+}
+
+func TestLifecycle(t *testing.T) {
+	analysistest.Run(t, analysis.Lifecycle, filepath.Join("testdata", "src", "lifecycle"))
+}
+
+// TestIgnoreNeedsReason checks the directive semantics that want
+// comments cannot express (any trailing text would read as the
+// reason): a reasonless directive leaves the original finding in
+// place and adds a malformed-directive finding of its own.
+func TestIgnoreNeedsReason(t *testing.T) {
+	pkgs, err := analysis.Load(filepath.Join("testdata", "src", "ignorereason"), ".")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	findings, err := analysis.RunAnalyzers(pkgs[0], []*analysis.Analyzer{analysis.WALErr})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "directive needs a reason") {
+		t.Errorf("finding 0 = %q, want the malformed-directive report", findings[0].Message)
+	}
+	if !strings.Contains(findings[1].Message, "Sync ignored") {
+		t.Errorf("finding 1 = %q, want the unsuppressed walerr report", findings[1].Message)
+	}
+}
+
+// TestRepoClean is the smoke test the CI job depends on: the full
+// analyzer suite must report nothing on the repository itself. A
+// failure here means a genuine violation crept in (fix it) or a new
+// idiom needs a //lint:ignore-kyrix with a reason.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	pkgs, err := analysis.Load(filepath.Join("..", ".."), "./...")
+	if err != nil {
+		t.Fatalf("load ./...: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern ./... resolved incompletely", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		findings, err := analysis.RunAnalyzers(pkg, analysis.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s", f.String())
+		}
+	}
+}
+
+// TestStandaloneCLI runs the kyrix-vet binary the way a developer
+// would, pointed at a fixture that contains violations, and checks the
+// non-zero exit and diagnostic output.
+func TestStandaloneCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the CLI; skipped with -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command("go", "run", "./cmd/kyrix-vet", "./internal/analysis/testdata/src/walerr")
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected findings to fail the run; output:\n%s", out)
+	}
+	for _, wantSub := range []string{"Sync ignored", "kyrix-vet/walerr"} {
+		if !strings.Contains(string(out), wantSub) {
+			t.Errorf("output missing %q:\n%s", wantSub, out)
+		}
+	}
+}
+
+// TestVettool drives kyrix-vet through go vet's -vettool protocol
+// (-flags, -V=full, vet.cfg) against a fixture with violations.
+func TestVettool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the CLI and invokes go vet; skipped with -short")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(t.TempDir(), "kyrix-vet")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/kyrix-vet")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build kyrix-vet: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin,
+		"./internal/analysis/testdata/src/guardedby")
+	vet.Dir = root
+	out, err := vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("expected go vet to fail on the fixture; output:\n%s", out)
+	}
+	if !strings.Contains(string(out), "guarded by mu") {
+		t.Errorf("go vet output missing guardedby diagnostic:\n%s", out)
+	}
+}

@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// storagePkgPath declares the repo's row type; loops over []storage.Row
+// are the "row scan" shape the PR 6 Materialize fix made cancellable.
+const storagePkgPath = "kyrix/internal/storage"
+
+// CtxLoop enforces the PR 6 cancellation fixes: a function that was
+// given a context must stay cancellable — its long loops must observe
+// ctx, and it must not cut the cancellation chain by minting fresh
+// root contexts.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: `check that context-taking functions stay cancellable
+
+Inside any function that takes a context.Context, two shapes are
+flagged. (1) Loops that can run for a long time — an unconditional
+for{}, or a range over []storage.Row (the row-scan shape precompute
+and the LOD pyramid build iterate millions of times) — must reference
+the context in their body: a periodic ctx.Err() check, a select on
+ctx.Done(), or passing ctx to the per-iteration work all count.
+(2) Calls to context.Background() or context.TODO() are flagged: a
+function that received a context and spawns work under a fresh root
+context has silently detached that work from its caller's
+cancellation, which is how the pre-PR 6 Materialize kept scanning rows
+for a client that had hung up.`,
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, file := range pass.Files {
+		inspectStack(file, func(n ast.Node, stack []ast.Node) bool {
+			// ctx objects of every enclosing function, innermost last.
+			var ctxs []types.Object
+			for _, fn := range enclosingFuncs(stack) {
+				ctxs = append(ctxs, ctxParams(pass.Info, fn)...)
+			}
+			if len(ctxs) == 0 {
+				return true
+			}
+			switch st := n.(type) {
+			case *ast.ForStmt:
+				if st.Cond == nil && !usesAnyObject(pass.Info, st.Body, ctxs) {
+					pass.Reportf(st.For,
+						"infinite loop in a context-taking function never observes ctx (check ctx.Err() or select on ctx.Done())")
+				}
+			case *ast.RangeStmt:
+				if rangesOverRows(pass, st) && !usesAnyObject(pass.Info, st.Body, ctxs) {
+					pass.Reportf(st.For,
+						"row-scan loop in a context-taking function never observes ctx (check ctx.Err() every N rows)")
+				}
+			case *ast.CallExpr:
+				for _, name := range [...]string{"Background", "TODO"} {
+					if calleeIs(pass.Info, st, "context", name) {
+						pass.Reportf(st.Pos(),
+							"context.%s inside a context-taking function detaches downstream work from the caller's cancellation; derive from ctx instead", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// rangesOverRows reports whether the range statement iterates a slice
+// of storage.Row values (directly or behind named slice types).
+func rangesOverRows(pass *Pass, st *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[st.X]
+	if !ok {
+		return false
+	}
+	sl, ok := types.Unalias(tv.Type.Underlying()).(*types.Slice)
+	if !ok {
+		return false
+	}
+	elem := namedOrigin(sl.Elem())
+	return elem != nil && elem.Obj().Name() == "Row" &&
+		elem.Obj().Pkg() != nil && elem.Obj().Pkg().Path() == storagePkgPath
+}

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces `// guarded by <mu>` field annotations: the PR 3
+// epochMu class, where an update interleaving with a delta plan could
+// mix two cache epochs because nothing tied the shared fields to the
+// lock that ordered them.
+var GuardedBy = &Analyzer{
+	Name: "guardedby",
+	Doc: `check that fields annotated "// guarded by <mu>" are only accessed under that mutex
+
+A struct field whose doc or line comment contains "guarded by <name>"
+may only be read or written in functions that lock <name> (Lock, RLock
+or TryLock on any receiver ending in that field name) at some point
+before the access. Three idioms are recognized as safe without a
+visible lock: functions whose name ends in "Locked" (the caller-holds-
+lock convention), accesses to a value constructed in the same function
+(composite literal, new, or zero-value var — it has not escaped yet),
+and the sync.Locker methods of the mutex itself. The check is
+intentionally flow-insensitive: it proves lock *presence*, not lock
+*coverage*, which is exactly the property the epochMu review fix
+restored and cheap enough to gate every PR.`,
+	Run: runGuardedBy,
+}
+
+var guardedByRe = regexp.MustCompile(`\bguarded by (\w+)\b`)
+
+func runGuardedBy(pass *Pass) error {
+	guarded := collectGuardedFields(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardedAccesses(pass, fd, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuardedFields maps field objects to their declared mutex name.
+func collectGuardedFields(pass *Pass) map[types.Object]string {
+	guarded := make(map[types.Object]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := field.Doc.Text() + " " + field.Comment.Text()
+				m := guardedByRe.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						guarded[obj] = m[1]
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func checkGuardedAccesses(pass *Pass, fd *ast.FuncDecl, guarded map[types.Object]string) {
+	if strings.HasSuffix(fd.Name.Name, "Locked") {
+		return
+	}
+	// lockPos[mu] = positions where <something>.mu.Lock/RLock/TryLock()
+	// is called inside fd (including nested function literals — the
+	// check is presence-based, see the analyzer doc).
+	lockPos := make(map[string][]token.Pos)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+			return true
+		}
+		switch fn.Name() {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+		default:
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if mu := lockTargetName(sel.X); mu != "" {
+			lockPos[mu] = append(lockPos[mu], call.Pos())
+		}
+		return true
+	})
+
+	fresh := locallyConstructed(pass, fd)
+
+	ast.Inspect(fd, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pass.Info.Selections[sel]
+		if selection == nil || selection.Kind() != types.FieldVal {
+			return true
+		}
+		mu, ok := guarded[selection.Obj()]
+		if !ok {
+			return true
+		}
+		if root := rootIdent(sel.X); root != nil {
+			if obj := pass.Info.Uses[root]; obj != nil && fresh[obj] {
+				return true
+			}
+		}
+		for _, lp := range lockPos[mu] {
+			if lp < sel.Pos() {
+				return true
+			}
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"access to %s.%s (guarded by %s) without %s.Lock in %s",
+			selection.Recv(), sel.Sel.Name, mu, mu, fd.Name.Name)
+		return true
+	})
+}
+
+// lockTargetName names the lock receiver: the final identifier of the
+// receiver chain ("s.epochMu" -> "epochMu", "mu" -> "mu").
+func lockTargetName(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return lockTargetName(x.X)
+		}
+	case *ast.StarExpr:
+		return lockTargetName(x.X)
+	}
+	return ""
+}
+
+// locallyConstructed returns the set of variables defined inside fd
+// whose value is provably a fresh, unescaped struct: a composite
+// literal (optionally via &), a new(T) call, or a zero-value var
+// declaration. Accessing guarded fields of such a value is safe — no
+// other goroutine can hold a reference yet.
+func locallyConstructed(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE || len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if obj := pass.Info.Defs[id]; obj != nil && isFreshExpr(pass, st.Rhs[i]) {
+					fresh[obj] = true
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range st.Names {
+				obj := pass.Info.Defs[id]
+				if obj == nil {
+					continue
+				}
+				if len(st.Values) == 0 {
+					fresh[obj] = true // zero value
+				} else if i < len(st.Values) && isFreshExpr(pass, st.Values[i]) {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+func isFreshExpr(pass *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+				return true
+			}
+		}
+	}
+	return false
+}

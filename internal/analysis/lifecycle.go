@@ -1,0 +1,283 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Lifecycle enforces the close_test goroutine-leak class: background
+// goroutines launched by long-lived components must be stoppable, and
+// tickers must be stopped.
+var Lifecycle = &Analyzer{
+	Name: "lifecycle",
+	Doc: `check that background goroutines and tickers have a shutdown path
+
+Three shapes are flagged. (1) time.Tick: its ticker can never be
+stopped — use time.NewTicker with a deferred Stop. (2) A time.NewTicker
+whose result neither has Stop called in the same function nor escapes
+it (returned, stored, or passed on) leaks its runtime timer. (3) A
+goroutine launched from a method of a long-lived type — one whose
+method set includes Close, Stop or Shutdown — must be tied to a drain
+mechanism: its body (or the body of the same-package method it runs)
+must receive from a channel, select, observe a context, participate in
+a sync.WaitGroup, or wait on a sync.Cond. A goroutine with none of
+those can outlive Close, which is exactly the leak class the repo's
+close tests catch one instance at a time; this check catches the
+shape.`,
+	Run: runLifecycle,
+}
+
+func runLifecycle(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkTickers(pass, fd)
+			if recvHasShutdown(pass, fd) {
+				checkGoroutines(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+func checkTickers(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if calleeIs(pass.Info, call, "time", "Tick") {
+			pass.Reportf(call.Pos(),
+				"time.Tick leaks its ticker; use time.NewTicker with defer ticker.Stop()")
+			return true
+		}
+		if !calleeIs(pass.Info, call, "time", "NewTicker") {
+			return true
+		}
+		obj := assignedVar(pass, fd, call)
+		if obj == nil {
+			// Result discarded or used inline: nothing can ever stop it.
+			pass.Reportf(call.Pos(), "time.NewTicker result must be retained so Stop can be called")
+			return true
+		}
+		if !tickerHandled(pass, fd, obj) {
+			pass.Reportf(call.Pos(),
+				"ticker %s is never stopped in %s (defer %s.Stop(), or hand it off)",
+				obj.Name(), fd.Name.Name, obj.Name())
+		}
+		return true
+	})
+}
+
+// assignedVar finds the variable a call's result is bound to via
+// `v := call` (or v, ... :=) in fd, or nil.
+func assignedVar(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if ast.Unparen(rhs) == call && i < len(as.Lhs) {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if o := pass.Info.Defs[id]; o != nil {
+						obj = o
+					} else if o := pass.Info.Uses[id]; o != nil {
+						obj = o
+					}
+				}
+			}
+		}
+		return true
+	})
+	return obj
+}
+
+// tickerHandled reports whether the ticker variable is stopped in fd
+// or escapes it (returned, stored into a field, sent, or passed to a
+// call other than its own methods) — escape means some other owner is
+// responsible for Stop.
+func tickerHandled(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	handled := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr); ok {
+				if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok &&
+					pass.Info.Uses[id] == obj && sel.Sel.Name == "Stop" {
+					handled = true
+					return false
+				}
+			}
+			for _, arg := range st.Args {
+				if id := rootIdent(arg); id != nil && pass.Info.Uses[id] == obj {
+					handled = true // handed off
+					return false
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range st.Results {
+				if id := rootIdent(res); id != nil && pass.Info.Uses[id] == obj {
+					handled = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			// ticker stored somewhere (field, map, ...): handed off.
+			for i, rhs := range st.Rhs {
+				id, ok := ast.Unparen(rhs).(*ast.Ident)
+				if !ok || pass.Info.Uses[id] != obj || i >= len(st.Lhs) {
+					continue
+				}
+				if _, isIdent := st.Lhs[i].(*ast.Ident); !isIdent {
+					handled = true
+					return false
+				}
+			}
+		case *ast.SendStmt:
+			if id := rootIdent(st.Value); id != nil && pass.Info.Uses[id] == obj {
+				handled = true
+				return false
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// recvHasShutdown reports whether fd is a method on a type whose
+// method set includes Close, Stop or Shutdown — the "long-lived
+// component" signal.
+func recvHasShutdown(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	var recvType types.Type
+	if len(fd.Recv.List[0].Names) > 0 {
+		if obj := pass.Info.Defs[fd.Recv.List[0].Names[0]]; obj != nil {
+			recvType = obj.Type()
+		}
+	}
+	if recvType == nil {
+		if tv, ok := pass.Info.Types[fd.Recv.List[0].Type]; ok {
+			recvType = tv.Type
+		}
+	}
+	n := namedOrigin(recvType)
+	if n == nil {
+		return false
+	}
+	ms := types.NewMethodSet(types.NewPointer(n))
+	for _, name := range [...]string{"Close", "Stop", "Shutdown"} {
+		if ms.Lookup(pass.Pkg, name) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func checkGoroutines(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		var body *ast.BlockStmt
+		switch fun := ast.Unparen(gs.Call.Fun).(type) {
+		case *ast.FuncLit:
+			body = fun.Body
+		default:
+			if fn := calleeFunc(pass.Info, gs.Call); fn != nil {
+				body = methodBody(pass, fn)
+			}
+		}
+		if body == nil {
+			return true // cross-package or dynamic: out of reach
+		}
+		if !drainTied(pass, body) {
+			pass.Reportf(gs.Pos(),
+				"goroutine launched from long-lived %s has no shutdown tie (no channel receive, select, ctx, WaitGroup or Cond) — it will outlive Close",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// methodBody finds the body of a same-package function/method decl.
+func methodBody(pass *Pass, fn *types.Func) *ast.BlockStmt {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if pass.Info.Defs[fd.Name] == fn {
+				return fd.Body
+			}
+		}
+	}
+	return nil
+}
+
+// drainTied reports whether a goroutine body can observe shutdown:
+// any channel receive or select, any context value, or participation
+// in a sync.WaitGroup / sync.Cond.
+func drainTied(pass *Pass, body *ast.BlockStmt) bool {
+	tied := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if tied {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.SelectStmt:
+			tied = true
+		case *ast.UnaryExpr:
+			if st.Op.String() == "<-" {
+				tied = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[st.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					tied = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[st]; obj != nil && isContextType(obj.Type()) {
+				tied = true
+			}
+		case *ast.CallExpr:
+			fn := calleeFunc(pass.Info, st)
+			if fn == nil || fn.Pkg() == nil {
+				break
+			}
+			switch fn.Pkg().Path() {
+			case "sync":
+				switch fn.Name() {
+				case "Done", "Wait", "Add":
+					tied = true
+				}
+			case "net/http":
+				// http.Server.Serve / ListenAndServe return when
+				// Shutdown or Close is called — the accept loop IS the
+				// drain mechanism.
+				switch fn.Name() {
+				case "Serve", "ListenAndServe", "ServeTLS", "ListenAndServeTLS":
+					if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if n := namedOrigin(sig.Recv().Type()); n != nil && n.Obj().Name() == "Server" {
+							tied = true
+						}
+					}
+				}
+			}
+		}
+		return !tied
+	})
+	return tied
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// A Package is one loaded, type-checked target package.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *listedErr
+}
+
+type listedErr struct {
+	Err string
+}
+
+// Load lists the packages matched by patterns (resolved relative to
+// dir), then parses and type-checks each one against the compiled
+// export data `go list -export` leaves in the build cache. Only the
+// matched packages are parsed; every dependency — standard library or
+// module-internal — is imported from export data, which keeps a whole-
+// repo run to a few hundred milliseconds and needs no network.
+//
+// Test files are not loaded: the invariants kyrix-vet enforces are
+// production-code rules (tests legitimately use context.Background,
+// drop Close errors on temp files, and so on).
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=Dir,ImportPath,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := make(map[string]string)
+	var targets []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("go list: decode: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.ImportPath != "unsafe" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := NewExportImporter(fset, exports, nil)
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := CheckFiles(t.ImportPath, fset, files, imp)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Dir = t.Dir
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// NewExportImporter returns a types.Importer that resolves imports
+// from compiled gc export data files. exports maps canonical import
+// paths to export data files; importMap (optional) maps import paths
+// as written in source to canonical paths first (the vet.cfg
+// ImportMap contract).
+func NewExportImporter(fset *token.FileSet, exports, importMap map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// CheckFiles parses and type-checks one package from its file list,
+// skipping _test.go files (see Load).
+func CheckFiles(pkgPath string, fset *token.FileSet, filenames []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range filenames {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return &Package{PkgPath: pkgPath, Fset: fset}, nil
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("typecheck %s: %w", pkgPath, errors.Join(typeErrs...))
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}

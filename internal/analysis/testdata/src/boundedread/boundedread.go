@@ -1,0 +1,49 @@
+// Package boundedread is an analysistest fixture for the boundedread
+// analyzer: io.ReadAll over unknown-size readers and direct
+// decompressor construction are flagged.
+package boundedread
+
+import (
+	"bytes"
+	"compress/flate"
+	"compress/gzip"
+	"io"
+	"net/http"
+	"strings"
+)
+
+func unbounded(r io.Reader) ([]byte, error) {
+	return io.ReadAll(r) // want `io.ReadAll on a reader of unknown size`
+}
+
+func limited(r io.Reader) ([]byte, error) {
+	return io.ReadAll(io.LimitReader(r, 1<<20))
+}
+
+func limitedViaLocal(r io.Reader) ([]byte, error) {
+	lr := io.LimitReader(r, 1<<20)
+	return io.ReadAll(lr)
+}
+
+func maxBytes(w http.ResponseWriter, rc io.ReadCloser) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, rc, 1<<20))
+}
+
+func inMemory(buf *bytes.Buffer, s *strings.Reader) {
+	_, _ = io.ReadAll(buf)
+	_, _ = io.ReadAll(s)
+	_, _ = io.ReadAll(bytes.NewReader(nil))
+}
+
+func rawFlate(r io.Reader) io.Reader {
+	return flate.NewReader(r) // want `direct flate.NewReader`
+}
+
+func rawGzip(r io.Reader) (*gzip.Reader, error) {
+	return gzip.NewReader(r) // want `direct gzip.NewReader`
+}
+
+func suppressed(r io.Reader) ([]byte, error) {
+	//lint:ignore-kyrix boundedread fixture: caller pre-limits the stream
+	return io.ReadAll(r)
+}

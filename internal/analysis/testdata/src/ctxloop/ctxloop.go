@@ -1,0 +1,84 @@
+// Package ctxloop is an analysistest fixture for the ctxloop analyzer:
+// context-taking functions must keep their loops cancellable and must
+// not mint fresh root contexts.
+package ctxloop
+
+import (
+	"context"
+
+	"kyrix/internal/storage"
+)
+
+func scanBad(ctx context.Context, rows []storage.Row) int {
+	n := 0
+	for _, row := range rows { // want `row-scan loop in a context-taking function never observes ctx`
+		n += len(row)
+	}
+	return n
+}
+
+func scanGood(ctx context.Context, rows []storage.Row) (int, error) {
+	n := 0
+	for i, row := range rows {
+		if i%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		n += len(row)
+	}
+	return n, nil
+}
+
+// scanNoCtx takes no context, so there is nothing to observe.
+func scanNoCtx(rows []storage.Row) int {
+	n := 0
+	for _, row := range rows {
+		n += len(row)
+	}
+	return n
+}
+
+func pumpBad(ctx context.Context, ch chan int) int {
+	total := 0
+	for { // want `infinite loop in a context-taking function never observes ctx`
+		v, ok := <-ch
+		if !ok {
+			return total
+		}
+		total += v
+	}
+}
+
+func pumpGood(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v, ok := <-ch:
+			if !ok {
+				return total
+			}
+			total += v
+		}
+	}
+}
+
+func detach(ctx context.Context) context.Context {
+	return context.Background() // want `context.Background inside a context-taking function`
+}
+
+func derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithCancel(ctx)
+}
+
+// root has no inbound context; minting one here is the legitimate use.
+func root() context.Context {
+	return context.Background()
+}
+
+func suppressed(ctx context.Context) context.Context {
+	//lint:ignore-kyrix ctxloop fixture: deliberate detach for audit logging
+	return context.Background()
+}

@@ -1,0 +1,11 @@
+// Package ignorereason is a fixture for the suppression-directive
+// semantics: a directive without a reason neither suppresses the
+// finding nor passes unremarked.
+package ignorereason
+
+import "kyrix/internal/wal"
+
+func reasonless(l *wal.Log) {
+	//lint:ignore-kyrix walerr
+	l.Sync()
+}

@@ -1,0 +1,101 @@
+// Package lifecycle is an analysistest fixture for the lifecycle
+// analyzer: tickers must be stoppable and goroutines launched from
+// long-lived components must have a shutdown tie.
+package lifecycle
+
+import (
+	"sync"
+	"time"
+)
+
+func leakyTick() <-chan time.Time {
+	return time.Tick(time.Second) // want `time.Tick leaks its ticker`
+}
+
+func leakyTicker(work func()) {
+	t := time.NewTicker(time.Second) // want `ticker t is never stopped`
+	for range t.C {
+		work()
+	}
+}
+
+func discardedTicker() {
+	time.NewTicker(time.Second) // want `time.NewTicker result must be retained`
+}
+
+func stoppedTicker(work func(), done chan struct{}) {
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-t.C:
+			work()
+		}
+	}
+}
+
+type pool struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+	work chan func()
+}
+
+func (p *pool) Close() {
+	close(p.done)
+	p.wg.Wait()
+}
+
+func (p *pool) startBad() {
+	go func() { // want `goroutine launched from long-lived startBad has no shutdown tie`
+		for {
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+func (p *pool) startGood() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.done:
+				return
+			case fn := <-p.work:
+				fn()
+			}
+		}
+	}()
+}
+
+func (p *pool) startLoop() {
+	go p.drain()
+}
+
+// drain ranges over a channel, so closing p.work ends it.
+func (p *pool) drain() {
+	for fn := range p.work {
+		fn()
+	}
+}
+
+func (p *pool) startSuppressed() {
+	//lint:ignore-kyrix lifecycle fixture: process-lifetime metrics pump
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// freeFunc has no Close/Stop/Shutdown receiver, so its goroutines are
+// not checked.
+func freeFunc() {
+	go func() {
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Durability-bearing packages: an ignored error from these types means
+// an acked write may not actually be on disk.
+var walErrPkgs = []string{
+	"kyrix/internal/wal",
+	"kyrix/internal/store",
+}
+
+// WALErr enforces the PR 7/8 durability contract: errors from the
+// write-ahead log and the persistent store are load-bearing — an
+// Append or Sync that failed means the commit the caller is about to
+// ack never became durable.
+var WALErr = &Analyzer{
+	Name: "walerr",
+	Doc: `check that wal/store errors are not silently discarded
+
+A call to any error-returning method on a type from kyrix/internal/wal
+or kyrix/internal/store must consume its error: invisible discards — a
+bare call statement, or a call hidden behind defer or go — are
+flagged. Assigning the error explicitly to _ is allowed: it is a
+visible, greppable decision (replog deliberately defers some fsyncs to
+commit points), where a bare call reads as "cannot fail". This is the
+PR 7/8 class: a dropped wal.Sync error turns a quorum-acked update
+into data loss on the next crash.`,
+	Run: runWALErr,
+}
+
+func runWALErr(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			var how string
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+				how = "ignored"
+			case *ast.DeferStmt:
+				call = st.Call
+				how = "discarded by defer"
+			case *ast.GoStmt:
+				call = st.Call
+				how = "discarded by go"
+			default:
+				return true
+			}
+			if call == nil {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || !durabilityMethod(fn) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"error from (%s).%s %s: wal/store errors are durability signals (handle it, or assign to _ with a comment)",
+				recvTypeString(fn), fn.Name(), how)
+			return true
+		})
+	}
+	return nil
+}
+
+// durabilityMethod reports whether fn is an error-returning method on
+// a type from one of the durability packages.
+func durabilityMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !isErrorType(last) {
+		return false
+	}
+	for _, p := range walErrPkgs {
+		if typeFromPackage(sig.Recv().Type(), p) {
+			return true
+		}
+	}
+	return false
+}
+
+func isErrorType(t types.Type) bool {
+	n := namedOrigin(t)
+	return n != nil && n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+func recvTypeString(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	if n := namedOrigin(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return sig.Recv().Type().String()
+}

@@ -145,21 +145,22 @@ type cacheEntry struct {
 // shard is one independently locked segmented LRU.
 type shard struct {
 	mu      sync.Mutex
-	entries map[string]*list.Element
+	entries map[string]*list.Element // guarded by mu
 
 	// window holds fresh inserts (with admission off it is the only
 	// list — the classic LRU order, front = most recent). probation
 	// and protected form the main area of the W-TinyLFU layout.
-	window    *list.List
-	probation *list.List
-	protected *list.List
+	// All three lists are guarded by mu.
+	window    *list.List // guarded by mu
+	probation *list.List // guarded by mu
+	protected *list.List // guarded by mu
 
-	windowBytes    int64
-	probationBytes int64
-	protectedBytes int64
+	windowBytes    int64 // guarded by mu
+	probationBytes int64 // guarded by mu
+	protectedBytes int64 // guarded by mu
 	// bytes is the shard's resident total (sum of the segment counts);
 	// the steal cap reads it to enforce the per-shard floor.
-	bytes int64
+	bytes int64 // guarded by mu
 
 	// windowCap bounds the window during warmup (spill moves entries
 	// to probation); protectedCap bounds the protected segment
@@ -170,7 +171,7 @@ type shard struct {
 	// sk is the frequency sketch; nil means admission off.
 	sk *sketch
 
-	hits, misses, evictions, puts, admitted, rejected int64
+	hits, misses, evictions, puts, admitted, rejected int64 // guarded by mu
 }
 
 // LRU is a thread-safe, sharded, byte-budgeted cache. The name is
@@ -310,7 +311,7 @@ func (c *LRU) Get(key string) (any, bool) {
 		s.sk.add(el.Value.(*cacheEntry).hash)
 	}
 	s.hits++
-	s.touch(el)
+	s.touchLocked(el)
 	return el.Value.(*cacheEntry).value, true
 }
 
@@ -354,7 +355,7 @@ func (c *LRU) Contains(key string) bool {
 }
 
 // seglist returns the list an entry's segment lives on.
-func (s *shard) seglist(seg segment) *list.List {
+func (s *shard) seglistLocked(seg segment) *list.List {
 	switch seg {
 	case segProbation:
 		return s.probation
@@ -364,7 +365,7 @@ func (s *shard) seglist(seg segment) *list.List {
 	return s.window
 }
 
-func (s *shard) segBytes(seg segment) *int64 {
+func (s *shard) segBytesLocked(seg segment) *int64 {
 	switch seg {
 	case segProbation:
 		return &s.probationBytes
@@ -376,34 +377,34 @@ func (s *shard) segBytes(seg segment) *int64 {
 
 // removeEl unlinks el from its segment and the key map, crediting the
 // shard and global byte counts. Caller holds s.mu.
-func (s *shard) removeEl(el *list.Element, global *atomic.Int64) {
+func (s *shard) removeElLocked(el *list.Element, global *atomic.Int64) {
 	e := el.Value.(*cacheEntry)
-	s.seglist(e.seg).Remove(el)
+	s.seglistLocked(e.seg).Remove(el)
 	delete(s.entries, e.key)
-	*s.segBytes(e.seg) -= e.size
+	*s.segBytesLocked(e.seg) -= e.size
 	s.bytes -= e.size
 	global.Add(-e.size)
 }
 
 // evictEl is removeEl plus the eviction counter.
-func (s *shard) evictEl(el *list.Element, global *atomic.Int64) {
-	s.removeEl(el, global)
+func (s *shard) evictElLocked(el *list.Element, global *atomic.Int64) {
+	s.removeElLocked(el, global)
 	s.evictions++
 }
 
 // moveToSeg relinks el to the front of another segment (bytes stay
 // resident; only segment accounting moves). Caller holds s.mu.
-func (s *shard) moveToSeg(el *list.Element, to segment) *list.Element {
+func (s *shard) moveToSegLocked(el *list.Element, to segment) *list.Element {
 	e := el.Value.(*cacheEntry)
 	if e.seg == to {
-		s.seglist(to).MoveToFront(el)
+		s.seglistLocked(to).MoveToFront(el)
 		return el
 	}
-	s.seglist(e.seg).Remove(el)
-	*s.segBytes(e.seg) -= e.size
+	s.seglistLocked(e.seg).Remove(el)
+	*s.segBytesLocked(e.seg) -= e.size
 	e.seg = to
-	*s.segBytes(to) += e.size
-	nel := s.seglist(to).PushFront(e)
+	*s.segBytesLocked(to) += e.size
+	nel := s.seglistLocked(to).PushFront(e)
 	s.entries[e.key] = nel
 	return nel
 }
@@ -414,26 +415,26 @@ func (s *shard) moveToSeg(el *list.Element, to segment) *list.Element {
 // an entry out of its probationary segment — demoting the protected
 // LRU back to probation when the segment overflows its cap. Caller
 // holds s.mu. Returns the element (relinked if the segment changed).
-func (s *shard) touch(el *list.Element) *list.Element {
+func (s *shard) touchLocked(el *list.Element) *list.Element {
 	e := el.Value.(*cacheEntry)
 	if s.sk == nil || e.seg == segProtected {
-		s.seglist(e.seg).MoveToFront(el)
+		s.seglistLocked(e.seg).MoveToFront(el)
 		return el
 	}
-	nel := s.moveToSeg(el, segProtected)
+	nel := s.moveToSegLocked(el, segProtected)
 	for s.protectedBytes > s.protectedCap {
 		back := s.protected.Back()
 		if back == nil || back == nel {
 			break
 		}
-		s.moveToSeg(back, segProbation)
+		s.moveToSegLocked(back, segProbation)
 	}
 	return nel
 }
 
 // mainVictim returns the main area's would-be victim: the probation
 // LRU entry, falling back to the protected LRU. Caller holds s.mu.
-func (s *shard) mainVictim() *list.Element {
+func (s *shard) mainVictimLocked() *list.Element {
 	if back := s.probation.Back(); back != nil {
 		return back
 	}
@@ -442,7 +443,7 @@ func (s *shard) mainVictim() *list.Element {
 
 // backExcluding returns the shard's preferred victim skipping skip:
 // probation LRU first, then protected, then window. Caller holds s.mu.
-func (s *shard) backExcluding(skip *list.Element) *list.Element {
+func (s *shard) backExcludingLocked(skip *list.Element) *list.Element {
 	for _, l := range []*list.List{s.probation, s.protected, s.window} {
 		back := l.Back()
 		if back == skip && back != nil {
@@ -468,7 +469,7 @@ func (s *shard) freq(el *list.Element) int {
 // for the inserted entry: moveToSeg relinks elements (container/list
 // cannot move an element between lists), so callers must not keep
 // using their pre-rebalance pointer.
-func (s *shard) rebalance(c *LRU, inserted *list.Element) *list.Element {
+func (s *shard) rebalanceLocked(c *LRU, inserted *list.Element) *list.Element {
 	if s.sk == nil {
 		// Plain LRU: evict this shard's LRU entries, never the entry
 		// just stored — a value larger than the shard's prior contents
@@ -479,7 +480,7 @@ func (s *shard) rebalance(c *LRU, inserted *list.Element) *list.Element {
 			if back == nil || back == inserted {
 				return inserted
 			}
-			s.evictEl(back, &c.bytes)
+			s.evictElLocked(back, &c.bytes)
 		}
 		return inserted
 	}
@@ -490,26 +491,26 @@ func (s *shard) rebalance(c *LRU, inserted *list.Element) *list.Element {
 	// dropped.
 	for c.bytes.Load() > c.budget && s.window.Len() > 0 {
 		cand := s.window.Back()
-		victim := s.mainVictim()
+		victim := s.mainVictimLocked()
 		if victim == nil {
 			if cand == inserted {
 				// Nothing else resident in this shard: give the
 				// cross-shard steal a chance before dropping it.
 				return inserted
 			}
-			s.evictEl(cand, &c.bytes)
+			s.evictElLocked(cand, &c.bytes)
 			s.rejected++
 			continue
 		}
 		if s.freq(cand) > s.freq(victim) {
-			s.evictEl(victim, &c.bytes)
-			nel := s.moveToSeg(cand, segProbation)
+			s.evictElLocked(victim, &c.bytes)
+			nel := s.moveToSegLocked(cand, segProbation)
 			if cand == inserted {
 				inserted = nel
 			}
 			s.admitted++
 		} else {
-			s.evictEl(cand, &c.bytes)
+			s.evictElLocked(cand, &c.bytes)
 			s.rejected++
 			if cand == inserted {
 				return nil
@@ -521,11 +522,11 @@ func (s *shard) rebalance(c *LRU, inserted *list.Element) *list.Element {
 	// protected after a re-put touch, or have just been admitted
 	// above).
 	for c.bytes.Load() > c.budget {
-		victim := s.backExcluding(inserted)
+		victim := s.backExcludingLocked(inserted)
 		if victim == nil {
 			return inserted
 		}
-		s.evictEl(victim, &c.bytes)
+		s.evictElLocked(victim, &c.bytes)
 	}
 	// 3) Window over its warmup cap while under budget: spill into
 	// probation without evicting anyone (the cache is not full, so
@@ -535,7 +536,7 @@ func (s *shard) rebalance(c *LRU, inserted *list.Element) *list.Element {
 		if back == nil {
 			break
 		}
-		nel := s.moveToSeg(back, segProbation)
+		nel := s.moveToSegLocked(back, segProbation)
 		if back == inserted {
 			inserted = nel
 		}
@@ -574,10 +575,10 @@ func (c *LRU) Put(key string, value any, size int64) {
 		e := el.Value.(*cacheEntry)
 		delta := size - e.size
 		e.value, e.size = value, size
-		*s.segBytes(e.seg) += delta
+		*s.segBytesLocked(e.seg) += delta
 		s.bytes += delta
 		c.bytes.Add(delta)
-		inserted = s.touch(el)
+		inserted = s.touchLocked(el)
 	} else {
 		e := &cacheEntry{key: key, value: value, size: size, seg: segWindow, hash: h}
 		inserted = s.window.PushFront(e)
@@ -589,7 +590,7 @@ func (c *LRU) Put(key string, value any, size int64) {
 	// rebalance may relink the inserted element (segment moves create
 	// a new *list.Element) or gate-reject it (nil): track the current
 	// element so the fallback below matches the right one.
-	inserted = s.rebalance(c, inserted)
+	inserted = s.rebalanceLocked(c, inserted)
 	over := c.bytes.Load() > c.budget
 	s.mu.Unlock()
 
@@ -611,7 +612,7 @@ func (c *LRU) Put(key string, value any, size int64) {
 	if inserted != nil && c.bytes.Load() > c.budget {
 		s.mu.Lock()
 		if el, ok := s.entries[key]; ok && el == inserted && c.bytes.Load() > c.budget {
-			s.evictEl(el, &c.bytes)
+			s.evictElLocked(el, &c.bytes)
 			s.rejected++
 		}
 		s.mu.Unlock()
@@ -633,7 +634,7 @@ func (c *LRU) stealForBudget(idx uint32, incoming int64, candFreq int) {
 		sh := c.shards[(int(idx)+i)%len(c.shards)]
 		sh.mu.Lock()
 		for c.bytes.Load() > c.budget && sh.bytes > floor {
-			victim := sh.backExcluding(nil)
+			victim := sh.backExcludingLocked(nil)
 			if victim == nil {
 				break
 			}
@@ -647,7 +648,7 @@ func (c *LRU) stealForBudget(idx uint32, incoming int64, candFreq int) {
 			if sh.sk != nil && candFreq >= 0 && sh.freq(victim) > candFreq {
 				break
 			}
-			sh.evictEl(victim, &c.bytes)
+			sh.evictElLocked(victim, &c.bytes)
 		}
 		sh.mu.Unlock()
 	}
@@ -659,7 +660,7 @@ func (c *LRU) Remove(key string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if el, ok := s.entries[key]; ok {
-		s.removeEl(el, &c.bytes)
+		s.removeElLocked(el, &c.bytes)
 	}
 }
 

@@ -137,7 +137,7 @@ type Node struct {
 	// its generation), so a stale node refetches everything at most
 	// one exchange after an update.
 	epochMu sync.Mutex
-	vec     EpochVector
+	vec     EpochVector // guarded by epochMu
 	onEpoch func(epoch EpochVector)
 
 	Stats Stats

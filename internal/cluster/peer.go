@@ -135,12 +135,12 @@ type peer struct {
 	sem  chan struct{}
 
 	mu          sync.Mutex
-	consecutive int64     // back-to-back failures; 0 = circuit closed
-	openUntil   time.Time // while in the future, reject (open state)
-	probing     bool      // a half-open probe is in flight
-	failures    int64
-	retries     int64
-	opens       int64
+	consecutive int64     // guarded by mu; back-to-back failures; 0 = circuit closed
+	openUntil   time.Time // guarded by mu; while in the future, reject (open state)
+	probing     bool      // guarded by mu; a half-open probe is in flight
+	failures    int64     // guarded by mu
+	retries     int64     // guarded by mu
+	opens       int64     // guarded by mu
 }
 
 // allow gates one exchange on the breaker. A nil return either means
@@ -206,8 +206,8 @@ type Transport struct {
 	cfg    TransportConfig
 
 	failMu sync.Mutex
-	drops  map[string]bool
-	delays map[string]time.Duration
+	drops  map[string]bool          // guarded by failMu
+	delays map[string]time.Duration // guarded by failMu
 }
 
 // NewTransport builds a transport to the given peer base URLs.

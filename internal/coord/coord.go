@@ -84,8 +84,8 @@ type link struct {
 // Coordinator owns the linked views.
 type Coordinator struct {
 	mu    sync.Mutex
-	views map[string]View
-	links []link
+	views map[string]View // guarded by mu
+	links []link          // guarded by mu
 }
 
 // New creates an empty coordinator.

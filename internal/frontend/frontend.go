@@ -185,7 +185,7 @@ func NewClient(baseURL string, ca *spec.CompiledApp, opts Options) (*Client, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(resp.Body)
+		body, _ := readBounded(resp.Body, 4096)
 		return nil, fmt.Errorf("frontend: /app: %s: %s", resp.Status, body)
 	}
 	var meta server.AppMeta
@@ -203,8 +203,27 @@ func NewClient(baseURL string, ca *spec.CompiledApp, opts Options) (*Client, err
 	return c, nil
 }
 
+// maxResponseBytes bounds any single server response read into memory
+// (64 MiB, far above any real tile or batch payload): a haywire or
+// hostile server cannot OOM a client. The bound is machine-checked —
+// every ReadAll must flow through a limit (internal/analysis,
+// boundedread).
+const maxResponseBytes = 64 << 20
+
+// readBounded reads r to EOF, failing if the payload exceeds limit.
+func readBounded(r io.Reader, limit int64) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(data)) > limit {
+		return nil, fmt.Errorf("frontend: response exceeds %d-byte limit", limit)
+	}
+	return data, nil
+}
+
 func decodeJSON(r io.Reader, v any) error {
-	data, err := io.ReadAll(r)
+	data, err := readBounded(r, maxResponseBytes)
 	if err != nil {
 		return fmt.Errorf("frontend: read body: %w", err)
 	}
@@ -507,7 +526,7 @@ func (c *Client) postBatch(li int, sz float64, tiles []geom.TileID) (batchResult
 		return batchResult{}, fmt.Errorf("frontend: batch: %w", err)
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
+	data, err := readBounded(resp.Body, maxResponseBytes)
 	if err != nil {
 		return batchResult{}, fmt.Errorf("frontend: batch read: %w", err)
 	}
@@ -625,7 +644,7 @@ func (c *Client) getData(u string) (*server.DataResponse, int64, error) {
 		return nil, 0, fmt.Errorf("frontend: %w", err)
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
+	body, err := readBounded(resp.Body, maxResponseBytes)
 	if err != nil {
 		return nil, 0, fmt.Errorf("frontend: read: %w", err)
 	}

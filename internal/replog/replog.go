@@ -162,30 +162,30 @@ type Node struct {
 	others  []string // members minus Self
 	quorum  int
 
-	mu          sync.Mutex
-	role        Role
-	term        uint64
-	votedFor    string
-	leader      string // last known leader this term ("" = unknown)
-	log         []entry
-	lsns        []wal.LSN // lsns[i] = WAL offset of log[i]'s record
-	idIndex     map[string]uint64 // log index per nonempty entry ID (dedupe)
-	idSeq       uint64            // Submit's per-process ID counter
-	commit      uint64
-	applied     uint64
-	next        map[string]uint64 // leader: next index to send per peer
-	match       map[string]uint64 // leader: highest replicated index per peer
-	inflight    map[string]bool   // leader: replication loop running per peer
-	lastAck     map[string]time.Time
-	lastBeat    time.Time // leader: last heartbeat broadcast
-	deadline    time.Time // follower/candidate: election deadline
+	mu       sync.Mutex
+	role     Role                 // guarded by mu
+	term     uint64               // guarded by mu
+	votedFor string               // guarded by mu
+	leader   string               // guarded by mu; last known leader this term ("" = unknown)
+	log      []entry              // guarded by mu
+	lsns     []wal.LSN            // guarded by mu; lsns[i] = WAL offset of log[i]'s record
+	idIndex  map[string]uint64    // guarded by mu; log index per nonempty entry ID (dedupe)
+	idSeq    uint64               // guarded by mu; Submit's per-process ID counter
+	commit   uint64               // guarded by mu
+	applied  uint64               // guarded by mu
+	next     map[string]uint64    // guarded by mu; leader: next index to send per peer
+	match    map[string]uint64    // guarded by mu; leader: highest replicated index per peer
+	inflight map[string]bool      // guarded by mu; leader: replication loop running per peer
+	lastAck  map[string]time.Time // guarded by mu
+	lastBeat time.Time            // guarded by mu; leader: last heartbeat broadcast
+	deadline time.Time            // guarded by mu; follower/candidate: election deadline
 	// lastLeaderSeen is the last accepted append/heartbeat from a
 	// current leader — the leader-stickiness window for HandleVote.
-	lastLeaderSeen time.Time
-	closed      bool
-	applyErrs   map[uint64]error // recent apply results, for Submit waiters
-	commitCond  *sync.Cond       // commit advanced (applier wakes)
-	appliedCond *sync.Cond       // applied advanced (Submit waiters wake)
+	lastLeaderSeen time.Time        // guarded by mu
+	closed         bool             // guarded by mu
+	applyErrs      map[uint64]error // guarded by mu; recent apply results, for Submit waiters
+	commitCond     *sync.Cond       // commit advanced (applier wakes)
+	appliedCond    *sync.Cond       // applied advanced (Submit waiters wake)
 
 	wal     *wal.Log // entry log (suffix-truncatable)
 	metaWal *wal.Log // term/vote log (append-only, last wins)
@@ -242,7 +242,7 @@ func Open(cfg Config) (*Node, error) {
 	}
 	mw, err := wal.Open(filepath.Join(cfg.Dir, "meta.kyx"))
 	if err != nil {
-		w.Close()
+		_ = w.Close() // already failing; the open error wins
 		return nil, err
 	}
 	n := &Node{
@@ -268,9 +268,12 @@ func Open(cfg Config) (*Node, error) {
 	}
 	n.commitCond = sync.NewCond(&n.mu)
 	n.appliedCond = sync.NewCond(&n.mu)
-	if err := n.load(); err != nil {
-		w.Close()
-		mw.Close()
+	n.mu.Lock()
+	err = n.loadLocked()
+	n.mu.Unlock()
+	if err != nil {
+		_ = w.Close()  // already failing; the open error wins
+		_ = mw.Close() // already failing; the open error wins
 		return nil, err
 	}
 	n.resetDeadlineLocked(time.Now())

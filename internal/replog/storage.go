@@ -29,8 +29,10 @@ type metaRecord struct {
 	VotedFor string `json:"votedFor,omitempty"`
 }
 
-// load replays both logs into memory on Open.
-func (n *Node) load() error {
+// loadLocked replays both logs into memory on Open, which holds mu
+// (nothing else can see the node yet, but the guarded fields it fills
+// are machine-checked — see internal/analysis, guardedby).
+func (n *Node) loadLocked() error {
 	if err := n.metaWal.Replay(func(_ wal.LSN, payload []byte) error {
 		var m metaRecord
 		if err := json.Unmarshal(payload, &m); err != nil {

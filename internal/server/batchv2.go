@@ -199,14 +199,14 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 type frameWriter struct {
 	version byte
 	mu      sync.Mutex
-	w       io.Writer
-	fl      http.Flusher
-	err     error // first write error; later writes are dropped
+	w       io.Writer    // guarded by mu
+	fl      http.Flusher // guarded by mu
+	err     error        // guarded by mu; first write error; later writes are dropped
 	// bytes counts payload bytes as written (post-compression/delta);
 	// rawBytes counts the full-frame equivalent (what a raw v2 frame
 	// would have carried) — the pair is the stream's compression ratio.
-	bytes    int64
-	rawBytes int64
+	bytes    int64 // guarded by mu
+	rawBytes int64 // guarded by mu
 }
 
 func newFrameWriter(w http.ResponseWriter, version byte) *frameWriter {
@@ -232,6 +232,15 @@ func (fw *frameWriter) writeFrame(f Frame, rawLen int) {
 	if fw.fl != nil {
 		fw.fl.Flush()
 	}
+}
+
+// totals reads the stream's byte counters under the writer lock (the
+// batch has joined its workers by the time this is called, but the
+// guarded fields are machine-checked — see internal/analysis).
+func (fw *frameWriter) totals() (bytes, rawBytes int64) {
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	return fw.bytes, fw.rawBytes
 }
 
 // handleBatchV2 answers a framed batch (v2 or v3): tile and dbox
@@ -364,8 +373,9 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 	wg.Wait()
 	// BytesServed stays the raw-payload count (comparable to /tile and
 	// to v2); the wire-side count and savings land in their own stats.
-	s.Stats.BytesServed.Add(fw.rawBytes)
-	s.Stats.WireBytes.Add(fw.bytes)
+	wireBytes, rawBytes := fw.totals()
+	s.Stats.BytesServed.Add(rawBytes)
+	s.Stats.WireBytes.Add(wireBytes)
 }
 
 // serveItem resolves and serves one framed batch item through the same

@@ -286,7 +286,7 @@ type Server struct {
 	// submitted the command (the apply callback runs on the log's
 	// applier goroutine, not the handler's).
 	applyMu       sync.Mutex
-	applyAffected map[uint64]int64
+	applyAffected map[uint64]int64 // guarded by applyMu
 
 	// l2 is the persistent tile store under the in-memory cache (nil
 	// when Options.Cache.L2.Path is empty): an L1 miss reads L2 before

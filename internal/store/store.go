@@ -181,12 +181,12 @@ type Store struct {
 	// mutation. Gets hold the read side across the index lookup AND
 	// the file read, so eviction can never delete a file mid-read.
 	mu         sync.RWMutex
-	segs       []*segment // oldest..newest; last is the active (append) segment
-	segByID    map[uint64]*segment
-	index      map[string]loc
-	totalBytes int64
-	nextSegID  uint64
-	segsClosed bool
+	segs       []*segment          // guarded by mu; oldest..newest; last is the active (append) segment
+	segByID    map[uint64]*segment // guarded by mu
+	index      map[string]loc      // guarded by mu
+	totalBytes int64               // guarded by mu
+	nextSegID  uint64              // guarded by mu
+	segsClosed bool                // guarded by mu
 
 	// gen is the current generation; reads/writes outside mu go
 	// through the atomic.
@@ -195,7 +195,7 @@ type Store struct {
 	// qmu guards the closed flag vs. closing the queue channel, so a
 	// concurrent Put can never send on a closed channel.
 	qmu         sync.RWMutex
-	closed      bool
+	closed      bool // guarded by qmu
 	queue       chan putReq
 	flusherDone chan struct{}
 	scrubStop   chan struct{} // non-nil when the background scrubber runs
@@ -234,7 +234,7 @@ func Open(opts Options) (*Store, error) {
 		}
 		s.segs = append(s.segs, seg)
 		s.segByID[id] = seg
-		if err := s.replaySegment(seg); err != nil {
+		if err := s.replaySegmentLocked(seg); err != nil {
 			s.closeSegsLocked()
 			return nil, err
 		}
@@ -262,7 +262,7 @@ func Open(opts Options) (*Store, error) {
 // replaySegment folds one segment's records into the index. Later
 // records win (replay is oldest segment first, in-file order); a
 // generation marker clears everything indexed so far.
-func (s *Store) replaySegment(seg *segment) error {
+func (s *Store) replaySegmentLocked(seg *segment) error {
 	return seg.log.Replay(func(lsn wal.LSN, payload []byte) error {
 		rec, err := decodeRecord(payload)
 		if err != nil {

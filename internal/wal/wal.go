@@ -38,9 +38,9 @@ const frameHeader = 8
 // Log is an append-only write-ahead log. Safe for concurrent appends.
 type Log struct {
 	mu     sync.Mutex
-	f      *os.File
-	end    int64
-	closed bool
+	f      *os.File // guarded by mu
+	end    int64    // guarded by mu
+	closed bool     // guarded by mu
 }
 
 // Open opens (creating if needed) the log at path and validates the

@@ -377,6 +377,49 @@
 // and `kyrix-bench -json` writes the sweep to a BENCH_<label>.json
 // artifact.
 //
+// # Static analysis (kyrix-vet)
+//
+// The invariants the sections above rely on — lock discipline, bounded
+// decompression, cancellable scans, load-bearing durability errors,
+// stoppable background work — are mechanized as five custom analyzers
+// in internal/analysis, driven by cmd/kyrix-vet either standalone
+// (`go run ./cmd/kyrix-vet ./...`) or through the vet driver
+// (`go build -o kyrix-vet ./cmd/kyrix-vet && go vet -vettool=./kyrix-vet ./...`).
+// CI's static-analysis job gates every change on both go vet and
+// kyrix-vet.
+//
+//   - guardedby: a struct field annotated `// guarded by mu` may only
+//     be accessed in functions that lock mu first, follow the *Locked
+//     caller-holds-lock naming convention, or operate on a locally
+//     constructed value. Mechanizes the lock discipline the sharded
+//     cache, replog and store depend on.
+//   - boundedread: io.ReadAll over a reader of unknown size and direct
+//     flate/gzip/zlib reader construction are forbidden outside
+//     internal/wire — bound with io.LimitReader/http.MaxBytesReader or
+//     decompress through wire.Decompress, which enforces a byte
+//     budget. The standing form of the v3 decompression-bomb defense.
+//   - ctxloop: a function handed a context must stay cancellable — row
+//     scans (loops over []storage.Row) and unconditional for{} loops
+//     must observe ctx, and context.Background()/TODO() must not cut
+//     the caller's cancellation chain. The standing form of the
+//     Materialize cancellation fix.
+//   - walerr: errors from wal/store methods are durability signals; a
+//     bare call, defer, or go statement that discards one is flagged.
+//     Assigning to _ is the visible, greppable opt-out.
+//   - lifecycle: time.Tick never (its ticker is unstoppable); a
+//     NewTicker result must be stopped or handed off; goroutines
+//     launched from long-lived types (method set has Close/Stop/
+//     Shutdown) must have a drain tie — channel receive, select,
+//     context, WaitGroup — so Close actually ends them.
+//
+// Analysis covers production code only (_test.go files are skipped).
+// A false positive is suppressed inline with `//lint:ignore-kyrix
+// <analyzer> <reason>` on or directly above the flagged line; the
+// reason is mandatory, and a reasonless directive is itself a finding.
+// The analyzers are tested against fixtures in
+// internal/analysis/testdata, and TestRepoClean pins the tree at zero
+// findings.
+//
 // The experiment harness that regenerates the paper's Figures 6 and 7
 // lives in internal/experiments and is exposed through cmd/kyrix-bench
 // and the root bench_test.go; `kyrix-bench -clients 1,8,32` measures
