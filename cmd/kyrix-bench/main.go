@@ -72,8 +72,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -81,6 +84,7 @@ import (
 	"kyrix/internal/experiments"
 	"kyrix/internal/fetch"
 	"kyrix/internal/frontend"
+	"kyrix/internal/obs"
 	"kyrix/internal/server"
 )
 
@@ -101,7 +105,8 @@ func main() {
 	admission := flag.String("admission", "lfu", "backend cache admission policy: lfu (W-TinyLFU) | off (plain sharded LRU)")
 	cacheMB := flag.Int("cachemb", 0, "override the backend cache budget in MB (0 = config default; shrink it so the zipf/scan workloads actually contend the budget)")
 	codec := flag.String("codec", "", "override the wire codec (json | binary; default from -scale config)")
-	jsonOut := flag.Bool("json", false, "concurrent-clients mode: also write the results to BENCH_<label>.json")
+	jsonOut := flag.Bool("json", false, "concurrent-clients mode: also write the results to BENCH_<label>.json (including the final per-stage /metrics quantiles)")
+	slowDump := flag.Bool("slowdump", false, "concurrent-clients mode: dump the backend's flight recorder (/debug/requests — the N slowest and most recent traces) to BENCH_slow_<label>.json after the sweep")
 	label := flag.String("label", "", "label for the -json artifact (default proto+clients)")
 	l2dir := flag.String("l2dir", "", "enable the persistent tile store (L2) at this directory; -restart uses a temp dir when empty")
 	restart := flag.Bool("restart", false, "run the restart cold-start experiment: first boot vs L2-warm restart over the same zipf trace, plus the no-L2 baseline; -json writes BENCH_restart_l2.json and BENCH_restart_cold.json")
@@ -235,7 +240,7 @@ func main() {
 			if lbl == "" {
 				lbl = fmt.Sprintf("lod_%s", map[bool]string{true: "on", false: "off"}[*lod])
 			}
-			if err := writeBenchJSON(lbl, *scale, "4", *admission, 1, opts, stats); err != nil {
+			if err := writeBenchJSON(lbl, *scale, "4", *admission, 1, opts, stats, nil); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -265,6 +270,7 @@ func main() {
 		}
 		var t *experiments.Table
 		var stats []experiments.ConcurrentRowStats
+		var scrapeURL string // node 0 in cluster mode — the stage breakdown sample
 		if *nodes > 1 {
 			// Cluster mode: N in-process nodes over one dataset, the
 			// multi-node counterpart of the concurrent sweep. The
@@ -273,17 +279,34 @@ func main() {
 			cenv := buildClusterEnv(cfg, "uniform", *nodes)
 			defer cenv.Close()
 			t, stats, err = experiments.ClusterRun(cenv, opts)
+			scrapeURL = cenv.Nodes[0].BaseURL
 		} else {
 			env := buildEnv(cfg, "uniform")
 			defer env.Close()
 			t, stats, err = experiments.ConcurrentClients(env, opts)
+			scrapeURL = env.BaseURL
 		}
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println(t.Format())
+		stages, err := experiments.ScrapeStages(scrapeURL)
+		if err != nil {
+			log.Printf("kyrix-bench: stage scrape failed: %v", err)
+		} else {
+			printStages(stages)
+		}
+		lbl := *label
+		if lbl == "" {
+			lbl = defaultLabel(*clients, *admission, *nodes, opts)
+		}
 		if *jsonOut {
-			if err := writeBenchJSON(*label, *scale, *clients, *admission, *nodes, opts, stats); err != nil {
+			if err := writeBenchJSON(lbl, *scale, *clients, *admission, *nodes, opts, stats, stages); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *slowDump {
+			if err := dumpSlowRequests(scrapeURL, lbl); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -398,9 +421,73 @@ type benchArtifact struct {
 	Admission string                           `json:"admission"`
 	Nodes     int                              `json:"nodes,omitempty"`
 	Rows      []experiments.ConcurrentRowStats `json:"rows"`
+	// Stages is the final /metrics scrape folded into per-stage latency
+	// quantiles (kyrix_stage_duration_seconds by stage label) — where
+	// serving time went across the whole sweep. Node 0 in cluster mode.
+	Stages map[string]obs.StageQuantiles `json:"stages,omitempty"`
 }
 
-func writeBenchJSON(label, scale, clients, admission string, nodes int, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats) error {
+// defaultLabel derives the BENCH artifact label when -label is unset.
+func defaultLabel(clients, admission string, nodes int, opts experiments.ConcurrentOptions) string {
+	workloadName := opts.Workload
+	if workloadName == "" {
+		workloadName = "walk"
+	}
+	label := fmt.Sprintf("proto%d_clients%s", opts.Protocol, strings.ReplaceAll(clients, ",", "-"))
+	if workloadName != "walk" {
+		label = fmt.Sprintf("%s_%s_%s", label, workloadName, admission)
+	}
+	if nodes > 1 {
+		label = fmt.Sprintf("%s_%dnode", label, nodes)
+	}
+	return label
+}
+
+// printStages renders the post-sweep stage breakdown, slowest first.
+func printStages(stages map[string]obs.StageQuantiles) {
+	if len(stages) == 0 {
+		return
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return stages[names[i]].P95Ms > stages[names[j]].P95Ms
+	})
+	fmt.Println("Per-stage latency over the sweep (/metrics histograms):")
+	for _, name := range names {
+		q := stages[name]
+		fmt.Printf("  %-12s n=%-7d p50=%8.3fms  p95=%8.3fms  p99=%8.3fms\n",
+			name, q.Count, q.P50Ms, q.P95Ms, q.P99Ms)
+	}
+	fmt.Println()
+}
+
+// dumpSlowRequests writes the backend's flight recorder snapshot (the
+// raw /debug/requests JSON) next to the BENCH artifact.
+func dumpSlowRequests(baseURL, label string) error {
+	resp, err := http.Get(baseURL + "/debug/requests")
+	if err != nil {
+		return fmt.Errorf("kyrix-bench: fetch /debug/requests: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("kyrix-bench: /debug/requests: %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	path := "BENCH_slow_" + label + ".json"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	log.Printf("wrote %s", path)
+	return nil
+}
+
+func writeBenchJSON(label, scale, clients, admission string, nodes int, opts experiments.ConcurrentOptions, stats []experiments.ConcurrentRowStats, stages map[string]obs.StageQuantiles) error {
 	workloadName := opts.Workload
 	if workloadName == "" {
 		workloadName = "walk"
@@ -410,19 +497,13 @@ func writeBenchJSON(label, scale, clients, admission string, nodes int, opts exp
 		mode = "cluster"
 	}
 	if label == "" {
-		label = fmt.Sprintf("proto%d_clients%s", opts.Protocol, strings.ReplaceAll(clients, ",", "-"))
-		if workloadName != "walk" {
-			label = fmt.Sprintf("%s_%s_%s", label, workloadName, admission)
-		}
-		if nodes > 1 {
-			label = fmt.Sprintf("%s_%dnode", label, nodes)
-		}
+		label = defaultLabel(clients, admission, nodes, opts)
 	}
 	art := benchArtifact{
 		Label: label, Mode: mode, Scale: scale, Clients: clients,
 		Steps: opts.StepsPerClient, Batch: opts.BatchSize, Proto: opts.Protocol,
 		Scheme: opts.Scheme.Name(), Workload: workloadName, Admission: admission,
-		Nodes: nodes, Rows: stats,
+		Nodes: nodes, Rows: stats, Stages: stages,
 	}
 	data, err := json.MarshalIndent(art, "", "  ")
 	if err != nil {

@@ -45,7 +45,12 @@
 // bumps) invalidate the store by generation without touching disk.
 //
 // Endpoints (consumed by the kyrix frontend client): /app /tile /dbox
-// /update /stats, plus /peer for cluster fills.
+// /update /stats, plus /peer for cluster fills. Observability rides the
+// same mux: /metrics serves Prometheus-format counters and per-stage
+// latency histograms, /debug/requests the flight recorder (the N
+// slowest and most recent request traces as span trees); -pprof
+// additionally mounts net/http/pprof under /debug/pprof/, and
+// -no-trace turns span collection off while keeping the histograms.
 package main
 
 import (
@@ -86,6 +91,9 @@ func main() {
 	self := flag.String("self", "", "cluster mode: this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
 	peers := flag.String("peers", "", "cluster mode: comma-separated base URLs of every cluster node (may include -self)")
 	replogDir := flag.String("replog-dir", "", "persist a replicated update log under this directory: /update commits through a quorum of the cluster and survives node failures (standalone: a durable single-node log)")
+	noTrace := flag.Bool("no-trace", false, "disable request tracing and the /debug/requests flight recorder (/metrics histograms stay on)")
+	flightN := flag.Int("flight-recorder", 0, "flight recorder depth: /debug/requests keeps the N most recent and N slowest request traces (0 = 64)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the serving mux")
 	var tables tableList
 	flag.Var(&tables, "table", "load a CSV table: name=path.csv (repeatable, spec mode)")
 	flag.Parse()
@@ -148,6 +156,11 @@ func main() {
 			L2: server.L2CacheOptions{Path: *l2dir, MaxBytes: *l2MB << 20},
 		},
 		Cluster: clusterOpts,
+		Obs: server.ObsOptions{
+			DisableTracing:     *noTrace,
+			FlightRecorderSize: *flightN,
+			Pprof:              *pprofOn,
+		},
 		Precompute: fetch.Options{
 			BuildSpatial: true,
 			TileSizes:    sizes,

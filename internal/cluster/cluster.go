@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -265,8 +266,14 @@ func (n *Node) Observe(remote EpochVector) {
 // is folded in (possibly invalidating the local cache) before the
 // payload returns.
 func (n *Node) Fetch(owner string, fr *FillRequest) ([]byte, error) {
+	return n.FetchContext(context.Background(), owner, fr)
+}
+
+// FetchContext is Fetch under the caller's context; an active obs span
+// on ctx propagates across the hop (see Transport.FetchContext).
+func (n *Node) FetchContext(ctx context.Context, owner string, fr *FillRequest) ([]byte, error) {
 	fr.Epochs = n.EpochVec()
-	payload, remoteEpochs, err := n.tr.Fetch(owner, fr)
+	payload, remoteEpochs, err := n.tr.FetchContext(ctx, owner, fr)
 	n.Observe(remoteEpochs)
 	if err != nil {
 		n.Stats.PeerErrors.Add(1)

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"kyrix/internal/obs"
 	"kyrix/internal/wire"
 )
 
@@ -347,11 +348,20 @@ func (t *Transport) exchange(ctx context.Context, p *peer, gated bool, fn func(c
 // problem degrades the cluster to N independent nodes, never to an
 // outage.
 func (t *Transport) Fetch(node string, fr *FillRequest) (payload []byte, epochs EpochVector, err error) {
+	return t.FetchContext(context.Background(), node, fr)
+}
+
+// FetchContext is Fetch under the caller's context. The transport's
+// Timeout still applies on top of any caller deadline (whichever is
+// sooner wins); what the context adds is its values — in particular an
+// active obs span, whose trace context rides the request header so the
+// owner node's serving spans come back stitched into the caller's trace.
+func (t *Transport) FetchContext(ctx context.Context, node string, fr *FillRequest) (payload []byte, epochs EpochVector, err error) {
 	p, ok := t.peers[node]
 	if !ok {
 		return nil, nil, fmt.Errorf("cluster: unknown peer %q", node)
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), t.cfg.Timeout)
+	ctx, cancel := context.WithTimeout(ctx, t.cfg.Timeout)
 	defer cancel()
 	backoff := 10 * time.Millisecond
 	for attempt := 0; ; attempt++ {
@@ -392,11 +402,18 @@ func (t *Transport) fetchOnce(ctx context.Context, p *peer, fr *FillRequest) (pa
 		return nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the caller's trace so the owner's serving spans join it.
+	obs.InjectHeader(ctx, req.Header)
 	resp, err := t.client.Do(req)
 	if err != nil {
 		return nil, nil, fmt.Errorf("cluster: peer %s: %w", p.base, err)
 	}
 	defer resp.Body.Close()
+	// Graft the owner node's finished span subtree (if it sent one) into
+	// the caller's active span: the cross-node fill reads as one trace.
+	if sh := resp.Header.Get(obs.SpansHeader); sh != "" {
+		obs.SpanFromContext(ctx).Graft(obs.DecodeSpansHeader(sh))
+	}
 	if eh := resp.Header.Get(EpochHeader); eh != "" {
 		// A malformed epoch header is ignored, not fatal: the payload
 		// is still usable, the gossip just did not advance.
@@ -443,6 +460,7 @@ func (t *Transport) PostJSON(ctx context.Context, node, path string, req, resp a
 			return err
 		}
 		hreq.Header.Set("Content-Type", "application/json")
+		obs.InjectHeader(ctx, hreq.Header)
 		hresp, err := t.client.Do(hreq)
 		if err != nil {
 			return fmt.Errorf("cluster: peer %s: %w", p.base, err)

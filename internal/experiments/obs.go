@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"fmt"
+	"net/http"
+
+	"kyrix/internal/obs"
+)
+
+// StageHistogram is the server's per-stage latency histogram family
+// (internal/server mirrors this name; redeclared here so experiments
+// does not import server for one constant).
+const StageHistogram = "kyrix_stage_duration_seconds"
+
+// ScrapeStages GETs baseURL/metrics and folds the per-stage latency
+// histograms into quantiles keyed by stage name ("item", "db.query",
+// "peer.fetch", ...). It goes over HTTP on purpose: the scrape
+// exercises the same surface an operator's Prometheus would, so a
+// bench run doubles as an exposition-format regression check.
+func ScrapeStages(baseURL string) (map[string]obs.StageQuantiles, error) {
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("experiments: scrape /metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("experiments: scrape /metrics: %s", resp.Status)
+	}
+	exp, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: parse /metrics: %w", err)
+	}
+	return exp.HistogramQuantiles(StageHistogram, "stage"), nil
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"kyrix/internal/geom"
+	"kyrix/internal/obs"
 	"kyrix/internal/server"
 	"kyrix/internal/storage"
 	"kyrix/internal/wire"
@@ -396,7 +397,15 @@ func (c *Client) postBatchFramed(version int, subs []v2Sub, rep *FetchReport, st
 	if err != nil {
 		return fmt.Errorf("frontend: encode batch v%d: %w", version, err)
 	}
-	resp, err := c.hc.Post(c.base+"/batch", "application/json", bytes.NewReader(body))
+	hreq, err := http.NewRequest(http.MethodPost, c.base+"/batch", bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("frontend: batch v%d: %w", version, err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	// Stitch the server's http.batch span under the client's interaction
+	// trace (no-op without an active span).
+	obs.InjectHeader(c.ictx, hreq.Header)
+	resp, err := c.hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("frontend: batch v%d: %w", version, err)
 	}

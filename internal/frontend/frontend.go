@@ -20,9 +20,12 @@ import (
 	"net/url"
 	"time"
 
+	"context"
+
 	"kyrix/internal/cache"
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
+	"kyrix/internal/obs"
 	"kyrix/internal/render"
 	"kyrix/internal/server"
 	"kyrix/internal/spec"
@@ -75,6 +78,12 @@ type Options struct {
 	// (default) lets the server DEFLATE-compress frames that pass its
 	// worth-it heuristic, CompressionOff asks for raw frames.
 	Compression int
+	// Tracer, when non-nil, opens one client-side "interaction" span per
+	// Load/Pan/Jump covering the whole viewport fetch (time-to-first-
+	// frame and duration land as attributes), and stamps the trace
+	// context onto /batch POSTs so the server's http.batch spans stitch
+	// under the client's interaction trace.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions uses dynamic boxes with a 64 MB frontend cache.
@@ -156,6 +165,13 @@ type Client struct {
 	v2Fallback     bool
 	protoConfirmed bool
 
+	// ictx carries the current interaction's obs span (context.Background
+	// when Options.Tracer is nil or between interactions). Written only
+	// at the top of fetchViewport, before any fetch goroutine launches,
+	// and read-only until the interaction completes — overlapped batch
+	// chunks may safely read it concurrently.
+	ictx context.Context
+
 	// TotalReports accumulates every interaction's report.
 	TotalReports []FetchReport
 }
@@ -178,6 +194,7 @@ func NewClient(baseURL string, ca *spec.CompiledApp, opts Options) (*Client, err
 		density:     make(map[int]float64),
 		densityGrid: make(map[int]map[cellKey]float64),
 		renderers:   make(map[string]RenderFunc),
+		ictx:        context.Background(),
 	}
 	resp, err := hc.Get(baseURL + "/app")
 	if err != nil {
@@ -292,6 +309,20 @@ func (c *Client) PanBy(dx, dy float64) (FetchReport, error) {
 func (c *Client) fetchViewport(vp geom.Rect, includeStatic bool) (FetchReport, error) {
 	start := time.Now()
 	rep := FetchReport{Canvas: c.canvas.ID, Viewport: vp}
+	ictx, isp := c.opts.Tracer.Start(context.Background(), "interaction")
+	isp.Attr("canvas", c.canvas.ID)
+	isp.Attr("load", includeStatic)
+	c.ictx = ictx
+	defer func() {
+		isp.Attr("requests", rep.Requests)
+		isp.Attr("cacheHits", rep.CacheHits)
+		if rep.FirstFrame > 0 {
+			isp.Attr("ttffUS", rep.FirstFrame.Microseconds())
+		}
+		isp.Attr("overBudget", rep.OverBudget)
+		isp.End()
+		c.ictx = context.Background()
+	}()
 	if c.useBatchV2() {
 		err := c.fetchViewportV2(vp, includeStatic, &rep, start)
 		if err == nil {

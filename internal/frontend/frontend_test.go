@@ -3,10 +3,12 @@ package frontend
 import (
 	"image/color"
 	"net/http/httptest"
+	"slices"
 	"testing"
 
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
+	"kyrix/internal/obs"
 	"kyrix/internal/render"
 	"kyrix/internal/server"
 	"kyrix/internal/spec"
@@ -612,5 +614,51 @@ func TestBatchChunksRunConcurrently(t *testing.T) {
 	rows, _ := c.ObjectsInViewport(1)
 	if len(rows) != len(refRows) {
 		t.Fatalf("concurrent-chunk client sees %d objects, reference %d", len(rows), len(refRows))
+	}
+}
+
+// TestInteractionTrace checks the client-side trace pillar: a Load with
+// Options.Tracer set records one "interaction" root in the client's
+// recorder, and the trace header stamped on the /batch POST makes the
+// server's http.batch span a child of the same trace.
+func TestInteractionTrace(t *testing.T) {
+	rec := obs.NewRecorder(8)
+	opts := DefaultOptions()
+	opts.Tracer = obs.NewTracer(rec)
+	c, srv := newTestClient(t, opts)
+	if _, err := c.Load(); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if len(snap.Recent) == 0 {
+		t.Fatal("client recorder is empty after Load")
+	}
+	root := snap.Recent[len(snap.Recent)-1]
+	if root.Name != "interaction" || root.TraceID == "" {
+		t.Fatalf("client root = %+v", root)
+	}
+	var attrs []string
+	for _, a := range root.Attrs {
+		attrs = append(attrs, a.Key)
+	}
+	for _, want := range []string{"canvas", "load", "requests", "ttffUS"} {
+		if !slices.Contains(attrs, want) {
+			t.Fatalf("interaction span missing attr %q (have %v)", want, attrs)
+		}
+	}
+	// The server's http.batch root must carry the client's trace ID and
+	// parent under the interaction span.
+	var batch *obs.SpanData
+	ssnap := srv.FlightRecorder().Snapshot()
+	for _, d := range ssnap.Recent {
+		if d.Name == "http.batch" && d.TraceID == root.TraceID {
+			batch = d
+		}
+	}
+	if batch == nil {
+		t.Fatalf("no server http.batch span under client trace %s", root.TraceID)
+	}
+	if batch.Parent != root.SpanID {
+		t.Fatalf("server batch parent = %s, want client span %s", batch.Parent, root.SpanID)
 	}
 }

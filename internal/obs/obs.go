@@ -1,0 +1,349 @@
+// Package obs is Kyrix's stdlib-only observability layer. It has three
+// pillars that share one design constraint: the serving hot path must pay
+// at most a nil check (tracing off) or a couple of atomic adds (metrics)
+// per stage.
+//
+//   - Tracing: Tracer.Start(ctx, name) opens a span; child spans hang off
+//     the context. Spans carry µs timestamps and small key/value attribute
+//     sets, and whole trace trees can be serialized, shipped across a node
+//     boundary in an HTTP header, and grafted back into the caller's trace
+//     so a cross-node fill reads as one stitched timeline.
+//   - Metrics: Registry hands out atomic counters and fixed-bucket latency
+//     histograms and renders them in Prometheus text exposition format.
+//     Ad-hoc families (values owned elsewhere, e.g. server counters) are
+//     emitted at scrape time through registered collectors.
+//   - Flight recorder: Recorder keeps the N most recent and N slowest
+//     completed traces in lock-cheap structures for /debug/requests.
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries trace context (traceID-parentSpanID, hex) on
+// cross-node requests: peer fills, replog RPCs, and client batches.
+const TraceHeader = "X-Kyrix-Trace"
+
+// SpansHeader carries a completed span subtree (JSON) on a peer response
+// so the requester can graft the owner node's timeline into its own trace.
+// Subtrees larger than maxSpansHeader bytes are dropped, not truncated.
+const SpansHeader = "X-Kyrix-Trace-Spans"
+
+const maxSpansHeader = 16 << 10
+
+// idCounter seeds span/trace IDs. The random base keeps IDs distinct
+// across nodes so stitched traces don't collide.
+var idCounter atomic.Uint64
+
+func init() {
+	idCounter.Store(rand.Uint64() | 1)
+}
+
+func newID() uint64 {
+	return idCounter.Add(0x9e3779b97f4a7c15) // golden-ratio stride keeps IDs well spread
+}
+
+// Tracer creates spans and records finished root traces into a Recorder.
+// A nil *Tracer is valid and means "tracing off": Start returns a nil span
+// and the unchanged context, and all span methods on nil are no-ops.
+type Tracer struct {
+	rec *Recorder
+}
+
+// NewTracer returns a tracer recording completed root traces into rec.
+// rec may be nil (spans still work, e.g. for header propagation, but
+// nothing is retained).
+func NewTracer(rec *Recorder) *Tracer {
+	return &Tracer{rec: rec}
+}
+
+// Recorder returns the flight recorder backing t, or nil.
+func (t *Tracer) Recorder() *Recorder {
+	if t == nil {
+		return nil
+	}
+	return t.rec
+}
+
+// Span is one timed operation inside a trace. Spans are created by
+// Tracer.Start and finished with End; attributes and children may be added
+// from multiple goroutines (batch workers share a parent span).
+type Span struct {
+	tracer     *Tracer
+	traceID    uint64
+	spanID     uint64
+	parent     uint64
+	name       string
+	start      time.Time
+	root       bool
+	parentSpan *Span
+
+	mu       sync.Mutex
+	attrs    []Attr      // guarded by mu
+	children []*SpanData // guarded by mu
+	ended    bool        // guarded by mu
+	durUS    int64       // guarded by mu
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// SpanData is the exported, immutable form of a finished span. It is what
+// /debug/requests serves and what crosses node boundaries in SpansHeader.
+type SpanData struct {
+	TraceID  string      `json:"trace"`
+	SpanID   string      `json:"span"`
+	Parent   string      `json:"parent,omitempty"`
+	Name     string      `json:"name"`
+	StartUS  int64       `json:"startUs"` // µs since the Unix epoch
+	DurUS    int64       `json:"durUs"`
+	Attrs    []Attr      `json:"attrs,omitempty"`
+	Children []*SpanData `json:"children,omitempty"`
+}
+
+type ctxKey struct{}
+
+// SpanFromContext returns the active span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// ContextWithSpan returns ctx carrying sp as the active span.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// Start opens a span named name. If ctx already carries a span the new one
+// is its child; otherwise it becomes a new root trace. The returned
+// context carries the new span. On a nil tracer both return values are
+// passed through unchanged (sp == nil).
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := &Span{tracer: t, name: name, spanID: newID(), start: time.Now()}
+	if parent := SpanFromContext(ctx); parent != nil {
+		sp.traceID = parent.traceID
+		sp.parent = parent.spanID
+		sp.parentSpan = parent
+	} else {
+		sp.traceID = newID()
+		sp.root = true
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// StartRemote opens a root span that continues a trace started on another
+// node (or the client): it adopts tc's trace ID and parent span ID, so the
+// resulting SpanData can be grafted into the remote caller's trace.
+func (t *Tracer) StartRemote(ctx context.Context, name string, tc TraceContext) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	sp := &Span{tracer: t, name: name, spanID: newID(), start: time.Now(), root: true}
+	if tc.TraceID != 0 {
+		sp.traceID = tc.TraceID
+		sp.parent = tc.SpanID
+	} else {
+		sp.traceID = newID()
+	}
+	return ContextWithSpan(ctx, sp), sp
+}
+
+// Attr records a key/value attribute on the span. Safe on nil.
+func (s *Span) Attr(key string, value any) {
+	if s == nil {
+		return
+	}
+	var v string
+	switch x := value.(type) {
+	case string:
+		v = x
+	case int:
+		v = strconv.Itoa(x)
+	case int64:
+		v = strconv.FormatInt(x, 10)
+	case bool:
+		v = strconv.FormatBool(x)
+	case time.Duration:
+		v = x.String()
+	default:
+		v = fmt.Sprint(x)
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+	s.mu.Unlock()
+}
+
+// End finishes the span. Child spans fold their finished SpanData into the
+// parent; a root span hands the completed trace to the tracer's recorder.
+// End is idempotent and safe on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.durUS = time.Since(s.start).Microseconds()
+	s.mu.Unlock()
+	if s.root {
+		if rec := s.tracer.rec; rec != nil {
+			rec.Record(s.Data())
+		}
+		return
+	}
+	if p := s.parentSpan; p != nil {
+		p.addChild(s.Data())
+	}
+}
+
+// Duration reports how long the span ran (or has been running).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return time.Duration(s.durUS) * time.Microsecond
+	}
+	return time.Since(s.start)
+}
+
+func (s *Span) addChild(d *SpanData) {
+	s.mu.Lock()
+	s.children = append(s.children, d)
+	s.mu.Unlock()
+}
+
+// Graft attaches a finished remote span subtree (typically decoded from
+// SpansHeader) as a child of s. Safe on nil.
+func (s *Span) Graft(d *SpanData) {
+	if s == nil || d == nil {
+		return
+	}
+	s.addChild(d)
+}
+
+// Data snapshots the span into its exported form. Children are copied;
+// attribute order is preserved.
+func (s *Span) Data() *SpanData {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d := &SpanData{
+		TraceID: formatID(s.traceID),
+		SpanID:  formatID(s.spanID),
+		Name:    s.name,
+		StartUS: s.start.UnixMicro(),
+		DurUS:   s.durUS,
+	}
+	if s.parent != 0 {
+		d.Parent = formatID(s.parent)
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	if len(s.children) > 0 {
+		d.Children = append([]*SpanData(nil), s.children...)
+		sort.SliceStable(d.Children, func(i, j int) bool { return d.Children[i].StartUS < d.Children[j].StartUS })
+	}
+	return d
+}
+
+func formatID(id uint64) string {
+	return strconv.FormatUint(id, 16)
+}
+
+// TraceContext is the wire form of a trace position: which trace, and
+// which span the next hop should parent under.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+}
+
+// HeaderValue renders tc for TraceHeader.
+func (tc TraceContext) HeaderValue() string {
+	return formatID(tc.TraceID) + "-" + formatID(tc.SpanID)
+}
+
+// ParseTraceContext parses a TraceHeader value. ok is false on any
+// malformed input.
+func ParseTraceContext(v string) (tc TraceContext, ok bool) {
+	dash := strings.IndexByte(v, '-')
+	if dash <= 0 || dash == len(v)-1 {
+		return TraceContext{}, false
+	}
+	tid, err1 := strconv.ParseUint(v[:dash], 16, 64)
+	sid, err2 := strconv.ParseUint(v[dash+1:], 16, 64)
+	if err1 != nil || err2 != nil || tid == 0 {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: tid, SpanID: sid}, true
+}
+
+// InjectHeader writes the active span's trace context from ctx into h.
+// No-op when ctx carries no span.
+func InjectHeader(ctx context.Context, h http.Header) {
+	sp := SpanFromContext(ctx)
+	if sp == nil {
+		return
+	}
+	h.Set(TraceHeader, TraceContext{TraceID: sp.traceID, SpanID: sp.spanID}.HeaderValue())
+}
+
+// ExtractHeader reads trace context from h. ok is false when the header is
+// absent or malformed.
+func ExtractHeader(h http.Header) (TraceContext, bool) {
+	v := h.Get(TraceHeader)
+	if v == "" {
+		return TraceContext{}, false
+	}
+	return ParseTraceContext(v)
+}
+
+// EncodeSpansHeader renders d for SpansHeader. It returns "" when the
+// subtree serializes larger than the bound (the trace is then simply not
+// stitched rather than corrupted).
+func EncodeSpansHeader(d *SpanData) string {
+	if d == nil {
+		return ""
+	}
+	b, err := json.Marshal(d)
+	if err != nil || len(b) > maxSpansHeader {
+		return ""
+	}
+	return string(b)
+}
+
+// DecodeSpansHeader parses a SpansHeader value; nil when absent or bad.
+func DecodeSpansHeader(v string) *SpanData {
+	if v == "" || len(v) > maxSpansHeader {
+		return nil
+	}
+	var d SpanData
+	if err := json.Unmarshal([]byte(v), &d); err != nil {
+		return nil
+	}
+	return &d
+}

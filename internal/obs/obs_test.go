@@ -1,0 +1,260 @@
+package obs
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndRecord(t *testing.T) {
+	rec := NewRecorder(8)
+	tr := NewTracer(rec)
+
+	ctx, root := tr.Start(context.Background(), "http.batch")
+	root.Attr("proto", 3)
+	ctx2, child := tr.Start(ctx, "db.query")
+	child.Attr("rows", int64(42))
+	_, grand := tr.Start(ctx2, "compress")
+	grand.End()
+	child.End()
+	root.End()
+
+	snap := rec.Snapshot()
+	if len(snap.Recent) != 1 {
+		t.Fatalf("recent = %d, want 1", len(snap.Recent))
+	}
+	d := snap.Recent[0]
+	if d.Name != "http.batch" || len(d.Children) != 1 {
+		t.Fatalf("bad root: %+v", d)
+	}
+	c := d.Children[0]
+	if c.Name != "db.query" || c.Parent != d.SpanID || c.TraceID != d.TraceID {
+		t.Fatalf("bad child: %+v (root span %s)", c, d.SpanID)
+	}
+	if len(c.Children) != 1 || c.Children[0].Name != "compress" {
+		t.Fatalf("bad grandchild: %+v", c.Children)
+	}
+	if len(c.Attrs) != 1 || c.Attrs[0].Key != "rows" || c.Attrs[0].Value != "42" {
+		t.Fatalf("bad attrs: %+v", c.Attrs)
+	}
+}
+
+func TestNilTracerAndSpanSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "x")
+	if sp != nil {
+		t.Fatal("nil tracer must return nil span")
+	}
+	sp.Attr("k", "v")
+	sp.End()
+	sp.Graft(nil)
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer must not install a span")
+	}
+	var rec *Recorder
+	rec.Record(&SpanData{})
+	if s := rec.Snapshot(); len(s.Recent) != 0 {
+		t.Fatal("nil recorder snapshot must be empty")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	tr := NewTracer(nil)
+	ctx, sp := tr.Start(context.Background(), "root")
+	h := http.Header{}
+	InjectHeader(ctx, h)
+	tc, ok := ExtractHeader(h)
+	if !ok {
+		t.Fatalf("extract failed from %q", h.Get(TraceHeader))
+	}
+	if tc.TraceID != sp.traceID || tc.SpanID != sp.spanID {
+		t.Fatalf("roundtrip mismatch: %+v vs trace=%x span=%x", tc, sp.traceID, sp.spanID)
+	}
+
+	_, remote := tr.StartRemote(context.Background(), "peer.serve", tc)
+	remote.End()
+	d := remote.Data()
+	if d.TraceID != formatID(sp.traceID) || d.Parent != formatID(sp.spanID) {
+		t.Fatalf("remote span not stitched: %+v", d)
+	}
+
+	if _, ok := ExtractHeader(http.Header{}); ok {
+		t.Fatal("empty header must not extract")
+	}
+	for _, bad := range []string{"zz", "12-", "-12", "0-5", "12-xyz"} {
+		if _, ok := ParseTraceContext(bad); ok {
+			t.Fatalf("parsed malformed %q", bad)
+		}
+	}
+}
+
+func TestSpansHeaderEncodeDecodeAndBound(t *testing.T) {
+	d := &SpanData{TraceID: "a", SpanID: "b", Name: "peer.serve", DurUS: 7,
+		Children: []*SpanData{{TraceID: "a", SpanID: "c", Name: "db.query"}}}
+	v := EncodeSpansHeader(d)
+	if v == "" {
+		t.Fatal("encode returned empty")
+	}
+	got := DecodeSpansHeader(v)
+	if got == nil || got.Name != "peer.serve" || len(got.Children) != 1 {
+		t.Fatalf("decode mismatch: %+v", got)
+	}
+
+	big := &SpanData{Name: strings.Repeat("x", maxSpansHeader+1)}
+	if EncodeSpansHeader(big) != "" {
+		t.Fatal("oversized subtree must encode to empty")
+	}
+	if DecodeSpansHeader("not json") != nil {
+		t.Fatal("bad json must decode to nil")
+	}
+}
+
+func TestHistogramQuantileAndExposition(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("kyrix_stage_duration_seconds", "per-stage latency", "stage", "db.query")
+	for i := 0; i < 100; i++ {
+		h.Observe(2 * time.Millisecond) // falls in the (1ms, 2.5ms] bucket
+	}
+	q := h.Quantile(0.5)
+	if q < 0.001 || q > 0.0025 {
+		t.Fatalf("p50 = %v, want within (1ms, 2.5ms]", q)
+	}
+	c := reg.Counter("kyrix_requests_total", "requests", "endpoint", "/batch")
+	c.Add(5)
+
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE kyrix_stage_duration_seconds histogram",
+		`kyrix_stage_duration_seconds_bucket{stage="db.query",le="+Inf"} 100`,
+		`kyrix_stage_duration_seconds_count{stage="db.query"} 100`,
+		"# TYPE kyrix_requests_total counter",
+		`kyrix_requests_total{endpoint="/batch"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+
+	exp, err := ParseExposition(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.HasFamily("kyrix_stage_duration_seconds") || !exp.HasFamily("kyrix_requests_total") {
+		t.Fatalf("parsed families: %+v", exp.Types)
+	}
+	qs := exp.HistogramQuantiles("kyrix_stage_duration_seconds", "stage")
+	dq, ok := qs["db.query"]
+	if !ok || dq.Count != 100 {
+		t.Fatalf("quantiles: %+v", qs)
+	}
+	if dq.P50Ms < 1 || dq.P50Ms > 2.5 {
+		t.Fatalf("parsed p50 = %vms, want within (1, 2.5]", dq.P50Ms)
+	}
+	if dq.MeanMs < 1.5 || dq.MeanMs > 2.5 {
+		t.Fatalf("parsed mean = %vms, want ~2", dq.MeanMs)
+	}
+}
+
+func TestCollector(t *testing.T) {
+	reg := NewRegistry()
+	reg.RegisterCollector(func(c *CollectorScratchpad) {
+		c.Counter("kyrix_cache_events_total", "cache events", 12, "cache", "l1", "event", "hit")
+		c.Counter("kyrix_cache_events_total", "cache events", 3, "cache", "l1", "event", "miss")
+		c.Gauge("kyrix_uptime_seconds", "uptime", 1.5)
+	})
+	var sb strings.Builder
+	if err := reg.WriteProm(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`kyrix_cache_events_total{cache="l1",event="hit"} 12`,
+		`kyrix_cache_events_total{cache="l1",event="miss"} 3`,
+		"# TYPE kyrix_uptime_seconds gauge",
+		"kyrix_uptime_seconds 1.5",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, text)
+		}
+	}
+	// One family header even with two samples.
+	if strings.Count(text, "# TYPE kyrix_cache_events_total") != 1 {
+		t.Fatalf("duplicate family header:\n%s", text)
+	}
+}
+
+// TestRecorderWraparoundRace hammers a small ring from many goroutines so
+// -race exercises concurrent cursor wraparound, slot stores, and slowest-
+// set insertion racing Snapshot readers.
+func TestRecorderWraparoundRace(t *testing.T) {
+	rec := NewRecorder(8)
+	const writers, perWriter = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rec.Record(&SpanData{Name: "t", DurUS: int64(w*perWriter + i)})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			s := rec.Snapshot()
+			if len(s.Recent) > 8 || len(s.Slowest) > 8 {
+				t.Errorf("snapshot overflow: recent=%d slowest=%d", len(s.Recent), len(s.Slowest))
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	s := rec.Snapshot()
+	if len(s.Recent) != 8 {
+		t.Fatalf("recent = %d, want 8 after wraparound", len(s.Recent))
+	}
+	if len(s.Slowest) != 8 {
+		t.Fatalf("slowest = %d, want 8", len(s.Slowest))
+	}
+	for i := 1; i < len(s.Slowest); i++ {
+		if s.Slowest[i].DurUS > s.Slowest[i-1].DurUS {
+			t.Fatalf("slowest not sorted at %d: %d > %d", i, s.Slowest[i].DurUS, s.Slowest[i-1].DurUS)
+		}
+	}
+	// The true slowest trace must have survived.
+	if s.Slowest[0].DurUS != writers*perWriter-1 {
+		t.Fatalf("slowest[0] = %d, want %d", s.Slowest[0].DurUS, writers*perWriter-1)
+	}
+}
+
+func TestConcurrentSpansOnSharedParent(t *testing.T) {
+	tr := NewTracer(NewRecorder(4))
+	ctx, root := tr.Start(context.Background(), "batch")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, sp := tr.Start(ctx, "item")
+			sp.Attr("k", "v")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	d := tr.Recorder().Snapshot().Recent[0]
+	if len(d.Children) != 16 {
+		t.Fatalf("children = %d, want 16", len(d.Children))
+	}
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Recorder is the flight recorder: a bounded, lock-cheap store of the N
+// most recent and the N slowest completed traces.
+//
+// The recent side is a ring of atomic pointers indexed by an atomic
+// cursor — recording is two atomics, no locks. The slowest side keeps a
+// small sorted slice behind a mutex, but the mutex is only taken when a
+// trace beats the current floor, which is published through an atomic so
+// the common case (fast request, slow floor already high) is one atomic
+// load.
+type Recorder struct {
+	cap    int
+	recent []atomic.Pointer[SpanData]
+	cursor atomic.Uint64
+
+	floorUS atomic.Int64 // duration floor of the slowest set; -1 while not full
+
+	mu      sync.Mutex
+	slowest []*SpanData // guarded by mu; sorted by DurUS descending
+}
+
+// NewRecorder returns a recorder keeping the n most recent and n slowest
+// traces. n <= 0 selects the default of 64.
+func NewRecorder(n int) *Recorder {
+	if n <= 0 {
+		n = 64
+	}
+	r := &Recorder{cap: n, recent: make([]atomic.Pointer[SpanData], n)}
+	r.floorUS.Store(-1)
+	return r
+}
+
+// Record stores one completed root trace. Safe for concurrent use; safe on
+// nil.
+func (r *Recorder) Record(d *SpanData) {
+	if r == nil || d == nil {
+		return
+	}
+	slot := (r.cursor.Add(1) - 1) % uint64(r.cap)
+	r.recent[slot].Store(d)
+
+	floor := r.floorUS.Load()
+	if floor >= 0 && d.DurUS <= floor {
+		return
+	}
+	r.mu.Lock()
+	r.insertSlowestLocked(d)
+	r.mu.Unlock()
+}
+
+// insertSlowestLocked inserts d into the sorted slowest set, evicting the
+// fastest entry when full, and republishes the atomic floor.
+func (r *Recorder) insertSlowestLocked(d *SpanData) {
+	i := sort.Search(len(r.slowest), func(i int) bool { return r.slowest[i].DurUS < d.DurUS })
+	r.slowest = append(r.slowest, nil)
+	copy(r.slowest[i+1:], r.slowest[i:])
+	r.slowest[i] = d
+	if len(r.slowest) > r.cap {
+		r.slowest = r.slowest[:r.cap]
+	}
+	if len(r.slowest) == r.cap {
+		r.floorUS.Store(r.slowest[len(r.slowest)-1].DurUS)
+	}
+}
+
+// Snapshot is the JSON shape served at /debug/requests.
+type Snapshot struct {
+	Recent  []*SpanData `json:"recent"`
+	Slowest []*SpanData `json:"slowest"`
+}
+
+// Snapshot returns the current recent (newest first) and slowest (slowest
+// first) traces. Safe on nil.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	snap := Snapshot{}
+	cur := r.cursor.Load()
+	for off := uint64(0); off < uint64(r.cap); off++ {
+		// Walk backwards from the most recently written slot.
+		slot := (cur + uint64(r.cap) - 1 - off) % uint64(r.cap)
+		if d := r.recent[slot].Load(); d != nil {
+			snap.Recent = append(snap.Recent, d)
+		}
+	}
+	r.mu.Lock()
+	snap.Slowest = append([]*SpanData(nil), r.slowest...)
+	r.mu.Unlock()
+	return snap
+}

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"kyrix/internal/geom"
 )
@@ -23,11 +25,24 @@ func (s *Server) handleBatchDispatch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The root span of the whole batch; per-item spans hang off it from
+	// the worker goroutines. A trace header on the POST (the frontend's
+	// interaction trace) stitches this server-side tree under it.
+	ctx, sp := s.startRequestSpan(r, "http.batch")
+	start := time.Now()
+	defer func() {
+		s.obs.stageBatch.Observe(time.Since(start))
+		sp.End()
+	}()
 	if v2 != nil {
-		s.handleBatchV2(w, v2)
+		sp.Attr("proto", v2.V)
+		sp.Attr("items", len(v2.Items))
+		s.handleBatchV2(ctx, w, v2)
 		return
 	}
-	s.handleBatch(w, v1)
+	sp.Attr("proto", 1)
+	sp.Attr("items", len(v1.Tiles))
+	s.handleBatch(ctx, w, v1)
 }
 
 // MaxBatchTiles bounds one /batch request; the frontend splits larger
@@ -72,7 +87,7 @@ type BatchResponse struct {
 // concurrently under a bounded worker pool; each goes through the same
 // cache + coalescing path as a single /tile request, so a batch
 // overlapping another client's requests still runs each query once.
-func (s *Server) handleBatch(w http.ResponseWriter, req *BatchRequest) {
+func (s *Server) handleBatch(ctx context.Context, w http.ResponseWriter, req *BatchRequest) {
 	if len(req.Tiles) == 0 {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
@@ -149,7 +164,12 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *BatchRequest) {
 					bt.Err = fmt.Sprintf("internal: %v", r)
 				}
 			}()
-			payload, err := s.serveTile(pl, design, codec, req.Size, geom.TileID{Col: ref.Col, Row: ref.Row}, false)
+			ictx, isp := s.tracer().Start(ctx, "item")
+			isp.Attr("kind", "tile")
+			itemStart := time.Now()
+			payload, err := s.serveTile(ictx, pl, design, codec, req.Size, geom.TileID{Col: ref.Col, Row: ref.Row}, false)
+			s.obs.stageItem.Observe(time.Since(itemStart))
+			isp.End()
 			if err != nil {
 				bt.Err = err.Error()
 				return

@@ -2,14 +2,17 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
 	"sync"
+	"time"
 
 	"kyrix/internal/geom"
+	"kyrix/internal/obs"
 	"kyrix/internal/wire"
 )
 
@@ -198,10 +201,13 @@ func ReadFrame(br *bufio.Reader) (Frame, error) {
 // results as they complete instead of waiting for the whole batch.
 type frameWriter struct {
 	version byte
-	mu      sync.Mutex
-	w       io.Writer    // guarded by mu
-	fl      http.Flusher // guarded by mu
-	err     error        // guarded by mu; first write error; later writes are dropped
+	// flushHist, when set, gets one sample per frame covering the
+	// serialized write + flush; assigned once before any worker runs.
+	flushHist *obs.Histogram
+	mu        sync.Mutex
+	w         io.Writer    // guarded by mu
+	fl        http.Flusher // guarded by mu
+	err       error        // guarded by mu; first write error; later writes are dropped
 	// bytes counts payload bytes as written (post-compression/delta);
 	// rawBytes counts the full-frame equivalent (what a raw v2 frame
 	// would have carried) — the pair is the stream's compression ratio.
@@ -223,6 +229,7 @@ func (fw *frameWriter) writeFrame(f Frame, rawLen int) {
 	if fw.err != nil {
 		return // client went away; drain remaining work silently
 	}
+	start := time.Now()
 	if err := wire.WriteFrame(fw.w, fw.version, f); err != nil {
 		fw.err = err
 		return
@@ -232,6 +239,7 @@ func (fw *frameWriter) writeFrame(f Frame, rawLen int) {
 	if fw.fl != nil {
 		fw.fl.Flush()
 	}
+	fw.flushHist.Observe(time.Since(start))
 }
 
 // totals reads the stream's byte counters under the writer lock (the
@@ -249,7 +257,7 @@ func (fw *frameWriter) totals() (bytes, rawBytes int64) {
 // order. Every item goes through the same cache + coalescing path as
 // its single-request equivalent; v3 additionally compresses and
 // delta-encodes OK payloads per frame (batchv3.go).
-func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
+func (s *Server) handleBatchV2(ctx context.Context, w http.ResponseWriter, req *BatchRequestV2) {
 	if len(req.Items) == 0 {
 		http.Error(w, "empty batch", http.StatusBadRequest)
 		return
@@ -309,6 +317,7 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 		w.Header().Set("Content-Type", BatchV2ContentType)
 	}
 	fw := newFrameWriter(w, version)
+	fw.flushHist = s.obs.stageFlush
 	if err := wire.WriteHeader(w, version, len(req.Items)); err != nil {
 		return // client went away before the header landed
 	}
@@ -352,7 +361,15 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 					it.Base = nil
 				}
 			}
-			payload, err := s.serveItem(req.Canvas, it, codec, version == wire.V3, false)
+			ictx, isp := s.tracer().Start(ctx, "item")
+			isp.Attr("kind", it.Kind)
+			isp.Attr("layer", it.Layer)
+			itemStart := time.Now()
+			defer func() {
+				s.obs.stageItem.Observe(time.Since(itemStart))
+				isp.End()
+			}()
+			payload, err := s.serveItem(ictx, req.Canvas, it, codec, version == wire.V3, false)
 			if err != nil {
 				f.Payload = []byte(err.Error())
 				rawLen = len(f.Payload)
@@ -366,7 +383,7 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 			f.Payload = payload
 			rawLen = len(payload)
 			if version == wire.V3 {
-				f.Payload, f.Codec = s.encodeFrameV3(req.Canvas, it, codec, payload, compress)
+				f.Payload, f.Codec = s.encodeFrameV3(ictx, req.Canvas, it, codec, payload, compress)
 			}
 		}(i, req.Items[i])
 	}
@@ -382,7 +399,7 @@ func (s *Server) handleBatchV2(w http.ResponseWriter, req *BatchRequestV2) {
 // cache/coalescing path as the single-request endpoints. memoDBox asks
 // dbox queries to park decoded rows for the v3 delta planner; localOnly
 // (peer-originated fills) suppresses cluster forwarding.
-func (s *Server) serveItem(canvas string, it BatchItem, codec Codec, memoDBox, localOnly bool) ([]byte, error) {
+func (s *Server) serveItem(ctx context.Context, canvas string, it BatchItem, codec Codec, memoDBox, localOnly bool) ([]byte, error) {
 	pl, ok := s.Layer(canvas, it.Layer)
 	if !ok || pl.Table == "" {
 		return nil, badRequestError{fmt.Errorf("no data layer %s/%d", canvas, it.Layer)}
@@ -399,13 +416,13 @@ func (s *Server) serveItem(canvas string, it BatchItem, codec Codec, memoDBox, l
 		if design == "" {
 			design = "spatial"
 		}
-		return s.serveTile(pl, design, codec, it.Size, geom.TileID{Col: it.Col, Row: it.Row}, localOnly)
+		return s.serveTile(ctx, pl, design, codec, it.Size, geom.TileID{Col: it.Col, Row: it.Row}, localOnly)
 	case "dbox":
 		box := it.Box()
 		if !box.Valid() {
 			return nil, badRequestError{fmt.Errorf("invalid box %+v", box)}
 		}
-		return s.serveBox(pl, codec, box, memoDBox, localOnly)
+		return s.serveBox(ctx, pl, codec, box, memoDBox, localOnly)
 	}
 	return nil, badRequestError{fmt.Errorf("unknown item kind %q", it.Kind)}
 }

@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"strconv"
+	"time"
 
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
@@ -25,16 +27,29 @@ const deltaMinOverlap = 0.25
 // then DEFLATE-compressed when allowed and the worth-it heuristic
 // agrees. The fallback at every step is the previous form — worst
 // case the frame ships exactly like v2.
-func (s *Server) encodeFrameV3(canvas string, it BatchItem, codec Codec, full []byte, compress bool) ([]byte, FrameCodec) {
+func (s *Server) encodeFrameV3(ctx context.Context, canvas string, it BatchItem, codec Codec, full []byte, compress bool) ([]byte, FrameCodec) {
 	body, fc := full, FrameRaw
 	if it.Kind == "dbox" && it.Base != nil {
-		if delta, ok := s.planDeltaFrame(canvas, it, codec, full); ok {
+		_, sp := s.tracer().Start(ctx, "delta.plan")
+		start := time.Now()
+		delta, ok := s.planDeltaFrame(canvas, it, codec, full)
+		s.obs.stageDelta.Observe(time.Since(start))
+		sp.Attr("applied", ok)
+		sp.End()
+		if ok {
 			body, fc = delta, FrameDelta
 			s.Stats.DeltaFrames.Add(1)
 		}
 	}
 	if compress && wire.ShouldCompress(body) {
-		if cb, err := wire.Compress(body); err == nil && len(cb) < len(body) {
+		_, sp := s.tracer().Start(ctx, "compress")
+		start := time.Now()
+		cb, err := wire.Compress(body)
+		s.obs.stageComp.Observe(time.Since(start))
+		applied := err == nil && len(cb) < len(body)
+		sp.Attr("applied", applied)
+		sp.End()
+		if applied {
 			body = cb
 			if fc == FrameDelta {
 				fc = FrameDeltaFlate

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -45,7 +46,7 @@ func TestL2WarmRestart(t *testing.T) {
 	tiles := []geom.TileID{{Col: 0, Row: 0}, {Col: 1, Row: 0}, {Col: 2, Row: 1}}
 	want := make(map[geom.TileID][]byte)
 	for _, tid := range tiles {
-		payload, err := srv1.serveTile(pl, "spatial", CodecJSON, 512, tid, false)
+		payload, err := srv1.serveTile(context.Background(), pl, "spatial", CodecJSON, 512, tid, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func TestL2WarmRestart(t *testing.T) {
 	defer srv2.Close()
 	pl2, _ := srv2.Layer("main", 0)
 	for _, tid := range tiles {
-		payload, err := srv2.serveTile(pl2, "spatial", CodecJSON, 512, tid, false)
+		payload, err := srv2.serveTile(context.Background(), pl2, "spatial", CodecJSON, 512, tid, false)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -88,7 +89,7 @@ func TestL2WarmRestart(t *testing.T) {
 	// neither disk nor database.
 	l2HitsBefore := srv2.l2.Stats.Hits.Load()
 	for _, tid := range tiles {
-		if _, err := srv2.serveTile(pl2, "spatial", CodecJSON, 512, tid, false); err != nil {
+		if _, err := srv2.serveTile(context.Background(), pl2, "spatial", CodecJSON, 512, tid, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -110,7 +111,7 @@ func TestL2UpdateInvalidates(t *testing.T) {
 	}
 	pl, _ := srv.Layer("main", 0)
 	tid := geom.TileID{Col: 0, Row: 0}
-	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, tid, false); err != nil {
+	if _, err := srv.serveTile(context.Background(), pl, "spatial", CodecJSON, 512, tid, false); err != nil {
 		t.Fatal(err)
 	}
 	if err := srv.l2.Flush(); err != nil {
@@ -124,7 +125,7 @@ func TestL2UpdateInvalidates(t *testing.T) {
 		t.Fatalf("update bumped L2 generation %d -> %d, want +1", genBefore, got)
 	}
 	dbqBefore := srv.Stats.DBQueries.Load()
-	post, err := srv.serveTile(pl, "spatial", CodecJSON, 512, tid, false)
+	post, err := srv.serveTile(context.Background(), pl, "spatial", CodecJSON, 512, tid, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestL2UpdateInvalidates(t *testing.T) {
 	defer srv2.Close()
 	pl2, _ := srv2.Layer("main", 0)
 	dbqBefore = srv2.Stats.DBQueries.Load()
-	payload, err := srv2.serveTile(pl2, "spatial", CodecJSON, 512, tid, false)
+	payload, err := srv2.serveTile(context.Background(), pl2, "spatial", CodecJSON, 512, tid, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestL2StaleFillDropped(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, tid, false); err != nil {
+	if _, err := srv.serveTile(context.Background(), pl, "spatial", CodecJSON, 512, tid, false); err != nil {
 		t.Fatal(err)
 	}
 	srv.queryHook = nil
@@ -349,10 +350,10 @@ func TestCacheOptionsAliasCompat(t *testing.T) {
 		t.Fatalf("flat CacheShards=2 produced %d shards", got)
 	}
 	pl, _ := srv.Layer("main", 0)
-	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, geom.TileID{}, false); err != nil {
+	if _, err := srv.serveTile(context.Background(), pl, "spatial", CodecJSON, 512, geom.TileID{}, false); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := srv.serveTile(pl, "spatial", CodecJSON, 512, geom.TileID{}, false); err != nil {
+	if _, err := srv.serveTile(context.Background(), pl, "spatial", CodecJSON, 512, geom.TileID{}, false); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Stats.CacheHits.Load() == 0 {

@@ -1,10 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"time"
 
 	"kyrix/internal/cluster"
+	"kyrix/internal/obs"
 	"kyrix/internal/storage"
 )
 
@@ -49,7 +52,20 @@ func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
 		Col: fr.Col, Row: fr.Row,
 		MinX: fr.MinX, MinY: fr.MinY, MaxX: fr.MaxX, MaxY: fr.MaxY,
 	}
-	payload, err := s.serveItem(fr.Canvas, it, codec, false, true)
+	// The requester's trace header (injected by the transport) makes
+	// this span part of the REQUESTER's trace: same trace ID, parented
+	// under its peer.fetch span. The finished subtree rides back on the
+	// response's spans header, where fetchOnce grafts it — one stitched
+	// trace covers the whole cross-node fill.
+	ctx, sp := s.startRequestSpan(r, "peer.serve")
+	sp.Attr("kind", fr.Kind)
+	srvStart := time.Now()
+	payload, err := s.serveItem(ctx, fr.Canvas, it, codec, false, true)
+	s.obs.stagePeerSrv.Observe(time.Since(srvStart))
+	sp.End()
+	if v := obs.EncodeSpansHeader(sp.Data()); v != "" {
+		w.Header().Set(obs.SpansHeader, v)
+	}
 	badReq := err != nil && httpStatusOf(err) == http.StatusBadRequest
 	_ = cluster.WritePeerResponse(w, s.cluster.EpochVec(), cluster.FrameKindOf(fr.Kind), payload, err, badReq)
 }
@@ -69,7 +85,7 @@ func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
 // the cluster's aggregate cache capacity scales with node count. With
 // admission off (no sketch) every fill replicates, the plain
 // groupcache behavior.
-func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
+func (s *Server) peerQuery(ctx context.Context, key string, fr *cluster.FillRequest, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	gen := s.cacheGen.Load()
 	l2gen := s.l2Gen()
 	owner := s.cluster.Owner(key)
@@ -85,7 +101,7 @@ func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args
 		// across restarts, and a checksum-verified local disk read
 		// beats a network exchange. L1 admission for non-owned keys
 		// stays behind the hot-replicate gate, same as a peer fill.
-		if payload, ok := s.l2Read(key); ok {
+		if payload, ok := s.l2ReadTraced(ctx, key); ok {
 			if hr := s.cluster.HotReplicate(); hr >= 0 {
 				if f := s.bcache.EstimateFreq(key); f < 0 || f >= hr {
 					s.putUnlessStale(gen, key, payload)
@@ -93,7 +109,15 @@ func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args
 			}
 			return payload, nil
 		}
-		payload, err := s.cluster.Fetch(owner, fr)
+		fctx, fsp := s.tracer().Start(ctx, "peer.fetch")
+		fsp.Attr("owner", owner)
+		fetchStart := time.Now()
+		payload, err := s.cluster.FetchContext(fctx, owner, fr)
+		s.obs.stagePeer.Observe(time.Since(fetchStart))
+		if err != nil {
+			fsp.Attr("err", err.Error())
+		}
+		fsp.End()
 		if err == nil {
 			// Peer fills populate L2 unconditionally: the hot-replicate
 			// gate protects L1's scarce memory, while the persistent
@@ -114,7 +138,7 @@ func (s *Server) peerQuery(key string, fr *cluster.FillRequest, sql string, args
 			return payload, nil
 		}
 		s.cluster.Stats.LocalFallbacks.Add(1)
-		payload, qerr := s.runQuery(sql, args, codec, memoize)
+		payload, qerr := s.runQuery(ctx, sql, args, codec, memoize)
 		if qerr != nil {
 			return nil, qerr
 		}

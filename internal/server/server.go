@@ -16,6 +16,7 @@ import (
 	"kyrix/internal/cluster"
 	"kyrix/internal/fetch"
 	"kyrix/internal/geom"
+	"kyrix/internal/obs"
 	"kyrix/internal/replog"
 	"kyrix/internal/singleflight"
 	"kyrix/internal/spec"
@@ -150,6 +151,10 @@ type Options struct {
 	// far above the constant per-layer statement shapes, but a hard
 	// ceiling if ad-hoc SQL ever flows through RunSelect.
 	PlanCacheSize int
+	// Obs configures observability: request tracing and the flight
+	// recorder (on by default), the /metrics exposition, and opt-in
+	// pprof. See ObsOptions.
+	Obs ObsOptions
 	// Precompute controls which physical structures are built at
 	// startup for every layer.
 	Precompute fetch.Options
@@ -300,6 +305,10 @@ type Server struct {
 	// open until all concurrent callers have piled onto the flight.
 	queryHook func()
 
+	// obs is the observability layer (obs.go): tracer + flight
+	// recorder, metrics registry, and pre-resolved stage histograms.
+	obs serverObs
+
 	Stats Stats
 }
 
@@ -347,6 +356,7 @@ func New(db *sqldb.DB, ca *spec.CompiledApp, opts Options) (*Server, error) {
 		deltaMemo: cache.NewLRUSharded(32<<20, 1),
 		opts:      opts,
 	}
+	s.initObs()
 	if cacheOpts.L2.Path != "" {
 		l2, err := store.Open(store.Options{
 			Path:            cacheOpts.L2.Path,
@@ -614,8 +624,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc(cluster.PeerPath, s.handlePeer)
 	if s.replog != nil {
-		mux.Handle("/replog/", s.replog.Handler())
+		mux.Handle("/replog/", s.traceMiddleware("replog.rpc", s.replog.Handler()))
 	}
+	s.mountDebug(mux)
 	return mux
 }
 
@@ -665,10 +676,11 @@ func floatParam(r *http.Request, name string) (float64, error) {
 // queried locally; localOnly (peer-originated requests) suppresses the
 // forwarding so two nodes with diverging ring views can never bounce a
 // request between each other.
-func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, size float64, tid geom.TileID, localOnly bool) ([]byte, error) {
+func (s *Server) serveTile(ctx context.Context, pl *fetch.PhysicalLayer, design string, codec Codec, size float64, tid geom.TileID, localOnly bool) ([]byte, error) {
 	key := fmt.Sprintf("%s/%s/%s", codec, design, fetch.TileKeyOf(layerKey(pl.CanvasID, pl.LayerIdx), size, tid))
 	if data, ok := s.bcache.Get(key); ok {
 		s.Stats.CacheHits.Add(1)
+		obs.SpanFromContext(ctx).Attr("l1", "hit")
 		return data.([]byte), nil
 	}
 	var sql string
@@ -676,7 +688,7 @@ func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, 
 	var err error
 	switch design {
 	case "spatial":
-		sql, args = s.windowSQL(pl, tid.TileRect(size))
+		sql, args = s.windowSQL(ctx, pl, tid.TileRect(size))
 	case "mapping":
 		sql, args, err = pl.TileSQLMapping(tid, size)
 		if err != nil {
@@ -691,9 +703,9 @@ func (s *Server) serveTile(pl *fetch.PhysicalLayer, design string, codec Codec, 
 			Kind: "tile", Codec: string(codec), Design: design,
 			Size: size, Col: tid.Col, Row: tid.Row,
 		}
-		return s.peerQuery(key, fr, sql, args, codec, false)
+		return s.peerQuery(ctx, key, fr, sql, args, codec, false)
 	}
-	return s.cachedQuery(key, sql, args, codec, false)
+	return s.cachedQuery(ctx, key, sql, args, codec, false)
 }
 
 // badRequestError marks an error as the caller's fault (HTTP 400);
@@ -722,15 +734,15 @@ func httpStatusOf(err error) int {
 // flight key embeds the generation too, so a request arriving after
 // the update never coalesces onto (and never re-serves) a stale
 // in-flight query.
-func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
+func (s *Server) cachedQuery(ctx context.Context, key, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	gen := s.cacheGen.Load()
 	l2gen := s.l2Gen()
 	if s.opts.DisableCoalescing {
-		if payload, ok := s.l2Read(key); ok {
+		if payload, ok := s.l2ReadTraced(ctx, key); ok {
 			s.putUnlessStale(gen, key, payload)
 			return payload, nil
 		}
-		payload, err := s.runQuery(sql, args, codec, memoize)
+		payload, err := s.runQuery(ctx, sql, args, codec, memoize)
 		if err != nil {
 			return nil, err
 		}
@@ -751,11 +763,11 @@ func (s *Server) cachedQuery(key, sql string, args []storage.Value, codec Codec,
 		// is a checksum-verified disk read, promoted into L1 so the
 		// next request never touches disk. Inside the flight, so N
 		// concurrent misses do one L2 read.
-		if payload, ok := s.l2Read(key); ok {
+		if payload, ok := s.l2ReadTraced(ctx, key); ok {
 			s.putUnlessStale(gen, key, payload)
 			return payload, nil
 		}
-		payload, err := s.runQuery(sql, args, codec, memoize)
+		payload, err := s.runQuery(ctx, sql, args, codec, memoize)
 		if err != nil {
 			return nil, err
 		}
@@ -789,6 +801,21 @@ func (s *Server) l2Read(key string) ([]byte, bool) {
 		return nil, false
 	}
 	return s.l2.Get(key)
+}
+
+// l2ReadTraced is l2Read wrapped in an "l2.read" span + stage histogram
+// sample. The no-store case pays nothing (not even a span).
+func (s *Server) l2ReadTraced(ctx context.Context, key string) ([]byte, bool) {
+	if s.l2 == nil {
+		return nil, false
+	}
+	_, sp := s.tracer().Start(ctx, "l2.read")
+	start := time.Now()
+	payload, ok := s.l2.Get(key)
+	s.obs.stageL2Read.Observe(time.Since(start))
+	sp.Attr("hit", ok)
+	sp.End()
+	return payload, ok
 }
 
 // l2Fill writes one payload back to the persistent tier through its
@@ -853,7 +880,12 @@ func (s *Server) handleTile(w http.ResponseWriter, r *http.Request) {
 		design = "spatial"
 	}
 	codec := codecOf(r)
-	payload, err := s.serveTile(pl, design, codec, size, geom.TileID{Col: col, Row: row}, false)
+	ctx, sp := s.startRequestSpan(r, "http.tile")
+	sp.Attr("canvas", pl.CanvasID)
+	start := time.Now()
+	payload, err := s.serveTile(ctx, pl, design, codec, size, geom.TileID{Col: col, Row: row}, false)
+	s.obs.stageItem.Observe(time.Since(start))
+	sp.End()
 	if err != nil {
 		http.Error(w, err.Error(), httpStatusOf(err))
 		return
@@ -889,7 +921,12 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	codec := codecOf(r)
-	payload, err := s.serveBox(pl, codec, box, false, false)
+	ctx, sp := s.startRequestSpan(r, "http.dbox")
+	sp.Attr("canvas", pl.CanvasID)
+	start := time.Now()
+	payload, err := s.serveBox(ctx, pl, codec, box, false, false)
+	s.obs.stageItem.Observe(time.Since(start))
+	sp.End()
 	if err != nil {
 		http.Error(w, err.Error(), httpStatusOf(err))
 		return
@@ -902,22 +939,23 @@ func (s *Server) handleDBox(w http.ResponseWriter, r *http.Request) {
 // memoize asks the query to park its decoded rows for the v3 delta
 // planner — only worth paying for requests whose payload can become a
 // delta base (v3 batches); the v1/v2 paths skip it.
-func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, memoize, localOnly bool) ([]byte, error) {
+func (s *Server) serveBox(ctx context.Context, pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, memoize, localOnly bool) ([]byte, error) {
 	key := s.boxCacheKey(pl, codec, box)
 	if data, ok := s.bcache.Get(key); ok {
 		s.Stats.CacheHits.Add(1)
+		obs.SpanFromContext(ctx).Attr("l1", "hit")
 		return data.([]byte), nil
 	}
-	sql, args := s.windowSQL(pl, box)
+	sql, args := s.windowSQL(ctx, pl, box)
 	if !localOnly && s.cluster != nil && !s.cluster.Owns(key) {
 		fr := &cluster.FillRequest{
 			Key: key, Canvas: pl.CanvasID, Layer: pl.LayerIdx,
 			Kind: "dbox", Codec: string(codec),
 			MinX: box.MinX, MinY: box.MinY, MaxX: box.MaxX, MaxY: box.MaxY,
 		}
-		return s.peerQuery(key, fr, sql, args, codec, memoize)
+		return s.peerQuery(ctx, key, fr, sql, args, codec, memoize)
 	}
-	return s.cachedQuery(key, sql, args, codec, memoize)
+	return s.cachedQuery(ctx, key, sql, args, codec, memoize)
 }
 
 // windowSQL builds the database query answering one window (a tile
@@ -929,9 +967,10 @@ func (s *Server) serveBox(pl *fetch.PhysicalLayer, codec Codec, box geom.Rect, m
 // or which side of a cluster forward — computes it, and cache keys need
 // no level component. The tuple–tile mapping design keeps serving raw
 // rows: its precomputed join is already bounded by tile extent.
-func (s *Server) windowSQL(pl *fetch.PhysicalLayer, window geom.Rect) (string, []storage.Value) {
+func (s *Server) windowSQL(ctx context.Context, pl *fetch.PhysicalLayer, window geom.Rect) (string, []storage.Value) {
 	if lvl := pl.LODLevelFor(window); lvl >= 0 {
 		s.Stats.LODQueries.Add(1)
+		obs.SpanFromContext(ctx).Attr("lodLevel", lvl)
 		return pl.LODWindowSQL(lvl, window)
 	}
 	return pl.WindowSQL(window)
@@ -959,7 +998,7 @@ func (s *Server) preparedSelect(sql string) (*sqldb.SelectStmt, error) {
 	return sel, nil
 }
 
-func (s *Server) runQuery(sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
+func (s *Server) runQuery(ctx context.Context, sql string, args []storage.Value, codec Codec, memoize bool) ([]byte, error) {
 	sel, err := s.preparedSelect(sql)
 	if err != nil {
 		return nil, err
@@ -967,13 +1006,20 @@ func (s *Server) runQuery(sql string, args []storage.Value, codec Codec, memoize
 	if hook := s.queryHook; hook != nil {
 		hook()
 	}
+	_, sp := s.tracer().Start(ctx, "db.query")
 	start := time.Now()
 	s.Stats.DBQueries.Add(1)
 	res, err := s.db.RunSelect(sel, args...)
+	elapsed := time.Since(start)
+	s.obs.stageDB.Observe(elapsed)
 	if err != nil {
+		sp.Attr("err", err.Error())
+		sp.End()
 		return nil, err
 	}
-	s.Stats.QueryNanos.Add(time.Since(start).Nanoseconds())
+	sp.Attr("rows", len(res.Rows))
+	sp.End()
+	s.Stats.QueryNanos.Add(elapsed.Nanoseconds())
 	s.Stats.RowsServed.Add(int64(len(res.Rows)))
 	dr := responseFromResult(res)
 	payload, err := Encode(dr, codec)
@@ -1035,6 +1081,14 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	ctx, sp := s.startRequestSpan(r, "http.update")
+	sp.Attr("replicated", s.replog != nil)
+	updStart := time.Now()
+	defer func() {
+		s.obs.stageUpdate.Observe(time.Since(updStart))
+		sp.End()
+	}()
+	r = r.WithContext(ctx)
 	var n int64
 	if s.replog != nil {
 		// Replicated path: the update becomes a quorum-committed log
@@ -1226,23 +1280,33 @@ type LODStats struct {
 	Queries int64 `json:"queries"`
 }
 
+// BuildInfo identifies the running binary in the v2 snapshot.
+type BuildInfo struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"goVersion"`
+}
+
 // StatsSnapshot is the versioned structured /stats response (schema
 // version 2). GET /stats serves it by default; GET /stats?v=1 serves
 // the legacy flat counter map for older scrapers.
 type StatsSnapshot struct {
-	V       int           `json:"v"`
-	Serving ServingStats  `json:"serving"`
-	Cache   CacheStats    `json:"cache"`
-	Cluster *ClusterStats `json:"cluster,omitempty"`
-	Replog  *replog.Stats `json:"replog,omitempty"`
-	LOD     LODStats      `json:"lod"`
+	V             int           `json:"v"`
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Build         BuildInfo     `json:"build"`
+	Serving       ServingStats  `json:"serving"`
+	Cache         CacheStats    `json:"cache"`
+	Cluster       *ClusterStats `json:"cluster,omitempty"`
+	Replog        *replog.Stats `json:"replog,omitempty"`
+	LOD           LODStats      `json:"lod"`
 }
 
 // Snapshot collects the server's counters into the versioned schema.
 func (s *Server) Snapshot() StatsSnapshot {
 	bc := s.bcache.Stats()
 	snap := StatsSnapshot{
-		V: 2,
+		V:             2,
+		UptimeSeconds: time.Since(s.obs.start).Seconds(),
+		Build:         BuildInfo{Version: buildVersion(), GoVersion: runtime.Version()},
 		Serving: ServingStats{
 			TileRequests:     s.Stats.TileRequests.Load(),
 			BoxRequests:      s.Stats.BoxRequests.Load(),

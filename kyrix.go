@@ -377,6 +377,57 @@
 // and `kyrix-bench -json` writes the sweep to a BENCH_<label>.json
 // artifact.
 //
+// # Observability
+//
+// The backend instruments its own serving pipeline end to end
+// (internal/obs, stdlib-only): request tracing, Prometheus-format
+// metrics, and a flight recorder of slow requests, all mounted on the
+// serving mux and all on by default ([ObsOptions] on
+// ServerOptions.Obs turns pieces off or sizes them).
+//
+// Tracing: every request handler opens a root span and the pipeline
+// stages it passes through become children — the span taxonomy is
+// http.tile / http.dbox / http.batch / http.update roots over item,
+// l2.read, db.query, peer.fetch, peer.serve, delta.plan, compress and
+// flush children, with attributes (cache tier hit, LOD level, rows,
+// applied/skipped) on the span that decided them. Trace context
+// crosses process boundaries in the X-Kyrix-Trace header, and a peer
+// ships its finished subtree back in X-Kyrix-Trace-Spans, so a
+// cluster fill records ONE stitched trace on the requesting node:
+// http.tile -> peer.fetch -> the owner's peer.serve -> db.query. The
+// frontend client joins in when [ClientOptions].Tracer is set — each
+// Load/Pan opens an "interaction" span (time-to-first-frame and
+// request counts as attributes) whose context is stamped onto /batch
+// POSTs, parenting the server's work under the user-visible
+// interaction. Replog RPCs carry the same header, so a follower's
+// vote or append lands under the leader's trace.
+//
+// Metrics: GET /metrics serves the Prometheus text exposition —
+// fixed-bucket per-stage latency histograms
+// (kyrix_stage_duration_seconds{stage=...}, observed on the serving
+// path whether or not tracing is enabled) plus every counter /stats
+// reports, re-rendered at scrape time from the same atomics so the
+// two surfaces cannot disagree. GET /stats (schema v2) gains
+// uptimeSeconds and build info; ?v=1 keeps the legacy flat map,
+// golden-tested. A scrape costs one registry walk; the hot path pays
+// two atomic adds per stage.
+//
+//	curl -s localhost:8080/metrics | grep kyrix_stage
+//	curl -s localhost:8080/debug/requests | jq '.slowest[0]'
+//
+// Flight recorder: /debug/requests returns the N most recent and N
+// slowest completed root spans as JSON trees (N =
+// ObsOptions.FlightRecorderSize, default 64) — the "what was that
+// spike" tool, lock-cheap enough to leave on in production.
+// kyrix-server exposes the knobs as -no-trace, -flight-recorder and
+// -pprof (opt-in net/http/pprof); kyrix-bench embeds the final
+// per-stage p50/p95/p99 into its -json BENCH artifact and dumps the
+// flight recorder with -slowdump. CI's obs-smoke job boots a backend,
+// drives a batched sweep, and validates the scrape; the bench job
+// tracks BenchmarkObsOverhead (tracing on vs off over the hot HTTP
+// tile path) so the instrumentation budget (<3% p50) holds across
+// PRs.
+//
 // # Static analysis (kyrix-vet)
 //
 // The invariants the sections above rely on — lock discipline, bounded
@@ -546,6 +597,11 @@ type (
 	// StatsSnapshot is the versioned structured GET /stats response
 	// (schema v2); GET /stats?v=1 still serves the legacy flat map.
 	StatsSnapshot = server.StatsSnapshot
+	// ObsOptions configures the observability layer
+	// (ServerOptions.Obs): tracing + flight recorder depth + pprof —
+	// see the "Observability" section above. The zero value traces with
+	// a 64-deep recorder and no pprof.
+	ObsOptions = server.ObsOptions
 )
 
 // Mapping-table index kinds (§3.1 compares B-tree and hash).
